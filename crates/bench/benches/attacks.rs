@@ -1,0 +1,105 @@
+//! Benchmarks of the attack primitives: how cheap plaintext recovery is
+//! once the snapshot artifacts are in hand.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minidb::wal::{carve_frames, frame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snapshot_attack::attacks::bit_leakage::{leak_once, Mode};
+use snapshot_attack::attacks::count::{count_attack_batch, AuxiliaryCounts};
+use snapshot_attack::attacks::frequency::rank_match;
+use snapshot_attack::attacks::matching::min_cost_assignment;
+use snapshot_attack::forensics::memscan;
+
+fn bench_carving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forensics");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    // 1 MiB of framed records with garbage in between.
+    let mut raw = Vec::with_capacity(1 << 20);
+    let mut rng = StdRng::seed_from_u64(1);
+    while raw.len() < (1 << 20) - 128 {
+        if rng.gen_bool(0.8) {
+            raw.extend_from_slice(&frame(&[0u8; 48]));
+        } else {
+            raw.extend_from_slice(&[0xEE; 32]);
+        }
+    }
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("carve_frames_1MiB", |b| b.iter(|| carve_frames(&raw)));
+
+    let mut dump = vec![0u8; 1 << 20];
+    for i in 0..2_000 {
+        let s = format!("SELECT * FROM t WHERE id = {i}");
+        let off = (i * 500) % (dump.len() - 64);
+        dump[off..off + s.len()].copy_from_slice(s.as_bytes());
+    }
+    g.throughput(Throughput::Bytes(dump.len() as u64));
+    g.bench_function("carve_sql_1MiB", |b| b.iter(|| memscan::carve_sql(&dump)));
+    g.finish();
+}
+
+fn bench_bit_leakage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bit_leakage");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(2);
+    for &queries in &[5usize, 50] {
+        let db: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
+        let tokens: Vec<u32> = (0..queries * 2).map(|_| rng.gen()).collect();
+        g.bench_with_input(
+            BenchmarkId::new("one_trial_10k_db", queries),
+            &queries,
+            |b, _| b.iter(|| leak_once(&db, &tokens, Mode::Propagate)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hungarian");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[16usize, 64, 128] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, m| {
+            b.iter(|| min_cost_assignment(m))
+        });
+    }
+    g.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statistical_attacks");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let aux = AuxiliaryCounts::new((0..5_000).map(|i| (format!("word{i}"), i * 3 + (i % 7))));
+    let obs: Vec<(usize, usize)> = (0..500).map(|i| (i, i * 3 + (i % 7))).collect();
+    g.bench_function("count_attack_500_tokens", |b| {
+        b.iter(|| count_attack_batch(&aux, &obs))
+    });
+
+    let observed: Vec<(u32, f64)> = (0..1_000).map(|i| (i, rng.gen_range(0.0..100.0))).collect();
+    let model: Vec<(u32, f64)> = (0..1_000).map(|i| (i, rng.gen_range(0.0..1.0))).collect();
+    g.bench_function("rank_match_1000", |b| b.iter(|| rank_match(&observed, &model)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_carving,
+    bench_bit_leakage,
+    bench_matching,
+    bench_statistics
+);
+criterion_main!(benches);

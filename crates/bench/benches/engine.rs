@@ -1,0 +1,110 @@
+//! Benchmarks of the MiniDB substrate: statement throughput and the cost
+//! of the instrumentation that makes the leakage possible.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use minidb::engine::{Db, DbConfig};
+
+fn small_config() -> DbConfig {
+    let mut c = DbConfig::default();
+    c.redo_capacity = 8 << 20;
+    c.undo_capacity = 8 << 20;
+    c
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minidb");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("insert_per_stmt", |b| {
+        let db = Db::open(small_config());
+        let conn = db.connect("bench");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'payload-{i}')"))
+                .unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("point_select_indexed", |b| {
+        let db = Db::open(small_config());
+        let conn = db.connect("bench");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..5_000 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            // Distinct text per call defeats the query cache, measuring
+            // the real index path.
+            conn.execute(&format!("SELECT v FROM t WHERE id = {}", i % 5000))
+                .unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("range_select_indexed", |b| {
+        let db = Db::open(small_config());
+        let conn = db.connect("bench");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..5_000 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            let lo = (i * 37) % 4900;
+            conn.execute(&format!(
+                "SELECT v FROM t WHERE id >= {lo} AND id < {}",
+                lo + 100
+            ))
+            .unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("query_cache_hit", |b| {
+        let db = Db::open(small_config());
+        let conn = db.connect("bench");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..1_000 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+        }
+        conn.execute("SELECT * FROM t WHERE id = 7").unwrap();
+        b.iter(|| conn.execute("SELECT * FROM t WHERE id = 7").unwrap());
+    });
+
+    g.bench_function("crash_recovery_1k_rows", |b| {
+        b.iter_with_setup(
+            || {
+                let db = Db::open(small_config());
+                let conn = db.connect("bench");
+                conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+                for i in 0..1_000 {
+                    conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+                }
+                db.crash();
+                db
+            },
+            |db| db.recover().unwrap(),
+        );
+    });
+
+    g.bench_function("system_snapshot", |b| {
+        let db = Db::open(small_config());
+        let conn = db.connect("bench");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..1_000 {
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+        }
+        b.iter(|| db.system_image());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! One bench target per paper table/figure: times a quick-mode run of
+//! each experiment end to end (workload + snapshot + attack). The
+//! `experiments` binary regenerates the actual numbers; these benches
+//! track the cost of regenerating them.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments_quick");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let opts = bench::Options {
+        quick: true,
+        ..Default::default()
+    };
+    for id in bench::ALL {
+        g.bench_function(id, |b| {
+            b.iter(|| bench::run(id, &opts).expect("known experiment"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the cryptographic primitives and PRE schemes —
+//! the cost side of the paper's leakage/performance trade-off discussion.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edb_crypto::ore::{compare, OreKey, OreParams};
+use edb_crypto::swp::{server_match, SwpClient};
+use edb_crypto::{ashe, chacha20, det, hmac, rnd, sha256, Key};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256::digest(d))
+        });
+        g.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, d| {
+            b.iter(|| hmac::hmac(&[7u8; 32], d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chacha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for size in [1024usize, 64 * 1024] {
+        let mut data = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| chacha20::xor_stream(&[1u8; 32], &[2u8; 12], 1, &mut data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = Key([9u8; 32]);
+    let mut g = c.benchmark_group("schemes");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("rnd_encrypt_64B", |b| {
+        b.iter(|| rnd::encrypt(&key, &[0u8; 64], &mut rng))
+    });
+    g.bench_function("det_encrypt_64B", |b| b.iter(|| det::encrypt(&key, &[0u8; 64])));
+
+    let ore = OreKey::new(&key, OreParams::PAPER).unwrap();
+    g.bench_function("ore_encrypt_left_u32", |b| {
+        b.iter(|| ore.encrypt_left(0xDEAD_BEEF).unwrap())
+    });
+    g.bench_function("ore_encrypt_right_u32", |b| {
+        b.iter(|| ore.encrypt_right(0xDEAD_BEEF, &mut rng).unwrap())
+    });
+    let left = ore.encrypt_left(123456).unwrap();
+    let right = ore.encrypt_right(654321, &mut rng).unwrap();
+    g.bench_function("ore_compare", |b| b.iter(|| compare(&left, &right).unwrap()));
+
+    let swp = SwpClient::new(&key);
+    g.bench_function("swp_encrypt_word", |b| {
+        b.iter(|| swp.encrypt_word(1, 0, "keyword"))
+    });
+    let td = swp.trapdoor("keyword");
+    let ct = swp.encrypt_word(1, 0, "keyword");
+    g.bench_function("swp_server_match", |b| b.iter(|| server_match(&td, &ct)));
+
+    let ak = ashe::AsheKey::new(&key, "col");
+    g.bench_function("ashe_encrypt", |b| b.iter(|| ak.encrypt(7, 1234)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_chacha, bench_schemes);
+criterion_main!(benches);

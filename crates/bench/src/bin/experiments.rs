@@ -1,0 +1,40 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [e1 e2 … | all]
+//! ```
+
+use bench::{Options, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+    let opts = Options {
+        quick,
+        ..Default::default()
+    };
+    for id in &ids {
+        eprintln!("[experiments] running {id}{}", if quick { " (quick)" } else { "" });
+        match bench::run(id, &opts) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id {id}; known: {ALL:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

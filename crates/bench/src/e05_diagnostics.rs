@@ -1,0 +1,139 @@
+//! E5 — §4 "Diagnostic Tables": everything a SQL-injection attacker reads
+//! with plain `SELECT`s — processlist, per-thread statement history
+//! (10 entries), and the digest summary including the paper's worked
+//! canonicalization example.
+
+use minidb::engine::{Db, DbConfig};
+use snapshot_attack::report::Table;
+use snapshot_attack::threat::{capture, AttackVector};
+
+use crate::Options;
+
+/// Runs the experiment.
+pub fn run(_opts: &Options) -> Vec<Table> {
+    let mut config = DbConfig::default();
+    config.redo_capacity = 1 << 20;
+    config.undo_capacity = 1 << 20;
+    let db = Db::open(config);
+    let setup = db.connect("app");
+    setup
+        .execute("CREATE TABLE customers (id INT PRIMARY KEY, state TEXT, age INT)")
+        .unwrap();
+    for i in 0..40 {
+        setup
+            .execute(&format!(
+                "INSERT INTO customers VALUES ({i}, '{}', {})",
+                if i % 3 == 0 { "IN" } else { "AZ" },
+                20 + i
+            ))
+            .unwrap();
+    }
+
+    // The victim's queries — including the paper's §4 worked example.
+    let victim = db.connect("webapp");
+    let paper_queries = [
+        "SELECT * FROM CUSTOMERS WHERE STATE='IN'",
+        "SELECT * FROM CUSTOMERS WHERE STATE='AZ'",
+        "SELECT * FROM CUSTOMERS WHERE AGE >=25",
+        "SELECT * FROM CUSTOMERS WHERE STATE='IN' AND AGE >=25",
+    ];
+    for q in paper_queries {
+        victim.execute(q).unwrap();
+    }
+    for i in 0..20 {
+        victim
+            .execute(&format!("SELECT * FROM customers WHERE id = {i}"))
+            .unwrap();
+    }
+
+    // ---- attacker: SQL injection, running as the web app's DB user ----
+    let obs = capture(&db, AttackVector::SqlInjection);
+    let inj = obs.sql.expect("sql injection has live SQL");
+
+    let mut t_hist = Table::new(
+        "E5a - events_statements_history via SQL injection (victim thread)",
+        &["thread", "sql_text"],
+    );
+    let hist = inj
+        .execute(&format!(
+            "SELECT thread_id, sql_text FROM performance_schema.events_statements_history \
+             WHERE thread_id = {}",
+            victim.id
+        ))
+        .unwrap();
+    for row in &hist.rows {
+        t_hist.row(&[row[0].to_string(), row[1].to_string()]);
+    }
+
+    let mut t_digest = Table::new(
+        "E5b - events_statements_summary_by_digest (query 'types' since restart)",
+        &["digest_text", "count_star", "sum_rows_examined"],
+    );
+    let digests = inj
+        .execute(
+            "SELECT digest_text, count_star, sum_rows_examined \
+             FROM performance_schema.events_statements_summary_by_digest \
+             ORDER BY count_star DESC",
+        )
+        .unwrap();
+    for row in &digests.rows {
+        t_digest.row(&[row[0].to_string(), row[1].to_string(), row[2].to_string()]);
+    }
+
+    let mut t_proc = Table::new(
+        "E5c - information_schema.processlist (live queries)",
+        &["id", "user", "time", "info"],
+    );
+    let procs = inj
+        .execute("SELECT * FROM information_schema.processlist")
+        .unwrap();
+    for row in &procs.rows {
+        t_proc.row(&[
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+            row[3].to_string(),
+        ]);
+    }
+    vec![t_hist, t_digest, t_proc]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_is_bounded_at_ten() {
+        let tables = run(&Options::default());
+        assert_eq!(tables[0].rows.len(), 10);
+    }
+
+    #[test]
+    fn digest_table_groups_like_the_paper() {
+        let tables = run(&Options::default());
+        let digest_rows = &tables[1].rows;
+        let find = |needle: &str| -> i64 {
+            digest_rows
+                .iter()
+                .find(|r| r[0].contains(needle))
+                .map(|r| r[1].parse().unwrap())
+                .unwrap_or(0)
+        };
+        // STATE='IN' and STATE='AZ' share one digest (count 2); the other
+        // two queries have their own digests (count 1 each).
+        assert_eq!(find("WHERE state = ?"), 2);
+        assert_eq!(find("WHERE age >= ?"), 1);
+        assert_eq!(find("WHERE state = ? AND age >= ?"), 1);
+        // The per-id point query appears 20 times under one digest.
+        assert_eq!(find("WHERE id = ?"), 20);
+    }
+
+    #[test]
+    fn attacker_sees_own_injected_query_in_processlist() {
+        let tables = run(&Options::default());
+        let procs = &tables[2].rows;
+        assert!(procs
+            .iter()
+            .any(|r| r[3].contains("processlist")));
+    }
+}

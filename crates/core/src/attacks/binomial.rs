@@ -1,0 +1,135 @@
+//! The binomial attack on order-revealing encryption (Grubbs et al.,
+//! S&P 2017), which §6 notes applies to the Lewi–Wu scheme "even in the
+//! absence of tokens" once equality/order leakage yields ranks, and which
+//! breaks Seabed's (deterministic, comparable) ORE outright.
+//!
+//! Given ciphertexts whose pairwise order is known (so each ciphertext
+//! has a *rank*) and a prior over plaintexts, the attacker estimates each
+//! plaintext as the quantile of its rank: for `N` uniform draws over
+//! `[0, 2³²)`, the value of rank `r` concentrates (binomially) around
+//! `(r+1)/(N+1) · 2³²` — which fixes the high-order bits.
+
+/// Estimates plaintexts from ranks under a uniform prior on `[0, modulus)`.
+///
+/// `ranks[i]` is the rank (0-based, ascending) of ciphertext `i` among
+/// `n` total ciphertexts.
+pub fn estimate_uniform(ranks: &[usize], n: usize, modulus: u64) -> Vec<u64> {
+    assert!(n > 0, "empty ciphertext set");
+    ranks
+        .iter()
+        .map(|&r| {
+            let q = (r as f64 + 1.0) / (n as f64 + 1.0);
+            ((q * modulus as f64) as u64).min(modulus - 1)
+        })
+        .collect()
+}
+
+/// Counts how many leading (most significant) bits of `estimate` agree
+/// with `truth`, over a `width`-bit domain.
+pub fn correct_leading_bits(estimate: u64, truth: u64, width: u32) -> u32 {
+    let diff = estimate ^ truth;
+    if diff == 0 {
+        width
+    } else {
+        let highest = 63 - diff.leading_zeros(); // Highest differing bit.
+        if highest >= width {
+            0
+        } else {
+            width - 1 - highest
+        }
+    }
+}
+
+/// Outcome of the attack against a set of ciphertexts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinomialAttackReport {
+    /// Mean correctly recovered leading bits per value.
+    pub mean_leading_bits: f64,
+    /// Fraction of all plaintext bits recovered (leading-bit metric).
+    pub bit_recovery_rate: f64,
+    /// Mean absolute relative error of the value estimates.
+    pub mean_relative_error: f64,
+}
+
+/// Runs the full attack: sorts the (attacker-comparable) values into
+/// ranks, estimates by quantile, and scores against the ground truth.
+///
+/// `truth` is ground truth used only for scoring — the estimate uses
+/// ranks alone.
+pub fn attack_uniform_u32(truth: &[u32]) -> BinomialAttackReport {
+    let n = truth.len();
+    assert!(n > 0);
+    // The attacker can sort ciphertexts (ORE comparisons), i.e. knows each
+    // ciphertext's rank.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| truth[i]);
+    let mut ranks = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        ranks[i] = rank;
+    }
+    let estimates = estimate_uniform(&ranks, n, 1 << 32);
+    let mut bits = 0u64;
+    let mut rel_err = 0.0f64;
+    for (i, &est) in estimates.iter().enumerate() {
+        bits += u64::from(correct_leading_bits(est, truth[i] as u64, 32));
+        rel_err += ((est as f64) - (truth[i] as f64)).abs() / (1u64 << 32) as f64;
+    }
+    BinomialAttackReport {
+        mean_leading_bits: bits as f64 / n as f64,
+        bit_recovery_rate: bits as f64 / (n as f64 * 32.0),
+        mean_relative_error: rel_err / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn leading_bits_metric() {
+        assert_eq!(correct_leading_bits(0b1010, 0b1010, 4), 4);
+        assert_eq!(correct_leading_bits(0b1010, 0b1011, 4), 3);
+        assert_eq!(correct_leading_bits(0b1010, 0b0010, 4), 0);
+        assert_eq!(correct_leading_bits(0, u32::MAX as u64, 32), 0);
+    }
+
+    #[test]
+    fn quantile_estimates_monotone_and_in_range() {
+        let est = estimate_uniform(&[0, 1, 2, 3], 4, 1 << 32);
+        assert!(est.windows(2).all(|w| w[0] < w[1]));
+        assert!(est.iter().all(|&e| e < (1u64 << 32)));
+    }
+
+    #[test]
+    fn recovers_high_bits_of_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
+        let report = attack_uniform_u32(&truth);
+        // With N = 10⁴ uniform draws, rank quantiles pin down roughly
+        // log2(sqrt(N)) ≈ 6-7 high bits on average.
+        assert!(
+            report.mean_leading_bits > 4.0,
+            "mean bits {}",
+            report.mean_leading_bits
+        );
+        assert!(report.mean_relative_error < 0.01);
+    }
+
+    #[test]
+    fn attack_beats_random_guessing() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let truth: Vec<u32> = (0..1000).map(|_| rng.gen()).collect();
+        let report = attack_uniform_u32(&truth);
+        // A random guess gets 1 leading bit right in expectation
+        // (sum 2^-k ≈ 1).
+        assert!(report.mean_leading_bits > 3.0);
+    }
+
+    #[test]
+    fn small_sets_still_work() {
+        let report = attack_uniform_u32(&[7]);
+        assert!(report.mean_relative_error < 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! `forensic` — standalone snapshot analysis, the attacker's offline
+//! toolbox: point it at a captured `EDBSNAP1` image and carve.
+//!
+//! ```text
+//! forensic <image-file> <command>
+//!
+//! commands:
+//!   summary    what the image contains
+//!   writes     reconstruct data-modifying queries from the redo log
+//!   undo       before-images from the undo log
+//!   binlog     statements with timestamps (mysqlbinlog-alike)
+//!   strings    SQL statements carved from the heap dump
+//!   tokens     hex tokens (trapdoors, ORE tokens, DET cts) in carved SQL
+//!   digests    performance_schema digest histogram
+//!   bufpool    recently-read index key ranges from the LRU dump
+//! ```
+//!
+//! Generate an image with `minidb::SystemImage::to_bytes` (see the
+//! `quickstart` example) or programmatically in tests.
+
+use minidb::snapshot::SystemImage;
+use minidb::storage::DUMP_FILE;
+use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
+use snapshot_attack::forensics::{binlog, bufpool, memscan, wal};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|strings|tokens|digests|bufpool>");
+        std::process::exit(2);
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("forensic: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let image = match SystemImage::from_bytes(&bytes) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("forensic: not a valid EDBSNAP1 image: {e}");
+            std::process::exit(1);
+        }
+    };
+    match cmd.as_str() {
+        "summary" => summary(&image),
+        "writes" => writes(&image),
+        "undo" => undo(&image),
+        "binlog" => binlog_cmd(&image),
+        "strings" => strings(&image),
+        "tokens" => tokens(&image),
+        "digests" => digests(&image),
+        "bufpool" => bufpool_cmd(&image),
+        other => {
+            eprintln!("forensic: unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn summary(image: &SystemImage) {
+    println!("captured_at: {}", image.captured_at);
+    println!("disk files ({}):", image.disk.files.len());
+    for (name, data) in &image.disk.files {
+        println!("  {name:<24} {:>10} bytes", data.len());
+    }
+    let m = &image.memory;
+    println!("memory:");
+    println!("  heap dump            {:>10} bytes", m.heap.len());
+    println!("  cached queries       {:>10}", m.cached_queries.len());
+    println!("  cached pages (LRU)   {:>10}", m.cached_pages.len());
+    println!("  statement history    {:>10}", m.statements_history.len());
+    println!("  digest rows          {:>10}", m.digest_summary.len());
+    println!("  processlist entries  {:>10}", m.processlist.len());
+    println!("  adaptive-hash keys   {:>10}", m.adaptive_hash_keys.len());
+}
+
+fn writes(image: &SystemImage) {
+    let Some(raw) = image.disk.file(REDO_FILE) else {
+        eprintln!("no redo log in image");
+        return;
+    };
+    for w in wal::reconstruct_writes(raw) {
+        match &w.row {
+            Some(row) => println!("lsn {:>8} txn {:>6} {:?} {:?}", w.lsn, w.txn, w.op, row.values),
+            None => println!("lsn {:>8} txn {:>6} {:?} (no image)", w.lsn, w.txn, w.op),
+        }
+    }
+}
+
+fn undo(image: &SystemImage) {
+    let Some(raw) = image.disk.file(UNDO_FILE) else {
+        eprintln!("no undo log in image");
+        return;
+    };
+    for b in wal::reconstruct_before_images(raw) {
+        match &b.before {
+            Some(row) => println!(
+                "lsn {:>8} txn {:>6} {:?} row {} was {:?}",
+                b.lsn, b.txn, b.op, b.row_id, row.values
+            ),
+            None => println!("lsn {:>8} txn {:>6} {:?} row {}", b.lsn, b.txn, b.op, b.row_id),
+        }
+    }
+}
+
+fn binlog_cmd(image: &SystemImage) {
+    let Some(raw) = image.disk.file(BINLOG_FILE) else {
+        eprintln!("no binlog in image");
+        return;
+    };
+    for e in binlog::parse_binlog(raw) {
+        println!("t={} lsn={} txn={} {}", e.timestamp, e.lsn, e.txn, e.statement);
+    }
+}
+
+fn strings(image: &SystemImage) {
+    for s in memscan::carve_sql(&image.memory.heap) {
+        println!("heap@{:<8} {}", s.offset, s.text);
+    }
+}
+
+fn tokens(image: &SystemImage) {
+    let mut seen = std::collections::BTreeSet::new();
+    // Tokens hide in heap SQL, history texts, cached queries, and the
+    // binlog statements alike.
+    let mut texts: Vec<String> = memscan::carve_sql(&image.memory.heap)
+        .into_iter()
+        .map(|s| s.text)
+        .collect();
+    texts.extend(image.memory.cached_queries.iter().cloned());
+    texts.extend(
+        image
+            .memory
+            .statements_history
+            .iter()
+            .map(|e| e.sql_text.clone()),
+    );
+    if let Some(raw) = image.disk.file(BINLOG_FILE) {
+        texts.extend(binlog::parse_binlog(raw).into_iter().map(|e| e.statement));
+    }
+    for t in &texts {
+        for tok in binlog::extract_hex_literals(t) {
+            if seen.insert(tok.clone()) {
+                let hex: String = tok.iter().take(24).map(|b| format!("{b:02x}")).collect();
+                println!("{:>5} bytes  {hex}{}", tok.len(), if tok.len() > 24 { "…" } else { "" });
+            }
+        }
+    }
+    eprintln!("{} distinct tokens", seen.len());
+}
+
+fn digests(image: &SystemImage) {
+    let mut rows = image.memory.digest_summary.clone();
+    rows.sort_by(|a, b| b.count_star.cmp(&a.count_star));
+    for d in rows {
+        println!("{:>8}x  rows_examined={:<8} {}", d.count_star, d.sum_rows_examined, d.digest);
+    }
+}
+
+fn bufpool_cmd(image: &SystemImage) {
+    let Some(dump_raw) = image.disk.file(DUMP_FILE) else {
+        eprintln!("no buffer-pool dump in image (did the victim shut down cleanly?)");
+        return;
+    };
+    let dump = bufpool::parse_dump(dump_raw);
+    // Analyse every index file present.
+    for (name, data) in &image.disk.files {
+        if !name.starts_with("index_") {
+            continue;
+        }
+        let ranges = bufpool::recently_read_ranges(&dump, name, data);
+        if ranges.is_empty() {
+            continue;
+        }
+        println!("{name}:");
+        for (page, min, max) in ranges.iter().take(10) {
+            println!("  leaf {page:<6} keys [{min} .. {max}]");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! LSN–timestamp correlation (§3): the binlog pairs every commit LSN with
+//! a UNIX timestamp; a least-squares fit of time against LSN dates any
+//! undo/redo record — including ones older than the binlog horizon (e.g.
+//! after an administrative `PURGE BINARY LOGS`).
+
+use minidb::wal::BinlogEvent;
+
+/// A fitted `time ≈ slope · lsn + intercept` model.
+#[derive(Clone, Copy, Debug)]
+pub struct LsnTimeModel {
+    /// Seconds per LSN unit.
+    pub slope: f64,
+    /// Intercept (UNIX seconds).
+    pub intercept: f64,
+    /// Number of points the fit used.
+    pub points: usize,
+}
+
+impl LsnTimeModel {
+    /// Estimates the UNIX timestamp of an arbitrary LSN.
+    pub fn estimate(&self, lsn: u64) -> f64 {
+        self.slope * lsn as f64 + self.intercept
+    }
+}
+
+/// Fits the model from recovered binlog events. Returns `None` with fewer
+/// than two distinct LSNs.
+pub fn fit(events: &[BinlogEvent]) -> Option<LsnTimeModel> {
+    let pts: Vec<(f64, f64)> = events
+        .iter()
+        .map(|e| (e.lsn as f64, e.timestamp as f64))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mean_x = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = pts
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    Some(LsnTimeModel {
+        slope,
+        intercept: mean_y - slope * mean_x,
+        points: pts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(lsn: u64, timestamp: i64) -> BinlogEvent {
+        BinlogEvent {
+            lsn,
+            txn: lsn,
+            timestamp,
+            statement: String::new(),
+        }
+    }
+
+    #[test]
+    fn exact_linear_fit() {
+        // time = 2·lsn + 100.
+        let events: Vec<BinlogEvent> = (1..=10).map(|l| ev(l, 2 * l as i64 + 100)).collect();
+        let m = fit(&events).unwrap();
+        assert!((m.slope - 2.0).abs() < 1e-9);
+        assert!((m.intercept - 100.0).abs() < 1e-6);
+        // Extrapolation back before the first event (the purged horizon).
+        assert!((m.estimate(0) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_trend() {
+        let events: Vec<BinlogEvent> = (0..100)
+            .map(|l| ev(l * 10, (l * 10) as i64 * 3 + 500 + (l % 5) as i64 - 2))
+            .collect();
+        let m = fit(&events).unwrap();
+        assert!((m.slope - 3.0).abs() < 0.01, "slope {}", m.slope);
+        let est = m.estimate(550);
+        assert!((est - (550.0 * 3.0 + 500.0)).abs() < 10.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[ev(1, 1)]).is_none());
+        assert!(fit(&[ev(5, 1), ev(5, 2)]).is_none(), "no LSN spread");
+    }
+}

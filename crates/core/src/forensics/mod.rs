@@ -1,0 +1,13 @@
+//! Forensic parsers: from raw snapshot artifacts to query history.
+//!
+//! Everything here operates on *attacker-visible* bytes and structures —
+//! circular-log buffers, the binlog file, the buffer-pool dump, heap
+//! dumps — using only public knowledge of the storage engine's formats
+//! (the moral equivalent of `mysqlbinlog` and the InnoDB forensics of
+//! Frühwirt et al.).
+
+pub mod binlog;
+pub mod bufpool;
+pub mod lsn_time;
+pub mod memscan;
+pub mod wal;

@@ -1,0 +1,21 @@
+//! # snapshot-attack
+//!
+//! The paper's contribution, as a library: a realistic model of what each
+//! concrete attack on a DBMS host actually yields ([`threat`], Figure 1),
+//! forensic parsers that turn those artifacts into query history
+//! ([`forensics`], §3–§5), and the leakage-abuse attack suite that turns
+//! query history into plaintext recovery against encrypted databases
+//! ([`attacks`], §6).
+//!
+//! The central claim this crate operationalizes: **there is no such thing
+//! as a snapshot attacker who cannot observe past queries**. Every vector
+//! stronger than pure disk theft of an at-rest-encrypted disk yields
+//! transaction logs, diagnostic tables, caches, or heap residue — and each
+//! of those contains query tokens, statement texts, or access patterns
+//! that collapse the "snapshot security" claims of CryptDB-style,
+//! Seabed-style, and Arx-style designs.
+
+pub mod attacks;
+pub mod forensics;
+pub mod report;
+pub mod threat;

@@ -1,0 +1,163 @@
+//! Property-based tests for the attack suite: optimality of the matcher,
+//! soundness of the leakage accounting, and parser robustness.
+
+use proptest::prelude::*;
+use snapshot_attack::attacks::bit_leakage::{leak_once, Mode};
+use snapshot_attack::attacks::frequency::rank_match;
+use snapshot_attack::attacks::matching::{max_weight_assignment, min_cost_assignment};
+use snapshot_attack::forensics::binlog::extract_hex_literals;
+use snapshot_attack::forensics::memscan::{carve_strings, count_occurrences};
+
+fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+    fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == cost.len() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for j in 0..cost[0].len() {
+            if !used[j] {
+                used[j] = true;
+                best = best.min(cost[row][j] + rec(cost, row + 1, used));
+                used[j] = false;
+            }
+        }
+        best
+    }
+    rec(cost, 0, &mut vec![false; cost[0].len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hungarian_is_optimal(
+        n in 1usize..5,
+        extra in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let m = n + extra;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..9.0)).collect())
+            .collect();
+        let a = min_cost_assignment(&cost);
+        // A valid injective assignment…
+        let mut used = vec![false; m];
+        let mut total = 0.0;
+        for (i, &j) in a.iter().enumerate() {
+            prop_assert!(j < m);
+            prop_assert!(!used[j]);
+            used[j] = true;
+            total += cost[i][j];
+        }
+        // …that achieves the brute-force optimum.
+        prop_assert!((total - brute_force_min(&cost)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_weight_equals_negated_min_cost(
+        n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..9.0)).collect())
+            .collect();
+        let neg: Vec<Vec<f64>> = w.iter().map(|r| r.iter().map(|x| -x).collect()).collect();
+        let a = max_weight_assignment(&w);
+        let b = min_cost_assignment(&neg);
+        let score = |assign: &[usize]| -> f64 {
+            assign.iter().enumerate().map(|(i, &j)| w[i][j]).sum()
+        };
+        prop_assert!((score(&a) - score(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_match_is_a_bijection_on_prefixes(
+        counts in proptest::collection::vec(0.0f64..1000.0, 1..30),
+        model in proptest::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let observed: Vec<(usize, f64)> = counts.iter().copied().enumerate().collect();
+        let m: Vec<(usize, f64)> = model.iter().copied().enumerate().collect();
+        let pairs = rank_match(&observed, &m);
+        prop_assert_eq!(pairs.len(), observed.len().min(m.len()));
+        let mut cts: Vec<usize> = pairs.iter().map(|(c, _)| *c).collect();
+        let mut pts: Vec<usize> = pairs.iter().map(|(_, p)| *p).collect();
+        cts.sort_unstable();
+        cts.dedup();
+        pts.sort_unstable();
+        pts.dedup();
+        prop_assert_eq!(cts.len(), pairs.len(), "no ciphertext matched twice");
+        prop_assert_eq!(pts.len(), pairs.len(), "no plaintext matched twice");
+    }
+
+    #[test]
+    fn propagation_dominates_direct_leakage(
+        db in proptest::collection::vec(any::<u32>(), 1..80),
+        tokens in proptest::collection::vec(any::<u32>(), 0..12),
+    ) {
+        let direct = leak_once(&db, &tokens, Mode::DirectOnly);
+        let prop_mode = leak_once(&db, &tokens, Mode::Propagate);
+        prop_assert!(prop_mode.fraction_bits_leaked >= direct.fraction_bits_leaked - 1e-12);
+        prop_assert!(prop_mode.fraction_bits_leaked <= 1.0);
+    }
+
+    #[test]
+    fn leakage_is_monotone_in_tokens(
+        db in proptest::collection::vec(any::<u32>(), 1..60),
+        tokens in proptest::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let fewer = leak_once(&db, &tokens[..tokens.len() / 2], Mode::Propagate);
+        let more = leak_once(&db, &tokens, Mode::Propagate);
+        prop_assert!(more.fraction_bits_leaked >= fewer.fraction_bits_leaked - 1e-12);
+    }
+
+    #[test]
+    fn carve_strings_never_panics_and_respects_min_len(
+        dump in proptest::collection::vec(any::<u8>(), 0..600),
+        min_len in 1usize..12,
+    ) {
+        for s in carve_strings(&dump, min_len) {
+            prop_assert!(s.text.len() >= min_len);
+            prop_assert!(s.offset + s.text.len() <= dump.len());
+        }
+    }
+
+    #[test]
+    fn count_occurrences_matches_naive(
+        dump in proptest::collection::vec(0u8..4, 0..200),
+        needle in proptest::collection::vec(0u8..4, 1..5),
+    ) {
+        let fast = count_occurrences(&dump, &needle);
+        // Naive non-overlapping count.
+        let mut naive = 0;
+        let mut i = 0;
+        while i + needle.len() <= dump.len() {
+            if &dump[i..i + needle.len()] == needle.as_slice() {
+                naive += 1;
+                i += needle.len();
+            } else {
+                i += 1;
+            }
+        }
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn hex_literal_extraction_round_trips(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..5),
+    ) {
+        let stmt = blobs
+            .iter()
+            .map(|b| {
+                let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
+                format!("col = X'{hex}'")
+            })
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        let got = extract_hex_literals(&stmt);
+        prop_assert_eq!(got, blobs);
+    }
+}

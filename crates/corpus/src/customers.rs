@@ -1,0 +1,127 @@
+//! A `CUSTOMERS(name, state, age)` table generator with census-like skew.
+//!
+//! Used by the §4 digest examples (the paper's worked queries filter on
+//! `STATE` and `AGE`) and by the DET/SPLASHE frequency-analysis
+//! experiments, which need a categorical column with a publicly modellable
+//! non-uniform distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Two-letter codes of the 50 US states, ordered by (approximate 2016)
+/// population so that rank correlates with frequency.
+pub const STATES: [&str; 50] = [
+    "CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA",
+    "TN", "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "CT", "UT",
+    "IA", "NV", "AR", "MS", "KS", "NM", "NE", "WV", "ID", "HI", "NH", "ME", "MT", "RI", "DE",
+    "SD", "ND", "AK", "VT", "WY",
+];
+
+/// One generated customer row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CustomerRow {
+    /// Primary key.
+    pub id: u64,
+    /// Pseudonymous name.
+    pub name: String,
+    /// Two-letter state code, Zipf-skewed over [`STATES`].
+    pub state: &'static str,
+    /// Age in years, 18..=90 with a rough working-age bulge.
+    pub age: u32,
+}
+
+/// Parameters for the generator.
+#[derive(Clone, Debug)]
+pub struct CustomerParams {
+    /// Number of rows.
+    pub rows: usize,
+    /// Zipf exponent over state ranks (1.0 ≈ US population skew).
+    pub state_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CustomerParams {
+    fn default() -> Self {
+        CustomerParams {
+            rows: 10_000,
+            state_skew: 1.0,
+            seed: 0xC057,
+        }
+    }
+}
+
+/// Generates the table.
+pub fn generate(params: &CustomerParams) -> Vec<CustomerRow> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let state_dist = Zipf::new(STATES.len(), params.state_skew);
+    (0..params.rows)
+        .map(|id| {
+            let state = STATES[state_dist.sample(&mut rng)];
+            // Sum of two uniforms gives a triangular bulge around the mean.
+            let age = 18 + (rng.gen_range(0..=36) + rng.gen_range(0..=36));
+            CustomerRow {
+                id: id as u64,
+                name: crate::enron::pseudo_word(id),
+                state,
+                age,
+            }
+        })
+        .collect()
+}
+
+/// The true histogram of `state` over `rows` — the auxiliary model an
+/// attacker would take from public census data.
+pub fn state_histogram(rows: &[CustomerRow]) -> Vec<(&'static str, usize)> {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for r in rows {
+        *counts.entry(r.state).or_insert(0) += 1;
+    }
+    let mut v: Vec<_> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let p = CustomerParams {
+            rows: 100,
+            ..Default::default()
+        };
+        assert_eq!(generate(&p), generate(&p));
+        assert_eq!(generate(&p).len(), 100);
+    }
+
+    #[test]
+    fn ages_in_range_with_bulge() {
+        let rows = generate(&CustomerParams {
+            rows: 5000,
+            ..Default::default()
+        });
+        assert!(rows.iter().all(|r| (18..=90).contains(&r.age)));
+        let mid = rows.iter().filter(|r| (40..=68).contains(&r.age)).count();
+        let edge = rows.iter().filter(|r| r.age < 30 || r.age > 78).count();
+        assert!(mid > edge, "triangular bulge missing: mid={mid} edge={edge}");
+    }
+
+    #[test]
+    fn state_skew_matches_rank_order() {
+        let rows = generate(&CustomerParams {
+            rows: 20_000,
+            ..Default::default()
+        });
+        let hist = state_histogram(&rows);
+        // The most common observed state should be one of the top-3 ranks.
+        assert!(STATES[..3].contains(&hist[0].0), "top state {}", hist[0].0);
+        // And the tail should be much rarer than the head.
+        let head = hist[0].1;
+        let tail = hist.last().unwrap().1;
+        assert!(head > tail * 5, "head {head} vs tail {tail}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic data and workload generators for the reproduction.
+//!
+//! The paper's demonstrations use data the authors had but this offline
+//! reproduction does not: the Enron email corpus (for the §6 count-attack
+//! statistic), realistic customer tables (for the §4 digest examples), and
+//! ad-hoc query workloads. This crate builds statistically calibrated
+//! stand-ins:
+//!
+//! * [`zipf`] — a Zipf(s) sampler, the backbone of realistic word and
+//!   query-frequency distributions.
+//! * [`enron`] — a synthetic email corpus whose per-keyword result-count
+//!   profile is calibrated so that ≈63% of the 500 most frequent words
+//!   have a unique result count, matching the statistic the paper cites
+//!   from Cash et al.
+//! * [`customers`] — a `CUSTOMERS(name, state, age)` table generator with
+//!   census-like categorical skew, used for DET/SPLASHE experiments.
+//! * [`workload`] — query workload generators: uniform 32-bit range
+//!   queries (the §6 Lewi–Wu simulation), Zipf-distributed point queries
+//!   (for frequency analysis), and mixed OLTP write streams (for the §3
+//!   log-forensics experiments).
+
+pub mod customers;
+pub mod enron;
+pub mod workload;
+pub mod zipf;

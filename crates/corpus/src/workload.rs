@@ -1,0 +1,192 @@
+//! Query and write workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A range query over `u32` values: `lo <= x AND x <= hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Lower bound (inclusive).
+    pub lo: u32,
+    /// Upper bound (inclusive).
+    pub hi: u32,
+}
+
+/// Samples `count` uniformly random 32-bit values — the §6 Lewi–Wu
+/// database ("we sampled a database of 32-bit integers ... uniformly at
+/// random").
+pub fn uniform_u32_database(count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen()).collect()
+}
+
+/// Samples `count` uniformly random range queries (both endpoints uniform,
+/// swapped into order) — the §6 Lewi–Wu query model.
+pub fn uniform_range_queries(count: usize, seed: u64) -> Vec<RangeQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let a: u32 = rng.gen();
+            let b: u32 = rng.gen();
+            RangeQuery {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        })
+        .collect()
+}
+
+/// A stream of point queries over a categorical domain, Zipf-distributed —
+/// the query model for the Seabed/SPLASHE frequency-analysis experiment
+/// ("if the attacker has a sufficiently good model of the query
+/// distribution").
+pub fn zipf_point_queries(domain: u32, skew: f64, count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = Zipf::new(domain as usize, skew);
+    (0..count).map(|_| z.sample(&mut rng) as u32).collect()
+}
+
+/// One write in an OLTP stream (the §3 log-forensics workload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Write {
+    /// Insert a fresh row `(id, payload)`.
+    Insert {
+        /// New row id.
+        id: u64,
+        /// Payload field (fixed width keeps log-arithmetic predictable).
+        payload: String,
+    },
+    /// Update row `id`'s payload.
+    Update {
+        /// Existing row id.
+        id: u64,
+        /// Replacement payload.
+        payload: String,
+    },
+    /// Delete row `id`.
+    Delete {
+        /// Existing row id.
+        id: u64,
+    },
+}
+
+/// Parameters for the OLTP write stream.
+#[derive(Clone, Debug)]
+pub struct WriteStreamParams {
+    /// Number of writes to emit.
+    pub count: usize,
+    /// Payload width in bytes (the paper's §3 arithmetic uses 20).
+    pub payload_len: usize,
+    /// Fraction of updates (remainder splits between inserts and deletes).
+    pub update_fraction: f64,
+    /// Fraction of deletes.
+    pub delete_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WriteStreamParams {
+    fn default() -> Self {
+        WriteStreamParams {
+            count: 1_000,
+            payload_len: 20,
+            update_fraction: 0.3,
+            delete_fraction: 0.1,
+            seed: 0x57A7,
+        }
+    }
+}
+
+/// Generates a write stream. Inserts allocate increasing ids; updates and
+/// deletes target previously inserted, still-live ids. The first write is
+/// always an insert so the stream is self-contained.
+pub fn write_stream(params: &WriteStreamParams) -> Vec<Write> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut out = Vec::with_capacity(params.count);
+    for i in 0..params.count {
+        let roll: f64 = rng.gen();
+        let payload = random_payload(params.payload_len, &mut rng);
+        if i == 0 || live.is_empty() || roll >= params.update_fraction + params.delete_fraction {
+            let id = next_id;
+            next_id += 1;
+            live.push(id);
+            out.push(Write::Insert { id, payload });
+        } else if roll < params.update_fraction {
+            let id = live[rng.gen_range(0..live.len())];
+            out.push(Write::Update { id, payload });
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.swap_remove(idx);
+            out.push(Write::Delete { id });
+        }
+    }
+    out
+}
+
+fn random_payload<R: Rng + ?Sized>(len: usize, rng: &mut R) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_queries_are_ordered() {
+        for q in uniform_range_queries(500, 1) {
+            assert!(q.lo <= q.hi);
+        }
+    }
+
+    #[test]
+    fn database_deterministic() {
+        assert_eq!(uniform_u32_database(100, 7), uniform_u32_database(100, 7));
+        assert_ne!(uniform_u32_database(100, 7), uniform_u32_database(100, 8));
+    }
+
+    #[test]
+    fn zipf_queries_in_domain_and_skewed() {
+        let qs = zipf_point_queries(20, 1.0, 10_000, 3);
+        assert!(qs.iter().all(|&q| q < 20));
+        let zero = qs.iter().filter(|&&q| q == 0).count();
+        let nineteen = qs.iter().filter(|&&q| q == 19).count();
+        assert!(zero > nineteen * 3, "head {zero} tail {nineteen}");
+    }
+
+    #[test]
+    fn write_stream_is_well_formed() {
+        let ws = write_stream(&WriteStreamParams {
+            count: 2_000,
+            ..Default::default()
+        });
+        assert_eq!(ws.len(), 2_000);
+        assert!(matches!(ws[0], Write::Insert { .. }));
+        // Updates/deletes only touch ids that are live at that point.
+        let mut live = std::collections::BTreeSet::new();
+        for w in &ws {
+            match w {
+                Write::Insert { id, payload } => {
+                    assert!(live.insert(*id), "duplicate insert id {id}");
+                    assert_eq!(payload.len(), 20);
+                }
+                Write::Update { id, payload } => {
+                    assert!(live.contains(id), "update of dead id {id}");
+                    assert_eq!(payload.len(), 20);
+                }
+                Write::Delete { id } => {
+                    assert!(live.remove(id), "delete of dead id {id}");
+                }
+            }
+        }
+        // The mix should contain all three kinds.
+        assert!(ws.iter().any(|w| matches!(w, Write::Update { .. })));
+        assert!(ws.iter().any(|w| matches!(w, Write::Delete { .. })));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the generators: determinism, domain bounds,
+//! and distribution sanity.
+
+use corpus::customers::{generate, CustomerParams};
+use corpus::enron::{pseudo_word, Corpus, EnronParams};
+use corpus::workload::{uniform_range_queries, write_stream, Write, WriteStreamParams};
+use corpus::zipf::Zipf;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing in rank.
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..100, s in 0.0f64..2.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn pseudo_words_injective(a in 0usize..20_000, b in 0usize..20_000) {
+        prop_assert_eq!(pseudo_word(a) == pseudo_word(b), a == b);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_self_consistent(
+        docs in 10usize..80,
+        vocab in 50usize..300,
+        seed in any::<u64>(),
+    ) {
+        let p = EnronParams {
+            num_docs: docs,
+            vocab_size: vocab,
+            words_per_doc: 20,
+            zipf_s: 1.0,
+            seed,
+        };
+        let a = Corpus::generate(&p);
+        let b = Corpus::generate(&p);
+        prop_assert_eq!(a.docs.len(), b.docs.len());
+        // Per-document words deduplicated; doc_frequency consistent.
+        for d in &a.docs {
+            let set: std::collections::BTreeSet<&String> = d.words.iter().collect();
+            prop_assert_eq!(set.len(), d.words.len(), "duplicates inside a doc");
+        }
+        for w in a.top_words(10) {
+            prop_assert_eq!(a.doc_frequency(&w), a.matching_docs(&w).len());
+        }
+    }
+
+    #[test]
+    fn customers_within_domain(rows in 1usize..500, seed in any::<u64>()) {
+        let r = generate(&CustomerParams { rows, state_skew: 1.0, seed });
+        prop_assert_eq!(r.len(), rows);
+        for c in &r {
+            prop_assert!((18..=90).contains(&c.age));
+            prop_assert!(corpus::customers::STATES.contains(&c.state));
+        }
+    }
+
+    #[test]
+    fn range_queries_ordered(n in 0usize..200, seed in any::<u64>()) {
+        for q in uniform_range_queries(n, seed) {
+            prop_assert!(q.lo <= q.hi);
+        }
+    }
+
+    #[test]
+    fn write_streams_reference_only_live_rows(
+        count in 1usize..300,
+        update in 0.0f64..0.5,
+        delete in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let ws = write_stream(&WriteStreamParams {
+            count,
+            payload_len: 12,
+            update_fraction: update,
+            delete_fraction: delete,
+            seed,
+        });
+        prop_assert_eq!(ws.len(), count);
+        let mut live = std::collections::BTreeSet::new();
+        for w in &ws {
+            match w {
+                Write::Insert { id, .. } => {
+                    prop_assert!(live.insert(*id));
+                }
+                Write::Update { id, .. } => prop_assert!(live.contains(id)),
+                Write::Delete { id } => {
+                    prop_assert!(live.remove(id));
+                }
+            }
+        }
+    }
+}

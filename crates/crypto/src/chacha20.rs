@@ -1,0 +1,148 @@
+//! ChaCha20 stream cipher (RFC 8439), used by the randomized encryption
+//! scheme and as the keystream for deterministic (SIV-style) encryption.
+
+/// ChaCha20 key size in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// ChaCha20 nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the ChaCha20 keystream.
+///
+/// Encryption and decryption are the same operation. The counter starts at
+/// `initial_counter` (RFC 8439 uses 1 for AEAD payloads; we follow that).
+pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 section 2.3.2.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(hex(&out[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
+        assert_eq!(hex(&out[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 section 2.4.2: the "sunscreen" plaintext.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        xor_stream(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Round-trip.
+        xor_stream(&key, &nonce, 1, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [7u8; 32];
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        xor_stream(&key, &[0u8; 12], 0, &mut a);
+        xor_stream(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut long = vec![0u8; 130];
+        xor_stream(&key, &nonce, 5, &mut long);
+        let b0 = block(&key, 5, &nonce);
+        let b1 = block(&key, 6, &nonce);
+        let b2 = block(&key, 7, &nonce);
+        assert_eq!(&long[..64], &b0[..]);
+        assert_eq!(&long[64..128], &b1[..]);
+        assert_eq!(&long[128..130], &b2[..2]);
+    }
+}

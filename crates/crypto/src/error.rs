@@ -1,0 +1,30 @@
+//! Error type shared by the scheme implementations.
+
+use core::fmt;
+
+/// Errors returned by the encryption schemes in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A ciphertext failed authentication (wrong key or tampered bytes).
+    AuthenticationFailed,
+    /// A ciphertext was structurally malformed (wrong length, bad framing).
+    Malformed(&'static str),
+    /// A plaintext was outside the domain a scheme supports.
+    DomainViolation(&'static str),
+    /// An index/protocol operation was invoked in an invalid state, e.g.
+    /// traversing a consumed Arx treap node before it was repaired.
+    InvalidState(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "ciphertext failed authentication"),
+            CryptoError::Malformed(what) => write!(f, "malformed ciphertext: {what}"),
+            CryptoError::DomainViolation(what) => write!(f, "plaintext outside domain: {what}"),
+            CryptoError::InvalidState(what) => write!(f, "invalid state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,95 @@
+//! From-scratch cryptographic primitives and property-revealing encryption
+//! (PRE) schemes used by encrypted databases, as surveyed in *Why Your
+//! Encrypted Database Is Not Secure* (HotOS 2017).
+//!
+//! The crate provides two layers:
+//!
+//! * **Primitives** — [`sha256`], [`hmac`], [`chacha20`], a small-domain
+//!   Feistel PRP ([`feistel`]), and a key-derivation helper ([`kdf`]).
+//!   These exist because the reproduction environment is offline; they are
+//!   textbook constructions written for clarity and test coverage, **not**
+//!   audited implementations. Do not reuse them to protect real data.
+//! * **Schemes** — the encryption schemes whose leakage the paper studies:
+//!   randomized (semantically secure) encryption ([`rnd`]), deterministic
+//!   encryption ([`det`]), Song–Wagner–Perrig searchable encryption
+//!   ([`swp`]), Lewi–Wu order-revealing encryption ([`ore`]), Seabed's
+//!   additively symmetric homomorphic encryption ([`ashe`]) and SPLASHE
+//!   ([`splashe`]), and an Arx-style encrypted treap index ([`treap`]).
+//!
+//! Each scheme module documents its *leakage profile*: what a party holding
+//! only ciphertexts (a "snapshot attacker") learns, and what a party that
+//! additionally holds query tokens learns. The attack suite in the
+//! `snapshot-attack` crate exploits exactly those profiles.
+
+pub mod ashe;
+pub mod chacha20;
+pub mod det;
+pub mod error;
+pub mod feistel;
+pub mod hmac;
+pub mod kdf;
+pub mod ore;
+pub mod rnd;
+pub mod sha256;
+pub mod splashe;
+pub mod swp;
+pub mod treap;
+
+pub use error::CryptoError;
+
+/// A 256-bit symmetric key, the key type used throughout this crate.
+///
+/// Keys are intentionally plain byte arrays: the paper's snapshot attacker
+/// reads them out of process memory, and the reproduction needs to model
+/// that (see the `edb` crate's at-rest layer).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Key(pub [u8; 32]);
+
+impl Key {
+    /// Derives a key from a human-readable label and a master key.
+    ///
+    /// This is the standard way the higher layers obtain per-purpose keys
+    /// (one for DET columns, one per SWP column, and so on) so that a single
+    /// master secret drives an entire encrypted database.
+    pub fn derive(master: &Key, label: &str) -> Key {
+        Key(kdf::derive_key(&master.0, label.as_bytes()))
+    }
+
+    /// Generates a fresh random key from the given RNG.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Key {
+        let mut k = [0u8; 32];
+        rng.fill(&mut k);
+        Key(k)
+    }
+}
+
+impl core::fmt::Debug for Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Keys are deliberately not printed: debug output ends up in logs,
+        // and leaking keys through logs is one of the paper's themes.
+        write!(f, "Key(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_keys_differ_by_label() {
+        let master = Key([7u8; 32]);
+        let a = Key::derive(&master, "det");
+        let b = Key::derive(&master, "swp");
+        assert_ne!(a.0, b.0);
+        // Derivation is deterministic.
+        assert_eq!(a.0, Key::derive(&master, "det").0);
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let k = Key([0xAB; 32]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("AB") && !s.contains("ab"));
+        assert!(s.contains("redacted"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Randomized (semantically secure) authenticated encryption:
+//! ChaCha20 + HMAC-SHA-256 in encrypt-then-MAC composition.
+//!
+//! This is the "RND onion layer" of CryptDB-style designs and the cell
+//! encryption of Arx. **Leakage profile:** ciphertext length only. That is
+//! exactly why the paper's §6 argument matters — the scheme itself leaks
+//! nothing, and yet the *system around it* (logs, heap, diagnostic tables)
+//! leaks the queries.
+
+use rand::Rng;
+
+use crate::chacha20;
+use crate::hmac::{ct_eq, hmac_parts};
+use crate::kdf;
+use crate::CryptoError;
+use crate::Key;
+
+/// Length of the MAC tag appended to ciphertexts.
+pub const TAG_LEN: usize = 16;
+
+/// Layout: `nonce (12) || body (len) || tag (16)`.
+pub const OVERHEAD: usize = chacha20::NONCE_LEN + TAG_LEN;
+
+/// Encrypts `plaintext` with a fresh random nonce drawn from `rng`.
+pub fn encrypt<R: Rng + ?Sized>(key: &Key, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let mut nonce = [0u8; chacha20::NONCE_LEN];
+    rng.fill(&mut nonce);
+    encrypt_with_nonce(key, plaintext, &nonce)
+}
+
+/// Encrypts with an explicit nonce (used by DET, which derives the nonce).
+pub fn encrypt_with_nonce(key: &Key, plaintext: &[u8], nonce: &[u8; chacha20::NONCE_LEN]) -> Vec<u8> {
+    let enc_key = kdf::derive_key(&key.0, b"rnd-enc");
+    let mac_key = kdf::derive_key(&key.0, b"rnd-mac");
+
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(nonce);
+    let body_start = out.len();
+    out.extend_from_slice(plaintext);
+    chacha20::xor_stream(&enc_key, nonce, 1, &mut out[body_start..]);
+
+    let tag = hmac_parts(&mac_key, &[nonce, &out[body_start..]]);
+    out.extend_from_slice(&tag[..TAG_LEN]);
+    out
+}
+
+/// Decrypts and authenticates a ciphertext produced by [`encrypt`].
+pub fn decrypt(key: &Key, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if ciphertext.len() < OVERHEAD {
+        return Err(CryptoError::Malformed("ciphertext shorter than overhead"));
+    }
+    let enc_key = kdf::derive_key(&key.0, b"rnd-enc");
+    let mac_key = kdf::derive_key(&key.0, b"rnd-mac");
+
+    let (nonce_bytes, rest) = ciphertext.split_at(chacha20::NONCE_LEN);
+    let (body, tag) = rest.split_at(rest.len() - TAG_LEN);
+    let mut nonce = [0u8; chacha20::NONCE_LEN];
+    nonce.copy_from_slice(nonce_bytes);
+
+    let expect = hmac_parts(&mac_key, &[&nonce, body]);
+    if !ct_eq(&expect[..TAG_LEN], tag) {
+        return Err(CryptoError::AuthenticationFailed);
+    }
+
+    let mut plain = body.to_vec();
+    chacha20::xor_stream(&enc_key, &nonce, 1, &mut plain);
+    Ok(plain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> Key {
+        Key([0x42; 32])
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 15, 16, 63, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = encrypt(&key(), &pt, &mut rng);
+            assert_eq!(ct.len(), len + OVERHEAD);
+            assert_eq!(decrypt(&key(), &ct).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn randomized_ciphertexts_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = encrypt(&key(), b"same plaintext", &mut rng);
+        let b = encrypt(&key(), b"same plaintext", &mut rng);
+        assert_ne!(a, b, "RND encryption must not be deterministic");
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ct = encrypt(&key(), b"sensitive", &mut rng);
+        for i in 0..ct.len() {
+            ct[i] ^= 1;
+            assert_eq!(decrypt(&key(), &ct), Err(CryptoError::AuthenticationFailed));
+            ct[i] ^= 1;
+        }
+        assert!(decrypt(&key(), &ct).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ct = encrypt(&key(), b"data", &mut rng);
+        assert_eq!(
+            decrypt(&Key([0x43; 32]), &ct),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            decrypt(&key(), &[0u8; OVERHEAD - 1]),
+            Err(CryptoError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the cryptographic schemes: correctness and
+//! leakage-profile invariants under arbitrary inputs.
+
+use std::cmp::Ordering;
+
+use edb_crypto::ashe::{aggregate, AsheKey};
+use edb_crypto::feistel::SmallPrp;
+use edb_crypto::ore::{compare, compare_leak, OreKey, OreParams};
+use edb_crypto::swp::{server_match, SwpClient};
+use edb_crypto::treap::EncTreap;
+use edb_crypto::{det, rnd, Key};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rnd_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+        let key = Key([11u8; 32]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = rnd::encrypt(&key, &data, &mut rng);
+        prop_assert_eq!(rnd::decrypt(&key, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn rnd_tamper_always_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        flip in any::<usize>(),
+    ) {
+        let key = Key([12u8; 32]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ct = rnd::encrypt(&key, &data, &mut rng);
+        let idx = flip % ct.len();
+        ct[idx] ^= 0x01;
+        prop_assert!(rnd::decrypt(&key, &ct).is_err());
+    }
+
+    #[test]
+    fn det_is_deterministic_and_injective(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let key = Key([13u8; 32]);
+        let ca = det::encrypt(&key, &a);
+        let cb = det::encrypt(&key, &b);
+        prop_assert_eq!(ca == cb, a == b);
+        prop_assert_eq!(det::decrypt(&key, &ca).unwrap(), a);
+    }
+
+    #[test]
+    fn ore_compare_matches_plaintext_order(x in any::<u32>(), y in any::<u32>(), seed in any::<u64>()) {
+        let key = OreKey::new(&Key([14u8; 32]), OreParams::PAPER).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = key.encrypt_left(x as u64).unwrap();
+        let right = key.encrypt_right(y as u64, &mut rng).unwrap();
+        prop_assert_eq!(compare(&left, &right).unwrap(), (x as u64).cmp(&(y as u64)));
+    }
+
+    #[test]
+    fn ore_msdb_leak_is_exactly_the_top_differing_bit(x in any::<u32>(), y in any::<u32>()) {
+        prop_assume!(x != y);
+        let key = OreKey::new(&Key([15u8; 32]), OreParams::PAPER).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let left = key.encrypt_left(x as u64).unwrap();
+        let right = key.encrypt_right(y as u64, &mut rng).unwrap();
+        let leak = compare_leak(&left, &right).unwrap();
+        let expected = (x ^ y).leading_zeros();
+        prop_assert_eq!(leak.msdb, Some(expected));
+    }
+
+    #[test]
+    fn ore_serialization_round_trips(x in any::<u32>(), seed in any::<u64>()) {
+        use edb_crypto::ore::{LeftCiphertext, RightCiphertext};
+        let key = OreKey::new(&Key([16u8; 32]), OreParams::PAPER).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = key.encrypt_left(x as u64).unwrap();
+        let right = key.encrypt_right(x as u64, &mut rng).unwrap();
+        prop_assert_eq!(LeftCiphertext::from_bytes(&left.to_bytes()).unwrap(), left);
+        prop_assert_eq!(RightCiphertext::from_bytes(&right.to_bytes()).unwrap(), right);
+    }
+
+    #[test]
+    fn ashe_sums_decrypt_over_arbitrary_id_sets(
+        entries in proptest::collection::btree_map(any::<u64>(), any::<u64>(), 1..40),
+    ) {
+        let k = AsheKey::new(&Key([17u8; 32]), "col");
+        let cts: Vec<_> = entries.iter().map(|(&id, &v)| k.encrypt(id, v)).collect();
+        let sum = aggregate(&cts);
+        let expect = entries.values().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(k.decrypt_sum(entries.keys().copied(), sum), expect);
+    }
+
+    #[test]
+    fn ashe_telescoping_matches_generic(lo in 0u64..1000, len in 1u64..50) {
+        let k = AsheKey::new_telescoping(&Key([18u8; 32]), "col");
+        let hi = lo + len - 1;
+        let cts: Vec<_> = (lo..=hi).map(|id| k.encrypt(id, id * 7)).collect();
+        let sum = aggregate(&cts);
+        let expect: u64 = (lo..=hi).map(|id| id * 7).fold(0u64, |a, v| a.wrapping_add(v));
+        prop_assert_eq!(k.decrypt_range_sum(lo, hi, sum), expect);
+        prop_assert_eq!(k.decrypt_sum(lo..=hi, sum), expect);
+    }
+
+    #[test]
+    fn swp_complete_and_sound(
+        words in proptest::collection::vec("[a-z]{1,12}", 1..20),
+        probe in "[a-z]{1,12}",
+    ) {
+        let client = SwpClient::new(&Key([19u8; 32]));
+        let td = client.trapdoor(&probe);
+        for (pos, w) in words.iter().enumerate() {
+            let ct = client.encrypt_word(7, pos as u32, w);
+            prop_assert_eq!(server_match(&td, &ct), *w == probe, "word {}", w);
+        }
+    }
+
+    #[test]
+    fn feistel_is_a_bijection(n in 1u64..300, key in any::<[u8; 32]>()) {
+        let prp = SmallPrp::new(&key, n);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = prp.permute(x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+            prop_assert_eq!(prp.invert(y), x);
+        }
+    }
+
+    #[test]
+    fn treap_range_matches_sorted_model(
+        values in proptest::collection::vec(0u64..200, 1..60),
+        lo in 0u64..200,
+        width in 0u64..100,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo.saturating_add(width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut treap = EncTreap::new(Key([20u8; 32]));
+        for &v in &values {
+            treap.insert(v, &mut rng);
+        }
+        // Model: plain filter.
+        let mut expect: Vec<u64> = values.iter().copied().filter(|v| (lo..=hi).contains(v)).collect();
+        expect.sort_unstable();
+        let res = treap.range(lo, hi, &mut rng).unwrap();
+        let mut got: Vec<u64> = res.matches.iter().map(|&id| treap.oracle_value(id)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        // Repairs exactly mirror the visits, and clear consumption.
+        let repairs = treap.drain_repairs();
+        prop_assert_eq!(repairs.len(), res.visited.len());
+        prop_assert!(treap.range(lo, hi, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn treap_inorder_is_always_sorted(
+        values in proptest::collection::vec(any::<u64>(), 0..80),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut treap = EncTreap::new(Key([21u8; 32]));
+        for &v in &values {
+            treap.insert(v, &mut rng);
+        }
+        let inorder: Vec<u64> = treap.inorder_ids().iter().map(|&id| treap.oracle_value(id)).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(inorder, sorted);
+    }
+}
+
+#[test]
+fn ore_total_order_transitivity_spot_check() {
+    // Deterministic cross-check that comparisons are mutually consistent.
+    let key = OreKey::new(&Key([22u8; 32]), OreParams::PAPER).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let values = [5u64, 900, 5, 77, u32::MAX as u64];
+    for &x in &values {
+        let left = key.encrypt_left(x).unwrap();
+        for &y in &values {
+            let right = key.encrypt_right(y, &mut rng).unwrap();
+            let ord = compare(&left, &right).unwrap();
+            assert_eq!(ord, x.cmp(&y));
+            assert_eq!(ord == Ordering::Equal, x == y);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the encrypted-database layers.
+
+use core::fmt;
+
+use edb_crypto::CryptoError;
+use minidb::DbError;
+
+/// Errors from the encrypted-database layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdbError {
+    /// The underlying DBMS failed.
+    Db(DbError),
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The proxy was misused (unknown table/column, wrong plaintext type).
+    Client(String),
+}
+
+impl fmt::Display for EdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdbError::Db(e) => write!(f, "dbms error: {e}"),
+            EdbError::Crypto(e) => write!(f, "crypto error: {e}"),
+            EdbError::Client(m) => write!(f, "client error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EdbError {}
+
+impl From<DbError> for EdbError {
+    fn from(e: DbError) -> Self {
+        EdbError::Db(e)
+    }
+}
+
+impl From<CryptoError> for EdbError {
+    fn from(e: CryptoError) -> Self {
+        EdbError::Crypto(e)
+    }
+}
+
+/// Convenience alias.
+pub type EdbResult<T> = Result<T, EdbError>;
+
+/// Renders bytes as a SQL hex literal.
+pub fn hex_literal(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + 3);
+    s.push_str("X'");
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s.push('\'');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_literal_format() {
+        assert_eq!(hex_literal(&[0xDE, 0x01]), "X'de01'");
+        assert_eq!(hex_literal(&[]), "X''");
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: EdbError = DbError::UnknownTable("t".into()).into();
+        assert!(matches!(e, EdbError::Db(_)));
+        let e: EdbError = CryptoError::AuthenticationFailed.into();
+        assert!(format!("{e}").contains("crypto"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Encrypted-database layers over MiniDB, reproducing the designs the
+//! paper analyses in §6:
+//!
+//! * [`atrest`] — transparent at-rest (tablespace) encryption: strong
+//!   against pure disk theft, void against anything that sees memory.
+//! * [`onion`] — CryptDB's adjustable onion encryption (`RND(DET(·))`),
+//!   whose layer-peeling writes are themselves a logged leakage channel.
+//! * [`cryptdb`] — a CryptDB/Mylar-style proxy: DET columns for equality,
+//!   Lewi–Wu ORE columns for ranges, SWP searchable columns for keyword
+//!   search, with query rewriting that sends *tokens* to the server.
+//! * [`seabed`] — Seabed's SPLASHE: per-value ASHE columns with
+//!   aggregation rewriting, plus the enhanced variant with a padded DET
+//!   tail.
+//! * [`arx`] — an Arx-style encrypted range index whose read-repair
+//!   protocol turns every range query into logged writes.
+//!
+//! Each layer is an honest client: it keeps keys client-side, sends only
+//! ciphertexts and tokens to the DBMS, and achieves exactly the security
+//! its original paper claims *against the abstract model*. The point of
+//! the reproduction is that the substrate (MiniDB's logs, diagnostics,
+//! caches, and heap) betrays them — see the `snapshot-attack` crate.
+
+pub mod arx;
+pub mod atrest;
+pub mod cryptdb;
+pub mod error;
+pub mod onion;
+pub mod seabed;
+
+pub use error::EdbError;

@@ -1,0 +1,267 @@
+//! The catalog: table schemas and index definitions, persisted on the
+//! virtual disk so DDL survives crashes.
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::value::ColumnType;
+use crate::vdisk::VDisk;
+
+/// On-disk catalog file name.
+pub const CATALOG_FILE: &str = "catalog";
+
+/// One index definition. The B+ tree lives in `file` with its root at
+/// page 0 (roots are stable in [`crate::storage::BTree`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name.
+    pub name: String,
+    /// Index file on disk.
+    pub file: String,
+    /// Index of the keyed column in the table schema.
+    pub column_idx: usize,
+}
+
+/// One table's catalog entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDef {
+    /// Catalog-assigned table id (stable, used in WAL records).
+    pub id: u32,
+    /// Schema.
+    pub schema: TableSchema,
+    /// Heap file on disk.
+    pub file: String,
+    /// Secondary + primary-key indexes.
+    pub indexes: Vec<IndexDef>,
+}
+
+/// The full catalog.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Tables by (lower-cased) name.
+    pub tables: BTreeMap<String, TableDef>,
+    /// Next table id.
+    pub next_table_id: u32,
+}
+
+impl Catalog {
+    /// Looks up a table.
+    pub fn get(&self, name: &str) -> DbResult<&TableDef> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table by its id.
+    pub fn get_by_id(&self, id: u32) -> Option<&TableDef> {
+        self.tables.values().find(|t| t.id == id)
+    }
+
+    /// Serializes and writes the catalog to disk.
+    pub fn persist(&self, vdisk: &mut VDisk) {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.next_table_id.to_le_bytes());
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for t in self.tables.values() {
+            write_str(&mut out, &t.schema.name);
+            out.extend_from_slice(&t.id.to_le_bytes());
+            write_str(&mut out, &t.file);
+            out.extend_from_slice(&(t.schema.columns.len() as u16).to_le_bytes());
+            for c in &t.schema.columns {
+                write_str(&mut out, &c.name);
+                out.push(match c.ty {
+                    ColumnType::Int => 1,
+                    ColumnType::Text => 2,
+                    ColumnType::Bytes => 3,
+                });
+                out.push(c.primary_key as u8);
+            }
+            out.extend_from_slice(&(t.indexes.len() as u16).to_le_bytes());
+            for ix in &t.indexes {
+                write_str(&mut out, &ix.name);
+                write_str(&mut out, &ix.file);
+                out.extend_from_slice(&(ix.column_idx as u16).to_le_bytes());
+            }
+        }
+        vdisk.write(CATALOG_FILE, out);
+    }
+
+    /// Loads the catalog from disk (empty catalog if the file is absent).
+    pub fn load(vdisk: &VDisk) -> DbResult<Catalog> {
+        let Some(buf) = vdisk.read(CATALOG_FILE) else {
+            return Ok(Catalog::default());
+        };
+        let mut pos = 0;
+        let next_table_id = read_u32(buf, &mut pos)?;
+        let n_tables = read_u32(buf, &mut pos)? as usize;
+        let mut tables = BTreeMap::new();
+        for _ in 0..n_tables {
+            let name = read_str(buf, &mut pos)?;
+            let id = read_u32(buf, &mut pos)?;
+            let file = read_str(buf, &mut pos)?;
+            let n_cols = read_u16(buf, &mut pos)? as usize;
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let cname = read_str(buf, &mut pos)?;
+                let ty = match read_u8(buf, &mut pos)? {
+                    1 => ColumnType::Int,
+                    2 => ColumnType::Text,
+                    3 => ColumnType::Bytes,
+                    t => return Err(DbError::Storage(format!("bad column type tag {t}"))),
+                };
+                let pk = read_u8(buf, &mut pos)? != 0;
+                columns.push(ColumnDef {
+                    name: cname,
+                    ty,
+                    primary_key: pk,
+                });
+            }
+            let n_idx = read_u16(buf, &mut pos)? as usize;
+            let mut indexes = Vec::with_capacity(n_idx);
+            for _ in 0..n_idx {
+                let iname = read_str(buf, &mut pos)?;
+                let ifile = read_str(buf, &mut pos)?;
+                let column_idx = read_u16(buf, &mut pos)? as usize;
+                indexes.push(IndexDef {
+                    name: iname,
+                    file: ifile,
+                    column_idx,
+                });
+            }
+            let schema = TableSchema::new(&name, columns)?;
+            tables.insert(
+                name.clone(),
+                TableDef {
+                    id,
+                    schema,
+                    file,
+                    indexes,
+                },
+            );
+        }
+        Ok(Catalog {
+            tables,
+            next_table_id,
+        })
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> DbResult<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| DbError::Storage("truncated catalog".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> DbResult<u16> {
+    let bytes = buf
+        .get(*pos..*pos + 2)
+        .ok_or_else(|| DbError::Storage("truncated catalog".into()))?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> DbResult<u32> {
+    let bytes = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| DbError::Storage("truncated catalog".into()))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> DbResult<String> {
+    let len = read_u16(buf, pos)? as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| DbError::Storage("truncated catalog".into()))?;
+    *pos += len;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DbError::Storage("catalog not utf8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let schema = TableSchema::new(
+            "customers",
+            vec![
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                    primary_key: true,
+                },
+                ColumnDef {
+                    name: "state".into(),
+                    ty: ColumnType::Text,
+                    primary_key: false,
+                },
+            ],
+        )
+        .unwrap();
+        let mut tables = BTreeMap::new();
+        tables.insert(
+            "customers".to_string(),
+            TableDef {
+                id: 1,
+                schema,
+                file: "table_customers.ibd".into(),
+                indexes: vec![IndexDef {
+                    name: "pk_customers".into(),
+                    file: "index_customers_id.ibd".into(),
+                    column_idx: 0,
+                }],
+            },
+        );
+        Catalog {
+            tables,
+            next_table_id: 2,
+        }
+    }
+
+    #[test]
+    fn persist_load_round_trip() {
+        let cat = sample();
+        let mut vd = VDisk::new();
+        cat.persist(&mut vd);
+        let loaded = Catalog::load(&vd).unwrap();
+        assert_eq!(loaded, cat);
+    }
+
+    #[test]
+    fn missing_file_is_empty_catalog() {
+        let vd = VDisk::new();
+        let loaded = Catalog::load(&vd).unwrap();
+        assert!(loaded.tables.is_empty());
+    }
+
+    #[test]
+    fn truncated_catalog_rejected() {
+        let cat = sample();
+        let mut vd = VDisk::new();
+        cat.persist(&mut vd);
+        let bytes = vd.read(CATALOG_FILE).unwrap().to_vec();
+        for cut in 1..bytes.len() {
+            let mut vd2 = VDisk::new();
+            vd2.write(CATALOG_FILE, bytes[..cut].to_vec());
+            assert!(Catalog::load(&vd2).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let cat = sample();
+        assert!(cat.get("customers").is_ok());
+        assert!(cat.get("CUSTOMERS").is_ok());
+        assert!(cat.get("nope").is_err());
+        assert_eq!(cat.get_by_id(1).unwrap().schema.name, "customers");
+        assert!(cat.get_by_id(99).is_none());
+    }
+}

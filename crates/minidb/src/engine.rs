@@ -1,0 +1,1679 @@
+//! The MiniDB engine: connections, statement execution, transactions,
+//! crash/recovery, and all the instrumentation the paper's attacks feed on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
+use crate::catalog::{Catalog, IndexDef, TableDef};
+use crate::error::{DbError, DbResult};
+use crate::heap::HeapArena;
+use crate::observability::{PerfSchema, ProcessList};
+use crate::row::{Row, RowId};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::sql::ast::{CmpOp, Expr, SelectItem, SelectStmt, Statement};
+use crate::sql::{digest_text, parse_statement};
+use crate::storage::btree::BTree;
+use crate::storage::bufpool::BufferPool;
+use crate::storage::table::{TableHeap, UpdatePlacement};
+use crate::value::Value;
+use crate::vdisk::VDisk;
+use crate::wal::{BinlogEvent, OpKind, RedoRecord, UndoRecord, Wal};
+
+/// On-disk checkpoint marker file.
+pub const CHECKPOINT_FILE: &str = "checkpoint";
+/// General query log file (off by default, like MySQL).
+pub const GENERAL_LOG_FILE: &str = "general.log";
+/// Slow query log file.
+pub const SLOW_LOG_FILE: &str = "slow.log";
+
+/// A registered scalar UDF usable in `WHERE` clauses.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> DbResult<Value> + Send + Sync>;
+
+/// Engine configuration. Defaults mirror a production-ish MySQL: binlog
+/// on, general log off, 50 MB circular redo/undo logs, query cache on.
+#[derive(Clone)]
+pub struct DbConfig {
+    /// Redo log capacity in bytes.
+    pub redo_capacity: usize,
+    /// Undo log capacity in bytes.
+    pub undo_capacity: usize,
+    /// Whether the binlog is enabled (required for replication — §3).
+    pub binlog_enabled: bool,
+    /// Whether the general query log records every statement.
+    pub general_log_enabled: bool,
+    /// Slow-query threshold in simulated microseconds.
+    pub slow_query_threshold_us: u64,
+    /// Buffer pool capacity in pages.
+    pub buffer_pool_pages: usize,
+    /// Whether the query cache is enabled.
+    pub query_cache_enabled: bool,
+    /// Query cache capacity in entries.
+    pub query_cache_entries: usize,
+    /// `events_statements_history` ring size per thread.
+    pub history_size: usize,
+    /// Adaptive-hash-index hotness threshold (page accesses).
+    pub adaptive_hash_threshold: u64,
+    /// Simulated wall-clock start (UNIX seconds).
+    pub start_time_unix: i64,
+    /// Simulated base execution time per statement (microseconds).
+    pub statement_base_us: u64,
+    /// Additional simulated microseconds per examined row.
+    pub per_row_us: u64,
+    /// Simulated seconds the wall clock advances per statement.
+    pub seconds_per_statement: i64,
+    /// Buffer-pool LRU dump cadence, in statements (0 = only on shutdown).
+    pub bufpool_dump_interval: u64,
+    /// Hardening knob: zero heap blocks on free (no real DBMS does this;
+    /// the mitigation-ablation experiment flips it).
+    pub heap_secure_delete: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            redo_capacity: crate::wal::DEFAULT_LOG_CAPACITY,
+            undo_capacity: crate::wal::DEFAULT_LOG_CAPACITY,
+            binlog_enabled: true,
+            general_log_enabled: false,
+            slow_query_threshold_us: 2_000_000,
+            buffer_pool_pages: 256,
+            query_cache_enabled: true,
+            query_cache_entries: 64,
+            history_size: crate::observability::DEFAULT_HISTORY_SIZE,
+            adaptive_hash_threshold: 8,
+            start_time_unix: 1_483_228_800, // 2017-01-01, the paper's era.
+            statement_base_us: 300,
+            per_row_us: 2,
+            seconds_per_statement: 1,
+            bufpool_dump_interval: 1_000,
+            heap_secure_delete: false,
+        }
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Result column names (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Rows the execution examined (the `performance_schema` metric).
+    pub rows_examined: u64,
+    /// Rows affected by DML.
+    pub rows_affected: u64,
+}
+
+struct RuntimeTable {
+    heap: TableHeap,
+    btrees: Vec<BTree>, // Parallel to `TableDef::indexes`.
+}
+
+struct TxnState {
+    id: u64,
+    /// Undo records of this transaction, in execution order.
+    undo: Vec<UndoRecord>,
+    /// Statement texts to binlog at commit.
+    statements: Vec<String>,
+}
+
+pub(crate) struct DbInner {
+    pub(crate) config: DbConfig,
+    pub(crate) vdisk: VDisk,
+    pub(crate) catalog: Catalog,
+    runtime: HashMap<String, RuntimeTable>,
+    pub(crate) bufpool: BufferPool,
+    pub(crate) wal: Wal,
+    pub(crate) heap: HeapArena,
+    pub(crate) query_cache: QueryCache,
+    pub(crate) adaptive_hash: AdaptiveHash,
+    pub(crate) perf: PerfSchema,
+    pub(crate) processlist: ProcessList,
+    functions: HashMap<String, ScalarFn>,
+    pub(crate) now_unix: i64,
+    next_txn: u64,
+    next_conn: u64,
+    txns: HashMap<u64, TxnState>, // Active explicit transactions by conn.
+    statements_executed: u64,
+    crashed: bool,
+}
+
+/// Handle to a MiniDB instance. Cloneable; all clones share the engine.
+#[derive(Clone)]
+pub struct Db {
+    pub(crate) inner: Arc<Mutex<DbInner>>,
+}
+
+/// A client connection (a "thread" in MySQL terms).
+pub struct Connection {
+    db: Db,
+    /// Connection / thread id.
+    pub id: u64,
+}
+
+impl Db {
+    /// Opens a fresh database with the given configuration.
+    pub fn open(config: DbConfig) -> Db {
+        let inner = DbInner {
+            vdisk: VDisk::new(),
+            catalog: Catalog::default(),
+            runtime: HashMap::new(),
+            bufpool: BufferPool::new(config.buffer_pool_pages),
+            wal: Wal::new(
+                config.redo_capacity,
+                config.undo_capacity,
+                config.binlog_enabled,
+            ),
+            heap: {
+                let mut h = HeapArena::new();
+                h.secure_delete = config.heap_secure_delete;
+                h
+            },
+            query_cache: QueryCache::new(config.query_cache_enabled, config.query_cache_entries),
+            adaptive_hash: AdaptiveHash::new(config.adaptive_hash_threshold),
+            perf: PerfSchema::new(config.history_size),
+            processlist: ProcessList::default(),
+            functions: HashMap::new(),
+            now_unix: config.start_time_unix,
+            next_txn: 1,
+            next_conn: 1,
+            txns: HashMap::new(),
+            statements_executed: 0,
+            crashed: false,
+            config,
+        };
+        Db {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    /// Opens with defaults.
+    pub fn open_default() -> Db {
+        Db::open(DbConfig::default())
+    }
+
+    /// Creates a new connection.
+    pub fn connect(&self, user: &str) -> Connection {
+        let mut g = self.inner.lock();
+        let id = g.next_conn;
+        g.next_conn += 1;
+        let now = g.now_unix;
+        g.processlist.connect(id, user, now);
+        Connection {
+            db: self.clone(),
+            id,
+        }
+    }
+
+    /// Registers a scalar function callable from `WHERE` clauses — the
+    /// hook the encrypted-database layers use to install ciphertext
+    /// matchers like `SWP_MATCH`.
+    pub fn register_function(&self, name: &str, f: ScalarFn) {
+        self.inner
+            .lock()
+            .functions
+            .insert(name.to_ascii_uppercase(), f);
+    }
+
+    /// Advances the simulated wall clock (for workload-time experiments).
+    pub fn advance_time(&self, seconds: i64) {
+        self.inner.lock().now_unix += seconds;
+    }
+
+    /// Current simulated UNIX time.
+    pub fn now(&self) -> i64 {
+        self.inner.lock().now_unix
+    }
+
+    /// Administrative binlog purge (`PURGE BINARY LOGS`).
+    pub fn purge_binlog(&self) {
+        self.inner.lock().wal.purge_binlog();
+    }
+
+    /// Allocates `bytes` in the DB process heap and keeps them live for the
+    /// process lifetime. Models other components of the server process
+    /// (keyring plugins, TLS buffers, …) whose state a memory snapshot
+    /// captures alongside the engine's own allocations.
+    pub fn process_alloc(&self, bytes: &[u8]) {
+        let mut g = self.inner.lock();
+        let _ = g.heap.alloc(bytes);
+    }
+
+    /// Clean shutdown: flush dirty pages, checkpoint, and write the
+    /// buffer-pool LRU dump (like MySQL on `SHUTDOWN`).
+    pub fn shutdown(&self) {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        inner.checkpoint();
+        inner.bufpool.dump(&mut inner.vdisk);
+    }
+
+    /// Simulated crash: every volatile structure dies; disk state remains.
+    pub fn crash(&self) {
+        let mut g = self.inner.lock();
+        g.crashed = true;
+        g.bufpool.crash();
+        g.heap.clear();
+        g.query_cache.clear();
+        g.adaptive_hash.clear();
+        g.perf.clear();
+        g.runtime.clear();
+        g.txns.clear();
+        g.processlist = ProcessList::default();
+    }
+
+    /// Crash recovery: ARIES-lite redo of logged changes (pageLSN-gated),
+    /// then rollback of transactions without a commit marker, then index
+    /// rebuild. Leaves the engine open for business.
+    pub fn recover(&self) -> DbResult<()> {
+        let mut g = self.inner.lock();
+        g.recover()
+    }
+
+    /// Whether the engine is in the crashed state.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Runs one statement on an internal maintenance connection.
+    pub fn execute_admin(&self, sql: &str) -> DbResult<QueryResult> {
+        let conn = self.connect("admin");
+        conn.execute(sql)
+    }
+}
+
+impl Connection {
+    /// Executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        let mut g = self.db.inner.lock();
+        g.execute(self.id, sql)
+    }
+
+    /// The owning database handle.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        let mut g = self.db.inner.lock();
+        g.processlist.disconnect(self.id);
+        g.txns.remove(&self.id);
+    }
+}
+
+impl DbInner {
+    // ================= statement pipeline =================
+
+    fn execute(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
+        if self.crashed {
+            return Err(DbError::Crashed);
+        }
+        self.statements_executed += 1;
+        self.now_unix += self.config.seconds_per_statement;
+        let started = self.now_unix;
+
+        // The execution copy of the statement text: allocated in the
+        // process heap for the duration of the statement (§5).
+        let exec_ptr = self.heap.alloc_str(sql);
+        // The instrumentation keeps its own copy, owned by the history
+        // ring until it rotates out.
+        let hist_ptr = self.heap.alloc_str(sql);
+        // The lexer materializes each string literal into its own buffer
+        // (as real parsers do); these transient copies are freed at the
+        // end of the statement — without being zeroed.
+        let literal_ptrs: Vec<crate::heap::HeapPtr> = crate::sql::lexer::tokenize(sql)
+            .ok()
+            .into_iter()
+            .flatten()
+            .filter_map(|t| match t {
+                crate::sql::lexer::Token::Str(s) => Some(self.heap.alloc_str(&s)),
+                _ => None,
+            })
+            .collect();
+
+        let digest = digest_text(sql);
+        self.perf
+            .statement_start(conn_id, sql, &digest, started, Some(hist_ptr));
+        self.processlist.set_query(conn_id, Some(sql.to_string()));
+        if self.config.general_log_enabled {
+            let line = format!("{started} {conn_id} Query\t{sql}\n");
+            self.vdisk.append(GENERAL_LOG_FILE, line.as_bytes());
+        }
+
+        let outcome = self.dispatch(conn_id, sql);
+
+        let (rows_examined, rows_returned) = match &outcome {
+            Ok(r) => (r.rows_examined, r.rows.len() as u64),
+            Err(_) => (0, 0),
+        };
+        let duration_us =
+            self.config.statement_base_us + rows_examined * self.config.per_row_us;
+        if duration_us > self.config.slow_query_threshold_us {
+            let line = format!(
+                "# Time: {started}\n# Query_time: {}s Rows_examined: {rows_examined}\n{sql};\n",
+                duration_us as f64 / 1e6
+            );
+            self.vdisk.append(SLOW_LOG_FILE, line.as_bytes());
+        }
+        if let Some(evicted) = self.perf.statement_end(conn_id, rows_examined, rows_returned) {
+            self.heap.free(evicted);
+        }
+        self.processlist.set_query(conn_id, None);
+        self.heap.free(exec_ptr);
+        for p in literal_ptrs {
+            self.heap.free(p);
+        }
+
+        if self.config.bufpool_dump_interval > 0
+            && self.statements_executed % self.config.bufpool_dump_interval == 0
+        {
+            self.bufpool.dump(&mut self.vdisk);
+        }
+        outcome
+    }
+
+    fn dispatch(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::CreateTable { name, columns } => self.create_table(&name, columns),
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => self.create_index(&name, &table, &column),
+            Statement::Select(sel) => self.select(sql, sel),
+            Statement::Explain(sel) => self.explain(sel),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.dml(conn_id, sql, DmlOp::Insert { table, columns, rows }),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.dml(
+                conn_id,
+                sql,
+                DmlOp::Update {
+                    table,
+                    sets,
+                    where_clause,
+                },
+            ),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.dml(conn_id, sql, DmlOp::Delete { table, where_clause }),
+            Statement::DropTable { name } => self.drop_table(&name),
+            Statement::Begin => {
+                if self.txns.contains_key(&conn_id) {
+                    return Err(DbError::Txn("nested BEGIN".into()));
+                }
+                let id = self.next_txn;
+                self.next_txn += 1;
+                self.txns.insert(
+                    conn_id,
+                    TxnState {
+                        id,
+                        undo: Vec::new(),
+                        statements: Vec::new(),
+                    },
+                );
+                Ok(QueryResult::default())
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txns
+                    .remove(&conn_id)
+                    .ok_or_else(|| DbError::Txn("COMMIT without BEGIN".into()))?;
+                self.commit_txn(txn)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txns
+                    .remove(&conn_id)
+                    .ok_or_else(|| DbError::Txn("ROLLBACK without BEGIN".into()))?;
+                self.rollback_txn(txn)?;
+                Ok(QueryResult::default())
+            }
+        }
+    }
+
+    // ================= DDL =================
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, crate::value::ColumnType, bool)>,
+    ) -> DbResult<QueryResult> {
+        let lname = name.to_ascii_lowercase();
+        if self.catalog.tables.contains_key(&lname) {
+            return Err(DbError::Schema(format!("table {lname} already exists")));
+        }
+        let defs: Vec<ColumnDef> = columns
+            .into_iter()
+            .map(|(n, ty, pk)| ColumnDef {
+                name: n,
+                ty,
+                primary_key: pk,
+            })
+            .collect();
+        let schema = TableSchema::new(&lname, defs)?;
+        let file = format!("table_{lname}.ibd");
+        let heap = TableHeap::create(&mut self.bufpool, &mut self.vdisk, &file)?;
+        let id = self.catalog.next_table_id.max(1);
+        self.catalog.next_table_id = id + 1;
+
+        let mut indexes = Vec::new();
+        let mut btrees = Vec::new();
+        if let Some(pk_idx) = schema.primary_key_index() {
+            let col = &schema.columns[pk_idx].name;
+            let ifile = format!("index_{lname}_{col}.ibd");
+            let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ifile)?;
+            indexes.push(IndexDef {
+                name: format!("pk_{lname}"),
+                file: ifile,
+                column_idx: pk_idx,
+            });
+            btrees.push(bt);
+        }
+        self.catalog.tables.insert(
+            lname.clone(),
+            TableDef {
+                id,
+                schema,
+                file,
+                indexes,
+            },
+        );
+        self.catalog.persist(&mut self.vdisk);
+        self.runtime.insert(lname, RuntimeTable { heap, btrees });
+        Ok(QueryResult::default())
+    }
+
+    /// `DROP TABLE`: removes the table's files and catalog entry. Note
+    /// what this does *not* do: the circular undo/redo logs and the binlog
+    /// keep their records of the dropped table's rows — the forensic
+    /// threat of Stahlberg et al. that the paper builds on.
+    fn drop_table(&mut self, name: &str) -> DbResult<QueryResult> {
+        let lname = name.to_ascii_lowercase();
+        let def = self.catalog.get(&lname)?.clone();
+        self.vdisk.remove(&def.file);
+        self.bufpool.purge_file(&def.file);
+        for ix in &def.indexes {
+            self.vdisk.remove(&ix.file);
+            self.bufpool.purge_file(&ix.file);
+        }
+        self.catalog.tables.remove(&lname);
+        self.catalog.persist(&mut self.vdisk);
+        self.runtime.remove(&lname);
+        for p in self.query_cache.invalidate_table(&lname) {
+            self.heap.free(p);
+        }
+        Ok(QueryResult::default())
+    }
+
+    fn create_index(&mut self, name: &str, table: &str, column: &str) -> DbResult<QueryResult> {
+        let ltable = table.to_ascii_lowercase();
+        let def = self.catalog.get(&ltable)?.clone();
+        let column_idx = def.schema.column_index(column)?;
+        if def.indexes.iter().any(|i| i.column_idx == column_idx) {
+            return Err(DbError::Schema(format!(
+                "column {column} of {ltable} is already indexed"
+            )));
+        }
+        let ifile = format!("index_{ltable}_{}.ibd", def.schema.columns[column_idx].name);
+        let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ifile)?;
+        // Backfill from existing rows.
+        let rt = self
+            .runtime
+            .get(&ltable)
+            .ok_or_else(|| DbError::UnknownTable(ltable.clone()))?;
+        let (rows, _) = rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?;
+        for row in &rows {
+            bt.insert(
+                &mut self.bufpool,
+                &mut self.vdisk,
+                &row.values[column_idx],
+                row.id,
+            )?;
+        }
+        self.catalog
+            .tables
+            .get_mut(&ltable)
+            .expect("checked")
+            .indexes
+            .push(IndexDef {
+                name: name.to_string(),
+                file: ifile,
+                column_idx,
+            });
+        self.catalog.persist(&mut self.vdisk);
+        self.runtime
+            .get_mut(&ltable)
+            .expect("checked")
+            .btrees
+            .push(bt);
+        Ok(QueryResult::default())
+    }
+
+    // ================= SELECT =================
+
+    /// `EXPLAIN SELECT`: reports the access path the planner would take.
+    fn explain(&mut self, sel: SelectStmt) -> DbResult<QueryResult> {
+        let plan = if sel.schema.is_some() {
+            format!("virtual table scan on {}.{}", sel.schema.as_deref().unwrap(), sel.table)
+        } else {
+            let def = self.catalog.get(&sel.table)?.clone();
+            match sel.where_clause.as_ref().and_then(|w| plan_select(&def, w)) {
+                Some(p) => {
+                    let ix = &def.indexes[p.index_pos];
+                    format!(
+                        "index scan on {} ({}) bounds {:?}..{:?}",
+                        ix.name,
+                        def.schema.columns[ix.column_idx].name,
+                        p.lo,
+                        p.hi
+                    )
+                }
+                None => format!("full table scan on {}", def.schema.name),
+            }
+        };
+        Ok(QueryResult {
+            columns: vec!["plan".to_string()],
+            rows: vec![vec![Value::Text(plan)]],
+            ..Default::default()
+        })
+    }
+
+    fn select(&mut self, sql: &str, sel: SelectStmt) -> DbResult<QueryResult> {
+        if let Some(schema) = &sel.schema {
+            return self.select_virtual(schema.clone(), sel);
+        }
+        // Query cache: exact-text hits skip execution entirely.
+        if let Some(hit) = self.query_cache.get(sql) {
+            return Ok(QueryResult {
+                columns: hit.columns,
+                rows: hit.rows,
+                rows_examined: 0,
+                rows_affected: 0,
+            });
+        }
+        let table = sel.table.clone();
+        let def = self.catalog.get(&table)?.clone();
+        let (mut rows, examined) = self.fetch_rows(&def, sel.where_clause.as_ref())?;
+
+        // ORDER BY before projection.
+        if let Some((col, desc)) = &sel.order_by {
+            let idx = def.schema.column_index(col)?;
+            rows.sort_by(|a, b| {
+                let o = a.values[idx].cmp(&b.values[idx]);
+                if *desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            });
+        }
+        if let Some(limit) = sel.limit {
+            rows.truncate(limit as usize);
+        }
+
+        let result = self.project(&def.schema, &sel.items, rows)?;
+        let result = QueryResult {
+            rows_examined: examined,
+            ..result
+        };
+        // Cache the result (user tables only).
+        let text_ptr = self.heap.alloc_str(sql);
+        let freed = self.query_cache.insert(
+            sql,
+            vec![def.schema.name.clone()],
+            CachedResult {
+                columns: result.columns.clone(),
+                rows: result.rows.clone(),
+            },
+            text_ptr,
+        );
+        for p in freed {
+            self.heap.free(p);
+        }
+        Ok(result)
+    }
+
+    fn select_virtual(&mut self, schema: String, sel: SelectStmt) -> DbResult<QueryResult> {
+        let (cols, rows) = match (schema.as_str(), sel.table.as_str()) {
+            ("performance_schema", "events_statements_current") => self.perf.render_current(),
+            ("performance_schema", "events_statements_history") => self.perf.render_history(),
+            ("performance_schema", "events_statements_summary_by_digest") => {
+                self.perf.render_digest_summary()
+            }
+            ("performance_schema", "threads") => {
+                // threads: thread id, user, and what it is running now.
+                let (_, plist) = self.processlist.render(self.now_unix);
+                let cols = vec![
+                    "thread_id".to_string(),
+                    "processlist_user".to_string(),
+                    "processlist_info".to_string(),
+                ];
+                let rows = plist
+                    .into_iter()
+                    .map(|r| vec![r[0].clone(), r[1].clone(), r[3].clone()])
+                    .collect();
+                (cols, rows)
+            }
+            ("information_schema", "processlist") => self.processlist.render(self.now_unix),
+            _ => {
+                return Err(DbError::UnknownTable(format!("{schema}.{}", sel.table)));
+            }
+        };
+        // Virtual tables support filtering and projection like real ones.
+        let schema_like = TableSchema::new(
+            &sel.table,
+            cols.iter()
+                .map(|c| ColumnDef {
+                    name: c.clone(),
+                    // Virtual columns are dynamically typed; TEXT is a
+                    // placeholder (check_row is never called on them).
+                    ty: crate::value::ColumnType::Text,
+                    primary_key: false,
+                })
+                .collect(),
+        )?;
+        let mut kept = Vec::new();
+        let examined = rows.len() as u64;
+        for values in rows {
+            let row = Row { id: 0, values };
+            if let Some(w) = &sel.where_clause {
+                if !self.eval_truthy(w, &schema_like, &row)? {
+                    continue;
+                }
+            }
+            kept.push(row);
+        }
+        if let Some((col, desc)) = &sel.order_by {
+            let idx = schema_like.column_index(col)?;
+            kept.sort_by(|a, b| {
+                let o = a.values[idx].cmp(&b.values[idx]);
+                if *desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            });
+        }
+        if let Some(limit) = sel.limit {
+            kept.truncate(limit as usize);
+        }
+        let res = self.project(&schema_like, &sel.items, kept)?;
+        Ok(QueryResult {
+            rows_examined: examined,
+            ..res
+        })
+    }
+
+    /// Fetches candidate rows for a table, using an index when a sargable
+    /// predicate exists, and applies the full filter. Returns surviving
+    /// rows and the rows-examined count.
+    fn fetch_rows(
+        &mut self,
+        def: &TableDef,
+        where_clause: Option<&Expr>,
+    ) -> DbResult<(Vec<Row>, u64)> {
+        let rt = self
+            .runtime
+            .get(&def.schema.name)
+            .ok_or_else(|| DbError::UnknownTable(def.schema.name.clone()))?;
+
+        let index_plan = where_clause.and_then(|w| plan_select(def, w));
+
+        let (candidate_rows, examined) = match index_plan {
+            Some(plan) => {
+                let bt = rt.btrees[plan.index_pos].clone();
+                let lit = plan.sample_key();
+                let (lo, hi) = (plan.lo, plan.hi);
+                let found = bt.search_range(&mut self.bufpool, &mut self.vdisk, lo, hi)?;
+                // Adaptive hash: record the searched key against the leaf
+                // page the lookup landed on.
+                if let (Some(leaf), Some(key)) = (found.pages.last(), lit) {
+                    let mut key_bytes = Vec::new();
+                    key.encode(&mut key_bytes);
+                    self.adaptive_hash
+                        .record_search((bt.file.clone(), *leaf), &key_bytes);
+                }
+                let rt = self.runtime.get(&def.schema.name).expect("checked");
+                let mut rows = Vec::with_capacity(found.row_ids.len());
+                for rid in &found.row_ids {
+                    rows.push(rt.heap.read(&mut self.bufpool, &mut self.vdisk, *rid)?);
+                }
+                let n = rows.len() as u64;
+                (rows, n)
+            }
+            None => {
+                let (rows, _pages) = rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?;
+                let n = rows.len() as u64;
+                (rows, n)
+            }
+        };
+
+        let mut kept = Vec::new();
+        for row in candidate_rows {
+            match where_clause {
+                Some(w) => {
+                    if self.eval_truthy(w, &def.schema, &row)? {
+                        kept.push(row);
+                    }
+                }
+                None => kept.push(row),
+            }
+        }
+        Ok((kept, examined))
+    }
+
+    fn project(
+        &self,
+        schema: &TableSchema,
+        items: &[SelectItem],
+        rows: Vec<Row>,
+    ) -> DbResult<QueryResult> {
+        let has_aggregate = items
+            .iter()
+            .any(|i| matches!(i, SelectItem::CountStar | SelectItem::Aggregate(_, _)));
+        if has_aggregate {
+            let mut columns = Vec::new();
+            let mut out = Vec::new();
+            for item in items {
+                match item {
+                    SelectItem::CountStar => {
+                        columns.push("count(*)".to_string());
+                        out.push(Value::Int(rows.len() as i64));
+                    }
+                    SelectItem::Aggregate(func, col) => {
+                        let idx = schema.column_index(col)?;
+                        columns.push(format!("{func}({col})"));
+                        out.push(aggregate(func, idx, &rows)?);
+                    }
+                    _ => {
+                        return Err(DbError::Eval(
+                            "cannot mix aggregates and plain columns".into(),
+                        ))
+                    }
+                }
+            }
+            return Ok(QueryResult {
+                columns,
+                rows: vec![out],
+                rows_examined: 0,
+                rows_affected: 0,
+            });
+        }
+        let mut columns = Vec::new();
+        let mut proj: Vec<usize> = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Star => {
+                    for (i, c) in schema.columns.iter().enumerate() {
+                        columns.push(c.name.clone());
+                        proj.push(i);
+                    }
+                }
+                SelectItem::Column(c) => {
+                    let idx = schema.column_index(c)?;
+                    columns.push(c.clone());
+                    proj.push(idx);
+                }
+                _ => unreachable!("aggregates handled above"),
+            }
+        }
+        let out = rows
+            .into_iter()
+            .map(|r| proj.iter().map(|&i| r.values[i].clone()).collect())
+            .collect();
+        Ok(QueryResult {
+            columns,
+            rows: out,
+            rows_examined: 0,
+            rows_affected: 0,
+        })
+    }
+
+    // ================= DML =================
+
+    fn dml(&mut self, conn_id: u64, sql: &str, op: DmlOp) -> DbResult<QueryResult> {
+        let explicit = self.txns.contains_key(&conn_id);
+        let txn_id = match self.txns.get(&conn_id) {
+            Some(t) => t.id,
+            None => {
+                let id = self.next_txn;
+                self.next_txn += 1;
+                id
+            }
+        };
+        let mut undo_written = Vec::new();
+        let result = self.apply_dml(txn_id, op, &mut undo_written);
+        match result {
+            Ok(res) => {
+                if explicit {
+                    let t = self.txns.get_mut(&conn_id).expect("checked");
+                    t.undo.extend(undo_written);
+                    t.statements.push(sql.to_string());
+                } else {
+                    self.commit_txn(TxnState {
+                        id: txn_id,
+                        undo: Vec::new(),
+                        statements: vec![sql.to_string()],
+                    })?;
+                }
+                Ok(res)
+            }
+            Err(e) => {
+                // Statement-level rollback: undo whatever this statement
+                // already did, in reverse.
+                for rec in undo_written.iter().rev() {
+                    self.apply_undo(rec)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_dml(
+        &mut self,
+        txn_id: u64,
+        op: DmlOp,
+        undo_written: &mut Vec<UndoRecord>,
+    ) -> DbResult<QueryResult> {
+        match op {
+            DmlOp::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let def = self.catalog.get(&table)?.clone();
+                let mut affected = 0;
+                for literals in rows {
+                    let values = arrange_columns(&def.schema, &columns, literals)?;
+                    def.schema.check_row(&values)?;
+                    self.check_pk_unique(&def, &values, None)?;
+                    let row_id = {
+                        let rt = self.runtime.get_mut(&table).expect("catalog hit");
+                        rt.heap.allocate_row_id()
+                    };
+                    let row = Row {
+                        id: row_id,
+                        values,
+                    };
+                    self.insert_row(txn_id, &def, &row, undo_written)?;
+                    affected += 1;
+                }
+                self.finish_write(&table);
+                Ok(QueryResult {
+                    rows_affected: affected,
+                    ..Default::default()
+                })
+            }
+            DmlOp::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let def = self.catalog.get(&table)?.clone();
+                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                let mut set_idx = Vec::new();
+                for (col, val) in &sets {
+                    let idx = def.schema.column_index(col)?;
+                    set_idx.push((idx, val.clone()));
+                }
+                let affected = targets.len() as u64;
+                for old in targets {
+                    let mut new_row = old.clone();
+                    for (idx, val) in &set_idx {
+                        new_row.values[*idx] = val.clone();
+                    }
+                    def.schema.check_row(&new_row.values)?;
+                    self.check_pk_unique(&def, &new_row.values, Some(old.id))?;
+                    self.update_row(txn_id, &def, &old, &new_row, undo_written)?;
+                }
+                self.finish_write(&table);
+                Ok(QueryResult {
+                    rows_examined: examined,
+                    rows_affected: affected,
+                    ..Default::default()
+                })
+            }
+            DmlOp::Delete {
+                table,
+                where_clause,
+            } => {
+                let def = self.catalog.get(&table)?.clone();
+                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                let affected = targets.len() as u64;
+                for old in targets {
+                    self.delete_row(txn_id, &def, &old, undo_written)?;
+                }
+                self.finish_write(&table);
+                Ok(QueryResult {
+                    rows_examined: examined,
+                    rows_affected: affected,
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    fn check_pk_unique(
+        &mut self,
+        def: &TableDef,
+        values: &[Value],
+        updating: Option<RowId>,
+    ) -> DbResult<()> {
+        let Some(pk_idx) = def.schema.primary_key_index() else {
+            return Ok(());
+        };
+        let Some(ix_pos) = def.indexes.iter().position(|i| i.column_idx == pk_idx) else {
+            return Ok(());
+        };
+        let bt = self.runtime[&def.schema.name].btrees[ix_pos].clone();
+        let found = bt.search_eq(&mut self.bufpool, &mut self.vdisk, &values[pk_idx])?;
+        for rid in found.row_ids {
+            if Some(rid) != updating {
+                return Err(DbError::DuplicateKey(format!(
+                    "{} = {}",
+                    def.schema.columns[pk_idx].name, values[pk_idx]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a redo record, checkpointing first if the circular log is
+    /// about to wrap (so no un-checkpointed history is overwritten).
+    fn log_redo(&mut self, rec: RedoRecord) {
+        if self.wal.redo_would_wrap(&rec) {
+            self.checkpoint();
+        }
+        self.wal.append_redo(&rec);
+    }
+
+    /// Checkpoint: flush dirty pages and persist the checkpoint LSN plus
+    /// the active-transaction table (ARIES-style), so recovery can tell
+    /// "committed long ago, marker wrapped away" apart from "in flight at
+    /// the crash".
+    fn checkpoint(&mut self) {
+        self.bufpool.flush_all(&mut self.vdisk);
+        let lsn = self.wal.current_lsn();
+        let mut buf = Vec::with_capacity(12 + self.txns.len() * 8);
+        buf.extend_from_slice(&lsn.to_le_bytes());
+        buf.extend_from_slice(&(self.txns.len() as u32).to_le_bytes());
+        for t in self.txns.values() {
+            buf.extend_from_slice(&t.id.to_le_bytes());
+        }
+        self.vdisk.write(CHECKPOINT_FILE, buf);
+    }
+
+    /// Reads the checkpoint: `(lsn, active transaction ids)`.
+    fn read_checkpoint(&self) -> (u64, std::collections::HashSet<u64>) {
+        let Some(buf) = self.vdisk.read(CHECKPOINT_FILE) else {
+            return (0, Default::default());
+        };
+        if buf.len() < 12 {
+            return (0, Default::default());
+        }
+        let lsn = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let n = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let mut active = std::collections::HashSet::new();
+        for i in 0..n {
+            let off = 12 + i * 8;
+            if let Some(bytes) = buf.get(off..off + 8) {
+                active.insert(u64::from_le_bytes(bytes.try_into().unwrap()));
+            }
+        }
+        (lsn, active)
+    }
+
+    fn insert_row(
+        &mut self,
+        txn_id: u64,
+        def: &TableDef,
+        row: &Row,
+        undo_written: &mut Vec<UndoRecord>,
+    ) -> DbResult<()> {
+        let lsn = self.wal.alloc_lsn();
+        let undo = UndoRecord {
+            lsn,
+            txn: txn_id,
+            op: OpKind::Insert,
+            table_id: def.id,
+            row_id: row.id,
+            before: Vec::new(),
+        };
+        self.wal.append_undo(&undo);
+        undo_written.push(undo);
+
+        let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
+        let (page_no, slot) = rt.heap.insert(&mut self.bufpool, &mut self.vdisk, row)?;
+        self.stamp_page_lsn(&def.file, page_no, lsn)?;
+        self.log_redo(RedoRecord {
+            lsn,
+            txn: txn_id,
+            op: OpKind::Insert,
+            table_id: def.id,
+            page_no,
+            slot,
+            after: row.encode(),
+        });
+        for (ix, bt) in def
+            .indexes
+            .iter()
+            .zip(self.runtime[&def.schema.name].btrees.clone())
+        {
+            bt.insert(
+                &mut self.bufpool,
+                &mut self.vdisk,
+                &row.values[ix.column_idx],
+                row.id,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn update_row(
+        &mut self,
+        txn_id: u64,
+        def: &TableDef,
+        old: &Row,
+        new_row: &Row,
+        undo_written: &mut Vec<UndoRecord>,
+    ) -> DbResult<()> {
+        let lsn = self.wal.alloc_lsn();
+        let undo = UndoRecord {
+            lsn,
+            txn: txn_id,
+            op: OpKind::Update,
+            table_id: def.id,
+            row_id: old.id,
+            before: old.encode(),
+        };
+        self.wal.append_undo(&undo);
+        undo_written.push(undo);
+
+        let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
+        let placement = rt.heap.update(&mut self.bufpool, &mut self.vdisk, new_row)?;
+        match placement {
+            UpdatePlacement::InPlace { page_no, slot } => {
+                self.stamp_page_lsn(&def.file, page_no, lsn)?;
+                self.log_redo(RedoRecord {
+                    lsn,
+                    txn: txn_id,
+                    op: OpKind::Update,
+                    table_id: def.id,
+                    page_no,
+                    slot,
+                    after: new_row.encode(),
+                });
+            }
+            UpdatePlacement::Moved { from, to } => {
+                self.stamp_page_lsn(&def.file, from.0, lsn)?;
+                self.log_redo(RedoRecord {
+                    lsn,
+                    txn: txn_id,
+                    op: OpKind::Delete,
+                    table_id: def.id,
+                    page_no: from.0,
+                    slot: from.1,
+                    after: Vec::new(),
+                });
+                let lsn2 = self.wal.alloc_lsn();
+                self.stamp_page_lsn(&def.file, to.0, lsn2)?;
+                self.log_redo(RedoRecord {
+                    lsn: lsn2,
+                    txn: txn_id,
+                    op: OpKind::Insert,
+                    table_id: def.id,
+                    page_no: to.0,
+                    slot: to.1,
+                    after: new_row.encode(),
+                });
+            }
+        }
+        // Index maintenance for changed keys.
+        for (ix, bt) in def
+            .indexes
+            .iter()
+            .zip(self.runtime[&def.schema.name].btrees.clone())
+        {
+            let old_key = &old.values[ix.column_idx];
+            let new_key = &new_row.values[ix.column_idx];
+            if old_key != new_key {
+                bt.delete(&mut self.bufpool, &mut self.vdisk, old_key, old.id)?;
+                bt.insert(&mut self.bufpool, &mut self.vdisk, new_key, old.id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn delete_row(
+        &mut self,
+        txn_id: u64,
+        def: &TableDef,
+        old: &Row,
+        undo_written: &mut Vec<UndoRecord>,
+    ) -> DbResult<()> {
+        let lsn = self.wal.alloc_lsn();
+        let undo = UndoRecord {
+            lsn,
+            txn: txn_id,
+            op: OpKind::Delete,
+            table_id: def.id,
+            row_id: old.id,
+            before: old.encode(),
+        };
+        self.wal.append_undo(&undo);
+        undo_written.push(undo);
+
+        let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
+        let (page_no, slot) = rt.heap.delete(&mut self.bufpool, &mut self.vdisk, old.id)?;
+        self.stamp_page_lsn(&def.file, page_no, lsn)?;
+        self.log_redo(RedoRecord {
+            lsn,
+            txn: txn_id,
+            op: OpKind::Delete,
+            table_id: def.id,
+            page_no,
+            slot,
+            after: Vec::new(),
+        });
+        for (ix, bt) in def
+            .indexes
+            .iter()
+            .zip(self.runtime[&def.schema.name].btrees.clone())
+        {
+            bt.delete(
+                &mut self.bufpool,
+                &mut self.vdisk,
+                &old.values[ix.column_idx],
+                old.id,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn stamp_page_lsn(&mut self, file: &str, page_no: u32, lsn: u64) -> DbResult<()> {
+        self.bufpool.with_page_mut(&mut self.vdisk, file, page_no, |buf| {
+            crate::storage::page::Page::new(buf).set_lsn(lsn);
+        })
+    }
+
+    fn finish_write(&mut self, table: &str) {
+        for p in self.query_cache.invalidate_table(table) {
+            self.heap.free(p);
+        }
+    }
+
+    fn commit_txn(&mut self, txn: TxnState) -> DbResult<()> {
+        let lsn = self.wal.alloc_lsn();
+        self.log_redo(RedoRecord {
+            lsn,
+            txn: txn.id,
+            op: OpKind::Commit,
+            table_id: 0,
+            page_no: 0,
+            slot: 0,
+            after: Vec::new(),
+        });
+        for stmt in &txn.statements {
+            self.wal.append_binlog(&BinlogEvent {
+                lsn,
+                txn: txn.id,
+                timestamp: self.now_unix,
+                statement: stmt.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn rollback_txn(&mut self, txn: TxnState) -> DbResult<()> {
+        for rec in txn.undo.iter().rev() {
+            self.apply_undo(rec)?;
+        }
+        // Mark the transaction finished so recovery does not re-undo it.
+        let lsn = self.wal.alloc_lsn();
+        self.log_redo(RedoRecord {
+            lsn,
+            txn: txn.id,
+            op: OpKind::Commit,
+            table_id: 0,
+            page_no: 0,
+            slot: 0,
+            after: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Applies one undo record (compensation), logging fresh redo so the
+    /// compensation itself survives a crash.
+    fn apply_undo(&mut self, rec: &UndoRecord) -> DbResult<()> {
+        let def = match self.catalog.get_by_id(rec.table_id) {
+            Some(d) => d.clone(),
+            // The table vanished (e.g. crash before catalog persisted);
+            // nothing to compensate.
+            None => return Ok(()),
+        };
+        let mut scratch = Vec::new();
+        match rec.op {
+            OpKind::Insert => {
+                // Undo an insert: delete the row if it exists.
+                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                if exists {
+                    let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
+                    let old = rt.heap.read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    self.delete_row(rec.txn, &def, &old, &mut scratch)?;
+                }
+            }
+            OpKind::Update => {
+                let before = Row::decode(&rec.before)?;
+                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                if exists {
+                    let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
+                    let current =
+                        rt.heap.read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    self.update_row(rec.txn, &def, &current, &before, &mut scratch)?;
+                }
+            }
+            OpKind::Delete => {
+                let before = Row::decode(&rec.before)?;
+                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                if !exists {
+                    self.insert_row(rec.txn, &def, &before, &mut scratch)?;
+                }
+            }
+            OpKind::Commit => {}
+        }
+        Ok(())
+    }
+
+    // ================= recovery =================
+
+    pub(crate) fn recover(&mut self) -> DbResult<()> {
+        // 1. Reload durable metadata.
+        self.catalog = Catalog::load(&self.vdisk)?;
+        self.runtime.clear();
+        // 2. Open heaps from the (possibly stale) disk pages.
+        let defs: Vec<TableDef> = self.catalog.tables.values().cloned().collect();
+        for def in &defs {
+            let heap = TableHeap::open(&mut self.bufpool, &mut self.vdisk, &def.file)?;
+            self.runtime.insert(
+                def.schema.name.clone(),
+                RuntimeTable {
+                    heap,
+                    btrees: Vec::new(),
+                },
+            );
+        }
+        // 3. Redo phase: replay logged changes newer than each page's LSN.
+        let redo = self.wal.carve_redo();
+        let max_lsn = redo.iter().map(|r| r.lsn).max().unwrap_or(0);
+        let committed: std::collections::HashSet<u64> = redo
+            .iter()
+            .filter(|r| r.op == OpKind::Commit)
+            .map(|r| r.txn)
+            .collect();
+        for rec in &redo {
+            if rec.op == OpKind::Commit {
+                continue;
+            }
+            let Some(def) = self.catalog.get_by_id(rec.table_id).cloned() else {
+                continue;
+            };
+            let rt = self.runtime.get_mut(&def.schema.name).expect("opened above");
+            match rec.op {
+                OpKind::Insert => rt.heap.replay_insert(
+                    &mut self.bufpool,
+                    &mut self.vdisk,
+                    rec.lsn,
+                    rec.page_no,
+                    rec.slot,
+                    &rec.after,
+                )?,
+                OpKind::Update => rt.heap.replay_update(
+                    &mut self.bufpool,
+                    &mut self.vdisk,
+                    rec.lsn,
+                    rec.page_no,
+                    rec.slot,
+                    &rec.after,
+                )?,
+                OpKind::Delete => rt.heap.replay_delete(
+                    &mut self.bufpool,
+                    &mut self.vdisk,
+                    rec.lsn,
+                    rec.page_no,
+                    rec.slot,
+                )?,
+                OpKind::Commit => unreachable!(),
+            }
+        }
+        self.wal.set_next_lsn(max_lsn + 1);
+        // 4. Rebuild indexes from the redone heaps (index changes are not
+        //    WAL-logged in MiniDB; a full rebuild replaces them).
+        for def in &defs {
+            let mut btrees = Vec::new();
+            let rows = {
+                let rt = self.runtime.get(&def.schema.name).expect("opened above");
+                rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?.0
+            };
+            for ix in &def.indexes {
+                self.vdisk.remove(&ix.file);
+                let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ix.file)?;
+                for row in &rows {
+                    bt.insert(
+                        &mut self.bufpool,
+                        &mut self.vdisk,
+                        &row.values[ix.column_idx],
+                        row.id,
+                    )?;
+                }
+                btrees.push(bt);
+            }
+            self.runtime
+                .get_mut(&def.schema.name)
+                .expect("opened above")
+                .btrees = btrees;
+        }
+        // 5. Undo phase. Candidates for rollback are only transactions
+        //    that were live at or after the last checkpoint: the
+        //    checkpoint's active-transaction table plus every txn whose
+        //    redo records postdate the checkpoint LSN. Older transactions
+        //    without a visible commit marker committed long ago — their
+        //    markers merely wrapped out of the circular log.
+        let (ckpt_lsn, ckpt_active) = self.read_checkpoint();
+        let mut candidates: std::collections::HashSet<u64> = ckpt_active;
+        for rec in &redo {
+            if rec.lsn >= ckpt_lsn && rec.op != OpKind::Commit {
+                candidates.insert(rec.txn);
+            }
+        }
+        let undo = self.wal.carve_undo();
+        for rec in undo.iter().rev() {
+            if candidates.contains(&rec.txn) && !committed.contains(&rec.txn) {
+                self.apply_undo(rec)?;
+            }
+        }
+        self.crashed = false;
+        Ok(())
+    }
+
+    // ================= expression evaluation =================
+
+    fn eval_truthy(&mut self, e: &Expr, schema: &TableSchema, row: &Row) -> DbResult<bool> {
+        Ok(matches!(
+            self.eval(e, schema, row)?,
+            Value::Int(v) if v != 0
+        ))
+    }
+
+    fn eval(&mut self, e: &Expr, schema: &TableSchema, row: &Row) -> DbResult<Value> {
+        match e {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(c) => {
+                let idx = schema.column_index(c)?;
+                Ok(row.values[idx].clone())
+            }
+            Expr::Cmp(l, op, r) => {
+                let lv = self.eval(l, schema, row)?;
+                let rv = self.eval(r, schema, row)?;
+                let b = match lv.sql_cmp(&rv) {
+                    None => false, // NULL comparisons are not-true.
+                    Some(o) => match op {
+                        CmpOp::Eq => o.is_eq(),
+                        CmpOp::Ne => o.is_ne(),
+                        CmpOp::Lt => o.is_lt(),
+                        CmpOp::Le => o.is_le(),
+                        CmpOp::Gt => o.is_gt(),
+                        CmpOp::Ge => o.is_ge(),
+                    },
+                };
+                Ok(Value::Int(b as i64))
+            }
+            Expr::And(l, r) => {
+                let b = self.eval_truthy(l, schema, row)? && self.eval_truthy(r, schema, row)?;
+                Ok(Value::Int(b as i64))
+            }
+            Expr::Or(l, r) => {
+                let b = self.eval_truthy(l, schema, row)? || self.eval_truthy(r, schema, row)?;
+                Ok(Value::Int(b as i64))
+            }
+            Expr::Not(x) => {
+                let b = !self.eval_truthy(x, schema, row)?;
+                Ok(Value::Int(b as i64))
+            }
+            Expr::Func(name, args) => {
+                let f = self
+                    .functions
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| DbError::UnknownFunction(name.clone()))?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, schema, row)?);
+                }
+                f(&argv)
+            }
+        }
+    }
+}
+
+/// Finds sargable conjuncts (`Column op Literal`) over an indexed column
+/// and intersects their bounds, so `k >= a AND k <= b` scans only `[a, b]`
+/// rather than a half-open range. Returns `None` for unindexable filters.
+fn plan_select(def: &TableDef, where_clause: &Expr) -> Option<IndexPlan> {
+    let mut conjuncts = Vec::new();
+    flatten_and(where_clause, &mut conjuncts);
+    let mut plan: Option<IndexPlan> = None;
+    for c in conjuncts {
+        if let Expr::Cmp(l, op, r) = c {
+            let (col, op, lit) = match (l.as_ref(), r.as_ref()) {
+                (Expr::Column(c), _) if r.as_literal().is_some() => {
+                    (c.clone(), *op, r.as_literal().unwrap().clone())
+                }
+                (_, Expr::Column(c)) if l.as_literal().is_some() => {
+                    (c.clone(), flip(*op), l.as_literal().unwrap().clone())
+                }
+                _ => continue,
+            };
+            if op == CmpOp::Ne {
+                continue;
+            }
+            let Ok(col_idx) = def.schema.column_index(&col) else {
+                continue;
+            };
+            let Some(pos) = def.indexes.iter().position(|i| i.column_idx == col_idx) else {
+                continue;
+            };
+            let p = plan.get_or_insert_with(|| IndexPlan::new(pos));
+            if p.index_pos != pos {
+                continue; // Stick with the first indexed column.
+            }
+            p.narrow(op, lit);
+        }
+    }
+    plan
+}
+
+/// Accumulated index bounds for one indexed column.
+struct IndexPlan {
+    index_pos: usize,
+    lo: std::ops::Bound<Value>,
+    hi: std::ops::Bound<Value>,
+}
+
+impl IndexPlan {
+    fn new(index_pos: usize) -> IndexPlan {
+        IndexPlan {
+            index_pos,
+            lo: std::ops::Bound::Unbounded,
+            hi: std::ops::Bound::Unbounded,
+        }
+    }
+
+    /// Intersects the current bounds with `col op lit`.
+    fn narrow(&mut self, op: CmpOp, lit: Value) {
+        use std::ops::Bound::*;
+        match op {
+            CmpOp::Eq => {
+                self.tighten_lo(Included(lit.clone()));
+                self.tighten_hi(Included(lit));
+            }
+            CmpOp::Lt => self.tighten_hi(Excluded(lit)),
+            CmpOp::Le => self.tighten_hi(Included(lit)),
+            CmpOp::Gt => self.tighten_lo(Excluded(lit)),
+            CmpOp::Ge => self.tighten_lo(Included(lit)),
+            CmpOp::Ne => {}
+        }
+    }
+
+    fn tighten_lo(&mut self, new: std::ops::Bound<Value>) {
+        use std::ops::Bound::*;
+        let stronger = match (&self.lo, &new) {
+            (Unbounded, _) => true,
+            (_, Unbounded) => false,
+            (Included(a) | Excluded(a), Included(b)) => b > a,
+            (Included(a), Excluded(b)) => b >= a,
+            (Excluded(a), Excluded(b)) => b > a,
+        };
+        if stronger {
+            self.lo = new;
+        }
+    }
+
+    fn tighten_hi(&mut self, new: std::ops::Bound<Value>) {
+        use std::ops::Bound::*;
+        let stronger = match (&self.hi, &new) {
+            (Unbounded, _) => true,
+            (_, Unbounded) => false,
+            (Included(a) | Excluded(a), Included(b)) => b < a,
+            (Included(a), Excluded(b)) => b <= a,
+            (Excluded(a), Excluded(b)) => b < a,
+        };
+        if stronger {
+            self.hi = new;
+        }
+    }
+
+    /// A representative searched key for the adaptive hash index.
+    fn sample_key(&self) -> Option<Value> {
+        use std::ops::Bound::*;
+        match (&self.lo, &self.hi) {
+            (Included(v) | Excluded(v), _) => Some(v.clone()),
+            (_, Included(v) | Excluded(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+}
+
+enum DmlOp {
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Value>>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Value)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+}
+
+fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::And(l, r) => {
+            flatten_and(l, out);
+            flatten_and(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn arrange_columns(
+    schema: &TableSchema,
+    columns: &Option<Vec<String>>,
+    literals: Vec<Value>,
+) -> DbResult<Vec<Value>> {
+    match columns {
+        None => Ok(literals),
+        Some(cols) => {
+            if cols.len() != literals.len() {
+                return Err(DbError::Schema(format!(
+                    "{} columns but {} values",
+                    cols.len(),
+                    literals.len()
+                )));
+            }
+            let mut values = vec![Value::Null; schema.columns.len()];
+            for (c, v) in cols.iter().zip(literals) {
+                let idx = schema.column_index(c)?;
+                values[idx] = v;
+            }
+            Ok(values)
+        }
+    }
+}
+
+fn aggregate(func: &str, col_idx: usize, rows: &[Row]) -> DbResult<Value> {
+    match func {
+        "sum" => {
+            let mut acc: i64 = 0;
+            for r in rows {
+                if let Value::Int(v) = r.values[col_idx] {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            Ok(Value::Int(acc))
+        }
+        "ashe_sum" => {
+            // Seabed's ciphertext aggregation: wrapping u64 addition over
+            // the column's bit pattern.
+            let mut acc: u64 = 0;
+            for r in rows {
+                if let Value::Int(v) = r.values[col_idx] {
+                    acc = acc.wrapping_add(v as u64);
+                }
+            }
+            Ok(Value::Int(acc as i64))
+        }
+        "min" => Ok(rows
+            .iter()
+            .map(|r| r.values[col_idx].clone())
+            .filter(|v| *v != Value::Null)
+            .min()
+            .unwrap_or(Value::Null)),
+        "max" => Ok(rows
+            .iter()
+            .map(|r| r.values[col_idx].clone())
+            .filter(|v| *v != Value::Null)
+            .max()
+            .unwrap_or(Value::Null)),
+        other => Err(DbError::UnknownFunction(other.to_string())),
+    }
+}

@@ -1,0 +1,106 @@
+//! Row representation and byte-level encoding.
+//!
+//! Rows are encoded exactly once and the same bytes flow to pages, redo
+//! records, and undo records — which is what lets the forensic parsers in
+//! the `snapshot-attack` crate reconstruct full row images from raw log
+//! bytes, as Frühwirt et al. do for InnoDB.
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+
+/// A row id: stable identity of a row within its table, independent of the
+/// primary key (InnoDB's implicit `DB_ROW_ID` analogue).
+pub type RowId = u64;
+
+/// A materialized row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Stable row identity.
+    pub id: RowId,
+    /// Column values in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Encodes the row (id, column count, then each value).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.values.len() * 8);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a row from the byte image produced by [`Row::encode`].
+    pub fn decode(buf: &[u8]) -> DbResult<Row> {
+        let mut pos = 0;
+        let row = Self::decode_at(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(DbError::Storage("trailing bytes after row".into()));
+        }
+        Ok(row)
+    }
+
+    /// Decodes a row starting at `buf[*pos..]`, advancing `pos`.
+    pub fn decode_at(buf: &[u8], pos: &mut usize) -> DbResult<Row> {
+        let id_bytes = buf
+            .get(*pos..*pos + 8)
+            .ok_or_else(|| DbError::Storage("truncated row id".into()))?;
+        let id = u64::from_le_bytes(id_bytes.try_into().unwrap());
+        *pos += 8;
+        let n_bytes = buf
+            .get(*pos..*pos + 2)
+            .ok_or_else(|| DbError::Storage("truncated column count".into()))?;
+        let n = u16::from_le_bytes(n_bytes.try_into().unwrap()) as usize;
+        *pos += 2;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(Value::decode(buf, pos)?);
+        }
+        Ok(Row { id, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let row = Row {
+            id: 42,
+            values: vec![
+                Value::Int(7),
+                Value::Text("abc".into()),
+                Value::Null,
+                Value::Bytes(vec![1, 2, 3]),
+            ],
+        };
+        assert_eq!(Row::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let row = Row {
+            id: 1,
+            values: vec![Value::Int(1)],
+        };
+        let mut bytes = row.encode();
+        bytes.push(0xFF);
+        assert!(Row::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let row = Row {
+            id: 9,
+            values: vec![Value::Text("hello world".into()), Value::Int(-1)],
+        };
+        let bytes = row.encode();
+        for cut in 0..bytes.len() {
+            assert!(Row::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

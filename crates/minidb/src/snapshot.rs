@@ -1,0 +1,168 @@
+//! Snapshot extraction: byte- and structure-exact images of the DBMS's
+//! persistent and volatile state, i.e. what the paper's four attack
+//! vectors obtain (Figure 1).
+//!
+//! The `snapshot-attack` crate applies a threat model *on top* of these
+//! images — disk theft sees only [`DiskImage`], a VM-image leak sees both,
+//! and so on. This module just extracts everything faithfully.
+
+use std::collections::BTreeMap;
+
+use crate::engine::Db;
+use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
+use crate::storage::bufpool::PageKey;
+use crate::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
+
+/// Everything on "disk": tablespace files, catalog, checkpoint, log files,
+/// the binlog, the buffer-pool dump, and the text logs.
+#[derive(Clone, Debug)]
+pub struct DiskImage {
+    /// File name → raw contents.
+    pub files: BTreeMap<String, Vec<u8>>,
+}
+
+impl DiskImage {
+    /// Raw contents of one file.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+
+    /// File names, sorted.
+    pub fn file_names(&self) -> Vec<&str> {
+        self.files.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total image size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|v| v.len()).sum()
+    }
+}
+
+/// Everything in process memory: the heap arena plus the volatile data
+/// structures (query cache, buffer pool metadata, adaptive hash index,
+/// performance-schema state, process list).
+#[derive(Clone, Debug)]
+pub struct MemoryImage {
+    /// Byte-exact dump of the process heap arena (§5's target).
+    pub heap: Vec<u8>,
+    /// Query texts currently held by the query cache.
+    pub cached_queries: Vec<String>,
+    /// Buffer-pool contents in LRU order (most recent first).
+    pub cached_pages: Vec<PageKey>,
+    /// Per-page lifetime access counters.
+    pub page_access_counts: Vec<(PageKey, u64)>,
+    /// Adaptive-hash-index entries: encoded hot search keys → page.
+    pub adaptive_hash_keys: Vec<(Vec<u8>, PageKey)>,
+    /// In-flight statements per thread.
+    pub statements_current: Vec<StatementEvent>,
+    /// The bounded per-thread statement history.
+    pub statements_history: Vec<StatementEvent>,
+    /// Per-digest aggregate counters since restart.
+    pub digest_summary: Vec<DigestStats>,
+    /// The connection process list.
+    pub processlist: Vec<ProcessEntry>,
+}
+
+impl MemoryImage {
+    /// Counts occurrences of a byte pattern in the heap dump.
+    pub fn heap_occurrences(&self, needle: &[u8]) -> usize {
+        if needle.is_empty() || needle.len() > self.heap.len() {
+            return 0;
+        }
+        let mut count = 0;
+        let mut i = 0;
+        while i + needle.len() <= self.heap.len() {
+            if &self.heap[i..i + needle.len()] == needle {
+                count += 1;
+                i += needle.len();
+            } else {
+                i += 1;
+            }
+        }
+        count
+    }
+}
+
+/// A full point-in-time image of the machine hosting the DBMS.
+#[derive(Clone, Debug)]
+pub struct SystemImage {
+    /// Persistent state.
+    pub disk: DiskImage,
+    /// Volatile state.
+    pub memory: MemoryImage,
+    /// Simulated UNIX time at capture.
+    pub captured_at: i64,
+}
+
+impl Db {
+    /// Captures the persistent state (what disk theft yields).
+    pub fn disk_image(&self) -> DiskImage {
+        let g = self.inner.lock();
+        let mut files = BTreeMap::new();
+        for name in g.vdisk.file_names() {
+            files.insert(name.clone(), g.vdisk.read(&name).unwrap().to_vec());
+        }
+        // The WAL buffers are disk files too; render them under their
+        // MySQL-ish names.
+        files.insert(REDO_FILE.to_string(), g.wal.redo.raw().to_vec());
+        files.insert(UNDO_FILE.to_string(), g.wal.undo.raw().to_vec());
+        files.insert(BINLOG_FILE.to_string(), g.wal.binlog_raw().to_vec());
+        DiskImage { files }
+    }
+
+    /// Captures the volatile state (what a full-memory snapshot yields).
+    pub fn memory_image(&self) -> MemoryImage {
+        let g = self.inner.lock();
+        MemoryImage {
+            heap: g.heap.dump(),
+            cached_queries: g.query_cache.cached_queries(),
+            cached_pages: g.bufpool.lru_order(),
+            page_access_counts: {
+                let mut v: Vec<(PageKey, u64)> = g
+                    .bufpool
+                    .access_counters()
+                    .iter()
+                    .map(|(k, &c)| (k.clone(), c))
+                    .collect();
+                v.sort();
+                v
+            },
+            adaptive_hash_keys: g
+                .adaptive_hash
+                .indexed_keys()
+                .into_iter()
+                .map(|(k, p)| (k.to_vec(), p.clone()))
+                .collect(),
+            statements_current: g
+                .perf
+                .events_statements_current()
+                .into_iter()
+                .cloned()
+                .collect(),
+            statements_history: g
+                .perf
+                .events_statements_history()
+                .into_iter()
+                .cloned()
+                .collect(),
+            digest_summary: g
+                .perf
+                .events_statements_summary_by_digest()
+                .into_iter()
+                .cloned()
+                .collect(),
+            processlist: g.processlist.entries().into_iter().cloned().collect(),
+        }
+    }
+
+    /// Captures the whole system (what a VM-image leak or full compromise
+    /// yields).
+    pub fn system_image(&self) -> SystemImage {
+        let captured_at = self.now();
+        SystemImage {
+            disk: self.disk_image(),
+            memory: self.memory_image(),
+            captured_at,
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Serialization of [`SystemImage`] to a single byte container, so a
+//! captured snapshot can be written to disk and analysed later by the
+//! standalone forensic tooling (the workflow a real attacker has: image
+//! first, carve at leisure).
+//!
+//! Format (`EDBSNAP1`, little-endian, length-prefixed throughout):
+//!
+//! ```text
+//! magic "EDBSNAP1" | captured_at i64
+//! disk:   u32 n, then n × (str name, u64 len, bytes)
+//! memory: u64 heap_len, heap bytes
+//!         [cached_queries] [cached_pages] [page_access_counts]
+//!         [adaptive_hash_keys] [stmts_current] [stmts_history]
+//!         [digest_summary] [processlist]
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, DbResult};
+use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
+use crate::snapshot::{DiskImage, MemoryImage, SystemImage};
+
+const MAGIC: &[u8; 8] = b"EDBSNAP1";
+
+fn w_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    w_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    w_bytes(out, s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| DbError::Storage("truncated snapshot".into()))?;
+        self.pos += n;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> DbResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> DbResult<Vec<u8>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() {
+            return Err(DbError::Storage("snapshot length overflow".into()));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> DbResult<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| DbError::Storage("snapshot string not utf8".into()))
+    }
+}
+
+impl SystemImage {
+    /// Serializes the image to the `EDBSNAP1` container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        w_i64(&mut out, self.captured_at);
+        // Disk.
+        w_u32(&mut out, self.disk.files.len() as u32);
+        for (name, data) in &self.disk.files {
+            w_str(&mut out, name);
+            w_bytes(&mut out, data);
+        }
+        // Memory.
+        let m = &self.memory;
+        w_bytes(&mut out, &m.heap);
+        w_u32(&mut out, m.cached_queries.len() as u32);
+        for q in &m.cached_queries {
+            w_str(&mut out, q);
+        }
+        w_u32(&mut out, m.cached_pages.len() as u32);
+        for (f, p) in &m.cached_pages {
+            w_str(&mut out, f);
+            w_u32(&mut out, *p);
+        }
+        w_u32(&mut out, m.page_access_counts.len() as u32);
+        for ((f, p), c) in &m.page_access_counts {
+            w_str(&mut out, f);
+            w_u32(&mut out, *p);
+            w_u64(&mut out, *c);
+        }
+        w_u32(&mut out, m.adaptive_hash_keys.len() as u32);
+        for (k, (f, p)) in &m.adaptive_hash_keys {
+            w_bytes(&mut out, k);
+            w_str(&mut out, f);
+            w_u32(&mut out, *p);
+        }
+        for events in [&m.statements_current, &m.statements_history] {
+            w_u32(&mut out, events.len() as u32);
+            for e in events.iter() {
+                w_u64(&mut out, e.thread_id);
+                w_u64(&mut out, e.event_id);
+                w_str(&mut out, &e.sql_text);
+                w_str(&mut out, &e.digest);
+                w_i64(&mut out, e.timestamp);
+                w_u64(&mut out, e.rows_examined);
+                w_u64(&mut out, e.rows_returned);
+            }
+        }
+        w_u32(&mut out, m.digest_summary.len() as u32);
+        for d in &m.digest_summary {
+            w_str(&mut out, &d.digest);
+            w_u64(&mut out, d.count_star);
+            w_u64(&mut out, d.sum_rows_examined);
+            w_u64(&mut out, d.sum_rows_returned);
+            w_i64(&mut out, d.first_seen);
+            w_i64(&mut out, d.last_seen);
+        }
+        w_u32(&mut out, m.processlist.len() as u32);
+        for p in &m.processlist {
+            w_u64(&mut out, p.id);
+            w_str(&mut out, &p.user);
+            w_i64(&mut out, p.connect_time);
+            match &p.current_query {
+                Some(q) => {
+                    out.push(1);
+                    w_str(&mut out, q);
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Parses an `EDBSNAP1` container.
+    pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(DbError::Storage("not an EDBSNAP1 image".into()));
+        }
+        let captured_at = r.i64()?;
+        let n_files = r.u32()? as usize;
+        let mut files = BTreeMap::new();
+        for _ in 0..n_files {
+            let name = r.str()?;
+            let data = r.bytes()?;
+            files.insert(name, data);
+        }
+        let heap = r.bytes()?;
+        let mut cached_queries = Vec::new();
+        for _ in 0..r.u32()? {
+            cached_queries.push(r.str()?);
+        }
+        let mut cached_pages = Vec::new();
+        for _ in 0..r.u32()? {
+            let f = r.str()?;
+            let p = r.u32()?;
+            cached_pages.push((f, p));
+        }
+        let mut page_access_counts = Vec::new();
+        for _ in 0..r.u32()? {
+            let f = r.str()?;
+            let p = r.u32()?;
+            let c = r.u64()?;
+            page_access_counts.push(((f, p), c));
+        }
+        let mut adaptive_hash_keys = Vec::new();
+        for _ in 0..r.u32()? {
+            let k = r.bytes()?;
+            let f = r.str()?;
+            let p = r.u32()?;
+            adaptive_hash_keys.push((k, (f, p)));
+        }
+        let read_events = |r: &mut Reader| -> DbResult<Vec<StatementEvent>> {
+            let mut out = Vec::new();
+            for _ in 0..r.u32()? {
+                out.push(StatementEvent {
+                    thread_id: r.u64()?,
+                    event_id: r.u64()?,
+                    sql_text: r.str()?,
+                    digest: r.str()?,
+                    timestamp: r.i64()?,
+                    rows_examined: r.u64()?,
+                    rows_returned: r.u64()?,
+                    text_ptr: None,
+                });
+            }
+            Ok(out)
+        };
+        let statements_current = read_events(&mut r)?;
+        let statements_history = read_events(&mut r)?;
+        let mut digest_summary = Vec::new();
+        for _ in 0..r.u32()? {
+            digest_summary.push(DigestStats {
+                digest: r.str()?,
+                count_star: r.u64()?,
+                sum_rows_examined: r.u64()?,
+                sum_rows_returned: r.u64()?,
+                first_seen: r.i64()?,
+                last_seen: r.i64()?,
+            });
+        }
+        let mut processlist = Vec::new();
+        for _ in 0..r.u32()? {
+            let id = r.u64()?;
+            let user = r.str()?;
+            let connect_time = r.i64()?;
+            let current_query = match r.take(1)?[0] {
+                0 => None,
+                _ => Some(r.str()?),
+            };
+            processlist.push(ProcessEntry {
+                id,
+                user,
+                connect_time,
+                current_query,
+            });
+        }
+        if r.pos != buf.len() {
+            return Err(DbError::Storage("trailing bytes in snapshot".into()));
+        }
+        Ok(SystemImage {
+            disk: DiskImage { files },
+            memory: MemoryImage {
+                heap,
+                cached_queries,
+                cached_pages,
+                page_access_counts,
+                adaptive_hash_keys,
+                statements_current,
+                statements_history,
+                digest_summary,
+                processlist,
+            },
+            captured_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Db, DbConfig};
+
+    fn image() -> SystemImage {
+        let mut config = DbConfig::default();
+        config.redo_capacity = 1 << 16;
+        config.undo_capacity = 1 << 16;
+        let db = Db::open(config);
+        let conn = db.connect("app");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'hello')").unwrap();
+        conn.execute("SELECT * FROM t WHERE id = 1").unwrap();
+        db.system_image()
+    }
+
+    #[test]
+    fn round_trips() {
+        let img = image();
+        let bytes = img.to_bytes();
+        let back = SystemImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.captured_at, img.captured_at);
+        assert_eq!(back.disk.files, img.disk.files);
+        assert_eq!(back.memory.heap, img.memory.heap);
+        assert_eq!(back.memory.cached_queries, img.memory.cached_queries);
+        assert_eq!(
+            back.memory.statements_history.len(),
+            img.memory.statements_history.len()
+        );
+        assert_eq!(
+            back.memory.digest_summary.len(),
+            img.memory.digest_summary.len()
+        );
+        assert_eq!(back.memory.processlist.len(), img.memory.processlist.len());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(SystemImage::from_bytes(b"not a snapshot").is_err());
+        let bytes = image().to_bytes();
+        for cut in [8usize, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SystemImage::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(SystemImage::from_bytes(&extra).is_err(), "trailing byte");
+    }
+}

@@ -1,0 +1,309 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// A SQL token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved; compare via
+    /// [`Token::is_kw`] / lower-cased identifiers).
+    Word(String),
+    /// Integer literal (sign handled by the parser).
+    Int(i64),
+    /// String literal with `''` escapes already resolved.
+    Str(String),
+    /// Hex bytes literal `X'0aff'`.
+    Hex(Vec<u8>),
+    /// Punctuation / operators.
+    Symbol(Sym),
+}
+
+/// Punctuation tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-` (unary minus before a number)
+    Minus,
+    /// `+`
+    Plus,
+}
+
+impl Token {
+    /// Case-insensitive keyword check for word tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Symbol(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("lone '!'".into()));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| DbError::Parse(format!("integer out of range: {text}")))?;
+                out.push(Token::Int(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                // `X'..'` hex literal?
+                if (c == 'x' || c == 'X') && bytes.get(i + 1) == Some(&b'\'') {
+                    let (s, next) = lex_string(input, i + 1)?;
+                    let hex = decode_hex(&s)?;
+                    out.push(Token::Hex(hex));
+                    i = next;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Word(input[start..i].to_string()));
+                }
+            }
+            other => return Err(DbError::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a single-quoted string starting at the quote; returns the decoded
+/// string and the index just past the closing quote.
+fn lex_string(input: &str, quote_idx: usize) -> DbResult<(String, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[quote_idx], b'\'');
+    let mut s = String::new();
+    let mut i = quote_idx + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Multi-byte UTF-8 is copied through byte-wise; the input is a
+            // &str so the result remains valid UTF-8.
+            let ch_len = utf8_len(bytes[i]);
+            s.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(DbError::Parse("unterminated string literal".into()))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn decode_hex(s: &str) -> DbResult<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return Err(DbError::Parse("odd-length hex literal".into()));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let b = s.as_bytes();
+    for pair in b.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push(hi << 4 | lo);
+    }
+    Ok(out)
+}
+
+fn hex_val(c: u8) -> DbResult<u8> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(DbError::Parse(format!("bad hex digit {:?}", c as char))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT * FROM customers WHERE state = 'IN'").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert_eq!(toks[1], Token::Symbol(Sym::Star));
+        assert!(toks[2].is_kw("from"));
+        assert_eq!(toks.last().unwrap(), &Token::Str("IN".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a >= 1 AND b <> 2 OR c != 3 AND d <= -4").unwrap();
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert_eq!(
+            toks.iter().filter(|t| **t == Token::Symbol(Sym::Ne)).count(),
+            2
+        );
+        assert!(toks.contains(&Token::Symbol(Sym::Minus)));
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let toks = tokenize("'O''Brien' 'héllo'").unwrap();
+        assert_eq!(toks[0], Token::Str("O'Brien".into()));
+        assert_eq!(toks[1], Token::Str("héllo".into()));
+    }
+
+    #[test]
+    fn hex_literals() {
+        let toks = tokenize("X'0aFF' x'00'").unwrap();
+        assert_eq!(toks[0], Token::Hex(vec![0x0A, 0xFF]));
+        assert_eq!(toks[1], Token::Hex(vec![0x00]));
+        assert!(tokenize("X'abc'").is_err());
+        assert!(tokenize("X'zz'").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Symbol(Sym::Comma),
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+        assert!(tokenize("€").is_err());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("performance_schema.threads").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Symbol(Sym::Dot));
+    }
+}

@@ -1,0 +1,11 @@
+//! SQL front end: lexer, AST, recursive-descent parser, and the
+//! `performance_schema` digest canonicalizer.
+
+pub mod ast;
+pub mod digest;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CmpOp, Expr, SelectItem, SelectStmt, Statement};
+pub use digest::digest_text;
+pub use parser::parse_statement;

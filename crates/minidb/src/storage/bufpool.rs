@@ -1,0 +1,348 @@
+//! The buffer pool: an LRU page cache with a persistent dump file.
+//!
+//! Two properties matter for the paper:
+//!
+//! * **The dump file** (`ib_buffer_pool`): like MySQL, MiniDB persists the
+//!   list of cached pages in LRU order on shutdown and periodically during
+//!   operation, to avoid a cold-cache warm-up after restart. §3 observes
+//!   that this file reveals the pages — hence the B+ tree paths — touched
+//!   by recent `SELECT`s.
+//! * **Access counters**: per-page counters feed the adaptive hash index
+//!   (§5), another volatile structure that betrays access patterns.
+
+use std::collections::HashMap;
+
+use crate::error::{DbError, DbResult};
+use crate::storage::page::{Page, PAGE_SIZE};
+use crate::vdisk::VDisk;
+
+/// Identifies a page: tablespace file name + page number.
+pub type PageKey = (String, u32);
+
+/// Name of the persisted LRU dump file (InnoDB's `ib_buffer_pool`).
+pub const DUMP_FILE: &str = "ib_buffer_pool";
+
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    last_access: u64,
+}
+
+/// The LRU page cache.
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageKey, Frame>,
+    /// Monotonic access clock for LRU ordering.
+    tick: u64,
+    /// Lifetime access counts per page (survives eviction; volatile).
+    access_counts: HashMap<PageKey, u64>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            frames: HashMap::new(),
+            tick: 0,
+            access_counts: HashMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: &PageKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(f) = self.frames.get_mut(key) {
+            f.last_access = tick;
+        }
+        *self.access_counts.entry(key.clone()).or_insert(0) += 1;
+    }
+
+    fn load(&mut self, vdisk: &mut VDisk, key: &PageKey) -> DbResult<()> {
+        if self.frames.contains_key(key) {
+            return Ok(());
+        }
+        self.evict_to_fit(vdisk, 1);
+        let (file, page_no) = key;
+        let off = *page_no as usize * PAGE_SIZE;
+        let data = match vdisk.read(file) {
+            Some(bytes) if bytes.len() >= off + PAGE_SIZE => bytes[off..off + PAGE_SIZE].to_vec(),
+            _ => {
+                return Err(DbError::Storage(format!(
+                    "page {page_no} of {file} does not exist on disk"
+                )))
+            }
+        };
+        self.frames.insert(
+            key.clone(),
+            Frame {
+                data,
+                dirty: false,
+                last_access: self.tick,
+            },
+        );
+        Ok(())
+    }
+
+    fn evict_to_fit(&mut self, vdisk: &mut VDisk, incoming: usize) {
+        while self.frames.len() + incoming > self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_access)
+                .map(|(k, _)| k.clone())
+                .expect("pool not empty when over capacity");
+            let frame = self.frames.remove(&victim).unwrap();
+            if frame.dirty {
+                vdisk.write_at(&victim.0, victim.1 as usize * PAGE_SIZE, &frame.data);
+            }
+        }
+    }
+
+    /// Runs `f` over an immutable view of the page.
+    pub fn with_page<R>(
+        &mut self,
+        vdisk: &mut VDisk,
+        file: &str,
+        page_no: u32,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> DbResult<R> {
+        let key = (file.to_string(), page_no);
+        self.load(vdisk, &key)?;
+        self.touch(&key);
+        Ok(f(&self.frames[&key].data))
+    }
+
+    /// Runs `f` over a mutable view of the page and marks it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        vdisk: &mut VDisk,
+        file: &str,
+        page_no: u32,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> DbResult<R> {
+        let key = (file.to_string(), page_no);
+        self.load(vdisk, &key)?;
+        self.touch(&key);
+        let frame = self.frames.get_mut(&key).expect("just loaded");
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    /// Allocates a fresh formatted page at the end of `file`, returning its
+    /// page number. The page is immediately durable (zero-day allocation
+    /// writes through) and cached dirty-free.
+    pub fn allocate_page(&mut self, vdisk: &mut VDisk, file: &str) -> u32 {
+        let page_no = (vdisk.len(file) / PAGE_SIZE) as u32;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        Page::format(&mut buf);
+        vdisk.write_at(file, page_no as usize * PAGE_SIZE, &buf);
+        self.evict_to_fit(vdisk, 1);
+        self.tick += 1;
+        self.frames.insert(
+            (file.to_string(), page_no),
+            Frame {
+                data: buf,
+                dirty: false,
+                last_access: self.tick,
+            },
+        );
+        *self
+            .access_counts
+            .entry((file.to_string(), page_no))
+            .or_insert(0) += 1;
+        page_no
+    }
+
+    /// Number of pages `file` holds on disk.
+    pub fn page_count(vdisk: &VDisk, file: &str) -> u32 {
+        (vdisk.len(file) / PAGE_SIZE) as u32
+    }
+
+    /// Flushes every dirty frame to disk (checkpoint/shutdown path).
+    pub fn flush_all(&mut self, vdisk: &mut VDisk) {
+        for (key, frame) in self.frames.iter_mut() {
+            if frame.dirty {
+                vdisk.write_at(&key.0, key.1 as usize * PAGE_SIZE, &frame.data);
+                frame.dirty = false;
+            }
+        }
+    }
+
+    /// Cached pages most-recently-used first.
+    pub fn lru_order(&self) -> Vec<PageKey> {
+        let mut keys: Vec<(&PageKey, u64)> = self
+            .frames
+            .iter()
+            .map(|(k, f)| (k, f.last_access))
+            .collect();
+        keys.sort_by(|a, b| b.1.cmp(&a.1));
+        keys.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Writes the LRU dump file (`ib_buffer_pool`) to disk: one
+    /// `file page_no` line per cached page, most recent first.
+    pub fn dump(&self, vdisk: &mut VDisk) {
+        let mut text = String::new();
+        for (file, page_no) in self.lru_order() {
+            text.push_str(&file);
+            text.push(' ');
+            text.push_str(&page_no.to_string());
+            text.push('\n');
+        }
+        vdisk.write(DUMP_FILE, text.into_bytes());
+    }
+
+    /// Lifetime access count of a page.
+    pub fn access_count(&self, file: &str, page_no: u32) -> u64 {
+        self.access_counts
+            .get(&(file.to_string(), page_no))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All per-page access counters (for the adaptive hash index and the
+    /// memory snapshot).
+    pub fn access_counters(&self) -> &HashMap<PageKey, u64> {
+        &self.access_counts
+    }
+
+    /// Discards every cached frame and counter of `file` without flushing
+    /// (used by `DROP TABLE`, whose file is gone anyway). A later file of
+    /// the same name must not see stale frames.
+    pub fn purge_file(&mut self, file: &str) {
+        self.frames.retain(|(f, _), _| f != file);
+        self.access_counts.retain(|(f, _), _| f != file);
+    }
+
+    /// Drops all volatile state *without flushing* — the crash path. Dirty
+    /// pages die here; recovery must redo them from the WAL.
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.access_counts.clear();
+        self.tick = 0;
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BufferPool, VDisk) {
+        (BufferPool::new(4), VDisk::new())
+    }
+
+    #[test]
+    fn allocate_and_rw() {
+        let (mut bp, mut vd) = setup();
+        let p0 = bp.allocate_page(&mut vd, "t.ibd");
+        assert_eq!(p0, 0);
+        let p1 = bp.allocate_page(&mut vd, "t.ibd");
+        assert_eq!(p1, 1);
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[100] = 42).unwrap();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[100]).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(BufferPool::page_count(&vd, "t.ibd"), 2);
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let (mut bp, mut vd) = setup();
+        assert!(bp.with_page(&mut vd, "none.ibd", 0, |_| ()).is_err());
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (mut bp, mut vd) = setup();
+        for _ in 0..4 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[50] = 7).unwrap();
+        // Cause evictions: capacity is 4, so loading 4 more pages evicts
+        // page 0 (the LRU victim).
+        for _ in 0..4 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        assert!(bp.cached_pages() <= 4);
+        // Page 0's change survived via write-back.
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[50]).unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_changes() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9).unwrap();
+        bp.crash();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
+        assert_eq!(v, 0, "dirty page must be lost on crash");
+    }
+
+    #[test]
+    fn flush_makes_changes_durable() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9).unwrap();
+        bp.flush_all(&mut vd);
+        bp.crash();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn lru_order_most_recent_first() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
+        let order = bp.lru_order();
+        assert_eq!(order[0], ("t.ibd".to_string(), 0));
+        assert_eq!(order[1], ("t.ibd".to_string(), 1));
+    }
+
+    #[test]
+    fn dump_file_contents() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "a.ibd");
+        bp.allocate_page(&mut vd, "b.ibd");
+        bp.dump(&mut vd);
+        let text = String::from_utf8(vd.read(DUMP_FILE).unwrap().to_vec()).unwrap();
+        assert_eq!(text, "b.ibd 0\na.ibd 0\n");
+    }
+
+    #[test]
+    fn purge_file_removes_stale_frames() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[20] = 9).unwrap();
+        bp.purge_file("t.ibd");
+        vd.remove("t.ibd");
+        // Recreate the file: the old frame must not resurface.
+        bp.allocate_page(&mut vd, "t.ibd");
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[20]).unwrap();
+        assert_eq!(v, 0);
+        // Counter restarted: 1 for the allocation + 1 for the read above.
+        assert_eq!(bp.access_count("t.ibd", 0), 2);
+    }
+
+    #[test]
+    fn access_counters_accumulate() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        for _ in 0..5 {
+            bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
+        }
+        assert_eq!(bp.access_count("t.ibd", 0), 6); // 1 alloc + 5 reads.
+    }
+}

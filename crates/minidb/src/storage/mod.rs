@@ -1,0 +1,12 @@
+//! Storage engine: slotted pages, the buffer pool, table heaps, and
+//! B+ tree indexes.
+
+pub mod btree;
+pub mod bufpool;
+pub mod page;
+pub mod table;
+
+pub use btree::{BTree, SearchResult};
+pub use bufpool::{BufferPool, PageKey, DUMP_FILE};
+pub use page::{Page, SlotNo, PAGE_SIZE};
+pub use table::{TableHeap, UpdatePlacement};

@@ -1,0 +1,289 @@
+//! Slotted pages: the unit of storage, caching, and redo.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0..8    page_lsn      LSN of the last change applied to this page
+//! 8..10   n_slots       number of slot-directory entries
+//! 10..12  free_end      offset where the cell area begins (cells grow down)
+//! 12..    slot dir      n_slots × u16 cell offsets (0 = tombstone)
+//! ...     free space
+//! ...     cells         each cell: u16 length + payload, packed at the end
+//! ```
+
+use crate::error::{DbError, DbResult};
+
+/// Page size in bytes, matching InnoDB's default.
+pub const PAGE_SIZE: usize = 16 * 1024;
+
+const HDR_LSN: usize = 0;
+const HDR_NSLOTS: usize = 8;
+const HDR_FREE_END: usize = 10;
+const HDR_SIZE: usize = 12;
+
+/// Slot index within a page.
+pub type SlotNo = u16;
+
+/// A view over one page's bytes providing slotted-record operations.
+///
+/// The page does not own its buffer; the buffer pool does. All mutations
+/// are in-place byte edits, which is what makes redo records replayable
+/// and the forensic story byte-accurate.
+pub struct Page<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> Page<'a> {
+    /// Wraps a page-sized buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly [`PAGE_SIZE`] bytes.
+    pub fn new(buf: &'a mut [u8]) -> Page<'a> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer size");
+        Page { buf }
+    }
+
+    /// Formats the buffer as an empty page.
+    pub fn format(buf: &mut [u8]) {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        buf[..HDR_SIZE].fill(0);
+        let free_end = PAGE_SIZE as u16;
+        buf[HDR_FREE_END..HDR_FREE_END + 2].copy_from_slice(&free_end.to_le_bytes());
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// The page's LSN (last change).
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(self.buf[HDR_LSN..HDR_LSN + 8].try_into().unwrap())
+    }
+
+    /// Sets the page LSN.
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.buf[HDR_LSN..HDR_LSN + 8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    /// Number of slots (including tombstones).
+    pub fn n_slots(&self) -> u16 {
+        self.read_u16(HDR_NSLOTS)
+    }
+
+    fn free_end(&self) -> u16 {
+        self.read_u16(HDR_FREE_END)
+    }
+
+    fn slot_offset(&self, slot: SlotNo) -> u16 {
+        self.read_u16(HDR_SIZE + slot as usize * 2)
+    }
+
+    fn set_slot_offset(&mut self, slot: SlotNo, off: u16) {
+        self.write_u16(HDR_SIZE + slot as usize * 2, off);
+    }
+
+    /// Free bytes between the slot directory and the cell area.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HDR_SIZE + self.n_slots() as usize * 2;
+        self.free_end() as usize - dir_end
+    }
+
+    /// Whether a cell of `len` payload bytes fits (including a new slot).
+    pub fn fits(&self, len: usize) -> bool {
+        // 2 bytes cell length prefix + 2 bytes for a new slot entry.
+        self.free_space() >= len + 4
+    }
+
+    /// Inserts a record, returning its slot.
+    pub fn insert(&mut self, payload: &[u8]) -> DbResult<SlotNo> {
+        if payload.len() > u16::MAX as usize {
+            return Err(DbError::Storage("record too large for a page".into()));
+        }
+        if !self.fits(payload.len()) {
+            return Err(DbError::Storage("page full".into()));
+        }
+        let cell_len = payload.len() + 2;
+        let new_end = self.free_end() as usize - cell_len;
+        self.buf[new_end..new_end + 2].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        self.buf[new_end + 2..new_end + 2 + payload.len()].copy_from_slice(payload);
+        self.write_u16(HDR_FREE_END, new_end as u16);
+        let slot = self.n_slots();
+        self.write_u16(HDR_NSLOTS, slot + 1);
+        self.set_slot_offset(slot, new_end as u16);
+        Ok(slot)
+    }
+
+    /// Inserts at a *specific* slot (used by redo replay to reproduce the
+    /// original placement). The slot must be the next fresh slot or a
+    /// tombstone.
+    pub fn insert_at(&mut self, slot: SlotNo, payload: &[u8]) -> DbResult<()> {
+        if slot == self.n_slots() {
+            let got = self.insert(payload)?;
+            debug_assert_eq!(got, slot);
+            return Ok(());
+        }
+        if slot > self.n_slots() {
+            return Err(DbError::Storage("redo insert skipped a slot".into()));
+        }
+        if self.slot_offset(slot) != 0 {
+            return Err(DbError::Storage("redo insert into occupied slot".into()));
+        }
+        // Re-use the tombstoned slot with a fresh cell.
+        let cell_len = payload.len() + 2;
+        if self.free_space() < cell_len {
+            return Err(DbError::Storage("page full".into()));
+        }
+        let new_end = self.free_end() as usize - cell_len;
+        self.buf[new_end..new_end + 2].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        self.buf[new_end + 2..new_end + 2 + payload.len()].copy_from_slice(payload);
+        self.write_u16(HDR_FREE_END, new_end as u16);
+        self.set_slot_offset(slot, new_end as u16);
+        Ok(())
+    }
+
+    /// Reads the record in `slot`, or `None` for tombstones.
+    pub fn get(&self, slot: SlotNo) -> Option<&[u8]> {
+        if slot >= self.n_slots() {
+            return None;
+        }
+        let off = self.slot_offset(slot) as usize;
+        if off == 0 {
+            return None;
+        }
+        let len = u16::from_le_bytes([self.buf[off], self.buf[off + 1]]) as usize;
+        Some(&self.buf[off + 2..off + 2 + len])
+    }
+
+    /// Tombstones `slot`. The cell bytes are *not* erased — MiniDB, like
+    /// InnoDB, performs no secure deletion, so deleted row images remain on
+    /// the page until the space is reused (a §3/§5 leakage channel).
+    pub fn delete(&mut self, slot: SlotNo) -> DbResult<()> {
+        if slot >= self.n_slots() || self.slot_offset(slot) == 0 {
+            return Err(DbError::Storage("delete of missing slot".into()));
+        }
+        self.set_slot_offset(slot, 0);
+        Ok(())
+    }
+
+    /// Overwrites the record in `slot` in place. The new payload must have
+    /// exactly the old length (callers fall back to delete+insert
+    /// otherwise).
+    pub fn update_in_place(&mut self, slot: SlotNo, payload: &[u8]) -> DbResult<()> {
+        let off = if slot < self.n_slots() {
+            self.slot_offset(slot) as usize
+        } else {
+            0
+        };
+        if off == 0 {
+            return Err(DbError::Storage("update of missing slot".into()));
+        }
+        let len = u16::from_le_bytes([self.buf[off], self.buf[off + 1]]) as usize;
+        if len != payload.len() {
+            return Err(DbError::Storage("in-place update length mismatch".into()));
+        }
+        self.buf[off + 2..off + 2 + len].copy_from_slice(payload);
+        Ok(())
+    }
+
+    /// Iterates live `(slot, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotNo, &[u8])> {
+        (0..self.n_slots()).filter_map(move |s| self.get(s).map(|p| (s, p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        Page::format(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn delete_leaves_bytes_behind() {
+        let mut buf = fresh();
+        {
+            let mut p = Page::new(&mut buf);
+            let s = p.insert(b"SECRET-ROW-IMAGE").unwrap();
+            p.delete(s).unwrap();
+            assert!(p.get(s).is_none());
+            assert_eq!(p.iter().count(), 0);
+        }
+        // The ghost of the record is still in the raw page bytes.
+        let raw = buf.windows(16).any(|w| w == b"SECRET-ROW-IMAGE");
+        assert!(raw, "deleted record image must remain on the page");
+    }
+
+    #[test]
+    fn update_in_place_same_length_only() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        let s = p.insert(b"aaaa").unwrap();
+        p.update_in_place(s, b"bbbb").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"bbbb");
+        assert!(p.update_in_place(s, b"ccc").is_err());
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        let payload = vec![7u8; 1000];
+        let mut count = 0;
+        while p.fits(payload.len()) {
+            p.insert(&payload).unwrap();
+            count += 1;
+        }
+        assert!(count >= 15, "a 16K page should hold >= 15 1K records");
+        assert!(p.insert(&payload).is_err());
+        // Small records may still fit.
+        assert!(p.fits(4));
+    }
+
+    #[test]
+    fn insert_at_replays_tombstoned_slot() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        let a = p.insert(b"one").unwrap();
+        p.insert(b"two").unwrap();
+        p.delete(a).unwrap();
+        p.insert_at(a, b"one-again").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"one-again");
+        assert!(p.insert_at(a, b"occupied").is_err());
+        assert!(p.insert_at(99, b"gap").is_err());
+    }
+
+    #[test]
+    fn lsn_round_trip() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        assert_eq!(p.lsn(), 0);
+        p.set_lsn(0xABCD_EF01);
+        assert_eq!(p.lsn(), 0xABCD_EF01);
+    }
+
+    #[test]
+    fn rejects_oversized_record() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! SQL values and their binary encoding.
+
+use core::fmt;
+
+use crate::error::{DbError, DbResult};
+
+/// Column types supported by MiniDB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes (ciphertexts live here).
+    Bytes,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INT"),
+            ColumnType::Text => write!(f, "TEXT"),
+            ColumnType::Bytes => write!(f, "BYTES"),
+        }
+    }
+}
+
+/// A runtime SQL value.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes, written in SQL as `X'hex'`.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The column type this value inhabits, or `None` for NULL.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Text(_) => Some(ColumnType::Text),
+            Value::Bytes(_) => Some(ColumnType::Bytes),
+        }
+    }
+
+    /// Whether this value may be stored in a column of type `ty`.
+    /// NULL fits every column.
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        match self.column_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Renders the value as a SQL literal.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bytes(b) => {
+                let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
+                format!("X'{hex}'")
+            }
+        }
+    }
+
+    /// Encodes the value into `out` with a 1-byte tag and explicit length,
+    /// the format rows use on pages and in log records.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(3);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+        }
+    }
+
+    /// Decodes a value from `buf[*pos..]`, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> DbResult<Value> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| DbError::Storage("truncated value tag".into()))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(Value::Null),
+            1 => {
+                let bytes = buf
+                    .get(*pos..*pos + 8)
+                    .ok_or_else(|| DbError::Storage("truncated int".into()))?;
+                *pos += 8;
+                Ok(Value::Int(i64::from_le_bytes(bytes.try_into().unwrap())))
+            }
+            2 | 3 => {
+                let len_bytes = buf
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| DbError::Storage("truncated length".into()))?;
+                let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                *pos += 4;
+                let body = buf
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| DbError::Storage("truncated body".into()))?;
+                *pos += len;
+                if tag == 2 {
+                    let s = std::str::from_utf8(body)
+                        .map_err(|_| DbError::Storage("invalid utf8 in text value".into()))?;
+                    Ok(Value::Text(s.to_string()))
+                } else {
+                    Ok(Value::Bytes(body.to_vec()))
+                }
+            }
+            t => Err(DbError::Storage(format!("unknown value tag {t}"))),
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<core::cmp::Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bytes(a), Value::Bytes(b)) => Some(a.cmp(b)),
+            // Cross-type comparisons order by type tag, mirroring SQLite's
+            // affinity-free fallback; they never occur in well-typed plans.
+            _ => Some(self.type_rank().cmp(&other.type_rank())),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Text(_) => 2,
+            Value::Bytes(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bytes(b) => {
+                for x in b {
+                    write!(f, "{x:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(&Value::decode(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Int(0));
+        round_trip(&Value::Int(i64::MIN));
+        round_trip(&Value::Int(i64::MAX));
+        round_trip(&Value::Text(String::new()));
+        round_trip(&Value::Text("O'Brien".into()));
+        round_trip(&Value::Bytes(vec![0, 255, 1, 2]));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        Value::Text("hello".into()).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(Value::decode(&buf[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(Value::Int(-5).to_sql(), "-5");
+        assert_eq!(Value::Text("a'b".into()).to_sql(), "'a''b'");
+        assert_eq!(Value::Bytes(vec![0xAB, 0x01]).to_sql(), "X'ab01'");
+        assert_eq!(Value::Null.to_sql(), "NULL");
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(core::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn fits_types() {
+        assert!(Value::Int(1).fits(ColumnType::Int));
+        assert!(!Value::Int(1).fits(ColumnType::Text));
+        assert!(Value::Null.fits(ColumnType::Int));
+        assert!(Value::Null.fits(ColumnType::Bytes));
+    }
+}

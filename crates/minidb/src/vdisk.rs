@@ -1,0 +1,118 @@
+//! A virtual disk: named byte files held in memory.
+//!
+//! MiniDB simulates its persistent storage so that (a) the whole system is
+//! deterministic and laptop-fast, and (b) a "disk theft" snapshot is a
+//! byte-exact copy of what a real attacker would image. Everything the
+//! engine considers durable — tablespaces, the catalog, WAL files, the
+//! binlog, the buffer-pool dump — lives here; everything volatile lives in
+//! ordinary process structures and is *lost* on [`crate::engine::Db::crash`].
+
+use std::collections::BTreeMap;
+
+/// The in-memory "disk": a map from file name to contents.
+#[derive(Clone, Debug, Default)]
+pub struct VDisk {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl VDisk {
+    /// Creates an empty disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the contents of `name`, if present.
+    pub fn read(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+
+    /// Replaces the contents of `name`.
+    pub fn write(&mut self, name: &str, data: Vec<u8>) {
+        self.files.insert(name.to_string(), data);
+    }
+
+    /// Appends to `name`, creating it if needed.
+    pub fn append(&mut self, name: &str, data: &[u8]) {
+        self.files.entry(name.to_string()).or_default().extend_from_slice(data);
+    }
+
+    /// Writes `data` at byte `offset` of `name`, zero-extending as needed.
+    pub fn write_at(&mut self, name: &str, offset: usize, data: &[u8]) {
+        let f = self.files.entry(name.to_string()).or_default();
+        if f.len() < offset + data.len() {
+            f.resize(offset + data.len(), 0);
+        }
+        f[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Length of `name` in bytes (0 if absent).
+    pub fn len(&self, name: &str) -> usize {
+        self.files.get(name).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Whether the disk holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Removes a file.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.files.remove(name).is_some()
+    }
+
+    /// All file names, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_append() {
+        let mut d = VDisk::new();
+        assert!(d.read("a").is_none());
+        d.write("a", vec![1, 2]);
+        d.append("a", &[3]);
+        assert_eq!(d.read("a").unwrap(), &[1, 2, 3]);
+        assert_eq!(d.len("a"), 3);
+        assert_eq!(d.file_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn write_at_extends() {
+        let mut d = VDisk::new();
+        d.write_at("f", 4, &[9, 9]);
+        assert_eq!(d.read("f").unwrap(), &[0, 0, 0, 0, 9, 9]);
+        d.write_at("f", 0, &[1]);
+        assert_eq!(d.read("f").unwrap(), &[1, 0, 0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn clone_is_snapshot() {
+        let mut d = VDisk::new();
+        d.write("x", vec![1]);
+        let snap = d.clone();
+        d.write("x", vec![2]);
+        assert_eq!(snap.read("x").unwrap(), &[1]);
+        assert_eq!(d.read("x").unwrap(), &[2]);
+    }
+
+    #[test]
+    fn remove_and_totals() {
+        let mut d = VDisk::new();
+        d.write("x", vec![0; 10]);
+        d.write("y", vec![0; 5]);
+        assert_eq!(d.total_bytes(), 15);
+        assert!(d.remove("x"));
+        assert!(!d.remove("x"));
+        assert_eq!(d.total_bytes(), 5);
+    }
+}

@@ -1,0 +1,489 @@
+//! End-to-end engine tests: SQL execution, planning, transactions,
+//! crash/recovery, and the leakage-relevant instrumentation.
+
+use minidb::engine::{Db, DbConfig};
+use minidb::value::Value;
+
+fn db() -> Db {
+    Db::open(DbConfig::default())
+}
+
+fn setup_customers(db: &Db) {
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE customers (id INT PRIMARY KEY, state TEXT, age INT)")
+        .unwrap();
+    conn.execute(
+        "INSERT INTO customers VALUES \
+         (1, 'IN', 30), (2, 'AZ', 25), (3, 'IN', 41), (4, 'CA', 25), (5, 'NY', 67)",
+    )
+    .unwrap();
+}
+
+#[test]
+fn basic_crud() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+
+    let r = conn
+        .execute("SELECT * FROM customers WHERE state = 'IN'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.columns, vec!["id", "state", "age"]);
+
+    let r = conn
+        .execute("UPDATE customers SET age = 31 WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows_affected, 1);
+    let r = conn
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(31));
+
+    let r = conn.execute("DELETE FROM customers WHERE age >= 60").unwrap();
+    assert_eq!(r.rows_affected, 1);
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let r = conn
+        .execute("SELECT id FROM customers ORDER BY age DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Int(5)); // age 67
+    assert_eq!(r.rows[1][0], Value::Int(3)); // age 41
+}
+
+#[test]
+fn primary_key_uniqueness() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let err = conn
+        .execute("INSERT INTO customers VALUES (1, 'TX', 50)")
+        .unwrap_err();
+    assert!(format!("{err}").contains("duplicate key"), "{err}");
+    // The failed statement must not have partially applied.
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn multi_row_insert_atomicity_on_error() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    // Third row collides with pk 2: the whole statement must roll back.
+    let err = conn.execute(
+        "INSERT INTO customers VALUES (10, 'WA', 20), (11, 'OR', 21), (2, 'XX', 1)",
+    );
+    assert!(err.is_err());
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+    let r = conn
+        .execute("SELECT * FROM customers WHERE id = 10")
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn secondary_index_used_and_correct() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("CREATE INDEX ix_state ON customers (state)")
+        .unwrap();
+    // Index scan: rows_examined equals matches, not the table size.
+    let r = conn
+        .execute("SELECT id FROM customers WHERE state = 'IN'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows_examined, 2, "index scan should examine 2 rows");
+    // Full scan for an unindexed predicate examines everything.
+    let r = conn
+        .execute("SELECT id FROM customers WHERE age = 25")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows_examined, 5);
+}
+
+#[test]
+fn pk_range_scan() {
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE n (k INT PRIMARY KEY, v INT)").unwrap();
+    for chunk in (0..300).collect::<Vec<i64>>().chunks(50) {
+        let values: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i * 2)).collect();
+        conn.execute(&format!("INSERT INTO n VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    let r = conn.execute("SELECT k FROM n WHERE k >= 290").unwrap();
+    assert_eq!(r.rows.len(), 10);
+    assert_eq!(r.rows_examined, 10, "range should use the pk index");
+    let r = conn
+        .execute("SELECT k FROM n WHERE k < 5 ORDER BY k")
+        .unwrap();
+    assert_eq!(
+        r.rows.iter().map(|x| x[0].clone()).collect::<Vec<_>>(),
+        (0..5).map(Value::Int).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)").unwrap();
+    conn.execute("UPDATE customers SET age = 99 WHERE id = 1").unwrap();
+    conn.execute("ROLLBACK").unwrap();
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+    let r = conn.execute("SELECT age FROM customers WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(30), "update rolled back");
+
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)").unwrap();
+    conn.execute("COMMIT").unwrap();
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(6));
+}
+
+#[test]
+fn txn_errors() {
+    let db = db();
+    let conn = db.connect("app");
+    assert!(conn.execute("COMMIT").is_err());
+    assert!(conn.execute("ROLLBACK").is_err());
+    conn.execute("BEGIN").unwrap();
+    assert!(conn.execute("BEGIN").is_err());
+}
+
+#[test]
+fn crash_recovery_preserves_committed_data() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("UPDATE customers SET age = 77 WHERE id = 2").unwrap();
+    drop(conn);
+    // No shutdown: dirty pages die with the crash.
+    db.crash();
+    assert!(db.is_crashed());
+    let conn2 = db.connect("app");
+    assert!(conn2.execute("SELECT * FROM customers").is_err());
+    drop(conn2);
+    db.recover().unwrap();
+    let conn = db.connect("app");
+    let r = conn.execute("SELECT age FROM customers WHERE id = 2").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(77), "committed update survives crash");
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn crash_rolls_back_open_transaction() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO customers VALUES (9, 'FL', 33)").unwrap();
+    conn.execute("DELETE FROM customers WHERE id = 1").unwrap();
+    // Crash with the transaction still open.
+    db.crash();
+    db.recover().unwrap();
+    let conn = db.connect("app");
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5), "uncommitted txn rolled back");
+    let r = conn.execute("SELECT * FROM customers WHERE id = 9").unwrap();
+    assert!(r.rows.is_empty());
+    let r = conn.execute("SELECT * FROM customers WHERE id = 1").unwrap();
+    assert_eq!(r.rows.len(), 1, "uncommitted delete undone");
+}
+
+#[test]
+fn recovery_with_many_writes_and_index_rebuild() {
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE big (k INT PRIMARY KEY, s TEXT)").unwrap();
+    for i in 0..500 {
+        conn.execute(&format!("INSERT INTO big VALUES ({i}, 'row-{i}')"))
+            .unwrap();
+    }
+    conn.execute("DELETE FROM big WHERE k < 100").unwrap();
+    conn.execute("UPDATE big SET s = 'updated' WHERE k = 250").unwrap();
+    drop(conn);
+    db.crash();
+    db.recover().unwrap();
+    let conn = db.connect("app");
+    let r = conn.execute("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(400));
+    let r = conn.execute("SELECT s FROM big WHERE k = 250").unwrap();
+    assert_eq!(r.rows[0][0], Value::Text("updated".into()));
+    assert_eq!(r.rows_examined, 1, "pk index rebuilt and used");
+}
+
+#[test]
+fn query_cache_hit_and_invalidation() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let q = "SELECT * FROM customers WHERE state = 'IN'";
+    let first = conn.execute(q).unwrap();
+    assert!(first.rows_examined > 0);
+    let second = conn.execute(q).unwrap();
+    assert_eq!(second.rows_examined, 0, "second run served from query cache");
+    assert_eq!(first.rows, second.rows);
+    // A write to the table invalidates.
+    conn.execute("INSERT INTO customers VALUES (7, 'IN', 52)").unwrap();
+    let third = conn.execute(q).unwrap();
+    assert!(third.rows_examined > 0, "cache invalidated by write");
+    assert_eq!(third.rows.len(), 3);
+}
+
+#[test]
+fn processlist_visible_via_sql_injection() {
+    let db = db();
+    setup_customers(&db);
+    let victim = db.connect("webapp");
+    victim.execute("SELECT * FROM customers WHERE id = 1").unwrap();
+    // The attacker's own injected query is visible as *current*; the
+    // victim's connection shows in the list.
+    let attacker = db.connect("webapp"); // Same user: SQL injection runs as the app.
+    let r = attacker
+        .execute("SELECT * FROM information_schema.processlist")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let infos: Vec<String> = r.rows.iter().map(|row| row[3].to_string()).collect();
+    assert!(
+        infos.iter().any(|i| i.contains("processlist")),
+        "attacker sees own in-flight query: {infos:?}"
+    );
+}
+
+#[test]
+fn performance_schema_history_and_digests_via_sql() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("SELECT * FROM customers WHERE state = 'IN'").unwrap();
+    conn.execute("SELECT * FROM customers WHERE state = 'AZ'").unwrap();
+    conn.execute("SELECT * FROM customers WHERE age >= 25").unwrap();
+
+    let attacker = db.connect("app");
+    let r = attacker
+        .execute("SELECT sql_text FROM performance_schema.events_statements_history")
+        .unwrap();
+    let texts: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(texts.iter().any(|t| t.contains("state = 'IN'")), "{texts:?}");
+
+    let r = attacker
+        .execute(
+            "SELECT digest_text, count_star FROM \
+             performance_schema.events_statements_summary_by_digest",
+        )
+        .unwrap();
+    let mut count_by_digest = std::collections::HashMap::new();
+    for row in &r.rows {
+        count_by_digest.insert(row[0].to_string(), row[1].clone());
+    }
+    // The two state queries share a digest with count 2.
+    assert_eq!(
+        count_by_digest["SELECT * FROM customers WHERE state = ?"],
+        Value::Int(2)
+    );
+    assert_eq!(
+        count_by_digest["SELECT * FROM customers WHERE age >= ?"],
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn history_bounded_at_configured_size() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    for i in 0..30 {
+        conn.execute(&format!("SELECT * FROM customers WHERE id = {i}"))
+            .unwrap();
+    }
+    let r = conn
+        .execute(&format!(
+            "SELECT sql_text FROM performance_schema.events_statements_history \
+             WHERE thread_id = {}",
+            conn.id
+        ))
+        .unwrap();
+    // 10 history entries for this thread; the SELECT on history itself is
+    // current, not yet history.
+    assert_eq!(r.rows.len(), 10);
+}
+
+#[test]
+fn binlog_records_writes_with_timestamps() {
+    let db = db();
+    setup_customers(&db);
+    let image = db.disk_image();
+    let binlog = image.file(minidb::wal::BINLOG_FILE).unwrap();
+    let events: Vec<minidb::wal::BinlogEvent> = minidb::wal::carve_frames(binlog)
+        .into_iter()
+        .filter_map(|(_, p)| minidb::wal::BinlogEvent::decode(p).ok())
+        .collect();
+    assert_eq!(events.len(), 1, "one committed write statement");
+    assert!(events[0].statement.starts_with("INSERT INTO customers"));
+    assert!(events[0].timestamp >= 1_483_228_800);
+}
+
+#[test]
+fn general_log_off_by_default_slow_log_triggers() {
+    let mut config = DbConfig::default();
+    config.slow_query_threshold_us = 100; // Everything with rows is "slow".
+    let db = Db::open(config);
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("SELECT * FROM customers").unwrap();
+    let image = db.disk_image();
+    assert!(image.file("general.log").is_none(), "general log off by default");
+    let slow = String::from_utf8(image.file("slow.log").unwrap().to_vec()).unwrap();
+    assert!(slow.contains("SELECT * FROM customers"), "{slow}");
+}
+
+#[test]
+fn udf_registration_and_use() {
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'aa'), (2, 'bb')").unwrap();
+    db.register_function(
+        "IS_AA",
+        std::sync::Arc::new(|args: &[Value]| {
+            Ok(Value::Int((args[0] == Value::Text("aa".into())) as i64))
+        }),
+    );
+    let r = conn.execute("SELECT id FROM t WHERE IS_AA(tag)").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    assert!(conn.execute("SELECT id FROM t WHERE NO_SUCH(tag)").is_err());
+}
+
+#[test]
+fn heap_residue_of_executed_queries() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let marker = "zzqqxx_unique_marker_zzqqxx";
+    let _ = conn.execute(&format!("SELECT * FROM customers WHERE state = '{marker}'"));
+    // Execute some more statements so the marker's exec allocation is
+    // definitely freed.
+    for i in 0..20 {
+        conn.execute(&format!("SELECT * FROM customers WHERE id = {i}")).unwrap();
+    }
+    let mem = db.memory_image();
+    assert!(
+        mem.heap_occurrences(marker.as_bytes()) >= 1,
+        "freed query text must still be in the heap image"
+    );
+}
+
+#[test]
+fn many_connections_parallel_access() {
+    let db = db();
+    setup_customers(&db);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let conn = db.connect(&format!("user{t}"));
+                for i in 0..50 {
+                    let id = 100 + t * 100 + i;
+                    conn.execute(&format!("INSERT INTO customers VALUES ({id}, 'TX', 20)"))
+                        .unwrap();
+                    conn.execute(&format!("SELECT * FROM customers WHERE id = {id}"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let conn = db.connect("check");
+    let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5 + 8 * 50));
+}
+
+#[test]
+fn bufpool_dump_written_on_shutdown() {
+    let db = db();
+    setup_customers(&db);
+    db.shutdown();
+    let image = db.disk_image();
+    let dump = String::from_utf8(image.file("ib_buffer_pool").unwrap().to_vec()).unwrap();
+    assert!(dump.contains("table_customers.ibd"), "{dump}");
+}
+
+#[test]
+fn null_handling() {
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1, NULL), (2, 5)").unwrap();
+    // NULL never matches comparisons.
+    let r = conn.execute("SELECT id FROM t WHERE v = 5").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = conn.execute("SELECT id FROM t WHERE v != 5").unwrap();
+    assert_eq!(r.rows.len(), 0, "NULL != 5 is not true in SQL");
+    let r = conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Null);
+}
+
+#[test]
+fn bytes_values_round_trip() {
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE c (id INT PRIMARY KEY, ct BYTES)").unwrap();
+    conn.execute("INSERT INTO c VALUES (1, X'deadbeef')").unwrap();
+    let r = conn.execute("SELECT ct FROM c WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Bytes(vec![0xDE, 0xAD, 0xBE, 0xEF]));
+    let r = conn.execute("SELECT id FROM c WHERE ct = X'deadbeef'").unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn explain_reports_access_path() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let r = conn.execute("EXPLAIN SELECT * FROM customers WHERE id = 3").unwrap();
+    let plan = r.rows[0][0].to_string();
+    assert!(plan.contains("index scan on pk_customers"), "{plan}");
+    let r = conn.execute("EXPLAIN SELECT * FROM customers WHERE age = 25").unwrap();
+    assert!(r.rows[0][0].to_string().contains("full table scan"), "{:?}", r.rows);
+    // Bound intersection shows in the plan.
+    let r = conn
+        .execute("EXPLAIN SELECT * FROM customers WHERE id >= 2 AND id < 4")
+        .unwrap();
+    let plan = r.rows[0][0].to_string();
+    assert!(plan.contains("Included(Int(2))") && plan.contains("Excluded(Int(4))"), "{plan}");
+    let r = conn
+        .execute("EXPLAIN SELECT * FROM information_schema.processlist")
+        .unwrap();
+    assert!(r.rows[0][0].to_string().contains("virtual table"), "{:?}", r.rows);
+}
+
+#[test]
+fn aggregates() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let r = conn.execute("SELECT SUM(age), MIN(age), MAX(age) FROM customers").unwrap();
+    assert_eq!(r.rows[0], vec![Value::Int(188), Value::Int(25), Value::Int(67)]);
+    let r = conn
+        .execute("SELECT COUNT(*) FROM customers WHERE age = 25")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(2));
+}

@@ -1,0 +1,139 @@
+//! Model checking the engine: arbitrary sequences of DML, transactions,
+//! crashes, and recoveries, cross-checked against a plain `BTreeMap`
+//! model at every step.
+
+use std::collections::BTreeMap;
+
+use minidb::engine::{Db, DbConfig};
+use minidb::value::Value;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key: i64, val: i64 },
+    Update { key: i64, val: i64 },
+    Delete { key: i64 },
+    Begin,
+    Commit,
+    Rollback,
+    CrashRecover,
+    Checkpoint,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0i64..40, any::<i64>()).prop_map(|(key, val)| Op::Insert { key, val }),
+        3 => (0i64..40, any::<i64>()).prop_map(|(key, val)| Op::Update { key, val }),
+        2 => (0i64..40).prop_map(|key| Op::Delete { key }),
+        1 => Just(Op::Begin),
+        1 => Just(Op::Commit),
+        1 => Just(Op::Rollback),
+        1 => Just(Op::CrashRecover),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_matches_btreemap_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut config = DbConfig::default();
+        config.redo_capacity = 256 * 1024;
+        config.undo_capacity = 256 * 1024;
+        let db = Db::open(config);
+        let mut conn = db.connect("model");
+        conn.execute("CREATE TABLE m (k INT PRIMARY KEY, v INT)").unwrap();
+
+        // Committed state and the in-transaction overlay.
+        let mut committed: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut overlay: Option<BTreeMap<i64, i64>> = None;
+
+        for op in &ops {
+            let state = overlay.as_mut().unwrap_or(&mut committed);
+            match op {
+                Op::Insert { key, val } => {
+                    let r = conn.execute(&format!("INSERT INTO m VALUES ({key}, {val})"));
+                    if state.contains_key(key) {
+                        prop_assert!(r.is_err(), "duplicate pk {key} must fail");
+                    } else {
+                        prop_assert!(r.is_ok(), "{r:?}");
+                        state.insert(*key, *val);
+                    }
+                }
+                Op::Update { key, val } => {
+                    let r = conn
+                        .execute(&format!("UPDATE m SET v = {val} WHERE k = {key}"))
+                        .unwrap();
+                    let expect = u64::from(state.contains_key(key));
+                    prop_assert_eq!(r.rows_affected, expect);
+                    if state.contains_key(key) {
+                        state.insert(*key, *val);
+                    }
+                }
+                Op::Delete { key } => {
+                    let r = conn
+                        .execute(&format!("DELETE FROM m WHERE k = {key}"))
+                        .unwrap();
+                    prop_assert_eq!(r.rows_affected, u64::from(state.remove(key).is_some()));
+                }
+                Op::Begin => {
+                    if overlay.is_none() {
+                        conn.execute("BEGIN").unwrap();
+                        overlay = Some(committed.clone());
+                    }
+                }
+                Op::Commit => {
+                    if let Some(o) = overlay.take() {
+                        conn.execute("COMMIT").unwrap();
+                        committed = o;
+                    }
+                }
+                Op::Rollback => {
+                    if overlay.take().is_some() {
+                        conn.execute("ROLLBACK").unwrap();
+                    }
+                }
+                Op::CrashRecover => {
+                    // Crash discards any open transaction.
+                    overlay = None;
+                    db.crash();
+                    db.recover().unwrap();
+                    conn = db.connect("model");
+                }
+                Op::Checkpoint => {
+                    db.shutdown(); // Flush + checkpoint; engine stays usable.
+                }
+            }
+        }
+        // Final audit: engine contents equal the model (committed view if
+        // a txn is still open is the overlay — the connection's view).
+        let view = overlay.as_ref().unwrap_or(&committed);
+        let r = conn.execute("SELECT k, v FROM m ORDER BY k").unwrap();
+        let got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| match (&row[0], &row[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let want: Vec<(i64, i64)> = view.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+        // And one more crash/recover must preserve the *committed* state.
+        db.crash();
+        db.recover().unwrap();
+        let conn = db.connect("audit");
+        let r = conn.execute("SELECT k, v FROM m ORDER BY k").unwrap();
+        let got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| match (&row[0], &row[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let want: Vec<(i64, i64)> = committed.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,97 @@
+//! SQL injection against an encrypted database (§4): the attacker never
+//! sees the disk or the raw memory — only the ability to run `SELECT`s as
+//! the web application's DB user. The diagnostic tables hand over other
+//! users' queries, live and historical.
+//!
+//! ```text
+//! cargo run --release --example sql_injection_heist
+//! ```
+
+use edb::cryptdb::{ColumnCrypto, CryptDbProxy, EncColumn, Query};
+use edb_crypto::Key;
+use minidb::engine::{Db, DbConfig};
+use minidb::value::Value;
+use snapshot_attack::threat::{capture, AttackVector};
+
+fn main() {
+    let db = Db::open(DbConfig::default());
+    let mut proxy = CryptDbProxy::new(&db, Key([9u8; 32]), 3).expect("proxy");
+    proxy
+        .create_table(
+            "mail",
+            vec![
+                EncColumn {
+                    name: "id".into(),
+                    crypto: ColumnCrypto::PlainInt,
+                    primary_key: true,
+                },
+                EncColumn {
+                    name: "body".into(),
+                    crypto: ColumnCrypto::Search,
+                    primary_key: false,
+                },
+            ],
+        )
+        .expect("create");
+    for (id, body) in [
+        (1, "quarterly numbers look bad tell nobody"),
+        (2, "the merger with initech is back on"),
+        (3, "lunch order pizza friday"),
+    ] {
+        proxy
+            .insert("mail", &[Value::Int(id), Value::Text(body.into())])
+            .expect("insert");
+    }
+
+    // The victim searches the encrypted mailbox. The proxy ships an SWP
+    // trapdoor to the server inside the rewritten SQL.
+    proxy
+        .select("mail", &Query::Contains("body".into(), "merger".into()))
+        .expect("victim search");
+
+    // --- the attack: one injected SELECT at a time ---
+    let obs = capture(&db, AttackVector::SqlInjection);
+    let inj = obs.sql.expect("live SQL access");
+
+    println!("--- injected: SELECT * FROM information_schema.processlist ---");
+    let procs = inj
+        .execute("SELECT * FROM information_schema.processlist")
+        .unwrap();
+    for row in &procs.rows {
+        println!("  conn {} user {:<14} running: {}", row[0], row[1], row[3]);
+    }
+
+    println!("\n--- injected: SELECT sql_text FROM performance_schema.events_statements_history ---");
+    let hist = inj
+        .execute("SELECT sql_text FROM performance_schema.events_statements_history")
+        .unwrap();
+    let mut trapdoors = 0;
+    for row in &hist.rows {
+        let text = row[0].to_string();
+        let preview: String = text.chars().take(88).collect();
+        println!("  {preview}");
+        if text.contains("SWP_MATCH") {
+            trapdoors += 1;
+        }
+    }
+    println!(
+        "\nThe victim's search token (SWP trapdoor) appears verbatim in {trapdoors} \
+         history row(s)."
+    );
+    println!(
+        "Semantic security is over: the attacker can apply that trapdoor to every\n\
+         stored ciphertext and learn exactly which encrypted mails mention the word."
+    );
+
+    println!("\n--- injected: digest summary (query types since restart) ---");
+    let digests = inj
+        .execute(
+            "SELECT digest_text, count_star FROM \
+             performance_schema.events_statements_summary_by_digest \
+             ORDER BY count_star DESC LIMIT 5",
+        )
+        .unwrap();
+    for row in &digests.rows {
+        println!("  {:>4}x  {}", row[1], row[0]);
+    }
+}

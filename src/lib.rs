@@ -1,0 +1,9 @@
+//! Umbrella crate for the HotOS 2017 "Why Your Encrypted Database Is Not
+//! Secure" reproduction. Re-exports the workspace crates so examples and
+//! integration tests have a single import root.
+
+pub use corpus;
+pub use edb;
+pub use edb_crypto;
+pub use minidb;
+pub use snapshot_attack;
