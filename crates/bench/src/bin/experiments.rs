@@ -1,19 +1,42 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 … | all]
+//! experiments [--quick] [--json <path>] [e1 e2 … | all]
 //! ```
+//!
+//! Tables always go to stdout; `--json <path>` additionally writes a
+//! machine-readable report (per-experiment wall time, tables, and the
+//! engine telemetry each experiment absorbed).
 
-use bench::{Options, ALL};
+use bench::{ExperimentReport, Options, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args
+    let json_path = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+        .position(|a| a == "--json")
+        .map(|i| match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            }
+        });
+    // Everything that isn't a flag (or the --json path) is an id.
+    let mut ids = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--json" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            ids.push(a.clone());
+        }
+    }
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL.iter().map(|s| s.to_string()).collect()
     } else {
@@ -23,18 +46,32 @@ fn main() {
         quick,
         ..Default::default()
     };
+    let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
         eprintln!("[experiments] running {id}{}", if quick { " (quick)" } else { "" });
-        match bench::run(id, &opts) {
-            Some(tables) => {
-                for t in tables {
+        match bench::run_report(id, &opts) {
+            Some(report) => {
+                for t in &report.tables {
                     println!("{t}");
                 }
+                eprintln!(
+                    "[experiments] {id} done in {:.1} ms",
+                    report.wall_time_us as f64 / 1000.0
+                );
+                reports.push(report);
             }
             None => {
                 eprintln!("unknown experiment id {id}; known: {ALL:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = json_path {
+        let json = bench::reports_to_json(&reports, &opts);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote JSON report to {path}");
     }
 }

@@ -17,7 +17,7 @@ fn mark(b: bool) -> &'static str {
 }
 
 /// Runs the experiment.
-pub fn run(_opts: &Options) -> Vec<Table> {
+pub fn run(opts: &Options) -> Vec<Table> {
     let mut config = DbConfig::default();
     config.redo_capacity = 1 << 20;
     config.undo_capacity = 1 << 20;
@@ -94,6 +94,7 @@ pub fn run(_opts: &Options) -> Vec<Table> {
             heap_sql.to_string(),
         ]);
     }
+    opts.absorb_db(&db);
     vec![matrix, artifacts]
 }
 

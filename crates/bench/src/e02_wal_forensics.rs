@@ -140,6 +140,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "-".into(),
         "16".into(),
     ]);
+    opts.absorb_db(&db);
     vec![t1, t2]
 }
 

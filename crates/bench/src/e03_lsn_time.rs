@@ -79,6 +79,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     ]);
     t.row(&["max dating error (sec)".into(), f2(err_max)]);
     t.row(&["workload span (sec)".into(), f2(span_secs)]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

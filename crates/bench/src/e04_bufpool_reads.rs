@@ -69,6 +69,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "top-ranked leaves overlapping victim queries".into(),
         format!("{hits}/{shown} ({})", pct(hits as f64 / shown.max(1) as f64)),
     ]);
+    opts.absorb_db(&db);
     vec![t, summary]
 }
 

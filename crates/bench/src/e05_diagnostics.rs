@@ -2,6 +2,13 @@
 //! with plain `SELECT`s — processlist, per-thread statement history
 //! (10 entries), and the digest summary including the paper's worked
 //! canonicalization example.
+//!
+//! E5d extends the section to the engine's telemetry registry: after the
+//! operator wipes the performance schema (`FLUSH STATUS` / `TRUNCATE
+//! performance_schema.*`, modeled by `Db::flush_diagnostics`), the
+//! statement history reads back empty — but `information_schema.metrics`
+//! still serves the lifetime per-table access counters, so the injected
+//! attacker recovers the victim's query distribution anyway.
 
 use minidb::engine::{Db, DbConfig};
 use snapshot_attack::report::Table;
@@ -10,7 +17,7 @@ use snapshot_attack::threat::{capture, AttackVector};
 use crate::Options;
 
 /// Runs the experiment.
-pub fn run(_opts: &Options) -> Vec<Table> {
+pub fn run(opts: &Options) -> Vec<Table> {
     let mut config = DbConfig::default();
     config.redo_capacity = 1 << 20;
     config.undo_capacity = 1 << 20;
@@ -95,7 +102,32 @@ pub fn run(_opts: &Options) -> Vec<Table> {
             row[3].to_string(),
         ]);
     }
-    vec![t_hist, t_digest, t_proc]
+    // ---- E5d: the perf schema gets wiped; the metrics registry doesn't.
+    // Model a defender reacting to E5a-c: TRUNCATE performance_schema.*
+    // + FLUSH STATUS. Then inject again.
+    db.flush_diagnostics();
+    let mut t_metrics = Table::new(
+        "E5d - information_schema.metrics AFTER the perf schema is wiped",
+        &["metric", "value", "history rows left"],
+    );
+    let hist_after = inj
+        .execute(
+            "SELECT thread_id, sql_text FROM performance_schema.events_statements_history",
+        )
+        .unwrap()
+        .rows
+        .len();
+    let metrics = inj
+        .execute("SELECT metric, kind, value FROM information_schema.metrics")
+        .unwrap();
+    for row in &metrics.rows {
+        let name = row[0].to_string();
+        if name.starts_with("sql.table_access.") || name == "sql.statements" {
+            t_metrics.row(&[name, row[2].to_string(), hist_after.to_string()]);
+        }
+    }
+    opts.absorb_db(&db);
+    vec![t_hist, t_digest, t_proc, t_metrics]
 }
 
 #[cfg(test)]
@@ -126,6 +158,25 @@ mod tests {
         assert_eq!(find("WHERE state = ? AND age >= ?"), 1);
         // The per-id point query appears 20 times under one digest.
         assert_eq!(find("WHERE id = ?"), 20);
+    }
+
+    #[test]
+    fn metrics_survive_the_perf_schema_wipe() {
+        let tables = run(&Options::default());
+        let rows = &tables[3].rows;
+        // The wipe worked: zero history rows remain...
+        assert!(rows.iter().all(|r| r[2] == "0"));
+        // ...but the telemetry registry still exposes the victim's
+        // per-table access distribution via plain SQL.
+        let customers = rows
+            .iter()
+            .find(|r| r[0] == "sql.table_access.customers")
+            .expect("per-table counter visible after flush");
+        let count: u64 = customers[1].parse().unwrap();
+        // 40 inserts + 24 victim selects, at minimum.
+        assert!(count >= 64, "customers accesses = {count}");
+        let stmts = rows.iter().find(|r| r[0] == "sql.statements").unwrap();
+        assert!(stmts[1].parse::<u64>().unwrap() >= 65);
     }
 
     #[test]

@@ -107,6 +107,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "102,000".into(),
     ]);
     t.row(&["heap image size (bytes)".into(), mem.heap.len().to_string(), "-".into()]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

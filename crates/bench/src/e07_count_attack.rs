@@ -168,6 +168,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         ),
         "-".into(),
     ]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

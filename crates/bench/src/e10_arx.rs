@@ -93,6 +93,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         pct(1.0 / 3.0),
         "-".into(),
     ]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

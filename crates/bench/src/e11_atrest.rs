@@ -86,6 +86,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         recovered_binlog.to_string(),
         format!("plus {heap_sql} SQL strings straight from the heap"),
     ]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

@@ -6,9 +6,15 @@
 //! measures which §3–§5 artifacts still leak the victim's marker query,
 //! showing that no single knob fixes the problem — transactional
 //! durability alone keeps write history on disk.
+//!
+//! The telemetry column extends the ablation to the engine's metrics
+//! registry: the marker *text* never enters a counter, but the
+//! `sql.table_access.*` counters still place the victim's queries on the
+//! `notes` table — and they survive a `FLUSH STATUS`-style diagnostics
+//! wipe unless `telemetry_scrub_on_flush` is set (or telemetry is off).
 
 use minidb::engine::{Db, DbConfig};
-use snapshot_attack::forensics::{binlog, memscan, wal};
+use snapshot_attack::forensics::{binlog, memscan, telemetry, wal};
 use snapshot_attack::report::Table;
 
 use crate::Options;
@@ -20,9 +26,11 @@ struct Probe {
     history_text: bool,
     cache_text: bool,
     heap_text: bool,
+    /// Metrics registry still reveals that `notes` was accessed.
+    telemetry_tables: bool,
 }
 
-fn run_workload(config: DbConfig, marker: &str) -> Probe {
+fn run_workload(opts: &Options, config: DbConfig, marker: &str, flush_diagnostics: bool) -> Probe {
     let db = Db::open(config);
     let conn = db.connect("app");
     conn.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)").unwrap();
@@ -36,10 +44,16 @@ fn run_workload(config: DbConfig, marker: &str) -> Probe {
         conn.execute(&format!("INSERT INTO other VALUES ({i})")).unwrap();
         conn.execute(&format!("SELECT * FROM other WHERE id = {i}")).unwrap();
     }
+    if flush_diagnostics {
+        // The defender wipes the perf schema (TRUNCATE + FLUSH STATUS)
+        // before the snapshot is taken.
+        db.flush_diagnostics();
+    }
     db.shutdown();
 
     let disk = db.disk_image();
     let mem = db.memory_image();
+    opts.absorb_db(&db);
     let m = marker.as_bytes();
     let contains = |hay: &[u8]| hay.windows(m.len()).any(|w| w == m);
 
@@ -65,6 +79,9 @@ fn run_workload(config: DbConfig, marker: &str) -> Probe {
         cache_text: mem.cached_queries.iter().any(|q| q.contains(marker)),
         heap_text: memscan::count_occurrences(&mem.heap, m) > 0
             || contains(&mem.heap),
+        telemetry_tables: telemetry::table_access_distribution(&mem.metrics)
+            .iter()
+            .any(|d| d.table == "notes" && d.count > 0),
     }
 }
 
@@ -77,7 +94,7 @@ fn mark(b: bool) -> &'static str {
 }
 
 /// Runs the ablation.
-pub fn run(_opts: &Options) -> Vec<Table> {
+pub fn run(opts: &Options) -> Vec<Table> {
     let base = || {
         let mut c = DbConfig::default();
         c.redo_capacity = 1 << 20;
@@ -85,39 +102,53 @@ pub fn run(_opts: &Options) -> Vec<Table> {
         c.history_size = 10;
         c
     };
-    let variants: Vec<(&str, DbConfig)> = vec![
-        ("production defaults", base()),
+    let variants: Vec<(&str, DbConfig, bool)> = vec![
+        ("production defaults", base(), false),
         ("binlog disabled", {
             let mut c = base();
             c.binlog_enabled = false;
             c
-        }),
+        }, false),
         ("query cache disabled", {
             let mut c = base();
             c.query_cache_enabled = false;
             c
-        }),
+        }, false),
         ("heap secure-delete", {
             let mut c = base();
             c.heap_secure_delete = true;
             c
-        }),
+        }, false),
         ("all three hardenings", {
             let mut c = base();
             c.binlog_enabled = false;
             c.query_cache_enabled = false;
             c.heap_secure_delete = true;
             c
-        }),
+        }, false),
+        // Telemetry ablation: wiping the perf schema does NOT wipe the
+        // metrics registry — only the scrub knob (or disabling telemetry
+        // outright) closes the channel.
+        ("diagnostics flushed", base(), true),
+        ("flush + telemetry scrub", {
+            let mut c = base();
+            c.telemetry_scrub_on_flush = true;
+            c
+        }, true),
+        ("telemetry disabled", {
+            let mut c = base();
+            c.telemetry_enabled = false;
+            c
+        }, false),
     ];
 
     let mut t = Table::new(
         "E12 - which channels still leak the marker query, per hardening",
-        &["configuration", "binlog", "redo rows", "stmt history", "query cache", "heap"],
+        &["configuration", "binlog", "redo rows", "stmt history", "query cache", "heap", "telemetry"],
     );
-    for (i, (name, config)) in variants.into_iter().enumerate() {
+    for (i, (name, config, flush)) in variants.into_iter().enumerate() {
         let marker = format!("mitigation_marker_{i}_zxqv");
-        let p = run_workload(config, &marker);
+        let p = run_workload(opts, config, &marker, flush);
         t.row(&[
             name.to_string(),
             mark(p.binlog_text).into(),
@@ -125,6 +156,7 @@ pub fn run(_opts: &Options) -> Vec<Table> {
             mark(p.history_text).into(),
             mark(p.cache_text).into(),
             mark(p.heap_text).into(),
+            mark(p.telemetry_tables).into(),
         ]);
     }
     vec![t]
@@ -152,5 +184,23 @@ mod tests {
         }
         // Even with all three: redo rows (ACID) and statement history remain.
         assert_eq!(rows[4][2], "LEAKS");
+    }
+
+    #[test]
+    fn telemetry_survives_the_diagnostics_flush() {
+        let tables = run(&Options::default());
+        let rows = &tables[0].rows;
+        // Defaults: per-table counters place the victim on `notes`.
+        assert_eq!(rows[0][6], "LEAKS");
+        // FLUSH STATUS empties the statement history...
+        assert_eq!(rows[5][3], "-", "flush wipes the perf schema");
+        // ...but the metrics registry keeps the access distribution.
+        assert_eq!(rows[5][6], "LEAKS", "telemetry outlives the flush");
+        // The scrub knob closes the channel; so does disabling telemetry.
+        assert_eq!(rows[6][6], "-", "scrub-on-flush zeroes the registry");
+        assert_eq!(rows[7][6], "-", "disabled registry records nothing");
+        // Neither helps with the §3 channels, of course.
+        assert_eq!(rows[6][2], "LEAKS");
+        assert_eq!(rows[7][1], "LEAKS");
     }
 }

@@ -99,6 +99,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "statements covered by digest type+count records".into(),
         format!("{digest_count} ({})", pct(digest_count as f64 / transcript.len() as f64)),
     ]);
+    opts.absorb_db(&db);
     vec![t]
 }
 

@@ -36,15 +36,20 @@ pub mod e11_atrest;
 pub mod e12_mitigations;
 pub mod e13_snapshot_vs_persistent;
 
+use mdb_telemetry::{json, MetricsSnapshot, Registry};
 use snapshot_attack::report::Table;
 
 /// Shared experiment options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Options {
     /// Reduced parameters for quick runs (CI); full parameters otherwise.
     pub quick: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Harness-side telemetry registry. Each experiment absorbs its
+    /// engines' final metrics into it (see [`Options::absorb_db`]), so a
+    /// run's report carries the engine counters alongside wall time.
+    pub telemetry: Registry,
 }
 
 impl Default for Options {
@@ -52,7 +57,16 @@ impl Default for Options {
         Options {
             quick: false,
             seed: 0x5EED,
+            telemetry: Registry::new(),
         }
+    }
+}
+
+impl Options {
+    /// Folds a database's telemetry into the harness registry. Call once
+    /// per engine, when the experiment is done with it.
+    pub fn absorb_db(&self, db: &minidb::engine::Db) {
+        self.telemetry.absorb(&db.metrics_snapshot());
     }
 }
 
@@ -82,6 +96,92 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
 pub const ALL: [&str; 13] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
+
+/// One experiment's full result: its tables plus the telemetry the
+/// harness gathered while running it.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Experiment id (`"e1"`…).
+    pub id: String,
+    /// Wall-clock duration of the whole experiment.
+    pub wall_time_us: u64,
+    /// The result tables (what the binary prints).
+    pub tables: Vec<Table>,
+    /// Engine metrics absorbed from the experiment's databases.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Runs one experiment with a fresh harness registry, recording wall
+/// time and the engine metrics it absorbed.
+pub fn run_report(id: &str, opts: &Options) -> Option<ExperimentReport> {
+    let opts = Options {
+        telemetry: Registry::new(),
+        ..opts.clone()
+    };
+    let start = std::time::Instant::now();
+    let tables = run(id, &opts)?;
+    Some(ExperimentReport {
+        id: id.to_string(),
+        wall_time_us: start.elapsed().as_micros() as u64,
+        tables,
+        metrics: opts.telemetry.snapshot(),
+    })
+}
+
+fn table_to_json(w: &mut json::Writer, t: &Table) {
+    w.obj_open();
+    w.key("title");
+    w.string(&t.title);
+    w.key("headers");
+    w.arr_open();
+    for h in &t.headers {
+        w.string(h);
+    }
+    w.arr_close();
+    w.key("rows");
+    w.arr_open();
+    for row in &t.rows {
+        w.arr_open();
+        for cell in row {
+            w.string(cell);
+        }
+        w.arr_close();
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
+/// Serializes a set of experiment reports as one JSON document (the
+/// `--json` output of the `experiments` binary).
+pub fn reports_to_json(reports: &[ExperimentReport], opts: &Options) -> String {
+    let mut w = json::Writer::new();
+    w.obj_open();
+    w.key("quick");
+    w.bool(opts.quick);
+    w.key("seed");
+    w.u64(opts.seed);
+    w.key("experiments");
+    w.arr_open();
+    for r in reports {
+        w.obj_open();
+        w.key("id");
+        w.string(&r.id);
+        w.key("wall_time_us");
+        w.u64(r.wall_time_us);
+        w.key("tables");
+        w.arr_open();
+        for t in &r.tables {
+            table_to_json(&mut w, t);
+        }
+        w.arr_close();
+        w.key("metrics");
+        w.raw(&r.metrics.to_json());
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+    w.into_string()
+}
 
 /// Formats a fraction as a percentage string.
 pub fn pct(x: f64) -> String {

@@ -1,5 +1,5 @@
 //! `forensic` — standalone snapshot analysis, the attacker's offline
-//! toolbox: point it at a captured `EDBSNAP1` image and carve.
+//! toolbox: point it at a captured `EDBSNAP2` image and carve.
 //!
 //! ```text
 //! forensic <image-file> <command>
@@ -13,6 +13,7 @@
 //!   tokens     hex tokens (trapdoors, ORE tokens, DET cts) in carved SQL
 //!   digests    performance_schema digest histogram
 //!   bufpool    recently-read index key ranges from the LRU dump
+//!   metrics    telemetry registry: per-table access distribution etc.
 //! ```
 //!
 //! Generate an image with `minidb::SystemImage::to_bytes` (see the
@@ -21,12 +22,12 @@
 use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
-use snapshot_attack::forensics::{binlog, bufpool, memscan, wal};
+use snapshot_attack::forensics::{binlog, bufpool, memscan, telemetry, wal};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|strings|tokens|digests|bufpool>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|strings|tokens|digests|bufpool|metrics>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -39,7 +40,7 @@ fn main() {
     let image = match SystemImage::from_bytes(&bytes) {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("forensic: not a valid EDBSNAP1 image: {e}");
+            eprintln!("forensic: not a valid EDBSNAP2 image: {e}");
             std::process::exit(1);
         }
     };
@@ -52,6 +53,7 @@ fn main() {
         "tokens" => tokens(&image),
         "digests" => digests(&image),
         "bufpool" => bufpool_cmd(&image),
+        "metrics" => metrics_cmd(&image),
         other => {
             eprintln!("forensic: unknown command {other}");
             std::process::exit(2);
@@ -74,6 +76,40 @@ fn summary(image: &SystemImage) {
     println!("  digest rows          {:>10}", m.digest_summary.len());
     println!("  processlist entries  {:>10}", m.processlist.len());
     println!("  adaptive-hash keys   {:>10}", m.adaptive_hash_keys.len());
+    println!(
+        "  telemetry            {:>10} counters, {} histograms",
+        m.metrics.counters.len(),
+        m.metrics.histograms.len()
+    );
+}
+
+fn metrics_cmd(image: &SystemImage) {
+    let ms = &image.memory.metrics;
+    if ms.is_zero() && ms.counters.is_empty() {
+        println!("no telemetry in image (registry disabled or scrubbed)");
+        return;
+    }
+    println!(
+        "statements observed: {}",
+        telemetry::statements_observed(ms)
+    );
+    let dist = telemetry::table_access_distribution(ms);
+    if !dist.is_empty() {
+        println!("table access distribution (the victim's query targets):");
+        for d in &dist {
+            println!("  {:<24} {:>8}  {:>5.1}%", d.table, d.count, d.share * 100.0);
+        }
+    }
+    let mix = telemetry::statement_mix(ms);
+    if !mix.is_empty() {
+        println!("statement mix:");
+        for (kind, n) in &mix {
+            println!("  {kind:<24} {n:>8}");
+        }
+    }
+    if telemetry::onion_was_peeled(ms) {
+        println!("onion downgrade events present: a column was ratcheted to DET");
+    }
 }
 
 fn writes(image: &SystemImage) {

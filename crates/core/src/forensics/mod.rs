@@ -10,4 +10,5 @@ pub mod binlog;
 pub mod bufpool;
 pub mod lsn_time;
 pub mod memscan;
+pub mod telemetry;
 pub mod wal;

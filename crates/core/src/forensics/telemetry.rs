@@ -1,0 +1,152 @@
+//! Telemetry forensics: what a snapshot attacker learns from the
+//! engine's *own* metrics registry.
+//!
+//! The paper's inventory of snapshot-visible auxiliary state (§4) was
+//! written before "observability" became a product category. A modern
+//! deployment exports counters and latency histograms on purpose — and
+//! a [`MetricsSnapshot`] captured from process memory (or read over a
+//! `SELECT * FROM information_schema.metrics` injection) is a compact,
+//! pre-aggregated summary of the entire query history:
+//!
+//! * `sql.table_access.<t>` counters are exactly the per-table access
+//!   frequencies an access-pattern attacker wants, already tallied.
+//! * `sql.latency_us.<kind>` histograms reveal the read/write mix.
+//! * `edb.onion.peel_downgrades` proves an onion column was ratcheted
+//!   to DET even if the downgrade happened long before the snapshot.
+//!
+//! Crucially, these survive `TRUNCATE performance_schema.*` / `FLUSH
+//! STATUS` (MiniDB's `Db::flush_diagnostics`): wiping the statement
+//! history does not reset the metrics registry unless the operator also
+//! set `telemetry_scrub_on_flush`.
+
+use mdb_telemetry::MetricsSnapshot;
+
+/// One table's share of the observed accesses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableAccess {
+    /// Table name, as recovered from the `sql.table_access.` counter.
+    pub table: String,
+    /// Lifetime access count.
+    pub count: u64,
+    /// Fraction of all table accesses in the snapshot (0 when none).
+    pub share: f64,
+}
+
+/// Recovers the per-table access distribution from a metrics snapshot —
+/// the attacker's estimate of the victim's query distribution. Sorted
+/// by descending count, then name.
+pub fn table_access_distribution(metrics: &MetricsSnapshot) -> Vec<TableAccess> {
+    const PREFIX: &str = "sql.table_access.";
+    let mut hits: Vec<(String, u64)> = metrics
+        .counters
+        .iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix(PREFIX).map(|t| (t.to_string(), *v))
+        })
+        .collect();
+    let total: u64 = hits.iter().map(|(_, v)| v).sum();
+    hits.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    hits.into_iter()
+        .map(|(table, count)| TableAccess {
+            table,
+            count,
+            share: if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64
+            },
+        })
+        .collect()
+}
+
+/// Per-statement-kind counts recovered from the latency histograms
+/// (`sql.latency_us.<kind>`), revealing the workload's read/write mix.
+/// Sorted by descending count, then kind.
+pub fn statement_mix(metrics: &MetricsSnapshot) -> Vec<(String, u64)> {
+    const PREFIX: &str = "sql.latency_us.";
+    let mut mix: Vec<(String, u64)> = metrics
+        .histograms
+        .iter()
+        .filter_map(|h| {
+            h.name
+                .strip_prefix(PREFIX)
+                .map(|k| (k.to_string(), h.count))
+        })
+        .filter(|(_, c)| *c > 0)
+        .collect();
+    mix.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    mix
+}
+
+/// True when the snapshot proves at least one onion column was ratcheted
+/// down to DET (the `edb.onion.peel_downgrades` counter is non-zero).
+pub fn onion_was_peeled(metrics: &MetricsSnapshot) -> bool {
+    metrics.counter("edb.onion.peel_downgrades").unwrap_or(0) > 0
+}
+
+/// Total statements the registry has seen — a floor on how much query
+/// history the telemetry summarizes, regardless of any perf-schema wipe.
+pub fn statements_observed(metrics: &MetricsSnapshot) -> u64 {
+    metrics.counter("sql.statements").unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_telemetry::Registry;
+
+    fn snapshot_with_accesses(pairs: &[(&str, u64)]) -> MetricsSnapshot {
+        let r = Registry::new();
+        for (t, n) in pairs {
+            r.counter(&format!("sql.table_access.{t}")).add(*n);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn distribution_sorted_and_normalized() {
+        let snap = snapshot_with_accesses(&[("a", 1), ("b", 3), ("c", 1)]);
+        let dist = table_access_distribution(&snap);
+        assert_eq!(dist.len(), 3);
+        assert_eq!(dist[0].table, "b");
+        assert_eq!(dist[0].count, 3);
+        assert!((dist[0].share - 0.6).abs() < 1e-9);
+        // Ties broken by name.
+        assert_eq!(dist[1].table, "a");
+        assert_eq!(dist[2].table, "c");
+        let total: f64 = dist.iter().map(|d| d.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_nothing() {
+        let snap = MetricsSnapshot::default();
+        assert!(table_access_distribution(&snap).is_empty());
+        assert!(statement_mix(&snap).is_empty());
+        assert!(!onion_was_peeled(&snap));
+        assert_eq!(statements_observed(&snap), 0);
+    }
+
+    #[test]
+    fn statement_mix_reads_latency_histograms() {
+        let r = Registry::new();
+        for _ in 0..5 {
+            r.histogram("sql.latency_us.select").record(10);
+        }
+        r.histogram("sql.latency_us.insert").record(7);
+        r.histogram("sql.latency_us.delete"); // registered, never hit
+        let mix = statement_mix(&r.snapshot());
+        assert_eq!(
+            mix,
+            vec![("select".to_string(), 5), ("insert".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn onion_peel_flag() {
+        let r = Registry::new();
+        assert!(!onion_was_peeled(&r.snapshot()));
+        r.counter("edb.onion.peel_downgrades").inc();
+        assert!(onion_was_peeled(&r.snapshot()));
+    }
+}

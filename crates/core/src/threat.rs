@@ -193,6 +193,28 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_is_visible_to_injection_and_vm_snapshot() {
+        let db = small_db();
+        // Live SQL: the metrics registry is one injected SELECT away.
+        let obs = capture(&db, AttackVector::SqlInjection);
+        let conn = obs.sql.unwrap();
+        let r = conn
+            .execute("SELECT metric, kind, value FROM information_schema.metrics")
+            .unwrap();
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[0].to_string() == "sql.table_access.t"));
+        // VM snapshot: the same state arrives pre-aggregated in the
+        // memory image, no SQL needed.
+        db.connect("app").execute("SELECT * FROM t").unwrap();
+        let obs = capture(&db, AttackVector::VmSnapshotLeak);
+        let metrics = &obs.volatile_db.unwrap().metrics;
+        let dist = crate::forensics::telemetry::table_access_distribution(metrics);
+        assert!(dist.iter().any(|d| d.table == "t" && d.count >= 2));
+    }
+
+    #[test]
     fn os_metadata_matches_disk() {
         let db = small_db();
         let obs = capture(&db, AttackVector::DiskTheft);

@@ -334,9 +334,17 @@ impl CryptDbProxy {
 /// `SWP_MATCH`) on the DBMS. These run *server-side* and need no keys —
 /// only the tokens the rewritten queries carry.
 pub fn register_udfs(db: &Db) {
+    // Every ciphertext operation the server performs is counted in the
+    // engine registry: the number of ORE comparisons is `rows × range
+    // predicates`, so the counter alone reveals the range-query volume.
+    let telemetry = db.telemetry();
+    let ore_cmp_count = telemetry.counter("edb.ore.comparisons");
+    let swp_match_count = telemetry.counter("edb.swp.word_matches");
     // ORE comparison is keyless by construction: anyone with the two
     // ciphertexts can compare. The UDFs parse bytes and run `compare`.
-    let ge = |args: &[Value]| -> minidb::DbResult<Value> {
+    let ore_cmps = ore_cmp_count.clone();
+    let ge = move |args: &[Value]| -> minidb::DbResult<Value> {
+        ore_cmps.inc();
         let (stored, token) = parse_ore_args(args)?;
         let leak = ore::compare_leak(&token, &stored)
             .map_err(|e| minidb::DbError::Eval(format!("ORE compare: {e}")))?;
@@ -349,7 +357,9 @@ pub fn register_udfs(db: &Db) {
             ) as i64,
         ))
     };
-    let le = |args: &[Value]| -> minidb::DbResult<Value> {
+    let ore_cmps = ore_cmp_count;
+    let le = move |args: &[Value]| -> minidb::DbResult<Value> {
+        ore_cmps.inc();
         let (stored, token) = parse_ore_args(args)?;
         let leak = ore::compare_leak(&token, &stored)
             .map_err(|e| minidb::DbError::Eval(format!("ORE compare: {e}")))?;
@@ -364,7 +374,8 @@ pub fn register_udfs(db: &Db) {
     db.register_function("ORE_LE", Arc::new(le));
     db.register_function(
         "SWP_MATCH",
-        Arc::new(|args: &[Value]| -> minidb::DbResult<Value> {
+        Arc::new(move |args: &[Value]| -> minidb::DbResult<Value> {
+            swp_match_count.inc();
             let (Value::Bytes(blob), Value::Bytes(td_bytes)) = (&args[0], &args[1]) else {
                 return Err(minidb::DbError::Eval("SWP_MATCH expects bytes".into()));
             };

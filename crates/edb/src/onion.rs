@@ -123,6 +123,13 @@ impl OnionTable {
         self.conn.execute("COMMIT")?;
         self.level = OnionLevel::Det;
         self.peel_log.push(self.conn.db().now());
+        // The downgrade itself is telemetry-visible: one ratchet event
+        // and a burst of rewrites the size of the column.
+        let telemetry = self.conn.db().telemetry();
+        telemetry.counter("edb.onion.peel_downgrades").inc();
+        telemetry
+            .counter("edb.onion.peel_rewrites")
+            .add(self.rows);
         Ok(())
     }
 

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mdb_telemetry::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 
 use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
@@ -69,6 +70,14 @@ pub struct DbConfig {
     /// Hardening knob: zero heap blocks on free (no real DBMS does this;
     /// the mitigation-ablation experiment flips it).
     pub heap_secure_delete: bool,
+    /// Whether the telemetry registry records engine metrics. On by
+    /// default — every production DBMS ships with status counters on.
+    pub telemetry_enabled: bool,
+    /// Hardening knob: scrub telemetry alongside
+    /// [`Db::flush_diagnostics`]. Off by default — real deployments wipe
+    /// `performance_schema` but forget the status counters, which is
+    /// exactly the leak the telemetry experiments measure.
+    pub telemetry_scrub_on_flush: bool,
 }
 
 impl Default for DbConfig {
@@ -90,6 +99,8 @@ impl Default for DbConfig {
             seconds_per_statement: 1,
             bufpool_dump_interval: 1_000,
             heap_secure_delete: false,
+            telemetry_enabled: true,
+            telemetry_scrub_on_flush: false,
         }
     }
 }
@@ -120,6 +131,62 @@ struct TxnState {
     statements: Vec<String>,
 }
 
+/// Statement-kind labels for per-kind latency histograms.
+const STMT_KINDS: [&str; 7] = [
+    "select", "insert", "update", "delete", "ddl", "txn", "other",
+];
+
+/// Index into [`STMT_KINDS`] for a statement text, decided from the
+/// leading keyword — cheap enough for the hot path, and deliberately the
+/// same signal a latency side channel gives an observer.
+fn stmt_kind_index(sql: &str) -> usize {
+    let head = sql.trim_start();
+    let word: String = head
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    match word.as_str() {
+        "select" | "explain" => 0,
+        "insert" => 1,
+        "update" => 2,
+        "delete" => 3,
+        "create" | "drop" | "alter" => 4,
+        "begin" | "commit" | "rollback" => 5,
+        _ => 6,
+    }
+}
+
+/// Pre-resolved engine-level telemetry handles. The per-table counters
+/// are lazily registered as tables are touched — which is precisely how
+/// the registry ends up encoding the query distribution.
+struct EngineMetrics {
+    statements: Counter,
+    errors: Counter,
+    query_cache_hits: Counter,
+    rows_examined: Histogram,
+    rows_returned: Histogram,
+    latency_us: Vec<Histogram>, // Parallel to STMT_KINDS.
+    table_access: HashMap<String, Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        EngineMetrics {
+            statements: registry.counter("sql.statements"),
+            errors: registry.counter("sql.errors"),
+            query_cache_hits: registry.counter("sql.query_cache_hits"),
+            rows_examined: registry.histogram("sql.rows_examined"),
+            rows_returned: registry.histogram("sql.rows_returned"),
+            latency_us: STMT_KINDS
+                .iter()
+                .map(|k| registry.histogram(&format!("sql.latency_us.{k}")))
+                .collect(),
+            table_access: HashMap::new(),
+        }
+    }
+}
+
 pub(crate) struct DbInner {
     pub(crate) config: DbConfig,
     pub(crate) vdisk: VDisk,
@@ -132,6 +199,8 @@ pub(crate) struct DbInner {
     pub(crate) adaptive_hash: AdaptiveHash,
     pub(crate) perf: PerfSchema,
     pub(crate) processlist: ProcessList,
+    pub(crate) telemetry: Registry,
+    metrics: EngineMetrics,
     functions: HashMap<String, ScalarFn>,
     pub(crate) now_unix: i64,
     next_txn: u64,
@@ -157,25 +226,41 @@ pub struct Connection {
 impl Db {
     /// Opens a fresh database with the given configuration.
     pub fn open(config: DbConfig) -> Db {
+        let telemetry = if config.telemetry_enabled {
+            Registry::new()
+        } else {
+            Registry::new_disabled()
+        };
         let inner = DbInner {
             vdisk: VDisk::new(),
             catalog: Catalog::default(),
             runtime: HashMap::new(),
-            bufpool: BufferPool::new(config.buffer_pool_pages),
-            wal: Wal::new(
-                config.redo_capacity,
-                config.undo_capacity,
-                config.binlog_enabled,
-            ),
+            bufpool: {
+                let mut bp = BufferPool::new(config.buffer_pool_pages);
+                bp.attach_telemetry(&telemetry);
+                bp
+            },
+            wal: {
+                let mut w = Wal::new(
+                    config.redo_capacity,
+                    config.undo_capacity,
+                    config.binlog_enabled,
+                );
+                w.attach_telemetry(&telemetry);
+                w
+            },
             heap: {
                 let mut h = HeapArena::new();
                 h.secure_delete = config.heap_secure_delete;
+                h.attach_telemetry(&telemetry);
                 h
             },
             query_cache: QueryCache::new(config.query_cache_enabled, config.query_cache_entries),
             adaptive_hash: AdaptiveHash::new(config.adaptive_hash_threshold),
             perf: PerfSchema::new(config.history_size),
             processlist: ProcessList::default(),
+            metrics: EngineMetrics::new(&telemetry),
+            telemetry,
             functions: HashMap::new(),
             now_unix: config.start_time_unix,
             next_txn: 1,
@@ -233,6 +318,36 @@ impl Db {
         self.inner.lock().wal.purge_binlog();
     }
 
+    /// The engine's telemetry registry. Clones share state — the same
+    /// counters are readable here, via `information_schema.metrics`, and
+    /// in a [`crate::snapshot::MemoryImage`].
+    pub fn telemetry(&self) -> Registry {
+        self.inner.lock().telemetry.clone()
+    }
+
+    /// Point-in-time snapshot of every engine metric.
+    pub fn metrics_snapshot(&self) -> mdb_telemetry::MetricsSnapshot {
+        self.inner.lock().telemetry.snapshot()
+    }
+
+    /// Administrative diagnostics wipe, modeling `TRUNCATE
+    /// performance_schema.events_statements_history` + `FLUSH STATUS`:
+    /// clears the perf-schema statement history and digests. The
+    /// telemetry registry is scrubbed only when
+    /// [`DbConfig::telemetry_scrub_on_flush`] is set — by default the
+    /// status counters keep the full query distribution, which is the
+    /// residual-leakage surface E5/E12 measure.
+    pub fn flush_diagnostics(&self) {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        for p in inner.perf.clear() {
+            inner.heap.free(p);
+        }
+        if inner.config.telemetry_scrub_on_flush {
+            inner.telemetry.scrub();
+        }
+    }
+
     /// Allocates `bytes` in the DB process heap and keeps them live for the
     /// process lifetime. Models other components of the server process
     /// (keyring plugins, TLS buffers, …) whose state a memory snapshot
@@ -263,6 +378,9 @@ impl Db {
         g.runtime.clear();
         g.txns.clear();
         g.processlist = ProcessList::default();
+        // Process memory dies with the process: the registry's values go
+        // too (registrations and handles stay valid for the restart).
+        g.telemetry.scrub();
     }
 
     /// Crash recovery: ARIES-lite redo of logged changes (pageLSN-gated),
@@ -353,6 +471,13 @@ impl DbInner {
         };
         let duration_us =
             self.config.statement_base_us + rows_examined * self.config.per_row_us;
+        self.metrics.statements.inc();
+        if outcome.is_err() {
+            self.metrics.errors.inc();
+        }
+        self.metrics.rows_examined.record(rows_examined);
+        self.metrics.rows_returned.record(rows_returned);
+        self.metrics.latency_us[stmt_kind_index(sql)].record(duration_us);
         if duration_us > self.config.slow_query_threshold_us {
             let line = format!(
                 "# Time: {started}\n# Query_time: {}s Rows_examined: {rows_examined}\n{sql};\n",
@@ -599,6 +724,7 @@ impl DbInner {
         }
         // Query cache: exact-text hits skip execution entirely.
         if let Some(hit) = self.query_cache.get(sql) {
+            self.metrics.query_cache_hits.inc();
             return Ok(QueryResult {
                 columns: hit.columns,
                 rows: hit.rows,
@@ -608,6 +734,7 @@ impl DbInner {
         }
         let table = sel.table.clone();
         let def = self.catalog.get(&table)?.clone();
+        self.record_table_access(&def.schema.name);
         let (mut rows, examined) = self.fetch_rows(&def, sel.where_clause.as_ref())?;
 
         // ORDER BY before projection.
@@ -670,6 +797,46 @@ impl DbInner {
                 (cols, rows)
             }
             ("information_schema", "processlist") => self.processlist.render(self.now_unix),
+            ("information_schema", "metrics") => {
+                // The live registry, SQL-readable. An attacker with a
+                // stolen connection (or an injection point) reads the
+                // accumulated query distribution with one SELECT.
+                let snap = self.telemetry.snapshot();
+                let cols = vec![
+                    "metric".to_string(),
+                    "kind".to_string(),
+                    "value".to_string(),
+                ];
+                let mut out = Vec::new();
+                for (name, v) in &snap.counters {
+                    out.push(vec![
+                        Value::Text(name.clone()),
+                        Value::Text("counter".to_string()),
+                        Value::Int(*v as i64),
+                    ]);
+                }
+                for (name, v) in &snap.gauges {
+                    out.push(vec![
+                        Value::Text(name.clone()),
+                        Value::Text("gauge".to_string()),
+                        Value::Int(*v),
+                    ]);
+                }
+                for h in &snap.histograms {
+                    for (suffix, v) in [
+                        ("count", h.count),
+                        ("sum", h.sum),
+                        ("p50", h.quantile_upper_bound(0.5)),
+                    ] {
+                        out.push(vec![
+                            Value::Text(format!("{}.{suffix}", h.name)),
+                            Value::Text("histogram".to_string()),
+                            Value::Int(v as i64),
+                        ]);
+                    }
+                }
+                (cols, out)
+            }
             _ => {
                 return Err(DbError::UnknownTable(format!("{schema}.{}", sel.table)));
             }
@@ -897,6 +1064,7 @@ impl DbInner {
                 rows,
             } => {
                 let def = self.catalog.get(&table)?.clone();
+                self.record_table_access(&def.schema.name);
                 let mut affected = 0;
                 for literals in rows {
                     let values = arrange_columns(&def.schema, &columns, literals)?;
@@ -925,6 +1093,7 @@ impl DbInner {
                 where_clause,
             } => {
                 let def = self.catalog.get(&table)?.clone();
+                self.record_table_access(&def.schema.name);
                 let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
                 let mut set_idx = Vec::new();
                 for (col, val) in &sets {
@@ -953,6 +1122,7 @@ impl DbInner {
                 where_clause,
             } => {
                 let def = self.catalog.get(&table)?.clone();
+                self.record_table_access(&def.schema.name);
                 let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
                 let affected = targets.len() as u64;
                 for old in targets {
@@ -1016,6 +1186,8 @@ impl DbInner {
             buf.extend_from_slice(&t.id.to_le_bytes());
         }
         self.vdisk.write(CHECKPOINT_FILE, buf);
+        // A checkpoint is a durability point: one simulated fsync.
+        self.wal.record_fsync();
     }
 
     /// Reads the checkpoint: `(lsn, active transaction ids)`.
@@ -1217,6 +1389,19 @@ impl DbInner {
         }
     }
 
+    /// Bumps the lazily-registered per-table access counter. These
+    /// counters are the telemetry experiments' star witness: they encode
+    /// the query distribution per table name, survive
+    /// [`Db::flush_diagnostics`], and ride along in every memory image.
+    fn record_table_access(&mut self, table: &str) {
+        let telemetry = &self.telemetry;
+        self.metrics
+            .table_access
+            .entry(table.to_string())
+            .or_insert_with(|| telemetry.counter(&format!("sql.table_access.{table}")))
+            .inc();
+    }
+
     fn commit_txn(&mut self, txn: TxnState) -> DbResult<()> {
         let lsn = self.wal.alloc_lsn();
         self.log_redo(RedoRecord {
@@ -1236,6 +1421,8 @@ impl DbInner {
                 statement: stmt.clone(),
             });
         }
+        // Group commit durability: the redo write and the binlog sync.
+        self.wal.record_fsync();
         Ok(())
     }
 

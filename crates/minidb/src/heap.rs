@@ -8,6 +8,8 @@
 //! and is effectively never reused — exactly why the paper's marker query
 //! was still found in MySQL's heap after 102,000 subsequent queries.
 
+use mdb_telemetry::{Counter, Registry};
+
 /// Handle to an allocated block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HeapPtr {
@@ -29,6 +31,14 @@ const CLASSES: [usize; 20] = [
     16384,
 ];
 
+/// Pre-resolved telemetry handles; absent until a registry is attached.
+struct HeapMetrics {
+    allocs: Counter,
+    frees: Counter,
+    reused: Counter,
+    alloc_bytes: Counter,
+}
+
 /// The arena allocator.
 pub struct HeapArena {
     buf: Vec<u8>,
@@ -43,6 +53,7 @@ pub struct HeapArena {
     /// Hardening knob (off by default, as in every real DBMS): zero a
     /// block on free. Used by the mitigation-ablation experiment.
     pub secure_delete: bool,
+    metrics: Option<HeapMetrics>,
 }
 
 impl Default for HeapArena {
@@ -61,7 +72,18 @@ impl HeapArena {
             total_allocs: 0,
             reused_allocs: 0,
             secure_delete: false,
+            metrics: None,
         }
+    }
+
+    /// Registers this arena's counters on `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(HeapMetrics {
+            allocs: registry.counter("heap.allocs"),
+            frees: registry.counter("heap.frees"),
+            reused: registry.counter("heap.reused_allocs"),
+            alloc_bytes: registry.counter("heap.alloc_bytes"),
+        });
     }
 
     fn class_of(len: usize) -> Option<usize> {
@@ -71,6 +93,7 @@ impl HeapArena {
     /// Copies `data` into the arena and returns its handle.
     pub fn alloc(&mut self, data: &[u8]) -> HeapPtr {
         self.total_allocs += 1;
+        let reused_before = self.reused_allocs;
         let (offset, capacity) = match Self::class_of(data.len()) {
             Some(class) => {
                 let cap = CLASSES[class];
@@ -99,6 +122,13 @@ impl HeapArena {
                 }
             }
         };
+        if let Some(m) = &self.metrics {
+            m.allocs.inc();
+            m.alloc_bytes.add(data.len() as u64);
+            if self.reused_allocs > reused_before {
+                m.reused.inc();
+            }
+        }
         // Deliberately only the payload prefix is written: the remainder
         // of a reused block keeps its previous contents (heap residue).
         self.buf[offset..offset + data.len()].copy_from_slice(data);
@@ -117,6 +147,9 @@ impl HeapArena {
     /// Frees a block. **The bytes are not cleared** (unless the
     /// `secure_delete` hardening knob is on) — that is the point.
     pub fn free(&mut self, ptr: HeapPtr) {
+        if let Some(m) = &self.metrics {
+            m.frees.inc();
+        }
         if self.secure_delete {
             self.buf[ptr.offset..ptr.offset + ptr.capacity].fill(0);
         }

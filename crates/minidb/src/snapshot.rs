@@ -61,6 +61,10 @@ pub struct MemoryImage {
     pub digest_summary: Vec<DigestStats>,
     /// The connection process list.
     pub processlist: Vec<ProcessEntry>,
+    /// The telemetry registry's full state — the counters and histograms
+    /// this repo adds to the paper's inventory of snapshot-visible
+    /// auxiliary state (per-table access counts, latency distributions).
+    pub metrics: mdb_telemetry::MetricsSnapshot,
 }
 
 impl MemoryImage {
@@ -152,6 +156,7 @@ impl Db {
                 .cloned()
                 .collect(),
             processlist: g.processlist.entries().into_iter().cloned().collect(),
+            metrics: g.telemetry.snapshot(),
         }
     }
 

@@ -3,15 +3,16 @@
 //! standalone forensic tooling (the workflow a real attacker has: image
 //! first, carve at leisure).
 //!
-//! Format (`EDBSNAP1`, little-endian, length-prefixed throughout):
+//! Format (`EDBSNAP2`, little-endian, length-prefixed throughout):
 //!
 //! ```text
-//! magic "EDBSNAP1" | captured_at i64
+//! magic "EDBSNAP2" | captured_at i64
 //! disk:   u32 n, then n × (str name, u64 len, bytes)
 //! memory: u64 heap_len, heap bytes
 //!         [cached_queries] [cached_pages] [page_access_counts]
 //!         [adaptive_hash_keys] [stmts_current] [stmts_history]
 //!         [digest_summary] [processlist]
+//! metrics: [counters] [gauges] [histograms]
 //! ```
 
 use std::collections::BTreeMap;
@@ -20,7 +21,7 @@ use crate::error::{DbError, DbResult};
 use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
 use crate::snapshot::{DiskImage, MemoryImage, SystemImage};
 
-const MAGIC: &[u8; 8] = b"EDBSNAP1";
+const MAGIC: &[u8; 8] = b"EDBSNAP2";
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -85,7 +86,7 @@ impl<'a> Reader<'a> {
 }
 
 impl SystemImage {
-    /// Serializes the image to the `EDBSNAP1` container.
+    /// Serializes the image to the `EDBSNAP2` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -154,14 +155,36 @@ impl SystemImage {
                 None => out.push(0),
             }
         }
+        let ms = &m.metrics;
+        w_u32(&mut out, ms.counters.len() as u32);
+        for (name, v) in &ms.counters {
+            w_str(&mut out, name);
+            w_u64(&mut out, *v);
+        }
+        w_u32(&mut out, ms.gauges.len() as u32);
+        for (name, v) in &ms.gauges {
+            w_str(&mut out, name);
+            w_i64(&mut out, *v);
+        }
+        w_u32(&mut out, ms.histograms.len() as u32);
+        for h in &ms.histograms {
+            w_str(&mut out, &h.name);
+            w_u64(&mut out, h.count);
+            w_u64(&mut out, h.sum);
+            w_u32(&mut out, h.buckets.len() as u32);
+            for (idx, n) in &h.buckets {
+                out.push(*idx);
+                w_u64(&mut out, *n);
+            }
+        }
         out
     }
 
-    /// Parses an `EDBSNAP1` container.
+    /// Parses an `EDBSNAP2` container.
     pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
         let mut r = Reader { buf, pos: 0 };
         if r.take(8)? != MAGIC {
-            return Err(DbError::Storage("not an EDBSNAP1 image".into()));
+            return Err(DbError::Storage("not an EDBSNAP2 image".into()));
         }
         let captured_at = r.i64()?;
         let n_files = r.u32()? as usize;
@@ -241,6 +264,34 @@ impl SystemImage {
                 current_query,
             });
         }
+        let mut metrics = mdb_telemetry::MetricsSnapshot::default();
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let v = r.u64()?;
+            metrics.counters.push((name, v));
+        }
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let v = r.i64()?;
+            metrics.gauges.push((name, v));
+        }
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let mut buckets = Vec::new();
+            for _ in 0..r.u32()? {
+                let idx = r.take(1)?[0];
+                let n = r.u64()?;
+                buckets.push((idx, n));
+            }
+            metrics.histograms.push(mdb_telemetry::HistogramSnapshot {
+                name,
+                count,
+                sum,
+                buckets,
+            });
+        }
         if r.pos != buf.len() {
             return Err(DbError::Storage("trailing bytes in snapshot".into()));
         }
@@ -256,6 +307,7 @@ impl SystemImage {
                 statements_history,
                 digest_summary,
                 processlist,
+                metrics,
             },
             captured_at,
         })
@@ -297,6 +349,15 @@ mod tests {
             img.memory.digest_summary.len()
         );
         assert_eq!(back.memory.processlist.len(), img.memory.processlist.len());
+        // Telemetry rides along: the captured registry state (non-empty
+        // after the workload) survives the container byte-exactly.
+        assert!(!img.memory.metrics.is_zero());
+        assert!(img
+            .memory
+            .metrics
+            .counter("sql.table_access.t")
+            .is_some_and(|v| v >= 2));
+        assert_eq!(back.memory.metrics, img.memory.metrics);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use mdb_telemetry::{Counter, Registry};
+
 use crate::error::{DbError, DbResult};
 use crate::storage::page::{Page, PAGE_SIZE};
 use crate::vdisk::VDisk;
@@ -28,6 +30,17 @@ struct Frame {
     last_access: u64,
 }
 
+/// Pre-resolved telemetry handles; absent until a [`Registry`] is
+/// attached, so standalone pools (unit tests) pay nothing.
+struct PoolMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+    flushed_pages: Counter,
+    dumps: Counter,
+}
+
 /// The LRU page cache.
 pub struct BufferPool {
     capacity: usize,
@@ -36,6 +49,7 @@ pub struct BufferPool {
     tick: u64,
     /// Lifetime access counts per page (survives eviction; volatile).
     access_counts: HashMap<PageKey, u64>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl BufferPool {
@@ -51,7 +65,21 @@ impl BufferPool {
             frames: HashMap::new(),
             tick: 0,
             access_counts: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Registers this pool's counters on `registry`. All hot-path record
+    /// calls go through pre-resolved handles after this.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(PoolMetrics {
+            hits: registry.counter("bufpool.hits"),
+            misses: registry.counter("bufpool.misses"),
+            evictions: registry.counter("bufpool.evictions"),
+            writebacks: registry.counter("bufpool.writebacks"),
+            flushed_pages: registry.counter("bufpool.flushed_pages"),
+            dumps: registry.counter("bufpool.dumps"),
+        });
     }
 
     fn touch(&mut self, key: &PageKey) {
@@ -65,7 +93,13 @@ impl BufferPool {
 
     fn load(&mut self, vdisk: &mut VDisk, key: &PageKey) -> DbResult<()> {
         if self.frames.contains_key(key) {
+            if let Some(m) = &self.metrics {
+                m.hits.inc();
+            }
             return Ok(());
+        }
+        if let Some(m) = &self.metrics {
+            m.misses.inc();
         }
         self.evict_to_fit(vdisk, 1);
         let (file, page_no) = key;
@@ -98,7 +132,13 @@ impl BufferPool {
                 .map(|(k, _)| k.clone())
                 .expect("pool not empty when over capacity");
             let frame = self.frames.remove(&victim).unwrap();
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+            }
             if frame.dirty {
+                if let Some(m) = &self.metrics {
+                    m.writebacks.inc();
+                }
                 vdisk.write_at(&victim.0, victim.1 as usize * PAGE_SIZE, &frame.data);
             }
         }
@@ -166,11 +206,16 @@ impl BufferPool {
 
     /// Flushes every dirty frame to disk (checkpoint/shutdown path).
     pub fn flush_all(&mut self, vdisk: &mut VDisk) {
+        let mut flushed = 0u64;
         for (key, frame) in self.frames.iter_mut() {
             if frame.dirty {
                 vdisk.write_at(&key.0, key.1 as usize * PAGE_SIZE, &frame.data);
                 frame.dirty = false;
+                flushed += 1;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.flushed_pages.add(flushed);
         }
     }
 
@@ -188,6 +233,9 @@ impl BufferPool {
     /// Writes the LRU dump file (`ib_buffer_pool`) to disk: one
     /// `file page_no` line per cached page, most recent first.
     pub fn dump(&self, vdisk: &mut VDisk) {
+        if let Some(m) = &self.metrics {
+            m.dumps.inc();
+        }
         let mut text = String::new();
         for (file, page_no) in self.lru_order() {
             text.push_str(&file);

@@ -16,6 +16,8 @@
 //! a forensic attacker can *carve* them out of raw bytes — the same
 //! technique Frühwirt et al. use against real InnoDB logs.
 
+use mdb_telemetry::{Counter, Registry};
+
 use crate::error::{DbError, DbResult};
 
 /// Frame magic preceding every log record.
@@ -335,6 +337,25 @@ impl CircularLog {
     }
 }
 
+/// Pre-resolved telemetry handles; absent until a [`Registry`] is
+/// attached. Clones share the underlying cells, matching `Wal: Clone`.
+#[derive(Clone)]
+struct WalMetrics {
+    redo_bytes: Counter,
+    redo_wraps: Counter,
+    undo_bytes: Counter,
+    undo_wraps: Counter,
+    binlog_bytes: Counter,
+    binlog_events: Counter,
+    fsyncs: Counter,
+}
+
+impl std::fmt::Debug for WalMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WalMetrics { .. }")
+    }
+}
+
 /// The WAL subsystem: LSN allocator, both circular logs, and the binlog.
 #[derive(Clone, Debug)]
 pub struct Wal {
@@ -347,6 +368,7 @@ pub struct Wal {
     /// Whether the binlog is enabled (off on a fresh install, on in any
     /// production/replicated deployment — see §3).
     pub binlog_enabled: bool,
+    metrics: Option<WalMetrics>,
 }
 
 impl Wal {
@@ -358,6 +380,28 @@ impl Wal {
             undo: CircularLog::new(undo_capacity),
             binlog: Vec::new(),
             binlog_enabled,
+            metrics: None,
+        }
+    }
+
+    /// Registers this WAL's counters on `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(WalMetrics {
+            redo_bytes: registry.counter("wal.redo.bytes"),
+            redo_wraps: registry.counter("wal.redo.wraps"),
+            undo_bytes: registry.counter("wal.undo.bytes"),
+            undo_wraps: registry.counter("wal.undo.wraps"),
+            binlog_bytes: registry.counter("wal.binlog.bytes"),
+            binlog_events: registry.counter("wal.binlog.events"),
+            fsyncs: registry.counter("wal.fsyncs"),
+        });
+    }
+
+    /// Counts one simulated fsync (commit and checkpoint durability
+    /// points; the engine calls this — the logs themselves are in-memory).
+    pub fn record_fsync(&self) {
+        if let Some(m) = &self.metrics {
+            m.fsyncs.inc();
         }
     }
 
@@ -380,6 +424,12 @@ impl Wal {
         let framed = frame(&rec.encode());
         let wraps = self.redo.would_wrap(framed.len());
         self.redo.append(&framed);
+        if let Some(m) = &self.metrics {
+            m.redo_bytes.add(framed.len() as u64);
+            if wraps {
+                m.redo_wraps.inc();
+            }
+        }
         wraps
     }
 
@@ -391,13 +441,25 @@ impl Wal {
     /// Appends an undo record.
     pub fn append_undo(&mut self, rec: &UndoRecord) {
         let framed = frame(&rec.encode());
+        let wraps = self.undo.would_wrap(framed.len());
         self.undo.append(&framed);
+        if let Some(m) = &self.metrics {
+            m.undo_bytes.add(framed.len() as u64);
+            if wraps {
+                m.undo_wraps.inc();
+            }
+        }
     }
 
     /// Appends a binlog event (no-op when the binlog is disabled).
     pub fn append_binlog(&mut self, ev: &BinlogEvent) {
         if self.binlog_enabled {
-            self.binlog.extend_from_slice(&frame(&ev.encode()));
+            let framed = frame(&ev.encode());
+            self.binlog.extend_from_slice(&framed);
+            if let Some(m) = &self.metrics {
+                m.binlog_bytes.add(framed.len() as u64);
+                m.binlog_events.inc();
+            }
         }
     }
 

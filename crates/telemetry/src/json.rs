@@ -1,0 +1,202 @@
+//! Minimal hand-rolled JSON writer (no serde — this crate is
+//! dependency-free by design, and the harness reuses this writer for
+//! its `--json` export).
+
+/// Streaming JSON writer with automatic comma management.
+///
+/// The caller is responsible for structural validity (matching
+/// open/close, keys only inside objects); the writer handles commas,
+/// string escaping, and non-finite floats (emitted as `null`).
+pub struct Writer {
+    buf: String,
+    // True when the next value/key at this nesting level needs a comma.
+    comma: Vec<bool>,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: String::new(),
+            comma: vec![false],
+        }
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    fn before_value(&mut self) {
+        if let Some(need) = self.comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn obj_open(&mut self) {
+        self.before_value();
+        self.buf.push('{');
+        self.comma.push(false);
+    }
+
+    /// Closes an object (`}`).
+    pub fn obj_close(&mut self) {
+        self.comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn arr_open(&mut self) {
+        self.before_value();
+        self.buf.push('[');
+        self.comma.push(false);
+    }
+
+    /// Closes an array (`]`).
+    pub fn arr_close(&mut self) {
+        self.comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an object key; the next write is its value.
+    pub fn key(&mut self, k: &str) {
+        self.before_value();
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+        // The value directly after a key must not be preceded by a comma.
+        if let Some(need) = self.comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        escape_into(&mut self.buf, s);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a float value (`null` if non-finite; integral values
+    /// printed without a trailing `.0` — still valid JSON numbers).
+    pub fn f64(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            self.buf.push_str(&format_f64(v));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes pre-serialised JSON verbatim as one value.
+    pub fn raw(&mut self, json: &str) {
+        self.before_value();
+        self.buf.push_str(json);
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    // Shortest roundtrip-ish: prefer integer form, else up to 6 decimals
+    // with trailing zeros trimmed. Metrics are rates and averages, not
+    // exact reals — 6 decimals is plenty.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// `s` as a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut buf = String::new();
+    escape_into(&mut buf, s);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_json() {
+        let mut w = Writer::new();
+        w.obj_open();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.arr_open();
+        w.string("x");
+        w.i64(-2);
+        w.f64(1.5);
+        w.bool(true);
+        w.arr_close();
+        w.key("c");
+        w.obj_open();
+        w.obj_close();
+        w.obj_close();
+        assert_eq!(w.into_string(), r#"{"a":1,"b":["x",-2,1.5,true],"c":{}}"#);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        assert_eq!(escape("a\"b\\c\n\u{1}"), "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_compact_and_finite_only() {
+        let mut w = Writer::new();
+        w.arr_open();
+        w.f64(2.0);
+        w.f64(0.333333333);
+        w.f64(f64::NAN);
+        w.arr_close();
+        assert_eq!(w.into_string(), "[2,0.333333,null]");
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Benches compile and run with `harness = false` exactly as with real
+//! criterion, but measurement is simplified: each benchmark warms up,
+//! then collects `sample_size` samples of auto-calibrated iteration
+//! batches within `measurement_time`, and prints mean/min/max to stdout.
+//! No HTML reports, plots, or regression statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Default samples per benchmark.
+    sample_size: usize,
+    /// Default measurement budget per benchmark.
+    measurement_time: Duration,
+    /// Default warm-up budget per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(
+            &id.into().text,
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares work-per-iteration so the report can show a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().text);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark, optionally parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_ns: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Calibration: run once, record elapsed to size the batches.
+    Calibrate,
+    /// Measurement: run `iters_per_sample` iterations, record per-iter ns.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a batch per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.sample_ns.push(start.elapsed().as_nanos() as f64);
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                let total = start.elapsed().as_nanos() as f64;
+                self.sample_ns.push(total / self.iters_per_sample as f64);
+            }
+        }
+    }
+
+    /// Times `routine` only, running `setup` untimed before each call.
+    pub fn iter_with_setup<S, O, FS, R>(&mut self, mut setup: FS, mut routine: R)
+    where
+        FS: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.sample_ns.push(start.elapsed().as_nanos() as f64);
+            }
+            BencherMode::Measure => {
+                let mut total = 0f64;
+                for _ in 0..self.iters_per_sample {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed().as_nanos() as f64;
+                }
+                self.sample_ns.push(total / self.iters_per_sample as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: how long does one invocation take?
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        sample_ns: Vec::new(),
+        mode: BencherMode::Calibrate,
+    };
+    let warm_up_deadline = Instant::now() + warm_up_time;
+    f(&mut bencher);
+    let mut per_iter_ns = bencher.sample_ns.last().copied().unwrap_or(1.0).max(1.0);
+    // Finish the warm-up budget while refining the estimate.
+    while Instant::now() < warm_up_deadline {
+        bencher.sample_ns.clear();
+        f(&mut bencher);
+        per_iter_ns = bencher.sample_ns.last().copied().unwrap_or(per_iter_ns).max(1.0);
+    }
+
+    // Size batches so all samples fit the measurement budget.
+    let budget_ns = measurement_time.as_nanos() as f64;
+    let iters = ((budget_ns / sample_size.max(1) as f64) / per_iter_ns).floor() as u64;
+    let iters = iters.clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        sample_ns: Vec::new(),
+        mode: BencherMode::Measure,
+    };
+    let deadline = Instant::now() + measurement_time * 2;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+
+    let samples = &bencher.sample_ns;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples — bencher.iter never called)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:>10}/s", format_bytes(n as f64 * 1e9 / mean)),
+        Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 * 1e9 / mean),
+    });
+    println!(
+        "{label:<48} time: [{} {} {}]{}",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_bytes(bytes_per_sec: f64) -> String {
+    if bytes_per_sec < 1024.0 {
+        format!("{bytes_per_sec:.0} B")
+    } else if bytes_per_sec < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes_per_sec / 1024.0)
+    } else if bytes_per_sec < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bytes_per_sec / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bytes_per_sec / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Groups benchmark functions under one callable, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        group.bench_function("add", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u8; n as usize], |v| v.len())
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

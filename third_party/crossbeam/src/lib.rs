@@ -1,0 +1,85 @@
+//! Offline drop-in subset of the `crossbeam` API: scoped threads only,
+//! implemented over `std::thread::scope` (available since Rust 1.63).
+
+/// Scoped threads, `crossbeam::thread`-shaped.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as sthread;
+
+    /// Handle for spawning threads that may borrow from the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope sthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: sthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (Err on panic).
+        pub fn join(self) -> sthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// so it can spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Returns `Err` if `f` or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> sthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            sthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_can_borrow_and_join() {
+            let counter = AtomicU64::new(0);
+            super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        s.spawn(|_| {
+                            for _ in 0..1000 {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4000);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("child"));
+            });
+            assert!(result.is_err());
+        }
+    }
+}

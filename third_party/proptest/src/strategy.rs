@@ -1,0 +1,249 @@
+//! Value-generation strategies: the shim's core trait plus the
+//! combinators the workspace tests use.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, UniformRandom};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one value directly from the RNG.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform strategy over the whole domain of `T`.
+pub fn any<T: UniformRandom>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: UniformRandom> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform_from(rng)
+    }
+}
+
+/// Weighted choice among strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strat) in &self.arms {
+            if pick < *weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String literals act as regex-subset strategies, e.g. `"[a-z]{1,12}"`.
+///
+/// Supported syntax: a sequence of atoms, each a literal char or a
+/// bracket class (`[a-z0-9❤]`, ranges and literals; no negation or
+/// escapes), optionally followed by `{n}` or `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            i += 1;
+            let mut set = Vec::new();
+            loop {
+                assert!(i < chars.len(), "unterminated [class] in pattern {pat:?}");
+                match chars[i] {
+                    ']' => {
+                        i += 1;
+                        break;
+                    }
+                    lo if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' => {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pat:?}");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    }
+                    c => {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            assert!(!set.is_empty(), "empty [class] in pattern {pat:?}");
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let min = parse_number(&chars, &mut i, pat);
+            let max = if chars.get(i) == Some(&',') {
+                i += 1;
+                parse_number(&chars, &mut i, pat)
+            } else {
+                min
+            };
+            assert_eq!(chars.get(i), Some(&'}'), "unterminated {{}} in pattern {pat:?}");
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn parse_number(chars: &[char], i: &mut usize, pat: &str) -> usize {
+    let start = *i;
+    while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        *i += 1;
+    }
+    assert!(*i > start, "expected digits in repetition of pattern {pat:?}");
+    chars[start..*i].iter().collect::<String>().parse().unwrap()
+}
