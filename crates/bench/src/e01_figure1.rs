@@ -1,8 +1,11 @@
 //! E1 — Figure 1: what each attack vector reveals, demonstrated against a
-//! live workload rather than asserted.
+//! live workload rather than asserted — including the replicated-topology
+//! extension: the same vector aimed at a *replica* recovers the shipped
+//! statement history from its relay log.
 
-use minidb::engine::{Db, DbConfig};
-use snapshot_attack::forensics::{binlog, memscan};
+use mdb_repl::router::{ReplicaSet, ReplicaSetConfig};
+use minidb::engine::DbConfig;
+use snapshot_attack::forensics::{binlog, memscan, relay};
 use snapshot_attack::report::Table;
 use snapshot_attack::threat::{capture, AttackVector};
 
@@ -18,26 +21,35 @@ fn mark(b: bool) -> &'static str {
 
 /// Runs the experiment.
 pub fn run(opts: &Options) -> Vec<Table> {
-    let mut config = DbConfig::default();
-    config.redo_capacity = 1 << 20;
-    config.undo_capacity = 1 << 20;
-    let db = Db::open(config);
-    let conn = db.connect("app");
-    conn.execute("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance INT)")
+    let mut set = ReplicaSet::start(ReplicaSetConfig {
+        replicas: 1,
+        base: DbConfig {
+            redo_capacity: 1 << 20,
+            undo_capacity: 1 << 20,
+            ..DbConfig::default()
+        },
+        ..ReplicaSetConfig::default()
+    })
+    .expect("replica set starts");
+    set.write("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance INT)")
         .unwrap();
     for i in 0..50 {
-        conn.execute(&format!(
+        set.write(&format!(
             "INSERT INTO accounts VALUES ({i}, 'owner{i}', {})",
             i * 100
         ))
         .unwrap();
     }
+    let db = set.primary().clone();
+    let conn = db.connect("app");
     conn.execute("SELECT * FROM accounts WHERE balance >= 4000").unwrap();
     conn.execute("UPDATE accounts SET balance = 0 WHERE id = 7").unwrap();
+    set.wait_for_sync(std::time::Duration::from_secs(10));
 
-    // The Figure 1 matrix, measured.
+    // The Figure 1 matrix, measured — per host: each replica is one more
+    // machine the same four vectors apply to.
     let mut matrix = Table::new(
-        "Figure 1 - state revealed per attack vector",
+        "Figure 1 - state revealed per attack vector (per host: primary or replica)",
         &["attack", "pers. DB", "vol. DB", "pers. OS", "vol. OS"],
     );
     for vector in AttackVector::ALL {
@@ -53,10 +65,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
     }
 
     // The paper's point, demonstrated: which *query-history artifacts*
-    // each vector actually yields on this workload.
+    // each vector actually yields on this workload — now with the
+    // replicated column: statements the same vector recovers from a
+    // REPLICA host's relay log.
     let mut artifacts = Table::new(
         "Figure 1 (extended) - query-history artifacts actually recovered",
-        &["attack", "binlog stmts", "diag tables", "heap SQL strings"],
+        &["attack", "binlog stmts", "diag tables", "heap SQL strings", "replica relay stmts"],
     );
     for vector in AttackVector::ALL {
         let obs = capture(&db, vector);
@@ -83,6 +97,13 @@ pub fn run(opts: &Options) -> Vec<Table> {
             .as_ref()
             .map(|m| memscan::carve_sql(&m.heap).len())
             .unwrap_or(0);
+        // The same vector, aimed at the replica host instead.
+        let replica_obs = capture(set.replica(0), vector);
+        let relay_stmts = replica_obs
+            .persistent_db
+            .as_ref()
+            .map(|d| relay::carve_relay(d).len())
+            .unwrap_or(0);
         artifacts.row(&[
             vector.name().to_string(),
             binlog_stmts.to_string(),
@@ -92,9 +113,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
                 String::new()
             },
             heap_sql.to_string(),
+            relay_stmts.to_string(),
         ]);
     }
     opts.absorb_db(&db);
+    opts.absorb_db(set.replica(0));
+    set.shutdown();
     vec![matrix, artifacts]
 }
 
@@ -111,7 +135,10 @@ mod tests {
         assert_eq!(m.rows[0][1], "X");
         assert_eq!(m.rows[0][2], "");
         // VM snapshot: everything.
-        assert_eq!(m.rows[2], vec!["VM snapshot leak", "X", "X", "X", "X"]);
+        assert_eq!(
+            m.rows[2],
+            vec!["VM snapshot leak", "X", "X", "X", "X"]
+        );
     }
 
     #[test]
@@ -124,5 +151,9 @@ mod tests {
         // SQL injection reaches diagnostic tables and the heap.
         assert!(a.rows[1][2].contains("digests"));
         assert_ne!(a.rows[1][3], "0");
+        // Every vector that sees a disk recovers the relay statements on
+        // the replica: 52 shipped statements (CREATE + 50 INSERTs + the
+        // UPDATE, which is binlogged on the primary and ships too).
+        assert_eq!(a.rows[0][4], "52", "disk theft reaches the relay log");
     }
 }

@@ -21,6 +21,7 @@
 //! | e11 | §6    | at-rest encryption: disk-only vs memory attacker |
 //! | e12 | §7    | (ext) mitigation ablation: no single knob helps |
 //! | e13 | §2    | (ext) snapshot coverage of the persistent transcript |
+//! | e14 | §2    | (ext) replication: relay logs survive binlog purge |
 
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
@@ -35,6 +36,7 @@ pub mod e10_arx;
 pub mod e11_atrest;
 pub mod e12_mitigations;
 pub mod e13_snapshot_vs_persistent;
+pub mod e14_replication;
 
 use mdb_telemetry::{json, MetricsSnapshot, Registry};
 use snapshot_attack::report::Table;
@@ -86,15 +88,16 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e11" => Some(e11_atrest::run(opts)),
         "e12" => Some(e12_mitigations::run(opts)),
         "e13" => Some(e13_snapshot_vs_persistent::run(opts)),
+        "e14" => Some(e14_replication::run(opts)),
         _ => None,
     }
 }
 
-/// All experiment ids in order. `e12`/`e13` are extensions beyond the
-/// paper: the §7 mitigation ablation and the snapshot-vs-persistent
-/// coverage comparison.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+/// All experiment ids in order. `e12`–`e14` are extensions beyond the
+/// paper: the §7 mitigation ablation, the snapshot-vs-persistent
+/// coverage comparison, and the replication relay-log surface.
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the

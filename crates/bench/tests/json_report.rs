@@ -1,0 +1,74 @@
+//! Schema-stability tests for the harness `--json` report: downstream
+//! tooling (the CI artifact consumers) key on these exact field names.
+
+use bench::{reports_to_json, run_report, Options, ALL};
+
+fn quick_opts() -> Options {
+    Options {
+        quick: true,
+        ..Options::default()
+    }
+}
+
+/// Asserts `key` appears as a JSON object key in `doc`.
+fn has_key(doc: &str, key: &str) -> bool {
+    doc.contains(&format!("\"{key}\":"))
+}
+
+#[test]
+fn report_json_has_stable_top_level_schema() {
+    let opts = quick_opts();
+    let report = run_report("e1", &opts).expect("e1 exists");
+    let doc = reports_to_json(&[report], &opts);
+
+    for key in ["quick", "seed", "experiments"] {
+        assert!(has_key(&doc, key), "missing top-level key {key}: {doc}");
+    }
+    assert!(doc.contains("\"quick\":true"));
+    assert!(doc.contains(&format!("\"seed\":{}", opts.seed)));
+}
+
+#[test]
+fn per_experiment_entries_carry_wall_time_tables_and_metrics() {
+    let opts = quick_opts();
+    let report = run_report("e2", &opts).expect("e2 exists");
+    assert_eq!(report.id, "e2");
+    assert!(!report.tables.is_empty(), "experiments emit tables");
+
+    let doc = reports_to_json(&[report], &opts);
+    for key in ["id", "wall_time_us", "tables", "metrics"] {
+        assert!(has_key(&doc, key), "missing per-experiment key {key}");
+    }
+    // Table sub-schema.
+    for key in ["title", "headers", "rows"] {
+        assert!(has_key(&doc, key), "missing table key {key}");
+    }
+    // Absorbed engine metrics are present (counters of the experiment's
+    // own databases, folded into the harness registry).
+    for key in ["counters", "gauges", "histograms"] {
+        assert!(has_key(&doc, key), "missing metrics key {key}");
+    }
+    assert!(
+        doc.contains("sql.statements"),
+        "absorbed engine counters appear in the report"
+    );
+}
+
+#[test]
+fn wall_time_is_recorded_per_experiment() {
+    let opts = quick_opts();
+    let report = run_report("e4", &opts).expect("e4 exists");
+    // Quick-mode experiments still do real work; wall time is non-zero
+    // and the JSON carries the same number.
+    assert!(report.wall_time_us > 0);
+    let doc = reports_to_json(&[report.clone()], &opts);
+    assert!(doc.contains(&format!("\"wall_time_us\":{}", report.wall_time_us)));
+}
+
+#[test]
+fn all_registry_includes_e14_and_every_id_runs_under_run_report() {
+    assert_eq!(ALL.len(), 14);
+    assert_eq!(*ALL.last().unwrap(), "e14");
+    // Unknown ids are rejected, not silently empty.
+    assert!(run_report("e99", &quick_opts()).is_none());
+}

@@ -9,6 +9,8 @@
 //!   writes     reconstruct data-modifying queries from the redo log
 //!   undo       before-images from the undo log
 //!   binlog     statements with timestamps (mysqlbinlog-alike)
+//!   relay      statements from a replica's relay log(s) — survives a
+//!              primary-side PURGE BINARY LOGS
 //!   strings    SQL statements carved from the heap dump
 //!   tokens     hex tokens (trapdoors, ORE tokens, DET cts) in carved SQL
 //!   digests    performance_schema digest histogram
@@ -22,12 +24,12 @@
 use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
-use snapshot_attack::forensics::{binlog, bufpool, memscan, telemetry, wal};
+use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, wal};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|strings|tokens|digests|bufpool|metrics>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -49,6 +51,7 @@ fn main() {
         "writes" => writes(&image),
         "undo" => undo(&image),
         "binlog" => binlog_cmd(&image),
+        "relay" => relay_cmd(&image),
         "strings" => strings(&image),
         "tokens" => tokens(&image),
         "digests" => digests(&image),
@@ -147,6 +150,18 @@ fn binlog_cmd(image: &SystemImage) {
         return;
     };
     for e in binlog::parse_binlog(raw) {
+        println!("t={} lsn={} txn={} {}", e.timestamp, e.lsn, e.txn, e.statement);
+    }
+}
+
+fn relay_cmd(image: &SystemImage) {
+    let files = relay::relay_files(&image.disk);
+    if files.is_empty() {
+        eprintln!("no relay logs in image (not a replica, or logs rotated away)");
+        return;
+    }
+    eprintln!("relay files: {}", files.join(", "));
+    for e in relay::carve_relay(&image.disk) {
         println!("t={} lsn={} txn={} {}", e.timestamp, e.lsn, e.txn, e.statement);
     }
 }

@@ -102,14 +102,16 @@ mod tests {
 
         let disk = db.disk_image();
         let events = parse_binlog(disk.file(BINLOG_FILE).unwrap());
-        assert_eq!(events.len(), 2);
-        assert_eq!(classify(&events[0].statement), StatementKind::Insert);
-        assert_eq!(classify(&events[1].statement), StatementKind::Update);
+        // DDL is binlogged too (implicit commit), so CREATE rides along.
+        assert_eq!(events.len(), 3);
+        assert_eq!(classify(&events[0].statement), StatementKind::Other);
+        assert_eq!(classify(&events[1].statement), StatementKind::Insert);
+        assert_eq!(classify(&events[2].statement), StatementKind::Update);
         assert!(
-            events[1].timestamp - events[0].timestamp >= 3600,
+            events[2].timestamp - events[1].timestamp >= 3600,
             "timestamps reflect the hour gap"
         );
-        assert!(events[0].statement.contains("INSERT INTO t VALUES (1, 'a')"));
+        assert!(events[1].statement.contains("INSERT INTO t VALUES (1, 'a')"));
     }
 
     #[test]

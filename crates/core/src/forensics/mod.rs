@@ -10,5 +10,6 @@ pub mod binlog;
 pub mod bufpool;
 pub mod lsn_time;
 pub mod memscan;
+pub mod relay;
 pub mod telemetry;
 pub mod wal;

@@ -15,6 +15,13 @@
 //! volatile state"; SQL injection yields the persistent and volatile
 //! DB state"; a full-state VM snapshot and a full compromise yield all
 //! four.)
+//!
+//! **Replication multiplies the matrix.** With statement-shipping
+//! replication every row of Figure 1 applies *per host*: a 1-primary /
+//! N-replica deployment offers N+1 independent snapshot surfaces, and
+//! each replica's disk adds a relay log that duplicates the primary's
+//! binlog — outliving a primary-side `PURGE BINARY LOGS`. See
+//! [`capture_replicated`] and `forensics::relay`.
 
 use minidb::engine::{Connection, Db};
 use minidb::snapshot::{DiskImage, MemoryImage};
@@ -143,6 +150,55 @@ pub fn capture(db: &Db, vector: AttackVector) -> Observation {
     }
 }
 
+/// Which host in a replicated topology a snapshot was taken from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CaptureSite {
+    /// The write primary.
+    Primary,
+    /// Read replica by index (0-based).
+    Replica(usize),
+}
+
+impl CaptureSite {
+    /// Human-readable site label ("primary", "replica-0"...).
+    pub fn name(&self) -> String {
+        match self {
+            CaptureSite::Primary => "primary".to_string(),
+            CaptureSite::Replica(i) => format!("replica-{i}"),
+        }
+    }
+}
+
+/// One observation from one host of a replicated deployment.
+pub struct ReplicatedObservation {
+    /// Which host was snapshotted.
+    pub site: CaptureSite,
+    /// What the attack yielded there.
+    pub observation: Observation,
+}
+
+/// Performs the same attack against every host of a replicated
+/// topology. The threat model takes plain [`Db`] handles — replication
+/// wiring lives in `mdb-repl`; a compromised host is a compromised host.
+pub fn capture_replicated(
+    primary: &Db,
+    replicas: &[&Db],
+    vector: AttackVector,
+) -> Vec<ReplicatedObservation> {
+    let mut out = Vec::with_capacity(1 + replicas.len());
+    out.push(ReplicatedObservation {
+        site: CaptureSite::Primary,
+        observation: capture(primary, vector),
+    });
+    for (i, r) in replicas.iter().enumerate() {
+        out.push(ReplicatedObservation {
+            site: CaptureSite::Replica(i),
+            observation: capture(r, vector),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +268,21 @@ mod tests {
         let metrics = &obs.volatile_db.unwrap().metrics;
         let dist = crate::forensics::telemetry::table_access_distribution(metrics);
         assert!(dist.iter().any(|d| d.table == "t" && d.count >= 2));
+    }
+
+    #[test]
+    fn replicated_capture_covers_every_host() {
+        let primary = small_db();
+        let r0 = small_db();
+        let r1 = small_db();
+        let obs = capture_replicated(&primary, &[&r0, &r1], AttackVector::DiskTheft);
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].site, CaptureSite::Primary);
+        assert_eq!(obs[2].site, CaptureSite::Replica(1));
+        assert_eq!(obs[2].site.name(), "replica-1");
+        for o in &obs {
+            assert_eq!(o.observation.visibility(), [true, false, true, false]);
+        }
     }
 
     #[test]

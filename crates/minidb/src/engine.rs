@@ -11,7 +11,7 @@ use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
 use crate::catalog::{Catalog, IndexDef, TableDef};
 use crate::error::{DbError, DbResult};
 use crate::heap::HeapArena;
-use crate::observability::{PerfSchema, ProcessList};
+use crate::observability::{PerfSchema, ProcessList, ReplicaStatus};
 use crate::row::{Row, RowId};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::sql::ast::{CmpOp, Expr, SelectItem, SelectStmt, Statement};
@@ -29,6 +29,9 @@ pub const CHECKPOINT_FILE: &str = "checkpoint";
 pub const GENERAL_LOG_FILE: &str = "general.log";
 /// Slow query log file.
 pub const SLOW_LOG_FILE: &str = "slow.log";
+/// Reserved connection id of the replication applier (MySQL's SQL
+/// thread). Ordinary connections start at 1, so 0 never collides.
+pub const REPL_APPLIER_CONN: u64 = 0;
 
 /// A registered scalar UDF usable in `WHERE` clauses.
 pub type ScalarFn = Arc<dyn Fn(&[Value]) -> DbResult<Value> + Send + Sync>;
@@ -78,6 +81,12 @@ pub struct DbConfig {
     /// `performance_schema` but forget the status counters, which is
     /// exactly the leak the telemetry experiments measure.
     pub telemetry_scrub_on_flush: bool,
+    /// Server id, stamped into replication positions (GTID-style).
+    pub server_id: u64,
+    /// Whether client connections may write. Replicas run read-only; the
+    /// replication applier ([`Db::apply_replicated`]) bypasses the check,
+    /// exactly like MySQL's `read_only` vs the SQL thread.
+    pub read_only: bool,
 }
 
 impl Default for DbConfig {
@@ -101,6 +110,8 @@ impl Default for DbConfig {
             heap_secure_delete: false,
             telemetry_enabled: true,
             telemetry_scrub_on_flush: false,
+            server_id: 1,
+            read_only: false,
         }
     }
 }
@@ -168,6 +179,8 @@ struct EngineMetrics {
     rows_returned: Histogram,
     latency_us: Vec<Histogram>, // Parallel to STMT_KINDS.
     table_access: HashMap<String, Counter>,
+    repl_applied: Counter,
+    repl_apply_errors: Counter,
 }
 
 impl EngineMetrics {
@@ -183,6 +196,8 @@ impl EngineMetrics {
                 .map(|k| registry.histogram(&format!("sql.latency_us.{k}")))
                 .collect(),
             table_access: HashMap::new(),
+            repl_applied: registry.counter("repl.applied_events"),
+            repl_apply_errors: registry.counter("repl.apply_errors"),
         }
     }
 }
@@ -208,6 +223,12 @@ pub(crate) struct DbInner {
     txns: HashMap<u64, TxnState>, // Active explicit transactions by conn.
     statements_executed: u64,
     crashed: bool,
+    /// True while the replication applier runs a shipped statement; lets
+    /// it through the read-only gate.
+    applying: bool,
+    /// `information_schema.replicas` rows, published by the replication
+    /// layer (the engine renders, the layer above reports).
+    replica_status: Option<Arc<dyn Fn() -> Vec<ReplicaStatus> + Send + Sync>>,
 }
 
 /// Handle to a MiniDB instance. Cloneable; all clones share the engine.
@@ -268,6 +289,8 @@ impl Db {
             txns: HashMap::new(),
             statements_executed: 0,
             crashed: false,
+            applying: false,
+            replica_status: None,
             config,
         };
         Db {
@@ -316,6 +339,91 @@ impl Db {
     /// Administrative binlog purge (`PURGE BINARY LOGS`).
     pub fn purge_binlog(&self) {
         self.inner.lock().wal.purge_binlog();
+    }
+
+    // ================= replication hooks =================
+
+    /// This server's id (stamped into replication positions).
+    pub fn server_id(&self) -> u64 {
+        self.inner.lock().config.server_id
+    }
+
+    /// End-of-binlog position: the sequence number the next committed
+    /// write will get.
+    pub fn binlog_next_seq(&self) -> u64 {
+        self.inner.lock().wal.binlog_next_seq()
+    }
+
+    /// Oldest binlog sequence still on disk (purge horizon).
+    pub fn binlog_purged_seq(&self) -> u64 {
+        self.inner.lock().wal.binlog_purged_seq()
+    }
+
+    /// Cursor read over the binlog for a replication streamer: up to
+    /// `max` events starting at sequence `from_seq`, plus the position
+    /// to resume from. See [`crate::wal::Wal::binlog_events_from`].
+    pub fn binlog_events_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, BinlogEvent)>, u64) {
+        self.inner.lock().wal.binlog_events_from(from_seq, max)
+    }
+
+    /// Applies one replicated statement on the dedicated applier
+    /// "thread" (MySQL's SQL thread). Bypasses the read-only gate,
+    /// first dragging the replica's simulated clock up to the primary's
+    /// commit time so locally logged timestamps track the origin. The
+    /// statement runs through the *full* execution pipeline — heap
+    /// copies, perf-schema history, its own redo/undo and binlog — which
+    /// is precisely how replication multiplies the paper's snapshot
+    /// surfaces onto every replica host.
+    pub fn apply_replicated(&self, sql: &str, commit_ts: i64) -> DbResult<QueryResult> {
+        let mut g = self.inner.lock();
+        let g = &mut *g;
+        if !g.processlist.entries().iter().any(|e| e.id == REPL_APPLIER_CONN) {
+            let now = g.now_unix;
+            g.processlist.connect(REPL_APPLIER_CONN, "repl_applier", now);
+        }
+        g.now_unix = g.now_unix.max(commit_ts - g.config.seconds_per_statement);
+        g.applying = true;
+        let out = g.execute(REPL_APPLIER_CONN, sql);
+        g.applying = false;
+        match &out {
+            Ok(_) => g.metrics.repl_applied.inc(),
+            Err(_) => g.metrics.repl_apply_errors.inc(),
+        }
+        out
+    }
+
+    /// Whether client writes are currently rejected.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.lock().config.read_only
+    }
+
+    /// Flips the read-only gate (`SET GLOBAL read_only`).
+    pub fn set_read_only(&self, on: bool) {
+        self.inner.lock().config.read_only = on;
+    }
+
+    /// Appends bytes to a server-side file in the data directory (e.g. a
+    /// replica's relay log, written by the replication I/O thread). The
+    /// file rides along in every [`crate::snapshot::DiskImage`] like any
+    /// other on-disk artifact.
+    pub fn append_server_file(&self, name: &str, bytes: &[u8]) {
+        self.inner.lock().vdisk.append(name, bytes);
+    }
+
+    /// Reads a server-side file back (replication recovery: scan the
+    /// relay log to find where to resume).
+    pub fn read_server_file(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.lock().vdisk.read(name).map(|b| b.to_vec())
+    }
+
+    /// Installs the provider behind `information_schema.replicas`. The
+    /// replication coordinator calls this on the *primary*; each SELECT
+    /// re-invokes the closure for live rows.
+    pub fn set_replica_status_source(
+        &self,
+        source: Arc<dyn Fn() -> Vec<ReplicaStatus> + Send + Sync>,
+    ) {
+        self.inner.lock().replica_status = Some(source);
     }
 
     /// The engine's telemetry registry. Clones share state — the same
@@ -504,13 +612,28 @@ impl DbInner {
 
     fn dispatch(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
         let stmt = parse_statement(sql)?;
+        if self.config.read_only && !self.applying && writes_state(&stmt) {
+            return Err(DbError::ReadOnly);
+        }
         match stmt {
-            Statement::CreateTable { name, columns } => self.create_table(&name, columns),
+            Statement::CreateTable { name, columns } => {
+                let r = self.create_table(&name, columns);
+                if r.is_ok() {
+                    self.binlog_ddl(sql);
+                }
+                r
+            }
             Statement::CreateIndex {
                 name,
                 table,
                 column,
-            } => self.create_index(&name, &table, &column),
+            } => {
+                let r = self.create_index(&name, &table, &column);
+                if r.is_ok() {
+                    self.binlog_ddl(sql);
+                }
+                r
+            }
             Statement::Select(sel) => self.select(sql, sel),
             Statement::Explain(sel) => self.explain(sel),
             Statement::Insert {
@@ -535,7 +658,13 @@ impl DbInner {
                 table,
                 where_clause,
             } => self.dml(conn_id, sql, DmlOp::Delete { table, where_clause }),
-            Statement::DropTable { name } => self.drop_table(&name),
+            Statement::DropTable { name } => {
+                let r = self.drop_table(&name);
+                if r.is_ok() {
+                    self.binlog_ddl(sql);
+                }
+                r
+            }
             Statement::Begin => {
                 if self.txns.contains_key(&conn_id) {
                     return Err(DbError::Txn("nested BEGIN".into()));
@@ -572,6 +701,22 @@ impl DbInner {
     }
 
     // ================= DDL =================
+
+    /// DDL autocommits as its own binlog transaction (MySQL's
+    /// implicit-commit rule); statement-shipping replication relies on
+    /// this to reproduce schema changes on replicas.
+    fn binlog_ddl(&mut self, sql: &str) {
+        let lsn = self.wal.alloc_lsn();
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.wal.append_binlog(&BinlogEvent {
+            lsn,
+            txn,
+            timestamp: self.now_unix,
+            statement: sql.to_string(),
+        });
+        self.wal.record_fsync();
+    }
 
     fn create_table(
         &mut self,
@@ -797,6 +942,39 @@ impl DbInner {
                 (cols, rows)
             }
             ("information_schema", "processlist") => self.processlist.render(self.now_unix),
+            ("information_schema", "replicas") => {
+                // Replication topology and lag, as reported by the
+                // coordinator. Yet another diagnostic surface: one
+                // injected SELECT on the primary maps every host that
+                // holds a relay-log copy of the query history.
+                let cols = vec![
+                    "replica_id".to_string(),
+                    "state".to_string(),
+                    "next_seq".to_string(),
+                    "primary_seq".to_string(),
+                    "lag_events".to_string(),
+                    "retries".to_string(),
+                    "last_heartbeat".to_string(),
+                ];
+                let rows = match &self.replica_status {
+                    Some(source) => source()
+                        .into_iter()
+                        .map(|s| {
+                            vec![
+                                Value::Int(s.replica_id as i64),
+                                Value::Text(s.state),
+                                Value::Int(s.next_seq as i64),
+                                Value::Int(s.primary_seq as i64),
+                                Value::Int(s.lag_events as i64),
+                                Value::Int(s.retries as i64),
+                                Value::Int(s.last_heartbeat),
+                            ]
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                (cols, rows)
+            }
             ("information_schema", "metrics") => {
                 // The live registry, SQL-readable. An attacker with a
                 // stolen connection (or an injection point) reads the
@@ -1763,6 +1941,21 @@ impl IndexPlan {
             _ => None,
         }
     }
+}
+
+/// Whether a statement modifies persistent state (the read-only gate's
+/// notion of a "write"; transaction control passes so a read-only
+/// connection can still scope its reads).
+fn writes_state(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. }
+            | Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }
+    )
 }
 
 enum DmlOp {

@@ -25,6 +25,9 @@ pub enum DbError {
     Txn(String),
     /// The engine was asked to run a statement after a simulated crash.
     Crashed,
+    /// A write statement arrived on a read-only server (a replica); only
+    /// the replication applier may modify it.
+    ReadOnly,
 }
 
 impl fmt::Display for DbError {
@@ -40,6 +43,7 @@ impl fmt::Display for DbError {
             DbError::Eval(m) => write!(f, "evaluation error: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Crashed => write!(f, "engine is in crashed state; recover first"),
+            DbError::ReadOnly => write!(f, "server is read-only (replica); writes go to the primary"),
         }
     }
 }

@@ -15,6 +15,31 @@ use crate::value::Value;
 /// Default bound of `events_statements_history` per thread (MySQL: 10).
 pub const DEFAULT_HISTORY_SIZE: usize = 10;
 
+/// One replica's row in `information_schema.replicas` — published by the
+/// replication layer (the `mdb-repl` crate) through
+/// [`crate::engine::Db::set_replica_status_source`]. The engine itself
+/// has no replication logic; it only renders whatever the layer above
+/// reports, the same way MySQL's `SHOW REPLICA STATUS` reflects the
+/// coordinator threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica server id.
+    pub replica_id: u64,
+    /// Connection/apply state (`connecting`, `streaming`, `lagging`,
+    /// `disconnected`, …).
+    pub state: String,
+    /// Next binlog sequence number the replica will apply.
+    pub next_seq: u64,
+    /// Primary end-of-binlog sequence at the last heartbeat.
+    pub primary_seq: u64,
+    /// Events behind the primary (`primary_seq - next_seq`).
+    pub lag_events: u64,
+    /// Stream errors survived via reconnect so far.
+    pub retries: u64,
+    /// Simulated UNIX time of the last heartbeat from the primary.
+    pub last_heartbeat: i64,
+}
+
 /// One statement event, as recorded by the instrumentation.
 #[derive(Clone, Debug)]
 pub struct StatementEvent {

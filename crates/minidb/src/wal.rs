@@ -368,6 +368,13 @@ pub struct Wal {
     /// Whether the binlog is enabled (off on a fresh install, on in any
     /// production/replicated deployment — see §3).
     pub binlog_enabled: bool,
+    /// GTID-style sequence number of the *next* binlog event. Monotonic
+    /// for the life of the server; replication positions are expressed
+    /// in this sequence space.
+    binlog_next_seq: u64,
+    /// Events with sequence `< binlog_purged_seq` were dropped by
+    /// [`Wal::purge_binlog`] and can no longer be served to replicas.
+    binlog_purged_seq: u64,
     metrics: Option<WalMetrics>,
 }
 
@@ -380,6 +387,8 @@ impl Wal {
             undo: CircularLog::new(undo_capacity),
             binlog: Vec::new(),
             binlog_enabled,
+            binlog_next_seq: 0,
+            binlog_purged_seq: 0,
             metrics: None,
         }
     }
@@ -456,6 +465,7 @@ impl Wal {
         if self.binlog_enabled {
             let framed = frame(&ev.encode());
             self.binlog.extend_from_slice(&framed);
+            self.binlog_next_seq += 1;
             if let Some(m) = &self.metrics {
                 m.binlog_bytes.add(framed.len() as u64);
                 m.binlog_events.inc();
@@ -469,8 +479,56 @@ impl Wal {
     }
 
     /// Administrative `PURGE BINARY LOGS`: drops all events up to now.
+    /// Also resets the `wal.binlog.*` counters — they track the *live*
+    /// binlog volume, and a registry that keeps reporting purged bytes
+    /// would overstate what a scrub actually removed (E12).
     pub fn purge_binlog(&mut self) {
         self.binlog.clear();
+        self.binlog_purged_seq = self.binlog_next_seq;
+        if let Some(m) = &self.metrics {
+            m.binlog_bytes.reset();
+            m.binlog_events.reset();
+        }
+    }
+
+    // ================= binlog cursor (replication) =================
+
+    /// Sequence number the next appended binlog event will get — the
+    /// primary's end-of-binlog position.
+    pub fn binlog_next_seq(&self) -> u64 {
+        self.binlog_next_seq
+    }
+
+    /// Oldest sequence number still present in the binlog. Events below
+    /// this were purged and cannot be streamed to a replica anymore.
+    pub fn binlog_purged_seq(&self) -> u64 {
+        self.binlog_purged_seq
+    }
+
+    /// Reads binlog events starting at GTID-style sequence `from_seq`,
+    /// up to `max` of them. Returns `(events, next_seq)` where each
+    /// event carries its sequence number and `next_seq` is the position
+    /// to resume from. When `from_seq` predates the purge horizon the
+    /// cursor silently starts at the horizon — the caller compares the
+    /// first returned sequence against its request to detect the gap.
+    pub fn binlog_events_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, BinlogEvent)>, u64) {
+        let start = from_seq.max(self.binlog_purged_seq);
+        let mut out = Vec::new();
+        let mut next = start;
+        let skip = (start - self.binlog_purged_seq) as usize;
+        for (i, (_, payload)) in carve_frames(&self.binlog).into_iter().enumerate() {
+            if i < skip {
+                continue;
+            }
+            if out.len() >= max {
+                break;
+            }
+            if let Ok(ev) = BinlogEvent::decode(payload) {
+                out.push((next, ev));
+                next += 1;
+            }
+        }
+        (out, next)
     }
 
     /// Parses every intact redo record currently in the circular buffer,
@@ -631,6 +689,66 @@ mod tests {
             statement: "INSERT INTO t VALUES (1)".into(),
         });
         assert!(wal.carve_binlog().is_empty());
+    }
+
+    #[test]
+    fn binlog_cursor_pages_and_survives_purge() {
+        let mut wal = Wal::new(1024, 1024, true);
+        for i in 0..6u64 {
+            wal.append_binlog(&BinlogEvent {
+                lsn: i,
+                txn: i,
+                timestamp: i as i64,
+                statement: format!("INSERT INTO t VALUES ({i})"),
+            });
+        }
+        assert_eq!(wal.binlog_next_seq(), 6);
+        assert_eq!(wal.binlog_purged_seq(), 0);
+        // Paged reads resume where the previous page ended.
+        let (page1, next) = wal.binlog_events_from(0, 4);
+        assert_eq!(page1.len(), 4);
+        assert_eq!(next, 4);
+        let (page2, next) = wal.binlog_events_from(next, 4);
+        assert_eq!(page2.len(), 2);
+        assert_eq!(next, 6);
+        assert_eq!(page2[0].0, 4, "events carry their sequence numbers");
+        // Purge advances the horizon; sequence numbers keep counting.
+        wal.purge_binlog();
+        assert_eq!(wal.binlog_purged_seq(), 6);
+        assert!(wal.binlog_events_from(0, 10).0.is_empty());
+        wal.append_binlog(&BinlogEvent {
+            lsn: 7,
+            txn: 7,
+            timestamp: 7,
+            statement: "INSERT INTO t VALUES (7)".into(),
+        });
+        // A cursor from before the purge lands on the horizon, not on a
+        // mis-numbered event.
+        let (evs, next) = wal.binlog_events_from(2, 10);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].0, 6);
+        assert_eq!(next, 7);
+    }
+
+    #[test]
+    fn purge_resets_binlog_counters() {
+        let registry = Registry::new();
+        let mut wal = Wal::new(1024, 1024, true);
+        wal.attach_telemetry(&registry);
+        for i in 0..5u64 {
+            wal.append_binlog(&BinlogEvent {
+                lsn: i,
+                txn: i,
+                timestamp: 0,
+                statement: "INSERT INTO t VALUES (1)".into(),
+            });
+        }
+        assert_eq!(registry.snapshot().counter("wal.binlog.events"), Some(5));
+        assert!(registry.snapshot().counter("wal.binlog.bytes").unwrap() > 0);
+        wal.purge_binlog();
+        // The registry tracks the live binlog, not its purged history.
+        assert_eq!(registry.snapshot().counter("wal.binlog.events"), Some(0));
+        assert_eq!(registry.snapshot().counter("wal.binlog.bytes"), Some(0));
     }
 
     #[test]

@@ -334,9 +334,12 @@ fn binlog_records_writes_with_timestamps() {
         .into_iter()
         .filter_map(|(_, p)| minidb::wal::BinlogEvent::decode(p).ok())
         .collect();
-    assert_eq!(events.len(), 1, "one committed write statement");
-    assert!(events[0].statement.starts_with("INSERT INTO customers"));
-    assert!(events[0].timestamp >= 1_483_228_800);
+    // The CREATE TABLE autocommit plus the committed INSERT: DDL is
+    // binlogged (MySQL implicit commit) so replicas can reproduce schema.
+    assert_eq!(events.len(), 2, "DDL + one committed write statement");
+    assert!(events[0].statement.starts_with("CREATE TABLE customers"));
+    assert!(events[1].statement.starts_with("INSERT INTO customers"));
+    assert!(events[1].timestamp >= 1_483_228_800);
 }
 
 #[test]

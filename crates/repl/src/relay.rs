@@ -1,0 +1,132 @@
+//! Relay-log persistence on the replica.
+//!
+//! Each received event is framed **byte-identically to the primary's
+//! binlog** and appended to `relay-bin.000001` on the replica's virtual
+//! disk *before* the statement replays. This is the MySQL relay-log
+//! discipline — and the crux of the multiplied-surface leak: the relay
+//! file sits inside every replica disk snapshot and carves with the same
+//! `carve_frames` scan as a stolen binlog, even after the primary's
+//! binlog is purged.
+//!
+//! A tiny sidecar index (`relay-bin.index`) maps byte offsets to global
+//! sequence numbers so a restarted replica recovers its resume position
+//! from its own disk, without asking the primary.
+
+use minidb::wal::{carve_frames, frame, BinlogEvent};
+use minidb::Db;
+
+use crate::wire::SequencedEvent;
+
+/// Relay log file name on the replica's virtual disk (MySQL-style).
+pub const RELAY_FILE: &str = "relay-bin.000001";
+
+/// Sidecar index: `(start_seq: u64 le, byte_offset: u64 le)` pairs, one
+/// appended at attach time and after every purge-gap reposition.
+pub const RELAY_INDEX: &str = "relay-bin.index";
+
+/// Appends one event to the relay log.
+pub fn append_event(db: &Db, ev: &SequencedEvent) -> usize {
+    let framed = frame(&ev.event.encode());
+    let len = framed.len();
+    db.append_server_file(RELAY_FILE, &framed);
+    len
+}
+
+/// Records that relay-log byte offset `offset` holds sequence `seq`.
+/// Called when a stream (re)positions: initial attach and purge gaps.
+pub fn append_index_entry(db: &Db, seq: u64, offset: u64) {
+    let mut rec = Vec::with_capacity(16);
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.extend_from_slice(&offset.to_le_bytes());
+    db.append_server_file(RELAY_INDEX, &rec);
+}
+
+/// Recovers `(next_seq, relay_len)` from the replica's own disk: the last
+/// index entry anchors a sequence number at a byte offset; counting the
+/// frames carved past that offset yields the next sequence to request.
+/// Returns `None` when no index entry exists (fresh replica).
+pub fn recover_position(db: &Db) -> Option<(u64, u64)> {
+    let index = db.read_server_file(RELAY_INDEX)?;
+    if index.len() < 16 {
+        return None;
+    }
+    let last = &index[(index.len() / 16 - 1) * 16..];
+    let anchor_seq = u64::from_le_bytes(last[..8].try_into().unwrap());
+    let anchor_off = u64::from_le_bytes(last[8..16].try_into().unwrap());
+    let relay = db.read_server_file(RELAY_FILE).unwrap_or_default();
+    let tail = relay.get(anchor_off as usize..).unwrap_or(&[]);
+    let applied = carve_frames(tail)
+        .iter()
+        .filter(|(_, p)| BinlogEvent::decode(p).is_ok())
+        .count() as u64;
+    Some((anchor_seq + applied, relay.len() as u64))
+}
+
+/// Current relay-log length in bytes (0 when absent).
+pub fn relay_len(db: &Db) -> u64 {
+    db.read_server_file(RELAY_FILE)
+        .map(|b| b.len() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::DbConfig;
+
+    fn ev(seq: u64) -> SequencedEvent {
+        SequencedEvent {
+            seq,
+            event: BinlogEvent {
+                lsn: seq,
+                txn: seq,
+                timestamp: 100 + seq as i64,
+                statement: format!("INSERT INTO t VALUES ({seq})"),
+            },
+        }
+    }
+
+    #[test]
+    fn position_recovers_from_disk_alone() {
+        let db = Db::open(DbConfig::default());
+        assert_eq!(recover_position(&db), None);
+        append_index_entry(&db, 10, 0);
+        for s in 10..15 {
+            append_event(&db, &ev(s));
+        }
+        let (next, len) = recover_position(&db).unwrap();
+        assert_eq!(next, 15);
+        assert_eq!(len, relay_len(&db));
+    }
+
+    #[test]
+    fn reposition_after_gap_uses_last_anchor() {
+        let db = Db::open(DbConfig::default());
+        append_index_entry(&db, 0, 0);
+        for s in 0..3 {
+            append_event(&db, &ev(s));
+        }
+        // Primary purged 3..20 away; replica repositions at 20.
+        append_index_entry(&db, 20, relay_len(&db));
+        for s in 20..22 {
+            append_event(&db, &ev(s));
+        }
+        let (next, _) = recover_position(&db).unwrap();
+        assert_eq!(next, 22);
+    }
+
+    #[test]
+    fn relay_bytes_carve_like_a_binlog() {
+        let db = Db::open(DbConfig::default());
+        for s in 0..4 {
+            append_event(&db, &ev(s));
+        }
+        let raw = db.read_server_file(RELAY_FILE).unwrap();
+        let carved: Vec<BinlogEvent> = carve_frames(&raw)
+            .iter()
+            .filter_map(|(_, p)| BinlogEvent::decode(p).ok())
+            .collect();
+        assert_eq!(carved.len(), 4);
+        assert_eq!(carved[3].statement, "INSERT INTO t VALUES (3)");
+    }
+}

@@ -274,6 +274,16 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.value.load(Ordering::Relaxed)
     }
+
+    /// Resets the counter to zero. For counters that track the *live*
+    /// volume of a purgeable artifact (e.g. binlog bytes on disk), the
+    /// owning subsystem calls this when the artifact is purged so the
+    /// registry stops reporting long-gone state. Like
+    /// [`Registry::scrub`], the store happens even on a disabled
+    /// registry — a reset reflects reality, not new instrumentation.
+    pub fn reset(&self) {
+        self.cell.value.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Instantaneous signed level (e.g. bytes resident, open cursors).
