@@ -1,29 +1,33 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--json <path>] [e1 e2 … | all]
+//! experiments [--quick] [--json <path>] [--trace <dir>] [e1 e2 … | all]
 //! ```
 //!
 //! Tables always go to stdout; `--json <path>` additionally writes a
 //! machine-readable report (per-experiment wall time, tables, and the
-//! engine telemetry each experiment absorbed).
+//! engine telemetry each experiment absorbed); `--trace <dir>` writes
+//! one Chrome `trace_event` JSON per experiment (load in
+//! `chrome://tracing` / Perfetto) from the statement traces the
+//! experiment's engines recorded.
 
 use bench::{ExperimentReport, Options, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| match args.get(i + 1) {
+    let path_flag = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => p.clone(),
             _ => {
-                eprintln!("--json requires a path argument");
+                eprintln!("{flag} requires a path argument");
                 std::process::exit(2);
             }
-        });
-    // Everything that isn't a flag (or the --json path) is an id.
+        })
+    };
+    let json_path = path_flag("--json");
+    let trace_dir = path_flag("--trace");
+    // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -31,7 +35,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--json" {
+        if a == "--json" || a == "--trace" {
             skip_next = true;
         } else if !a.starts_with("--") {
             ids.push(a.clone());
@@ -46,6 +50,12 @@ fn main() {
         quick,
         ..Default::default()
     };
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
         eprintln!("[experiments] running {id}{}", if quick { " (quick)" } else { "" });
@@ -58,6 +68,20 @@ fn main() {
                     "[experiments] {id} done in {:.1} ms",
                     report.wall_time_us as f64 / 1000.0
                 );
+                if let Some(dir) = &trace_dir {
+                    let path = format!("{dir}/{id}.trace.json");
+                    let json = mdb_trace::chrome::to_chrome_json(&report.traces);
+                    match std::fs::write(&path, &json) {
+                        Ok(()) => eprintln!(
+                            "[experiments] wrote {} trace events to {path}",
+                            report.traces.len()
+                        ),
+                        Err(e) => {
+                            eprintln!("failed to write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 reports.push(report);
             }
             None => {

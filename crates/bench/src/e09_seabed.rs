@@ -265,14 +265,10 @@ fn enhanced_splashe_attack(opts: &Options) -> Table {
     // weakest-vector source.)
     let obs = capture(&db, AttackVector::DiskTheft);
     let disk = obs.persistent_db.unwrap();
-    let slow_log = String::from_utf8_lossy(
-        disk.file(minidb::engine::SLOW_LOG_FILE).unwrap_or(&[]),
-    )
-    .into_owned();
     let mut ct_counts: std::collections::BTreeMap<Vec<u8>, f64> = Default::default();
-    for line in slow_log.lines() {
-        if line.contains("WHERE tail = X'") {
-            for ct in snapshot_attack::forensics::binlog::extract_hex_literals(line) {
+    for rec in snapshot_attack::forensics::tracelog::carve_slow_log(&disk) {
+        if rec.statement.contains("WHERE tail = X'") {
+            for ct in snapshot_attack::forensics::binlog::extract_hex_literals(&rec.statement) {
                 *ct_counts.entry(ct).or_insert(0.0) += 1.0;
             }
         }

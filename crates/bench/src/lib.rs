@@ -22,6 +22,7 @@
 //! | e12 | §7    | (ext) mitigation ablation: no single knob helps |
 //! | e13 | §2    | (ext) snapshot coverage of the persistent transcript |
 //! | e14 | §2    | (ext) replication: relay logs survive binlog purge |
+//! | e15 | §4    | (ext) flight recorder: query timeline survives wipe |
 
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
@@ -37,8 +38,10 @@ pub mod e11_atrest;
 pub mod e12_mitigations;
 pub mod e13_snapshot_vs_persistent;
 pub mod e14_replication;
+pub mod e15_tracelog;
 
 use mdb_telemetry::{json, MetricsSnapshot, Registry};
+use mdb_trace::{Recorder, StatementTrace};
 use snapshot_attack::report::Table;
 
 /// Shared experiment options.
@@ -52,6 +55,10 @@ pub struct Options {
     /// engines' final metrics into it (see [`Options::absorb_db`]), so a
     /// run's report carries the engine counters alongside wall time.
     pub telemetry: Registry,
+    /// Harness-side trace collector: each experiment's statement traces
+    /// land here (via [`Options::absorb_db`]) so a run can be exported
+    /// as a Chrome `trace_event` file (`--trace <dir>`).
+    pub traces: Recorder,
 }
 
 impl Default for Options {
@@ -60,15 +67,18 @@ impl Default for Options {
             quick: false,
             seed: 0x5EED,
             telemetry: Registry::new(),
+            traces: Recorder::new(4096),
         }
     }
 }
 
 impl Options {
-    /// Folds a database's telemetry into the harness registry. Call once
-    /// per engine, when the experiment is done with it.
+    /// Folds a database's telemetry and statement traces into the
+    /// harness collectors. Call once per engine, when the experiment is
+    /// done with it.
     pub fn absorb_db(&self, db: &minidb::engine::Db) {
         self.telemetry.absorb(&db.metrics_snapshot());
+        self.traces.absorb(db.query_traces());
     }
 }
 
@@ -89,15 +99,18 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e12" => Some(e12_mitigations::run(opts)),
         "e13" => Some(e13_snapshot_vs_persistent::run(opts)),
         "e14" => Some(e14_replication::run(opts)),
+        "e15" => Some(e15_tracelog::run(opts)),
         _ => None,
     }
 }
 
-/// All experiment ids in order. `e12`–`e14` are extensions beyond the
+/// All experiment ids in order. `e12`–`e15` are extensions beyond the
 /// paper: the §7 mitigation ablation, the snapshot-vs-persistent
-/// coverage comparison, and the replication relay-log surface.
-pub const ALL: [&str; 14] = [
+/// coverage comparison, the replication relay-log surface, and the
+/// query-flight-recorder surface.
+pub const ALL: [&str; 15] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the
@@ -112,6 +125,10 @@ pub struct ExperimentReport {
     pub tables: Vec<Table>,
     /// Engine metrics absorbed from the experiment's databases.
     pub metrics: MetricsSnapshot,
+    /// Statement traces absorbed from the experiment's databases (the
+    /// raw material for the `--trace` Chrome export; not serialized
+    /// into the `--json` report).
+    pub traces: Vec<StatementTrace>,
 }
 
 /// Runs one experiment with a fresh harness registry, recording wall
@@ -119,6 +136,7 @@ pub struct ExperimentReport {
 pub fn run_report(id: &str, opts: &Options) -> Option<ExperimentReport> {
     let opts = Options {
         telemetry: Registry::new(),
+        traces: Recorder::new(4096),
         ..opts.clone()
     };
     let start = std::time::Instant::now();
@@ -128,6 +146,7 @@ pub fn run_report(id: &str, opts: &Options) -> Option<ExperimentReport> {
         wall_time_us: start.elapsed().as_micros() as u64,
         tables,
         metrics: opts.telemetry.snapshot(),
+        traces: opts.traces.traces(),
     })
 }
 

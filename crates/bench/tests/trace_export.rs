@@ -1,0 +1,61 @@
+//! Schema tests for the `--trace` Chrome `trace_event` export: the
+//! files must load in `chrome://tracing` / Perfetto, so every event
+//! needs the `ph`/`ts`/`dur`/`pid`/`tid` fields with the right shapes.
+
+use bench::{run_report, Options};
+
+fn quick_opts() -> Options {
+    Options {
+        quick: true,
+        ..Options::default()
+    }
+}
+
+/// Counts non-overlapping occurrences of `needle` in `doc`.
+fn count(doc: &str, needle: &str) -> usize {
+    doc.matches(needle).count()
+}
+
+#[test]
+fn experiment_traces_export_as_valid_chrome_trace_events() {
+    // e5 exercises the diagnostic surfaces, so its engines always record
+    // statement traces.
+    let report = run_report("e5", &quick_opts()).expect("e5 exists");
+    assert!(
+        !report.traces.is_empty(),
+        "experiments absorb their engines' statement traces"
+    );
+
+    let doc = mdb_trace::chrome::to_chrome_json(&report.traces);
+
+    // Container shape.
+    assert!(doc.starts_with("{\"traceEvents\":["), "{doc:.>80}");
+    assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
+
+    // Every event is a complete event with a timestamp and duration.
+    let events = count(&doc, "\"ph\":");
+    assert!(events > 0);
+    assert_eq!(count(&doc, "\"ph\":\"X\""), events, "all events are ph=X");
+    assert_eq!(count(&doc, "\"ts\":"), events, "every event has ts");
+    assert_eq!(count(&doc, "\"dur\":"), events, "every event has dur");
+    assert_eq!(count(&doc, "\"pid\":"), events, "every event has pid");
+    assert_eq!(count(&doc, "\"tid\":"), events, "every event has tid");
+
+    // Statement roots carry the query text in args, and there is one
+    // root event per absorbed trace.
+    assert_eq!(count(&doc, "\"cat\":\"statement\""), events);
+    assert_eq!(count(&doc, "\"statement\":"), report.traces.len());
+
+    // Balanced JSON structure (the writer emits no trailing commas; a
+    // quick brace balance catches truncation bugs).
+    let opens = count(&doc, "{");
+    let closes = count(&doc, "}");
+    assert_eq!(opens, closes, "balanced braces");
+    assert_eq!(count(&doc, "["), count(&doc, "]"), "balanced brackets");
+}
+
+#[test]
+fn chrome_export_of_empty_trace_set_is_still_a_valid_document() {
+    let doc = mdb_trace::chrome::to_chrome_json(&[]);
+    assert_eq!(doc, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}

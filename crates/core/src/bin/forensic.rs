@@ -1,5 +1,5 @@
 //! `forensic` — standalone snapshot analysis, the attacker's offline
-//! toolbox: point it at a captured `EDBSNAP2` image and carve.
+//! toolbox: point it at a captured `EDBSNAP3` image and carve.
 //!
 //! ```text
 //! forensic <image-file> <command>
@@ -16,6 +16,7 @@
 //!   digests    performance_schema digest histogram
 //!   bufpool    recently-read index key ranges from the LRU dump
 //!   metrics    telemetry registry: per-table access distribution etc.
+//!   tracelog   query timeline from the slow log + flight recorder
 //! ```
 //!
 //! Generate an image with `minidb::SystemImage::to_bytes` (see the
@@ -24,12 +25,12 @@
 use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
-use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, wal};
+use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, tracelog, wal};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -42,7 +43,7 @@ fn main() {
     let image = match SystemImage::from_bytes(&bytes) {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("forensic: not a valid EDBSNAP2 image: {e}");
+            eprintln!("forensic: not a valid EDBSNAP3 image: {e}");
             std::process::exit(1);
         }
     };
@@ -57,6 +58,7 @@ fn main() {
         "digests" => digests(&image),
         "bufpool" => bufpool_cmd(&image),
         "metrics" => metrics_cmd(&image),
+        "tracelog" => tracelog_cmd(&image),
         other => {
             eprintln!("forensic: unknown command {other}");
             std::process::exit(2);
@@ -84,6 +86,30 @@ fn summary(image: &SystemImage) {
         m.metrics.counters.len(),
         m.metrics.histograms.len()
     );
+    println!("  query traces (ring)  {:>10}", m.query_traces.len());
+}
+
+fn tracelog_cmd(image: &SystemImage) {
+    let tl = tracelog::timeline(Some(&image.disk), Some(&image.memory));
+    if tl.is_empty() {
+        println!("no trace records in image (tracer disabled and nothing slow)");
+        return;
+    }
+    for e in &tl {
+        let src = match e.source {
+            tracelog::TraceSource::SlowLog => "disk",
+            tracelog::TraceSource::FlightRecorder => "mem",
+            tracelog::TraceSource::Both => "both",
+        };
+        println!(
+            "t={} [{src}] {:>8}us tables=[{}] {}",
+            e.started,
+            e.duration_us,
+            e.tables.join(","),
+            e.statement
+        );
+    }
+    eprintln!("{} timeline entries", tl.len());
 }
 
 fn metrics_cmd(image: &SystemImage) {

@@ -12,4 +12,5 @@ pub mod lsn_time;
 pub mod memscan;
 pub mod relay;
 pub mod telemetry;
+pub mod tracelog;
 pub mod wal;

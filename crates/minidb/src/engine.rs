@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdb_telemetry::{Counter, Histogram, Registry};
+use mdb_trace::{Recorder, StatementTrace, TraceBuilder};
 use parking_lot::Mutex;
 
 use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
@@ -81,6 +82,14 @@ pub struct DbConfig {
     /// `performance_schema` but forget the status counters, which is
     /// exactly the leak the telemetry experiments measure.
     pub telemetry_scrub_on_flush: bool,
+    /// Whether the per-statement tracer is armed: stage spans, the
+    /// flight-recorder ring, and table lists in slow-log records. On by
+    /// default, like every production engine's always-on profiling.
+    /// When off, slow-log records degrade to minimal single-span
+    /// traces (text + timing only) and the ring stays empty.
+    pub trace_enabled: bool,
+    /// Flight-recorder ring capacity, in statement traces.
+    pub trace_ring_capacity: usize,
     /// Server id, stamped into replication positions (GTID-style).
     pub server_id: u64,
     /// Whether client connections may write. Replicas run read-only; the
@@ -110,6 +119,8 @@ impl Default for DbConfig {
             heap_secure_delete: false,
             telemetry_enabled: true,
             telemetry_scrub_on_flush: false,
+            trace_enabled: true,
+            trace_ring_capacity: 64,
             server_id: 1,
             read_only: false,
         }
@@ -181,6 +192,12 @@ struct EngineMetrics {
     table_access: HashMap<String, Counter>,
     repl_applied: Counter,
     repl_apply_errors: Counter,
+    // Shared cells with the bufpool/WAL metrics structs: the tracer
+    // reads before/after deltas off them for per-span attributes.
+    bufpool_hits: Counter,
+    bufpool_misses: Counter,
+    wal_redo_bytes: Counter,
+    wal_binlog_bytes: Counter,
 }
 
 impl EngineMetrics {
@@ -198,6 +215,10 @@ impl EngineMetrics {
             table_access: HashMap::new(),
             repl_applied: registry.counter("repl.applied_events"),
             repl_apply_errors: registry.counter("repl.apply_errors"),
+            bufpool_hits: registry.counter("bufpool.hits"),
+            bufpool_misses: registry.counter("bufpool.misses"),
+            wal_redo_bytes: registry.counter("wal.redo.bytes"),
+            wal_binlog_bytes: registry.counter("wal.binlog.bytes"),
         }
     }
 }
@@ -216,6 +237,10 @@ pub(crate) struct DbInner {
     pub(crate) processlist: ProcessList,
     pub(crate) telemetry: Registry,
     metrics: EngineMetrics,
+    /// The flight recorder: the last N statement traces.
+    pub(crate) trace: Recorder,
+    /// Span builder of the statement currently executing, if traced.
+    current_trace: Option<TraceBuilder>,
     functions: HashMap<String, ScalarFn>,
     pub(crate) now_unix: i64,
     next_txn: u64,
@@ -282,6 +307,12 @@ impl Db {
             processlist: ProcessList::default(),
             metrics: EngineMetrics::new(&telemetry),
             telemetry,
+            trace: if config.trace_enabled {
+                Recorder::new(config.trace_ring_capacity)
+            } else {
+                Recorder::new_disabled(config.trace_ring_capacity)
+            },
+            current_trace: None,
             functions: HashMap::new(),
             now_unix: config.start_time_unix,
             next_txn: 1,
@@ -438,6 +469,19 @@ impl Db {
         self.inner.lock().telemetry.snapshot()
     }
 
+    /// The statement trace recorder (the flight-recorder ring). Clones
+    /// share state — the same ring is readable here, via
+    /// `information_schema.query_traces`, and in a
+    /// [`crate::snapshot::MemoryImage`].
+    pub fn trace_recorder(&self) -> Recorder {
+        self.inner.lock().trace.clone()
+    }
+
+    /// Contents of the flight-recorder ring, oldest first.
+    pub fn query_traces(&self) -> Vec<StatementTrace> {
+        self.inner.lock().trace.traces()
+    }
+
     /// Administrative diagnostics wipe, modeling `TRUNCATE
     /// performance_schema.events_statements_history` + `FLUSH STATUS`:
     /// clears the perf-schema statement history and digests. The
@@ -452,7 +496,14 @@ impl Db {
             inner.heap.free(p);
         }
         if inner.config.telemetry_scrub_on_flush {
+            // Scrub means scrub: FLUSH STATUS zeroes counters, gauges,
+            // AND the per-kind latency histograms (`sql.latency_us.*`)
+            // — a partial scrub that kept histogram state would hand
+            // the attacker the statement mix anyway. The flight
+            // recorder goes too, or the "wiped" server still carries a
+            // per-statement timeline (the e15 surface).
             inner.telemetry.scrub();
+            inner.trace.clear();
         }
     }
 
@@ -487,8 +538,12 @@ impl Db {
         g.txns.clear();
         g.processlist = ProcessList::default();
         // Process memory dies with the process: the registry's values go
-        // too (registrations and handles stay valid for the restart).
+        // too (registrations and handles stay valid for the restart),
+        // and the in-memory flight recorder with them — unlike the
+        // slow log's trace records, which are disk state and survive.
         g.telemetry.scrub();
+        g.trace.clear();
+        g.current_trace = None;
     }
 
     /// Crash recovery: ARIES-lite redo of logged changes (pageLSN-gated),
@@ -563,6 +618,12 @@ impl DbInner {
             .collect();
 
         let digest = digest_text(sql);
+        // Arm the tracer. When tracing is disabled this branch is the
+        // *entire* per-statement cost: one relaxed atomic load, no
+        // allocation (the invariant the `trace` bench pins down).
+        if self.trace.is_enabled() {
+            self.current_trace = Some(TraceBuilder::new(conn_id, started, sql, &digest));
+        }
         self.perf
             .statement_start(conn_id, sql, &digest, started, Some(hist_ptr));
         self.processlist.set_query(conn_id, Some(sql.to_string()));
@@ -586,12 +647,29 @@ impl DbInner {
         self.metrics.rows_examined.record(rows_examined);
         self.metrics.rows_returned.record(rows_returned);
         self.metrics.latency_us[stmt_kind_index(sql)].record(duration_us);
+        // Close the trace and deposit it in the flight recorder. An
+        // `EXPLAIN ANALYZE` arm has already consumed the builder for its
+        // own rendering; everything else finishes here.
+        let finished = self.current_trace.take().map(|mut b| {
+            b.attr("rows_examined", rows_examined);
+            b.attr("rows_returned", rows_returned);
+            b.finish(duration_us)
+        });
+        let recorded = match finished {
+            Some(t) if self.trace.is_enabled() => Some(self.trace.record(t)),
+            other => other,
+        };
         if duration_us > self.config.slow_query_threshold_us {
-            let line = format!(
-                "# Time: {started}\n# Query_time: {}s Rows_examined: {rows_examined}\n{sql};\n",
-                duration_us as f64 / 1e6
-            );
-            self.vdisk.append(SLOW_LOG_FILE, line.as_bytes());
+            // The slow log is a stream of versioned, checksummed trace
+            // records (see `mdb_trace::record`) — the full span tree
+            // when the tracer is armed, a minimal text+timing record
+            // otherwise. Either way the statement text lands on disk
+            // verbatim, carvable long after the ring has rotated.
+            let rec = recorded.unwrap_or_else(|| {
+                StatementTrace::minimal(conn_id, started, sql, &digest, duration_us, rows_examined)
+            });
+            self.vdisk
+                .append(SLOW_LOG_FILE, &mdb_trace::record::encode_record(&rec));
         }
         if let Some(evicted) = self.perf.statement_end(conn_id, rows_examined, rows_returned) {
             self.heap.free(evicted);
@@ -610,11 +688,58 @@ impl DbInner {
         outcome
     }
 
+    // ================= tracing plumbing =================
+    //
+    // Every helper is a no-op unless a `TraceBuilder` is live, so the
+    // stage hooks below cost one `Option` check when tracing is off for
+    // this statement (the global gate is the relaxed load in `execute`).
+
+    fn trace_begin(&mut self, name: &str) {
+        if let Some(t) = self.current_trace.as_mut() {
+            t.begin(name);
+        }
+    }
+
+    fn trace_end(&mut self, cost_us: u64) {
+        if let Some(t) = self.current_trace.as_mut() {
+            t.end(cost_us);
+        }
+    }
+
+    fn trace_end_elastic(&mut self) {
+        if let Some(t) = self.current_trace.as_mut() {
+            t.end_elastic();
+        }
+    }
+
+    fn trace_attr(&mut self, key: &str, value: u64) {
+        if let Some(t) = self.current_trace.as_mut() {
+            t.attr(key, value);
+        }
+    }
+
+    /// Simulated cost of one fixed pipeline stage (parse, plan, WAL
+    /// append, commit). The elastic stage — the scan or the write —
+    /// absorbs the data-dependent remainder of the statement's
+    /// modeled duration, so top-level span durations always sum
+    /// exactly to `statement_base_us + rows_examined * per_row_us`.
+    fn stage_cost(&self) -> u64 {
+        (self.config.statement_base_us / 8).max(1)
+    }
+
     fn dispatch(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
-        let stmt = parse_statement(sql)?;
+        self.trace_begin("parse");
+        let parsed = parse_statement(sql);
+        let cost = self.stage_cost();
+        self.trace_end(cost);
+        let stmt = parsed?;
         if self.config.read_only && !self.applying && writes_state(&stmt) {
             return Err(DbError::ReadOnly);
         }
+        self.run_stmt(conn_id, sql, stmt)
+    }
+
+    fn run_stmt(&mut self, conn_id: u64, sql: &str, stmt: Statement) -> DbResult<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let r = self.create_table(&name, columns);
@@ -636,6 +761,31 @@ impl DbInner {
             }
             Statement::Select(sel) => self.select(sql, sel),
             Statement::Explain(sel) => self.explain(sel),
+            Statement::ExplainAnalyze(inner) => {
+                // EXPLAIN ANALYZE always traces its target, even when
+                // the flight recorder is disarmed.
+                if self.current_trace.is_none() {
+                    self.current_trace =
+                        Some(TraceBuilder::new(conn_id, self.now_unix, sql, &digest_text(sql)));
+                }
+                let res = self.run_stmt(conn_id, sql, *inner)?;
+                // The target's simulated wall time is fully determined
+                // by the engine cost model, so the trace can be closed
+                // here — the rendered durations are exactly what the
+                // outer pipeline will account for this statement.
+                let duration_us =
+                    self.config.statement_base_us + res.rows_examined * self.config.per_row_us;
+                let mut b = self.current_trace.take().expect("installed above");
+                b.attr("rows_examined", res.rows_examined);
+                b.attr("rows_returned", res.rows.len() as u64);
+                let trace = b.finish(duration_us);
+                let trace = if self.trace.is_enabled() {
+                    self.trace.record(trace)
+                } else {
+                    trace
+                };
+                Ok(render_explain_analyze(&trace, &res))
+            }
             Statement::Insert {
                 table,
                 columns,
@@ -870,6 +1020,9 @@ impl DbInner {
         // Query cache: exact-text hits skip execution entirely.
         if let Some(hit) = self.query_cache.get(sql) {
             self.metrics.query_cache_hits.inc();
+            self.trace_begin("query_cache");
+            self.trace_attr("hit", 1);
+            self.trace_end_elastic();
             return Ok(QueryResult {
                 columns: hit.columns,
                 rows: hit.rows,
@@ -1015,6 +1168,40 @@ impl DbInner {
                 }
                 (cols, out)
             }
+            ("information_schema", "query_traces") => {
+                // The flight recorder, SQL-readable: the last N statement
+                // traces with full text, timing, and touched tables. Like
+                // the performance_schema, it is an operator convenience
+                // that doubles as a query-history disclosure channel.
+                let cols = vec![
+                    "trace_id".to_string(),
+                    "conn_id".to_string(),
+                    "started".to_string(),
+                    "duration_us".to_string(),
+                    "statement".to_string(),
+                    "digest".to_string(),
+                    "tables".to_string(),
+                    "spans".to_string(),
+                ];
+                let rows = self
+                    .trace
+                    .traces()
+                    .iter()
+                    .map(|t| {
+                        vec![
+                            Value::Int(t.trace_id as i64),
+                            Value::Int(t.conn_id as i64),
+                            Value::Int(t.started_unix),
+                            Value::Int(t.total_us as i64),
+                            Value::Text(t.statement.clone()),
+                            Value::Text(t.digest.clone()),
+                            Value::Text(t.tables.join(",")),
+                            Value::Int(t.root.span_count() as i64),
+                        ]
+                    })
+                    .collect();
+                (cols, rows)
+            }
             _ => {
                 return Err(DbError::UnknownTable(format!("{schema}.{}", sel.table)));
             }
@@ -1072,12 +1259,20 @@ impl DbInner {
         def: &TableDef,
         where_clause: Option<&Expr>,
     ) -> DbResult<(Vec<Row>, u64)> {
+        self.trace_begin("plan");
+        let index_plan = where_clause.and_then(|w| plan_select(def, w));
+        self.trace_attr("index_used", index_plan.is_some() as u64);
+        let cost = self.stage_cost();
+        self.trace_end(cost);
+
+        // The scan is the elastic stage: it absorbs the per-row cost.
+        self.trace_begin("scan");
+        let hits0 = self.metrics.bufpool_hits.get();
+        let misses0 = self.metrics.bufpool_misses.get();
         let rt = self
             .runtime
             .get(&def.schema.name)
             .ok_or_else(|| DbError::UnknownTable(def.schema.name.clone()))?;
-
-        let index_plan = where_clause.and_then(|w| plan_select(def, w));
 
         let (candidate_rows, examined) = match index_plan {
             Some(plan) => {
@@ -1108,6 +1303,16 @@ impl DbInner {
             }
         };
 
+        // Buffer-pool I/O nested under the scan: the hit/miss deltas of
+        // exactly this stage's page accesses.
+        let pages_hit = self.metrics.bufpool_hits.get().saturating_sub(hits0);
+        let pages_missed = self.metrics.bufpool_misses.get().saturating_sub(misses0);
+        self.trace_begin("bufpool");
+        self.trace_attr("pages_hit", pages_hit);
+        self.trace_attr("pages_missed", pages_missed);
+        // Advisory nested cost: one simulated µs per page fault.
+        self.trace_end(pages_missed);
+
         let mut kept = Vec::new();
         for row in candidate_rows {
             match where_clause {
@@ -1119,6 +1324,8 @@ impl DbInner {
                 None => kept.push(row),
             }
         }
+        self.trace_attr("rows_examined", examined);
+        self.trace_end_elastic();
         Ok((kept, examined))
     }
 
@@ -1243,6 +1450,8 @@ impl DbInner {
             } => {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
+                // The write is the elastic stage for inserts (no scan).
+                self.trace_begin("write");
                 let mut affected = 0;
                 for literals in rows {
                     let values = arrange_columns(&def.schema, &columns, literals)?;
@@ -1259,6 +1468,8 @@ impl DbInner {
                     self.insert_row(txn_id, &def, &row, undo_written)?;
                     affected += 1;
                 }
+                self.trace_attr("rows_affected", affected);
+                self.trace_end_elastic();
                 self.finish_write(&table);
                 Ok(QueryResult {
                     rows_affected: affected,
@@ -1273,6 +1484,7 @@ impl DbInner {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
                 let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                self.trace_begin("write");
                 let mut set_idx = Vec::new();
                 for (col, val) in &sets {
                     let idx = def.schema.column_index(col)?;
@@ -1288,6 +1500,9 @@ impl DbInner {
                     self.check_pk_unique(&def, &new_row.values, Some(old.id))?;
                     self.update_row(txn_id, &def, &old, &new_row, undo_written)?;
                 }
+                self.trace_attr("rows_affected", affected);
+                let cost = self.stage_cost();
+                self.trace_end(cost);
                 self.finish_write(&table);
                 Ok(QueryResult {
                     rows_examined: examined,
@@ -1302,10 +1517,14 @@ impl DbInner {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
                 let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                self.trace_begin("write");
                 let affected = targets.len() as u64;
                 for old in targets {
                     self.delete_row(txn_id, &def, &old, undo_written)?;
                 }
+                self.trace_attr("rows_affected", affected);
+                let cost = self.stage_cost();
+                self.trace_end(cost);
                 self.finish_write(&table);
                 Ok(QueryResult {
                     rows_examined: examined,
@@ -1572,6 +1791,9 @@ impl DbInner {
     /// the query distribution per table name, survive
     /// [`Db::flush_diagnostics`], and ride along in every memory image.
     fn record_table_access(&mut self, table: &str) {
+        if let Some(t) = self.current_trace.as_mut() {
+            t.table(table);
+        }
         let telemetry = &self.telemetry;
         self.metrics
             .table_access
@@ -1581,6 +1803,9 @@ impl DbInner {
     }
 
     fn commit_txn(&mut self, txn: TxnState) -> DbResult<()> {
+        let logged0 =
+            self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
+        self.trace_begin("wal_append");
         let lsn = self.wal.alloc_lsn();
         self.log_redo(RedoRecord {
             lsn,
@@ -1591,6 +1816,7 @@ impl DbInner {
             slot: 0,
             after: Vec::new(),
         });
+        let binlog_events = txn.statements.len() as u64;
         for stmt in &txn.statements {
             self.wal.append_binlog(&BinlogEvent {
                 lsn,
@@ -1599,8 +1825,18 @@ impl DbInner {
                 statement: stmt.clone(),
             });
         }
+        let logged1 =
+            self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
+        self.trace_attr("bytes_logged", logged1.saturating_sub(logged0));
+        self.trace_attr("binlog_events", binlog_events);
+        let cost = self.stage_cost();
+        self.trace_end(cost);
         // Group commit durability: the redo write and the binlog sync.
+        self.trace_begin("commit");
         self.wal.record_fsync();
+        self.trace_attr("fsyncs", 1);
+        let cost = self.stage_cost();
+        self.trace_end(cost);
         Ok(())
     }
 
@@ -1947,15 +2183,55 @@ impl IndexPlan {
 /// notion of a "write"; transaction control passes so a read-only
 /// connection can still scope its reads).
 fn writes_state(stmt: &Statement) -> bool {
-    matches!(
-        stmt,
+    match stmt {
         Statement::CreateTable { .. }
-            | Statement::CreateIndex { .. }
-            | Statement::DropTable { .. }
-            | Statement::Insert { .. }
-            | Statement::Update { .. }
-            | Statement::Delete { .. }
-    )
+        | Statement::CreateIndex { .. }
+        | Statement::DropTable { .. }
+        | Statement::Insert { .. }
+        | Statement::Update { .. }
+        | Statement::Delete { .. } => true,
+        // EXPLAIN ANALYZE executes its target, so it writes iff the
+        // target does.
+        Statement::ExplainAnalyze(inner) => writes_state(inner),
+        _ => false,
+    }
+}
+
+/// Renders a finished [`StatementTrace`] as the `EXPLAIN ANALYZE` result
+/// set: one row per span, depth-indented, with the simulated stage
+/// timings and per-span attributes.
+fn render_explain_analyze(trace: &mdb_trace::StatementTrace, res: &QueryResult) -> QueryResult {
+    let cols = vec![
+        "span".to_string(),
+        "start_us".to_string(),
+        "dur_us".to_string(),
+        "detail".to_string(),
+    ];
+    let rows = trace
+        .root
+        .flatten()
+        .into_iter()
+        .map(|(span, depth)| {
+            let detail = span
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                Value::Text(format!("{}{}", "  ".repeat(depth), span.name)),
+                Value::Int(span.start_us as i64),
+                Value::Int(span.dur_us as i64),
+                Value::Text(detail),
+            ]
+        })
+        .collect();
+    QueryResult {
+        columns: cols,
+        rows,
+        rows_examined: res.rows_examined,
+        rows_affected: res.rows_affected,
+    }
 }
 
 enum DmlOp {

@@ -65,6 +65,11 @@ pub struct MemoryImage {
     /// this repo adds to the paper's inventory of snapshot-visible
     /// auxiliary state (per-table access counts, latency distributions).
     pub metrics: mdb_telemetry::MetricsSnapshot,
+    /// The flight-recorder ring: the last N statement traces, with full
+    /// statement text, timestamps, touched tables, and span trees. A
+    /// memory snapshot taken after a diagnostics wipe still carries this
+    /// per-statement timeline (experiment e15).
+    pub query_traces: Vec<mdb_trace::StatementTrace>,
 }
 
 impl MemoryImage {
@@ -157,6 +162,7 @@ impl Db {
                 .collect(),
             processlist: g.processlist.entries().into_iter().cloned().collect(),
             metrics: g.telemetry.snapshot(),
+            query_traces: g.trace.traces(),
         }
     }
 

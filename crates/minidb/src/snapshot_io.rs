@@ -3,16 +3,17 @@
 //! standalone forensic tooling (the workflow a real attacker has: image
 //! first, carve at leisure).
 //!
-//! Format (`EDBSNAP2`, little-endian, length-prefixed throughout):
+//! Format (`EDBSNAP3`, little-endian, length-prefixed throughout):
 //!
 //! ```text
-//! magic "EDBSNAP2" | captured_at i64
+//! magic "EDBSNAP3" | captured_at i64
 //! disk:   u32 n, then n × (str name, u64 len, bytes)
 //! memory: u64 heap_len, heap bytes
 //!         [cached_queries] [cached_pages] [page_access_counts]
 //!         [adaptive_hash_keys] [stmts_current] [stmts_history]
 //!         [digest_summary] [processlist]
 //! metrics: [counters] [gauges] [histograms]
+//! traces:  u32 n, then n × (u64 len, mdb-trace record payload)
 //! ```
 
 use std::collections::BTreeMap;
@@ -21,7 +22,7 @@ use crate::error::{DbError, DbResult};
 use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
 use crate::snapshot::{DiskImage, MemoryImage, SystemImage};
 
-const MAGIC: &[u8; 8] = b"EDBSNAP2";
+const MAGIC: &[u8; 8] = b"EDBSNAP3";
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -86,7 +87,7 @@ impl<'a> Reader<'a> {
 }
 
 impl SystemImage {
-    /// Serializes the image to the `EDBSNAP2` container.
+    /// Serializes the image to the `EDBSNAP3` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -177,14 +178,22 @@ impl SystemImage {
                 w_u64(&mut out, *n);
             }
         }
+        // The flight-recorder ring, reusing the mdb-trace payload wire
+        // format (same bytes the slow-log carver understands).
+        w_u32(&mut out, m.query_traces.len() as u32);
+        for t in &m.query_traces {
+            let mut payload = Vec::new();
+            mdb_trace::record::encode_payload(t, &mut payload);
+            w_bytes(&mut out, &payload);
+        }
         out
     }
 
-    /// Parses an `EDBSNAP2` container.
+    /// Parses an `EDBSNAP3` container.
     pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
         let mut r = Reader { buf, pos: 0 };
         if r.take(8)? != MAGIC {
-            return Err(DbError::Storage("not an EDBSNAP2 image".into()));
+            return Err(DbError::Storage("not an EDBSNAP3 image".into()));
         }
         let captured_at = r.i64()?;
         let n_files = r.u32()? as usize;
@@ -292,6 +301,16 @@ impl SystemImage {
                 buckets,
             });
         }
+        let mut query_traces = Vec::new();
+        for _ in 0..r.u32()? {
+            let payload = r.bytes()?;
+            let (t, consumed) = mdb_trace::record::decode_payload(&payload)
+                .ok_or_else(|| DbError::Storage("bad trace record in snapshot".into()))?;
+            if consumed != payload.len() {
+                return Err(DbError::Storage("trailing bytes in trace record".into()));
+            }
+            query_traces.push(t);
+        }
         if r.pos != buf.len() {
             return Err(DbError::Storage("trailing bytes in snapshot".into()));
         }
@@ -308,6 +327,7 @@ impl SystemImage {
                 digest_summary,
                 processlist,
                 metrics,
+                query_traces,
             },
             captured_at,
         })
@@ -358,6 +378,9 @@ mod tests {
             .counter("sql.table_access.t")
             .is_some_and(|v| v >= 2));
         assert_eq!(back.memory.metrics, img.memory.metrics);
+        // The flight-recorder ring rides along too, span trees and all.
+        assert!(!img.memory.query_traces.is_empty());
+        assert_eq!(back.memory.query_traces, img.memory.query_traces);
     }
 
     #[test]

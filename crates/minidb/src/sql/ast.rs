@@ -113,6 +113,10 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT …`: returns the access plan without executing.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE <stmt>`: *executes* the statement (MySQL 8 /
+    /// Postgres semantics) and returns its span tree with simulated
+    /// stage timings and per-span attributes.
+    ExplainAnalyze(Box<Statement>),
     /// `UPDATE table SET col = lit [, …] [WHERE …]`
     Update {
         /// Target table.

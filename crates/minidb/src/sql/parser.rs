@@ -104,6 +104,12 @@ impl Parser {
             return self.select().map(Statement::Select);
         }
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                // EXPLAIN ANALYZE accepts any statement and executes it.
+                return self
+                    .statement()
+                    .map(|s| Statement::ExplainAnalyze(Box::new(s)));
+            }
             self.expect_kw("select")?;
             return self.select().map(Statement::Explain);
         }

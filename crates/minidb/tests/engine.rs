@@ -352,8 +352,20 @@ fn general_log_off_by_default_slow_log_triggers() {
     conn.execute("SELECT * FROM customers").unwrap();
     let image = db.disk_image();
     assert!(image.file("general.log").is_none(), "general log off by default");
-    let slow = String::from_utf8(image.file("slow.log").unwrap().to_vec()).unwrap();
-    assert!(slow.contains("SELECT * FROM customers"), "{slow}");
+    // The slow log is a stream of structured trace records, not text.
+    let carved = mdb_trace::record::carve(image.file("slow.log").unwrap());
+    assert!(
+        carved
+            .iter()
+            .any(|c| c.trace.statement == "SELECT * FROM customers"),
+        "slow statement text carvable from the structured log"
+    );
+    let rec = carved
+        .iter()
+        .find(|c| c.trace.statement == "SELECT * FROM customers")
+        .unwrap();
+    assert!(rec.trace.total_us > 100);
+    assert_eq!(rec.trace.tables, vec!["customers".to_string()]);
 }
 
 #[test]
@@ -489,4 +501,176 @@ fn aggregates() {
         .execute("SELECT COUNT(*) FROM customers WHERE age = 25")
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(2));
+}
+
+// ================= query flight recorder =================
+
+#[test]
+fn explain_analyze_span_tree_and_exact_child_sum() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let r = conn
+        .execute("EXPLAIN ANALYZE SELECT * FROM customers WHERE age >= 25")
+        .unwrap();
+    assert_eq!(r.columns, vec!["span", "start_us", "dur_us", "detail"]);
+    let spans: Vec<(String, i64)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].to_string(), match row[2] { Value::Int(d) => d, _ => -1 }))
+        .collect();
+    // Root, then the pipeline stages, depth-indented.
+    assert_eq!(spans[0].0, "statement");
+    let names: Vec<&str> = spans.iter().map(|(n, _)| n.trim_start()).collect();
+    for stage in ["parse", "plan", "scan", "bufpool"] {
+        assert!(names.contains(&stage), "missing {stage} in {names:?}");
+    }
+    // bufpool is nested under scan (deeper indent).
+    let scan = spans.iter().find(|(n, _)| n.trim_start() == "scan").unwrap();
+    let bufpool = spans.iter().find(|(n, _)| n.trim_start() == "bufpool").unwrap();
+    let depth = |s: &str| (s.len() - s.trim_start().len()) / 2;
+    assert_eq!(depth(&bufpool.0), depth(&scan.0) + 1);
+    // The cost model partitions the statement duration across top-level
+    // stages exactly: children of the root sum to the root's duration.
+    let total = spans[0].1;
+    let top_level_sum: i64 = spans
+        .iter()
+        .filter(|(n, _)| depth(n) == 1)
+        .map(|(_, d)| *d)
+        .sum();
+    assert_eq!(top_level_sum, total, "top-level spans partition the statement time");
+    // EXPLAIN ANALYZE executes its target (MySQL 8 semantics).
+    assert_eq!(r.rows_examined, 5);
+    // The rows_examined attribute rides on the scan span.
+    let scan_detail = r
+        .rows
+        .iter()
+        .find(|row| row[0].to_string().trim_start() == "scan")
+        .unwrap()[3]
+        .to_string();
+    assert!(scan_detail.contains("rows_examined=5"), "{scan_detail}");
+}
+
+#[test]
+fn explain_analyze_executes_writes() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    let r = conn
+        .execute("EXPLAIN ANALYZE UPDATE customers SET age = 99 WHERE id = 1")
+        .unwrap();
+    let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(names.iter().any(|n| n.trim_start() == "write"), "{names:?}");
+    assert!(names.iter().any(|n| n.trim_start() == "wal_append"), "{names:?}");
+    assert!(names.iter().any(|n| n.trim_start() == "commit"), "{names:?}");
+    let check = conn.execute("SELECT age FROM customers WHERE id = 1").unwrap();
+    assert_eq!(check.rows[0][0], Value::Int(99), "the target actually ran");
+}
+
+#[test]
+fn query_traces_virtual_table_and_ring_eviction() {
+    let mut config = DbConfig::default();
+    config.trace_ring_capacity = 4;
+    let db = Db::open(config);
+    setup_customers(&db);
+    let conn = db.connect("app");
+    for i in 0..6 {
+        conn.execute(&format!("SELECT * FROM customers WHERE id = {i}"))
+            .unwrap();
+    }
+    let r = conn
+        .execute("SELECT statement, tables FROM information_schema.query_traces")
+        .unwrap();
+    // Capacity 4: the ring holds the latest 4 statements only.
+    assert_eq!(r.rows.len(), 4);
+    let texts: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(texts.iter().all(|t| !t.contains("id = 0")), "oldest evicted: {texts:?}");
+    assert!(texts.iter().any(|t| t.contains("id = 5")), "{texts:?}");
+    assert!(r.rows.iter().all(|row| row[1].to_string() == "customers"));
+    let rec = db.trace_recorder();
+    assert!(rec.evicted() > 0, "eviction counter advanced");
+
+    // The programmatic view exposes the span trees with attributes.
+    let traces = db.query_traces();
+    assert_eq!(traces.len(), 4);
+    let t = traces
+        .iter()
+        .find(|t| t.statement.contains("id = 5"))
+        .expect("recent select still in ring");
+    let scan = t.root.find("scan").expect("scan span");
+    assert!(scan.attrs.iter().any(|(k, _)| k == "rows_examined"));
+    let bufpool = t.root.find("bufpool").expect("bufpool span");
+    assert!(bufpool.attrs.iter().any(|(k, _)| k == "pages_hit"));
+}
+
+#[test]
+fn tracing_disabled_keeps_ring_empty_and_slow_log_minimal() {
+    let mut config = DbConfig::default();
+    config.trace_enabled = false;
+    config.slow_query_threshold_us = 100;
+    let db = Db::open(config);
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("SELECT * FROM customers").unwrap();
+    assert!(db.query_traces().is_empty(), "disarmed recorder stays empty");
+    let err = conn
+        .execute("SELECT * FROM information_schema.query_traces")
+        .unwrap();
+    assert!(err.rows.is_empty());
+    // Slow statements still land on disk, as minimal text+timing records
+    // (no span tree, no table list).
+    let image = db.disk_image();
+    let carved = mdb_trace::record::carve(image.file("slow.log").unwrap());
+    let rec = carved
+        .iter()
+        .find(|c| c.trace.statement == "SELECT * FROM customers")
+        .expect("minimal record still written");
+    assert!(rec.trace.tables.is_empty());
+    assert!(rec.trace.root.children.is_empty());
+}
+
+#[test]
+fn flush_diagnostics_scrub_clears_latency_histograms_and_trace_ring() {
+    let mut config = DbConfig::default();
+    config.telemetry_scrub_on_flush = true;
+    let db = Db::open(config);
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("SELECT * FROM customers").unwrap();
+    let before = db.metrics_snapshot();
+    let lat = |snap: &mdb_telemetry::MetricsSnapshot| {
+        snap.histograms
+            .iter()
+            .filter(|h| h.name.starts_with("sql.latency_us."))
+            .map(|h| h.count)
+            .sum::<u64>()
+    };
+    assert!(lat(&before) > 0, "latency histograms populated");
+    assert!(!db.query_traces().is_empty());
+
+    db.flush_diagnostics();
+
+    // Scrub means scrub: per-kind latency histograms AND the flight
+    // recorder go with the counters, not just the perf-schema rows.
+    let after = db.metrics_snapshot();
+    assert_eq!(lat(&after), 0, "latency histograms scrubbed on flush");
+    assert!(db.query_traces().is_empty(), "flight recorder cleared on flush");
+}
+
+#[test]
+fn flush_diagnostics_default_keeps_trace_ring() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("SELECT * FROM customers").unwrap();
+    let n = db.query_traces().len();
+    assert!(n > 0);
+    db.flush_diagnostics();
+    // Default flush wipes the perf schema but NOT the flight recorder —
+    // the residual timeline e15 reconstructs.
+    assert_eq!(db.query_traces().len(), n);
+    let r = conn
+        .execute("SELECT sql_text FROM performance_schema.events_statements_history")
+        .unwrap();
+    assert!(r.rows.is_empty(), "perf schema history wiped");
 }

@@ -1,0 +1,112 @@
+//! Chrome `trace_event` exporter: renders statement traces as the JSON
+//! Trace Event Format (`chrome://tracing`, Perfetto). Every span becomes
+//! one complete (`"ph":"X"`) event; `ts`/`dur` are microseconds, with
+//! `ts` anchored at the simulated UNIX start time of the statement. The
+//! connection id becomes the thread id, so concurrent connections land
+//! on separate tracks.
+
+use crate::{Span, StatementTrace};
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(out: &mut String, trace: &StatementTrace, span: &Span, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let base_ts = trace.started_unix * 1_000_000;
+    out.push_str("{\"name\":\"");
+    escape_into(out, &span.name);
+    out.push_str("\",\"cat\":\"statement\",\"ph\":\"X\",\"ts\":");
+    out.push_str(&(base_ts + span.start_us as i64).to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&span.dur_us.to_string());
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&trace.conn_id.to_string());
+    out.push_str(",\"args\":{");
+    let mut first_arg = true;
+    if span.name == "statement" {
+        out.push_str("\"statement\":\"");
+        escape_into(out, &trace.statement);
+        out.push_str("\",\"digest\":\"");
+        escape_into(out, &trace.digest);
+        out.push_str("\",\"tables\":\"");
+        escape_into(out, &trace.tables.join(","));
+        out.push_str("\",\"trace_id\":");
+        out.push_str(&trace.trace_id.to_string());
+        first_arg = false;
+    }
+    for (k, v) in &span.attrs {
+        if !first_arg {
+            out.push(',');
+        }
+        first_arg = false;
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str("}}");
+    for c in &span.children {
+        push_event(out, trace, c, first);
+    }
+}
+
+/// Serializes traces as one Trace Event Format document:
+/// `{"traceEvents":[…],"displayTimeUnit":"ms"}`.
+pub fn to_chrome_json(traces: &[StatementTrace]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for t in traces {
+        push_event(&mut out, t, &t.root, &mut first);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_complete_events_with_ts_and_dur() {
+        let mut b = crate::TraceBuilder::new(3, 1_483_228_805, "SELECT \"x\"\n", "d1");
+        b.begin("parse");
+        b.end(25);
+        b.begin("scan");
+        b.attr("rows_examined", 9);
+        b.end_elastic();
+        let t = b.finish(400);
+        let doc = to_chrome_json(&[t]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("]}") || doc.ends_with("\"ms\"}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":400"));
+        assert!(doc.contains("\"dur\":25"));
+        assert!(doc.contains(&format!("\"ts\":{}", 1_483_228_805i64 * 1_000_000)));
+        assert!(doc.contains("\"tid\":3"));
+        assert!(doc.contains("\"rows_examined\":9"));
+        // Statement text is escaped, not emitted raw.
+        assert!(doc.contains("SELECT \\\"x\\\"\\n"));
+    }
+
+    #[test]
+    fn empty_input_is_still_a_valid_document() {
+        assert_eq!(
+            to_chrome_json(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

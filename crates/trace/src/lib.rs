@@ -1,0 +1,514 @@
+//! mdb-trace — per-statement execution traces for MiniDB.
+//!
+//! A trace is a tree of causally-nested [`Span`]s (parse → plan →
+//! heap/index scan → buffer-pool I/O → WAL append → commit), each
+//! carrying numeric attributes (rows examined, pages hit/missed, bytes
+//! logged). The engine builds one [`StatementTrace`] per statement with
+//! a [`TraceBuilder`] and deposits it in a bounded in-memory
+//! [`Recorder`] ring — the *flight recorder* of the last N statements.
+//!
+//! Durations are **simulated** microseconds from the engine's
+//! deterministic cost model, not wall-clock samples: fixed-cost stages
+//! close with an explicit cost, one *elastic* stage per statement
+//! absorbs the residual, so the top-level children always sum exactly
+//! to the statement total (the `EXPLAIN ANALYZE` invariant).
+//!
+//! Like the telemetry registry, the disabled hot path is a single
+//! relaxed atomic load ([`Recorder::is_enabled`]); no span state is
+//! allocated when tracing is off.
+//!
+//! True to the paper, all of this is modeled as *leakage*: the ring
+//! rides along in every memory image, and the versioned slow-log
+//! records ([`record`]) are carvable from stolen disks long after
+//! `performance_schema` has been wiped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod chrome;
+pub mod record;
+
+/// One node of the span tree: a named execution stage with a start
+/// offset and duration (simulated µs, relative to statement start),
+/// numeric attributes, and causally-nested children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (`"parse"`, `"plan"`, `"scan"`, `"bufpool"`, …).
+    pub name: String,
+    /// Offset from statement start, simulated µs.
+    pub start_us: u64,
+    /// Duration, simulated µs.
+    pub dur_us: u64,
+    /// Numeric attributes, e.g. `("rows_examined", 512)`.
+    pub attrs: Vec<(String, u64)>,
+    /// Child spans, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// First direct child with the given name.
+    pub fn child(&self, name: &str) -> Option<&Span> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// First span with the given name anywhere in the subtree.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Number of spans in the subtree (including this one).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(Span::span_count).sum::<usize>()
+    }
+
+    /// Depth-first flattening: `(span, depth)` pairs, preorder.
+    pub fn flatten(&self) -> Vec<(&Span, usize)> {
+        let mut out = Vec::new();
+        self.flatten_into(0, &mut out);
+        out
+    }
+
+    fn flatten_into<'a>(&'a self, depth: usize, out: &mut Vec<(&'a Span, usize)>) {
+        out.push((self, depth));
+        for c in &self.children {
+            c.flatten_into(depth + 1, out);
+        }
+    }
+}
+
+/// A completed per-statement trace: identity, timing, the statement
+/// text and digest, the tables it touched, and the span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatementTrace {
+    /// Ring-assigned id (0 until recorded).
+    pub trace_id: u64,
+    /// Connection ("thread") that ran the statement.
+    pub conn_id: u64,
+    /// Simulated UNIX time the statement started.
+    pub started_unix: i64,
+    /// Full statement text — verbatim, ciphertext literals included.
+    pub statement: String,
+    /// Statement digest (normalized-text hash).
+    pub digest: String,
+    /// Total statement duration, simulated µs.
+    pub total_us: u64,
+    /// Tables the statement touched, deduplicated, in first-touch order.
+    pub tables: Vec<String>,
+    /// Root of the span tree (named `"statement"`).
+    pub root: Span,
+}
+
+impl StatementTrace {
+    /// A minimal single-span trace, used for slow-log records when the
+    /// full tracer is disarmed: text, timing, and row count survive even
+    /// then — only the span tree and table list are lost.
+    pub fn minimal(
+        conn_id: u64,
+        started_unix: i64,
+        statement: &str,
+        digest: &str,
+        total_us: u64,
+        rows_examined: u64,
+    ) -> StatementTrace {
+        StatementTrace {
+            trace_id: 0,
+            conn_id,
+            started_unix,
+            statement: statement.to_string(),
+            digest: digest.to_string(),
+            total_us,
+            tables: Vec::new(),
+            root: Span {
+                name: "statement".to_string(),
+                start_us: 0,
+                dur_us: total_us,
+                attrs: vec![("rows_examined".to_string(), rows_examined)],
+                children: Vec::new(),
+            },
+        }
+    }
+}
+
+// ================= builder =================
+
+struct Node {
+    name: String,
+    dur_us: u64,
+    attrs: Vec<(String, u64)>,
+    children: Vec<usize>,
+}
+
+/// Incrementally builds one statement's span tree. The engine opens a
+/// builder per traced statement, brackets each execution stage with
+/// [`begin`](TraceBuilder::begin) / [`end`](TraceBuilder::end) (passing
+/// the stage's simulated cost), marks exactly one stage *elastic* —
+/// typically the scan or write — and calls
+/// [`finish`](TraceBuilder::finish) with the statement total; the
+/// elastic stage absorbs the residual so top-level durations sum
+/// exactly to the total.
+pub struct TraceBuilder {
+    conn_id: u64,
+    started_unix: i64,
+    statement: String,
+    digest: String,
+    tables: Vec<String>,
+    nodes: Vec<Node>,
+    /// Open spans, innermost last. `stack[0]` is always the root.
+    stack: Vec<usize>,
+    elastic: Option<usize>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace for one statement.
+    pub fn new(conn_id: u64, started_unix: i64, statement: &str, digest: &str) -> TraceBuilder {
+        TraceBuilder {
+            conn_id,
+            started_unix,
+            statement: statement.to_string(),
+            digest: digest.to_string(),
+            tables: Vec::new(),
+            nodes: vec![Node {
+                name: "statement".to_string(),
+                dur_us: 0,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            }],
+            stack: vec![0],
+            elastic: None,
+        }
+    }
+
+    /// Opens a child span of the innermost open span.
+    pub fn begin(&mut self, name: &str) {
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            dur_us: 0,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+        let parent = *self.stack.last().expect("root never closes");
+        self.nodes[parent].children.push(idx);
+        self.stack.push(idx);
+    }
+
+    /// Adds an attribute to the innermost open span.
+    pub fn attr(&mut self, key: &str, value: u64) {
+        let idx = *self.stack.last().expect("root never closes");
+        self.nodes[idx].attrs.push((key.to_string(), value));
+    }
+
+    /// Records a touched table (deduplicated, order-preserving).
+    pub fn table(&mut self, name: &str) {
+        if !self.tables.iter().any(|t| t == name) {
+            self.tables.push(name.to_string());
+        }
+    }
+
+    /// Closes the innermost open span with a fixed simulated cost.
+    pub fn end(&mut self, cost_us: u64) {
+        if self.stack.len() > 1 {
+            let idx = self.stack.pop().expect("checked");
+            self.nodes[idx].dur_us = cost_us;
+        }
+    }
+
+    /// Closes the innermost open span and marks it elastic: it will
+    /// absorb the residual between the fixed stage costs and the
+    /// statement total at [`finish`](TraceBuilder::finish). Last call
+    /// wins if invoked more than once.
+    pub fn end_elastic(&mut self) {
+        if self.stack.len() > 1 {
+            let idx = self.stack.pop().expect("checked");
+            self.nodes[idx].dur_us = 0;
+            self.elastic = Some(idx);
+        }
+    }
+
+    /// Finalizes the trace given the statement's total simulated
+    /// duration. Any still-open spans are closed at zero cost; the
+    /// elastic span (or, failing one at top level, a synthetic `other`
+    /// stage) absorbs the residual, so the root's direct children sum
+    /// exactly to `total_us`.
+    pub fn finish(mut self, total_us: u64) -> StatementTrace {
+        while self.stack.len() > 1 {
+            self.end(0);
+        }
+        self.nodes[0].dur_us = total_us;
+        let top_sum: u64 = self.nodes[0]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].dur_us)
+            .sum();
+        let residual = total_us.saturating_sub(top_sum);
+        if residual > 0 {
+            match self.elastic.filter(|e| self.nodes[0].children.contains(e)) {
+                Some(e) => self.nodes[e].dur_us += residual,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        name: "other".to_string(),
+                        dur_us: residual,
+                        attrs: Vec::new(),
+                        children: Vec::new(),
+                    });
+                    self.nodes[0].children.push(idx);
+                }
+            }
+        }
+        let root = materialize(&self.nodes, 0, 0, total_us);
+        StatementTrace {
+            trace_id: 0,
+            conn_id: self.conn_id,
+            started_unix: self.started_unix,
+            statement: self.statement,
+            digest: self.digest,
+            total_us,
+            tables: self.tables,
+            root,
+        }
+    }
+}
+
+/// Converts the builder arena into the recursive span tree, laying
+/// children out sequentially from the parent's start and clamping them
+/// to the parent's extent (nested costs are advisory; top-level costs
+/// are exact by construction).
+fn materialize(nodes: &[Node], idx: usize, start_us: u64, dur_us: u64) -> Span {
+    let n = &nodes[idx];
+    let end = start_us + dur_us;
+    let mut cursor = start_us;
+    let mut children = Vec::with_capacity(n.children.len());
+    for &c in &n.children {
+        let child_start = cursor.min(end);
+        let child_dur = nodes[c].dur_us.min(end - child_start);
+        children.push(materialize(nodes, c, child_start, child_dur));
+        cursor = child_start + child_dur;
+    }
+    Span {
+        name: n.name.clone(),
+        start_us,
+        dur_us,
+        attrs: n.attrs.clone(),
+        children,
+    }
+}
+
+// ================= flight recorder =================
+
+#[derive(Debug)]
+struct RingInner {
+    ring: VecDeque<StatementTrace>,
+    capacity: usize,
+    next_id: u64,
+    evicted: u64,
+}
+
+/// The flight recorder: a bounded ring of the last N statement traces.
+/// Cloneable; clones share state (the engine, `information_schema`, and
+/// the memory-image capture all read the same ring). Note what the ring
+/// deliberately does **not** do: it survives
+/// `Db::flush_diagnostics` — wiping `performance_schema` leaves the
+/// flight recorder intact, which is exactly the residual surface e15
+/// measures.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl Recorder {
+    /// An armed recorder holding up to `capacity` traces.
+    pub fn new(capacity: usize) -> Recorder {
+        Recorder::with_enabled(capacity, true)
+    }
+
+    /// A disarmed recorder: `is_enabled` is false, `record` drops.
+    pub fn new_disabled(capacity: usize) -> Recorder {
+        Recorder::with_enabled(capacity, false)
+    }
+
+    fn with_enabled(capacity: usize, enabled: bool) -> Recorder {
+        Recorder {
+            enabled: Arc::new(AtomicBool::new(enabled)),
+            inner: Arc::new(Mutex::new(RingInner {
+                ring: VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                next_id: 1,
+                evicted: 0,
+            })),
+        }
+    }
+
+    /// The hot-path gate: one relaxed atomic load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Arms or disarms the recorder.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Assigns the next trace id, pushes the trace (evicting the oldest
+    /// past capacity), and returns the id-stamped trace. Records even
+    /// when disarmed — the caller gates on [`is_enabled`](Self::is_enabled).
+    pub fn record(&self, mut trace: StatementTrace) -> StatementTrace {
+        let mut g = self.inner.lock().unwrap();
+        trace.trace_id = g.next_id;
+        g.next_id += 1;
+        g.ring.push_back(trace.clone());
+        while g.ring.len() > g.capacity {
+            g.ring.pop_front();
+            g.evicted += 1;
+        }
+        trace
+    }
+
+    /// Folds externally produced traces in (the harness absorbing an
+    /// experiment database's ring). Ids are reassigned locally.
+    pub fn absorb(&self, traces: Vec<StatementTrace>) {
+        for t in traces {
+            self.record(t);
+        }
+    }
+
+    /// Ring contents, oldest first.
+    pub fn traces(&self) -> Vec<StatementTrace> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
+    /// Traces evicted so far (lifetime count).
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().unwrap().evicted
+    }
+
+    /// Drops all traces (crash, or an explicit diagnostics scrub). Id
+    /// assignment continues — like restarting `performance_schema`,
+    /// the wipe is observable in the numbering gap.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(statement: &str) -> TraceBuilder {
+        TraceBuilder::new(7, 1_483_228_801, statement, "digest-x")
+    }
+
+    #[test]
+    fn builder_top_level_durations_sum_to_total() {
+        let mut b = build("SELECT * FROM t");
+        b.begin("parse");
+        b.end(40);
+        b.begin("plan");
+        b.attr("index_used", 0);
+        b.end(40);
+        b.begin("scan");
+        b.begin("bufpool");
+        b.attr("pages_hit", 3);
+        b.end(5);
+        b.attr("rows_examined", 100);
+        b.end_elastic();
+        let t = b.finish(500);
+        assert_eq!(t.total_us, 500);
+        assert_eq!(t.root.dur_us, 500);
+        let sum: u64 = t.root.children.iter().map(|c| c.dur_us).sum();
+        assert_eq!(sum, 500);
+        // The elastic scan absorbed the residual.
+        assert_eq!(t.root.child("scan").unwrap().dur_us, 420);
+        // Children are laid out sequentially.
+        assert_eq!(t.root.child("plan").unwrap().start_us, 40);
+        assert_eq!(t.root.child("scan").unwrap().start_us, 80);
+        assert_eq!(t.root.child("scan").unwrap().child("bufpool").unwrap().start_us, 80);
+    }
+
+    #[test]
+    fn builder_without_elastic_synthesizes_other() {
+        let mut b = build("BEGIN");
+        b.begin("parse");
+        b.end(40);
+        let t = b.finish(300);
+        let sum: u64 = t.root.children.iter().map(|c| c.dur_us).sum();
+        assert_eq!(sum, 300);
+        assert_eq!(t.root.child("other").unwrap().dur_us, 260);
+    }
+
+    #[test]
+    fn builder_closes_dangling_spans_and_clamps_children() {
+        let mut b = build("SELECT 1");
+        b.begin("scan");
+        b.begin("bufpool");
+        b.end(9999); // Advisory nested cost larger than the statement.
+        // "scan" left open: finish closes it.
+        let t = b.finish(100);
+        let scan = t.root.child("scan").unwrap();
+        assert!(scan.child("bufpool").unwrap().dur_us <= scan.dur_us);
+        let sum: u64 = t.root.children.iter().map(|c| c.dur_us).sum();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn tables_dedup_preserving_order() {
+        let mut b = build("SELECT …");
+        b.table("orders");
+        b.table("customers");
+        b.table("orders");
+        let t = b.finish(1);
+        assert_eq!(t.tables, ["orders", "customers"]);
+    }
+
+    #[test]
+    fn ring_assigns_ids_and_evicts_oldest() {
+        let r = Recorder::new(3);
+        for i in 0..5 {
+            let t = r.record(StatementTrace::minimal(1, i, &format!("q{i}"), "d", 10, 0));
+            assert_eq!(t.trace_id, i as u64 + 1);
+        }
+        let held = r.traces();
+        assert_eq!(held.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        let texts: Vec<&str> = held.iter().map(|t| t.statement.as_str()).collect();
+        assert_eq!(texts, ["q2", "q3", "q4"]);
+        r.clear();
+        assert!(r.is_empty());
+        // Numbering continues across the wipe.
+        assert_eq!(r.record(StatementTrace::minimal(1, 9, "q", "d", 1, 0)).trace_id, 6);
+    }
+
+    #[test]
+    fn disabled_recorder_gate() {
+        let r = Recorder::new_disabled(8);
+        assert!(!r.is_enabled());
+        r.set_enabled(true);
+        assert!(r.is_enabled());
+    }
+}

@@ -1,0 +1,354 @@
+//! The versioned on-disk trace record — the slow log's wire format —
+//! and its forensic carver.
+//!
+//! ```text
+//! record  = magic "MTRC" | version u8 | payload_len u32 LE | payload | crc32 u32 LE
+//! payload = conn_id u64 | started i64 | total_us u64 | trace_id u64
+//!           | statement str | digest str
+//!           | tables:  u16 n, n × str
+//!           | root span
+//! span    = name str | start_us u64 | dur_us u64
+//!           | attrs:    u16 n, n × (str, u64)
+//!           | children: u16 n, n × span
+//! str     = u16 len LE | utf-8 bytes
+//! ```
+//!
+//! The CRC covers `version | payload_len | payload`. Every record is
+//! self-delimiting and checksummed, so [`carve`] recovers all intact
+//! records from a byte stream that has been truncated mid-record or
+//! corrupted in the middle — the realistic state of a slow log lifted
+//! from a stolen disk. Decoding is bounded (string/fan-out/depth caps)
+//! so carving adversarial bytes stays cheap.
+
+use crate::{Span, StatementTrace};
+
+/// Record preamble.
+pub const MAGIC: [u8; 4] = *b"MTRC";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Decode caps: longest string, widest fan-out, deepest nesting.
+const MAX_STR: usize = 1 << 20;
+const MAX_FANOUT: usize = 4096;
+const MAX_DEPTH: usize = 64;
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — zero-dependency and fast
+/// enough for log-append volumes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn w_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    let n = b.len().min(u16::MAX as usize);
+    w_u16(out, n as u16);
+    out.extend_from_slice(&b[..n]);
+}
+
+fn w_span(out: &mut Vec<u8>, s: &Span) {
+    w_str(out, &s.name);
+    w_u64(out, s.start_us);
+    w_u64(out, s.dur_us);
+    w_u16(out, s.attrs.len().min(u16::MAX as usize) as u16);
+    for (k, v) in s.attrs.iter().take(u16::MAX as usize) {
+        w_str(out, k);
+        w_u64(out, *v);
+    }
+    w_u16(out, s.children.len().min(u16::MAX as usize) as u16);
+    for c in s.children.iter().take(u16::MAX as usize) {
+        w_span(out, c);
+    }
+}
+
+/// Serializes just the payload (no framing). Shared with the snapshot
+/// container, which frames sections itself.
+pub fn encode_payload(t: &StatementTrace, out: &mut Vec<u8>) {
+    w_u64(out, t.conn_id);
+    out.extend_from_slice(&t.started_unix.to_le_bytes());
+    w_u64(out, t.total_us);
+    w_u64(out, t.trace_id);
+    w_str(out, &t.statement);
+    w_str(out, &t.digest);
+    w_u16(out, t.tables.len().min(u16::MAX as usize) as u16);
+    for tab in t.tables.iter().take(u16::MAX as usize) {
+        w_str(out, tab);
+    }
+    w_span(out, &t.root);
+}
+
+/// Serializes one framed, checksummed record (what the engine appends
+/// to `slow.log`).
+pub fn encode_record(t: &StatementTrace) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(t, &mut payload);
+    let mut out = Vec::with_capacity(payload.len() + 13);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out[MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let b = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(b)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        if n > MAX_STR {
+            return None;
+        }
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn span(&mut self, depth: usize) -> Option<Span> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        let name = self.str()?;
+        let start_us = self.u64()?;
+        let dur_us = self.u64()?;
+        let n_attrs = self.u16()? as usize;
+        if n_attrs > MAX_FANOUT {
+            return None;
+        }
+        let mut attrs = Vec::with_capacity(n_attrs.min(64));
+        for _ in 0..n_attrs {
+            let k = self.str()?;
+            let v = self.u64()?;
+            attrs.push((k, v));
+        }
+        let n_children = self.u16()? as usize;
+        if n_children > MAX_FANOUT {
+            return None;
+        }
+        let mut children = Vec::with_capacity(n_children.min(64));
+        for _ in 0..n_children {
+            children.push(self.span(depth + 1)?);
+        }
+        Some(Span {
+            name,
+            start_us,
+            dur_us,
+            attrs,
+            children,
+        })
+    }
+}
+
+/// Deserializes a payload produced by [`encode_payload`]. Returns the
+/// trace and the number of bytes consumed; `None` on any malformation.
+pub fn decode_payload(buf: &[u8]) -> Option<(StatementTrace, usize)> {
+    let mut r = Reader { buf, pos: 0 };
+    let conn_id = r.u64()?;
+    let started_unix = r.i64()?;
+    let total_us = r.u64()?;
+    let trace_id = r.u64()?;
+    let statement = r.str()?;
+    let digest = r.str()?;
+    let n_tables = r.u16()? as usize;
+    if n_tables > MAX_FANOUT {
+        return None;
+    }
+    let mut tables = Vec::with_capacity(n_tables.min(64));
+    for _ in 0..n_tables {
+        tables.push(r.str()?);
+    }
+    let root = r.span(0)?;
+    Some((
+        StatementTrace {
+            trace_id,
+            conn_id,
+            started_unix,
+            statement,
+            digest,
+            total_us,
+            tables,
+            root,
+        },
+        r.pos,
+    ))
+}
+
+/// One record recovered by [`carve`], with its byte offset in the input.
+#[derive(Clone, Debug)]
+pub struct CarvedRecord {
+    /// Offset of the record's magic in the scanned bytes.
+    pub offset: usize,
+    /// The decoded trace.
+    pub trace: StatementTrace,
+}
+
+/// Scans raw bytes for intact trace records. Resynchronizes on the
+/// magic after truncated or corrupted stretches: a record is accepted
+/// only if its version, length, CRC, and payload all check out, so a
+/// flipped byte costs at most the record it lands in.
+pub fn carve(raw: &[u8]) -> Vec<CarvedRecord> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + MAGIC.len() + 9 <= raw.len() {
+        if raw[i..i + MAGIC.len()] != MAGIC {
+            i += 1;
+            continue;
+        }
+        match try_decode_at(raw, i) {
+            Some((trace, consumed)) => {
+                out.push(CarvedRecord { offset: i, trace });
+                i += consumed;
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+/// Attempts to decode one full record starting at `offset`; returns the
+/// trace and total framed length on success.
+fn try_decode_at(raw: &[u8], offset: usize) -> Option<(StatementTrace, usize)> {
+    let body = &raw[offset + MAGIC.len()..];
+    if body.len() < 9 {
+        return None;
+    }
+    let version = body[0];
+    if version != VERSION {
+        return None;
+    }
+    let len = u32::from_le_bytes(body[1..5].try_into().ok()?) as usize;
+    let framed = body.get(..5 + len + 4)?;
+    let stored_crc = u32::from_le_bytes(framed[5 + len..].try_into().ok()?);
+    if crc32(&framed[..5 + len]) != stored_crc {
+        return None;
+    }
+    let (trace, consumed) = decode_payload(&framed[5..5 + len])?;
+    if consumed != len {
+        return None;
+    }
+    Some((trace, MAGIC.len() + 5 + len + 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> StatementTrace {
+        let mut b = crate::TraceBuilder::new(
+            i,
+            1_483_228_800 + i as i64,
+            &format!("SELECT * FROM t{i} WHERE id = {i}"),
+            &format!("d{i:04x}"),
+        );
+        b.table(&format!("t{i}"));
+        b.begin("parse");
+        b.end(30);
+        b.begin("scan");
+        b.attr("rows_examined", i * 10);
+        b.end_elastic();
+        b.finish(300 + i * 2)
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let t = sample(3);
+        let bytes = encode_record(&t);
+        let carved = carve(&bytes);
+        assert_eq!(carved.len(), 1);
+        assert_eq!(carved[0].offset, 0);
+        assert_eq!(carved[0].trace, t);
+    }
+
+    #[test]
+    fn carve_concatenated_with_leading_noise() {
+        let mut buf = b"some textual noise\n".to_vec();
+        let traces: Vec<StatementTrace> = (0..4).map(sample).collect();
+        for t in &traces {
+            buf.extend_from_slice(&encode_record(t));
+            buf.extend_from_slice(b"||"); // Inter-record garbage.
+        }
+        let carved = carve(&buf);
+        assert_eq!(carved.len(), 4);
+        for (c, t) in carved.iter().zip(&traces) {
+            assert_eq!(&c.trace, t);
+        }
+    }
+
+    #[test]
+    fn truncation_drops_only_the_tail_record() {
+        let mut buf = Vec::new();
+        for i in 0..3 {
+            buf.extend_from_slice(&encode_record(&sample(i)));
+        }
+        let cut = buf.len() - 5; // Mid final record.
+        let carved = carve(&buf[..cut]);
+        assert_eq!(carved.len(), 2);
+    }
+
+    #[test]
+    fn corruption_is_contained_by_the_crc() {
+        let mut buf = Vec::new();
+        for i in 0..3 {
+            buf.extend_from_slice(&encode_record(&sample(i)));
+        }
+        let mid = buf.len() / 2; // Lands in the middle record.
+        buf[mid] ^= 0xFF;
+        let carved = carve(&buf);
+        assert_eq!(carved.len(), 2, "exactly the hit record is lost");
+        let originals: Vec<StatementTrace> = (0..3).map(sample).collect();
+        for c in &carved {
+            assert!(originals.contains(&c.trace), "no fabricated records");
+        }
+    }
+
+    #[test]
+    fn embedded_magic_inside_a_statement_does_not_confuse_the_carver() {
+        let t = StatementTrace::minimal(1, 0, "SELECT 'MTRC' FROM t -- MTRC", "d", 10, 0);
+        let mut buf = encode_record(&t);
+        buf.extend_from_slice(&encode_record(&sample(1)));
+        let carved = carve(&buf);
+        assert_eq!(carved.len(), 2);
+        assert_eq!(carved[0].trace.statement, "SELECT 'MTRC' FROM t -- MTRC");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}
