@@ -6,10 +6,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use minidb::engine::{Db, DbConfig};
 
 fn small_config() -> DbConfig {
-    let mut c = DbConfig::default();
-    c.redo_capacity = 8 << 20;
-    c.undo_capacity = 8 << 20;
-    c
+    DbConfig {
+        redo_capacity: 8 << 20,
+        undo_capacity: 8 << 20,
+        ..DbConfig::default()
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {

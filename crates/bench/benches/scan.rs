@@ -1,0 +1,44 @@
+//! Scan-path benchmarks: materialize-everything full scans vs
+//! zone-map-pruned streaming scans, 1% selectivity over an unindexed
+//! column (the `scanbench` fixture). The pruned path's win is the
+//! tentpole claim: >= 5x throughput at 100k rows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::scanbench;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    for &rows in &[10_000usize, 100_000] {
+        let full_db = scanbench::build_db(rows, false);
+        let full_conn = full_db.connect("bench");
+        let mut q = 0usize;
+        g.bench_with_input(BenchmarkId::new("full", rows), &rows, |b, &rows| {
+            b.iter(|| {
+                // Rotating literals defeat any caching between runs.
+                full_conn.execute(&scanbench::query(rows, q)).unwrap();
+                q += 1;
+            });
+        });
+
+        let pruned_db = scanbench::build_db(rows, true);
+        let pruned_conn = pruned_db.connect("bench");
+        let mut q = 0usize;
+        g.bench_with_input(BenchmarkId::new("pruned", rows), &rows, |b, &rows| {
+            b.iter(|| {
+                pruned_conn.execute(&scanbench::query(rows, q)).unwrap();
+                q += 1;
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -51,10 +51,12 @@ fn bench_record_path(c: &mut Criterion) {
 }
 
 fn query_db(telemetry_enabled: bool) -> Db {
-    let mut config = DbConfig::default();
-    config.redo_capacity = 1 << 20;
-    config.undo_capacity = 1 << 20;
-    config.telemetry_enabled = telemetry_enabled;
+    let config = DbConfig {
+        redo_capacity: 1 << 20,
+        undo_capacity: 1 << 20,
+        telemetry_enabled,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("bench");
     conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)").unwrap();

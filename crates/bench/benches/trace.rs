@@ -49,10 +49,12 @@ fn bench_gate_and_builder(c: &mut Criterion) {
 }
 
 fn query_db(trace_enabled: bool) -> Db {
-    let mut config = DbConfig::default();
-    config.redo_capacity = 1 << 20;
-    config.undo_capacity = 1 << 20;
-    config.trace_enabled = trace_enabled;
+    let config = DbConfig {
+        redo_capacity: 1 << 20,
+        undo_capacity: 1 << 20,
+        trace_enabled,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("bench");
     conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)").unwrap();

@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--json <path>] [--trace <dir>] [e1 e2 … | all]
+//! experiments [--quick] [--json <path>] [--trace <dir>]
+//!             [--bench-json <path>] [e1 e2 … | all]
 //! ```
 //!
 //! Tables always go to stdout; `--json <path>` additionally writes a
@@ -9,7 +10,9 @@
 //! engine telemetry each experiment absorbed); `--trace <dir>` writes
 //! one Chrome `trace_event` JSON per experiment (load in
 //! `chrome://tracing` / Perfetto) from the statement traces the
-//! experiment's engines recorded.
+//! experiment's engines recorded; `--bench-json <path>` runs the scan
+//! micro-benchmark (full vs zone-map-pruned range scans) and writes its
+//! rows/sec and pruning counters as JSON.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -27,6 +30,7 @@ fn main() {
     };
     let json_path = path_flag("--json");
     let trace_dir = path_flag("--trace");
+    let bench_json_path = path_flag("--bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -35,13 +39,16 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--trace" {
+        if a == "--json" || a == "--trace" || a == "--bench-json" {
             skip_next = true;
         } else if !a.starts_with("--") {
             ids.push(a.clone());
         }
     }
-    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+    // With --bench-json and no explicit ids, run only the benchmark.
+    let ids: Vec<String> = if ids.is_empty() && bench_json_path.is_some() {
+        Vec::new()
+    } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL.iter().map(|s| s.to_string()).collect()
     } else {
         ids
@@ -97,5 +104,23 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote JSON report to {path}");
+    }
+    if let Some(path) = bench_json_path {
+        let (rows, queries) = if quick { (20_000, 8) } else { (100_000, 20) };
+        eprintln!("[experiments] scan bench: {rows} rows, {queries} queries per variant");
+        let cmp = bench::scanbench::compare(rows, queries);
+        eprintln!(
+            "[experiments] full {:.0} rows/s, pruned {:.0} rows/s ({:.2}x), {} of {} pages pruned",
+            cmp.full.rows_per_sec,
+            cmp.pruned.rows_per_sec,
+            cmp.speedup(),
+            cmp.pruned.pages_pruned,
+            cmp.pruned.pages_pruned + cmp.pruned.pages_decoded,
+        );
+        if let Err(e) = std::fs::write(&path, cmp.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote scan bench JSON to {path}");
     }
 }

@@ -17,12 +17,14 @@ use crate::{f2, Options};
 /// Runs the experiment.
 pub fn run(opts: &Options) -> Vec<Table> {
     let writes = if opts.quick { 500 } else { 5_000 };
-    let mut config = DbConfig::default();
     // Small logs so the run wraps; the retention *arithmetic* is then
     // extrapolated to the 50 MB default, as the paper does.
-    config.redo_capacity = 1 << 20;
-    config.undo_capacity = 1 << 20;
-    config.seconds_per_statement = 1; // 1 write per second.
+    let config = DbConfig {
+        redo_capacity: 1 << 20,
+        undo_capacity: 1 << 20,
+        seconds_per_statement: 1, // 1 write per second.
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("oltp");
     conn.execute("CREATE TABLE ledger (id INT PRIMARY KEY, payload TEXT)")

@@ -12,10 +12,12 @@ use crate::{f2, Options};
 /// Runs the experiment.
 pub fn run(opts: &Options) -> Vec<Table> {
     let n = if opts.quick { 300 } else { 2_000 };
-    let mut config = DbConfig::default();
-    config.redo_capacity = 8 << 20;
-    config.undo_capacity = 8 << 20;
-    config.seconds_per_statement = 3; // A write every 3 seconds.
+    let config = DbConfig {
+        redo_capacity: 8 << 20,
+        undo_capacity: 8 << 20,
+        seconds_per_statement: 3, // A write every 3 seconds.
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("app");
     conn.execute("CREATE TABLE events (id INT PRIMARY KEY, note TEXT)").unwrap();

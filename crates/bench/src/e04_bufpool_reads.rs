@@ -14,10 +14,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let rows = if opts.quick { 2_000 } else { 20_000 };
     let queries: &[(i64, i64)] = &[(100, 140), (9_000, 9_030), (15_000, 15_020)];
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 16 << 20;
-    config.undo_capacity = 16 << 20;
-    config.buffer_pool_pages = 96;
+    let config = DbConfig {
+        redo_capacity: 16 << 20,
+        undo_capacity: 16 << 20,
+        buffer_pool_pages: 96,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("app");
     conn.execute("CREATE TABLE s (k INT PRIMARY KEY, v TEXT)").unwrap();

@@ -29,9 +29,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let tail_queries = if opts.quick { 2_000 } else { 100_000 };
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 8 << 20;
-    config.undo_capacity = 8 << 20;
+    let config = DbConfig {
+        redo_capacity: 8 << 20,
+        undo_capacity: 8 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("app");
     conn.execute("CREATE TABLE inbox (id INT PRIMARY KEY, sender TEXT, subject TEXT)")

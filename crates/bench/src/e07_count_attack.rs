@@ -33,9 +33,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let corpus = Corpus::generate(&params);
     let num_queries = if opts.quick { 15 } else { 50 };
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 4 << 20;
-    config.undo_capacity = 4 << 20;
+    let config = DbConfig {
+        redo_capacity: 4 << 20,
+        undo_capacity: 4 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let mut proxy = CryptDbProxy::new(&db, Key([0x44; 32]), opts.seed).unwrap();
     proxy

@@ -40,9 +40,11 @@ fn splashe_digest_attack(opts: &Options) -> Table {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let zipf = Zipf::new(domain as usize, 1.0);
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 4 << 20;
-    config.undo_capacity = 4 << 20;
+    let config = DbConfig {
+        redo_capacity: 4 << 20,
+        undo_capacity: 4 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let mut table =
         SeabedTable::create(&db, &Key([0x66; 32]), "sales", domain, SeabedMode::Basic).unwrap();
@@ -223,16 +225,18 @@ fn enhanced_splashe_attack(opts: &Options) -> Table {
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xE9C);
     let zipf = Zipf::new(domain as usize, 1.0);
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 4 << 20;
-    config.undo_capacity = 4 << 20;
-    // Tail counts are full table scans: on this table they cross the slow
-    // query threshold, so the slow log records them verbatim (§3).
-    config.slow_query_threshold_us = 1_000;
-    // The query cache would serve repeated identical counts from memory
-    // and keep them out of the slow log; production deployments commonly
-    // disable it (MySQL 8.0 removed it outright).
-    config.query_cache_enabled = false;
+    let config = DbConfig {
+        redo_capacity: 4 << 20,
+        undo_capacity: 4 << 20,
+        // Tail counts are full table scans: on this table they cross the
+        // slow query threshold, so the slow log records them verbatim (§3).
+        slow_query_threshold_us: 1_000,
+        // The query cache would serve repeated identical counts from memory
+        // and keep them out of the slow log; production deployments commonly
+        // disable it (MySQL 8.0 removed it outright).
+        query_cache_enabled: false,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let mut table = SeabedTable::create(
         &db,

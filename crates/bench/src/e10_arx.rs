@@ -22,9 +22,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let domain = 1_000_000u64;
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xA3);
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 32 << 20;
-    config.undo_capacity = 32 << 20;
+    let config = DbConfig {
+        redo_capacity: 32 << 20,
+        undo_capacity: 32 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let mut ix = ArxRangeIndex::create(&db, &Key([0x42; 32]), "arx_salary", opts.seed).unwrap();
     let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..domain)).collect();

@@ -15,9 +15,11 @@ use crate::Options;
 
 /// Runs the experiment.
 pub fn run(opts: &Options) -> Vec<Table> {
-    let mut config = DbConfig::default();
-    config.redo_capacity = 1 << 20;
-    config.undo_capacity = 1 << 20;
+    let config = DbConfig {
+        redo_capacity: 1 << 20,
+        undo_capacity: 1 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let at_rest = AtRest::install(&db, &Key([0x0A; 32]));
     let conn = db.connect("app");

@@ -96,11 +96,12 @@ fn mark(b: bool) -> &'static str {
 /// Runs the ablation.
 pub fn run(opts: &Options) -> Vec<Table> {
     let base = || {
-        let mut c = DbConfig::default();
-        c.redo_capacity = 1 << 20;
-        c.undo_capacity = 1 << 20;
-        c.history_size = 10;
-        c
+        DbConfig {
+            redo_capacity: 1 << 20,
+            undo_capacity: 1 << 20,
+            history_size: 10,
+            ..DbConfig::default()
+        }
     };
     let variants: Vec<(&str, DbConfig, bool)> = vec![
         ("production defaults", base(), false),

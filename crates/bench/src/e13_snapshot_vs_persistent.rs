@@ -23,9 +23,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let (writes, reads) = if opts.quick { (100, 200) } else { (800, 1_500) };
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x13);
 
-    let mut config = DbConfig::default();
-    config.redo_capacity = 8 << 20;
-    config.undo_capacity = 8 << 20;
+    let config = DbConfig {
+        redo_capacity: 8 << 20,
+        undo_capacity: 8 << 20,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     let conn = db.connect("app");
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();

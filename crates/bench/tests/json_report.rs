@@ -61,14 +61,14 @@ fn wall_time_is_recorded_per_experiment() {
     // Quick-mode experiments still do real work; wall time is non-zero
     // and the JSON carries the same number.
     assert!(report.wall_time_us > 0);
-    let doc = reports_to_json(&[report.clone()], &opts);
+    let doc = reports_to_json(std::slice::from_ref(&report), &opts);
     assert!(doc.contains(&format!("\"wall_time_us\":{}", report.wall_time_us)));
 }
 
 #[test]
-fn all_registry_includes_e15_and_every_id_runs_under_run_report() {
-    assert_eq!(ALL.len(), 15);
-    assert_eq!(*ALL.last().unwrap(), "e15");
+fn all_registry_includes_e16_and_every_id_runs_under_run_report() {
+    assert_eq!(ALL.len(), 16);
+    assert_eq!(*ALL.last().unwrap(), "e16");
     // Unknown ids are rejected, not silently empty.
     assert!(run_report("e99", &quick_opts()).is_none());
 }

@@ -1,5 +1,5 @@
 //! `forensic` — standalone snapshot analysis, the attacker's offline
-//! toolbox: point it at a captured `EDBSNAP3` image and carve.
+//! toolbox: point it at a captured `EDBSNAP4` image and carve.
 //!
 //! ```text
 //! forensic <image-file> <command>
@@ -17,6 +17,7 @@
 //!   bufpool    recently-read index key ranges from the LRU dump
 //!   metrics    telemetry registry: per-table access distribution etc.
 //!   tracelog   query timeline from the slow log + flight recorder
+//!   zonemap    per-page plaintext min/max ranges from heap synopses
 //! ```
 //!
 //! Generate an image with `minidb::SystemImage::to_bytes` (see the
@@ -25,12 +26,12 @@
 use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
-use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, tracelog, wal};
+use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, tracelog, wal, zonemap};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog|zonemap>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -43,7 +44,7 @@ fn main() {
     let image = match SystemImage::from_bytes(&bytes) {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("forensic: not a valid EDBSNAP3 image: {e}");
+            eprintln!("forensic: not a valid EDBSNAP4 image: {e}");
             std::process::exit(1);
         }
     };
@@ -59,6 +60,7 @@ fn main() {
         "bufpool" => bufpool_cmd(&image),
         "metrics" => metrics_cmd(&image),
         "tracelog" => tracelog_cmd(&image),
+        "zonemap" => zonemap_cmd(&image),
         other => {
             eprintln!("forensic: unknown command {other}");
             std::process::exit(2);
@@ -87,6 +89,42 @@ fn summary(image: &SystemImage) {
         m.metrics.histograms.len()
     );
     println!("  query traces (ring)  {:>10}", m.query_traces.len());
+    println!("  zone-map mirrors     {:>10}", m.zone_maps.len());
+}
+
+fn zonemap_cmd(image: &SystemImage) {
+    let pages = zonemap::recover(Some(&image.disk), Some(&image.memory));
+    if pages.is_empty() {
+        println!("no page synopses recovered (zone maps disabled?)");
+        return;
+    }
+    for p in &pages {
+        let src = match p.source {
+            zonemap::ZoneMapSource::Disk => "disk",
+            zonemap::ZoneMapSource::Memory => "mem",
+            zonemap::ZoneMapSource::Both => "both",
+        };
+        let cols: Vec<String> = p
+            .columns
+            .iter()
+            .map(|(c, min, max)| format!("col{c} [{min} .. {max}]"))
+            .collect();
+        println!(
+            "{} page {:<6} [{src}] rows={:<5} {}",
+            p.file,
+            p.page_no,
+            p.rows,
+            cols.join("  ")
+        );
+    }
+    let mut cols: Vec<u16> = pages.iter().flat_map(|p| p.columns.iter().map(|c| c.0)).collect();
+    cols.sort_unstable();
+    cols.dedup();
+    for c in cols {
+        let f = zonemap::bracket_fraction(&pages, c, 1u128 << 32);
+        eprintln!("col{c}: {:.4}% of the 32-bit space bracketed", f * 100.0);
+    }
+    eprintln!("{} pages recovered", pages.len());
 }
 
 fn tracelog_cmd(image: &SystemImage) {

@@ -48,7 +48,7 @@ pub fn extract_hex_literals(statement: &str) -> Vec<Vec<u8>> {
         if (bytes[i] == b'X' || bytes[i] == b'x') && bytes[i + 1] == b'\'' {
             if let Some(end) = statement[i + 2..].find('\'') {
                 let hex = &statement[i + 2..i + 2 + end];
-                if hex.len() % 2 == 0 {
+                if hex.len().is_multiple_of(2) {
                     if let Ok(v) = decode_hex(hex) {
                         out.push(v);
                     }

@@ -14,3 +14,4 @@ pub mod relay;
 pub mod telemetry;
 pub mod tracelog;
 pub mod wal;
+pub mod zonemap;

@@ -65,7 +65,7 @@ impl OreParams {
         if self.width == 0 || self.width > 64 {
             return Err(CryptoError::DomainViolation("width must be in 1..=64"));
         }
-        if self.block_bits == 0 || self.width % self.block_bits != 0 {
+        if self.block_bits == 0 || !self.width.is_multiple_of(self.block_bits) {
             return Err(CryptoError::DomainViolation(
                 "block_bits must divide width",
             ));

@@ -121,7 +121,7 @@ impl Sha256 {
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
         // Feed padding through `update` without re-counting its length.
         let saved = self.len;
-        self.update(&pad[..pad_len + 8].to_vec());
+        self.update(&pad[..pad_len + 8]);
         self.len = saved;
         debug_assert_eq!(self.buf_len, 0);
     }

@@ -53,6 +53,13 @@ pub struct DbConfig {
     pub slow_query_threshold_us: u64,
     /// Buffer pool capacity in pages.
     pub buffer_pool_pages: usize,
+    /// Whether heap pages maintain zone maps (per-page min/max
+    /// synopses) and scans use them to prune pages whose value ranges
+    /// cannot match the predicate. On by default — it is a pure read
+    /// optimisation — and, like every such structure in this codebase,
+    /// a leakage surface: synopses persist plaintext per-page value
+    /// ranges in page headers and ride along in snapshots.
+    pub zone_maps_enabled: bool,
     /// Whether the query cache is enabled.
     pub query_cache_enabled: bool,
     /// Query cache capacity in entries.
@@ -107,6 +114,7 @@ impl Default for DbConfig {
             general_log_enabled: false,
             slow_query_threshold_us: 2_000_000,
             buffer_pool_pages: 256,
+            zone_maps_enabled: true,
             query_cache_enabled: true,
             query_cache_entries: 64,
             history_size: crate::observability::DEFAULT_HISTORY_SIZE,
@@ -188,6 +196,9 @@ struct EngineMetrics {
     query_cache_hits: Counter,
     rows_examined: Histogram,
     rows_returned: Histogram,
+    /// Heap pages skipped by zone-map pruning / decoded by scans.
+    scan_pages_pruned: Counter,
+    scan_pages_decoded: Counter,
     latency_us: Vec<Histogram>, // Parallel to STMT_KINDS.
     table_access: HashMap<String, Counter>,
     repl_applied: Counter,
@@ -208,6 +219,8 @@ impl EngineMetrics {
             query_cache_hits: registry.counter("sql.query_cache_hits"),
             rows_examined: registry.histogram("sql.rows_examined"),
             rows_returned: registry.histogram("sql.rows_returned"),
+            scan_pages_pruned: registry.counter("scan.pages_pruned"),
+            scan_pages_decoded: registry.counter("scan.pages_decoded"),
             latency_us: STMT_KINDS
                 .iter()
                 .map(|k| registry.histogram(&format!("sql.latency_us.{k}")))
@@ -681,7 +694,9 @@ impl DbInner {
         }
 
         if self.config.bufpool_dump_interval > 0
-            && self.statements_executed % self.config.bufpool_dump_interval == 0
+            && self
+                .statements_executed
+                .is_multiple_of(self.config.bufpool_dump_interval)
         {
             self.bufpool.dump(&mut self.vdisk);
         }
@@ -887,7 +902,8 @@ impl DbInner {
             .collect();
         let schema = TableSchema::new(&lname, defs)?;
         let file = format!("table_{lname}.ibd");
-        let heap = TableHeap::create(&mut self.bufpool, &mut self.vdisk, &file)?;
+        let mut heap = TableHeap::create(&mut self.bufpool, &mut self.vdisk, &file)?;
+        heap.set_zone_maps(self.config.zone_maps_enabled);
         let id = self.catalog.next_table_id.max(1);
         self.catalog.next_table_id = id + 1;
 
@@ -992,18 +1008,26 @@ impl DbInner {
             format!("virtual table scan on {}.{}", sel.schema.as_deref().unwrap(), sel.table)
         } else {
             let def = self.catalog.get(&sel.table)?.clone();
-            match sel.where_clause.as_ref().and_then(|w| plan_select(&def, w)) {
-                Some(p) => {
+            let plan = sel.where_clause.as_ref().map(|w| plan_scan(&def, w));
+            match plan {
+                Some(ScanPlan { index: Some(p), .. }) => {
                     let ix = &def.indexes[p.index_pos];
                     format!(
                         "index scan on {} ({}) bounds {:?}..{:?}",
                         ix.name,
                         def.schema.columns[ix.column_idx].name,
-                        p.lo,
-                        p.hi
+                        p.bounds.lo,
+                        p.bounds.hi
                     )
                 }
-                None => format!("full table scan on {}", def.schema.name),
+                Some(ScanPlan {
+                    prune: Some((col, lo, hi)),
+                    ..
+                }) if self.config.zone_maps_enabled => format!(
+                    "full table scan on {} (zone-map pruned on {}, bounds {:?}..{:?})",
+                    def.schema.name, def.schema.columns[col].name, lo, hi
+                ),
+                _ => format!("full table scan on {}", def.schema.name),
             }
         };
         Ok(QueryResult {
@@ -1033,7 +1057,15 @@ impl DbInner {
         let table = sel.table.clone();
         let def = self.catalog.get(&table)?.clone();
         self.record_table_access(&def.schema.name);
-        let (mut rows, examined) = self.fetch_rows(&def, sel.where_clause.as_ref())?;
+        // Pushdowns: LIMIT may short-circuit the scan only when result
+        // order is scan order (no ORDER BY — the truncate below already
+        // runs before projection, so aggregates see the same rows either
+        // way). The projection mask covers every column the query can
+        // read: select list, WHERE, ORDER BY.
+        let push_limit = if sel.order_by.is_none() { sel.limit } else { None };
+        let needed = needed_columns(&def.schema, &sel);
+        let (mut rows, examined) =
+            self.fetch_rows(&def, sel.where_clause.as_ref(), push_limit, needed.as_deref())?;
 
         // ORDER BY before projection.
         if let Some((col, desc)) = &sel.order_by {
@@ -1251,17 +1283,28 @@ impl DbInner {
         })
     }
 
-    /// Fetches candidate rows for a table, using an index when a sargable
-    /// predicate exists, and applies the full filter. Returns surviving
-    /// rows and the rows-examined count.
+    /// Fetches the rows of a table that satisfy `where_clause`, using an
+    /// index when a sargable predicate exists and a zone-map-pruned
+    /// streaming page scan otherwise. Returns surviving rows and the
+    /// rows-examined count.
+    ///
+    /// Pushdowns (callers opt in; DML always passes `None, None`):
+    /// * `limit` — stop as soon as that many rows survive the filter.
+    ///   Sound only when the caller needs the first matches in (page,
+    ///   slot) / index order, i.e. no ORDER BY.
+    /// * `needed` — per-column materialization mask; unneeded columns
+    ///   decode as NULL placeholders. Sound only when the caller never
+    ///   reads the masked columns (projection + WHERE + ORDER BY).
     fn fetch_rows(
         &mut self,
         def: &TableDef,
         where_clause: Option<&Expr>,
+        limit: Option<u64>,
+        needed: Option<&[bool]>,
     ) -> DbResult<(Vec<Row>, u64)> {
         self.trace_begin("plan");
-        let index_plan = where_clause.and_then(|w| plan_select(def, w));
-        self.trace_attr("index_used", index_plan.is_some() as u64);
+        let plan = where_clause.map(|w| plan_scan(def, w)).unwrap_or_default();
+        self.trace_attr("index_used", plan.index.is_some() as u64);
         let cost = self.stage_cost();
         self.trace_end(cost);
 
@@ -1269,16 +1312,22 @@ impl DbInner {
         self.trace_begin("scan");
         let hits0 = self.metrics.bufpool_hits.get();
         let misses0 = self.metrics.bufpool_misses.get();
-        let rt = self
-            .runtime
-            .get(&def.schema.name)
-            .ok_or_else(|| DbError::UnknownTable(def.schema.name.clone()))?;
+        if !self.runtime.contains_key(&def.schema.name) {
+            return Err(DbError::UnknownTable(def.schema.name.clone()));
+        }
+        let limit = limit.map(|l| l as usize);
+        let mut kept: Vec<Row> = Vec::new();
+        let mut examined: u64 = 0;
+        let mut pages_pruned: u64 = 0;
+        let mut pages_decoded: u64 = 0;
+        let done = |kept: &Vec<Row>| matches!(limit, Some(l) if kept.len() >= l);
 
-        let (candidate_rows, examined) = match index_plan {
-            Some(plan) => {
-                let bt = rt.btrees[plan.index_pos].clone();
-                let lit = plan.sample_key();
-                let (lo, hi) = (plan.lo, plan.hi);
+        match plan.index {
+            Some(ip) => {
+                let rt = self.runtime.get(&def.schema.name).expect("checked");
+                let bt = rt.btrees[ip.index_pos].clone();
+                let lit = ip.bounds.sample_key();
+                let (lo, hi) = (ip.bounds.lo, ip.bounds.hi);
                 let found = bt.search_range(&mut self.bufpool, &mut self.vdisk, lo, hi)?;
                 // Adaptive hash: record the searched key against the leaf
                 // page the lookup landed on.
@@ -1288,20 +1337,84 @@ impl DbInner {
                     self.adaptive_hash
                         .record_search((bt.file.clone(), *leaf), &key_bytes);
                 }
-                let rt = self.runtime.get(&def.schema.name).expect("checked");
-                let mut rows = Vec::with_capacity(found.row_ids.len());
                 for rid in &found.row_ids {
-                    rows.push(rt.heap.read(&mut self.bufpool, &mut self.vdisk, *rid)?);
+                    if done(&kept) {
+                        break;
+                    }
+                    let row = {
+                        let rt = self.runtime.get(&def.schema.name).expect("checked");
+                        rt.heap.read(&mut self.bufpool, &mut self.vdisk, *rid)?
+                    };
+                    examined += 1;
+                    // When the index bounds *are* the predicate, re-running
+                    // the filter per row is pure overhead — skip it.
+                    if plan.guaranteed {
+                        kept.push(row);
+                    } else {
+                        match where_clause {
+                            Some(w) => {
+                                if self.eval_truthy(w, &def.schema, &row)? {
+                                    kept.push(row);
+                                }
+                            }
+                            None => kept.push(row),
+                        }
+                    }
                 }
-                let n = rows.len() as u64;
-                (rows, n)
             }
             None => {
-                let (rows, _pages) = rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?;
-                let n = rows.len() as u64;
-                (rows, n)
+                // Streaming heap scan: one page at a time, consulting the
+                // zone map first so non-matching pages are never decoded.
+                let file = self.runtime[&def.schema.name].heap.file.clone();
+                let n_pages = BufferPool::page_count(&self.vdisk, &file);
+                let zone_maps = self.config.zone_maps_enabled;
+                'pages: for page_no in 0..n_pages {
+                    if done(&kept) {
+                        break;
+                    }
+                    if zone_maps {
+                        if let Some((col, lo, hi)) = &plan.prune {
+                            let rt = self.runtime.get_mut(&def.schema.name).expect("checked");
+                            if rt.heap.page_prunable(
+                                &mut self.bufpool,
+                                &mut self.vdisk,
+                                page_no,
+                                *col as u16,
+                                lo,
+                                hi,
+                            )? {
+                                pages_pruned += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    pages_decoded += 1;
+                    let page_rows = {
+                        let rt = self.runtime.get(&def.schema.name).expect("checked");
+                        rt.heap
+                            .read_page_rows(&mut self.bufpool, &mut self.vdisk, page_no, needed)?
+                    };
+                    for row in page_rows {
+                        examined += 1;
+                        match where_clause {
+                            Some(w) => {
+                                if self.eval_truthy(w, &def.schema, &row)? {
+                                    kept.push(row);
+                                }
+                            }
+                            None => kept.push(row),
+                        }
+                        if done(&kept) {
+                            break 'pages;
+                        }
+                    }
+                }
+                self.metrics.scan_pages_pruned.add(pages_pruned);
+                self.metrics.scan_pages_decoded.add(pages_decoded);
+                self.trace_attr("pages_pruned", pages_pruned);
+                self.trace_attr("pages_decoded", pages_decoded);
             }
-        };
+        }
 
         // Buffer-pool I/O nested under the scan: the hit/miss deltas of
         // exactly this stage's page accesses.
@@ -1313,17 +1426,6 @@ impl DbInner {
         // Advisory nested cost: one simulated µs per page fault.
         self.trace_end(pages_missed);
 
-        let mut kept = Vec::new();
-        for row in candidate_rows {
-            match where_clause {
-                Some(w) => {
-                    if self.eval_truthy(w, &def.schema, &row)? {
-                        kept.push(row);
-                    }
-                }
-                None => kept.push(row),
-            }
-        }
         self.trace_attr("rows_examined", examined);
         self.trace_end_elastic();
         Ok((kept, examined))
@@ -1483,7 +1585,9 @@ impl DbInner {
             } => {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
-                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                // No pushdowns: updates re-encode the old row, so every
+                // column must be materialized, and all targets matter.
+                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
                 self.trace_begin("write");
                 let mut set_idx = Vec::new();
                 for (col, val) in &sets {
@@ -1516,7 +1620,8 @@ impl DbInner {
             } => {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
-                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref())?;
+                // No pushdowns: the undo image needs the full old row.
+                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
                 self.trace_begin("write");
                 let affected = targets.len() as u64;
                 for old in targets {
@@ -1909,7 +2014,8 @@ impl DbInner {
         // 2. Open heaps from the (possibly stale) disk pages.
         let defs: Vec<TableDef> = self.catalog.tables.values().cloned().collect();
         for def in &defs {
-            let heap = TableHeap::open(&mut self.bufpool, &mut self.vdisk, &def.file)?;
+            let mut heap = TableHeap::open(&mut self.bufpool, &mut self.vdisk, &def.file)?;
+            heap.set_zone_maps(self.config.zone_maps_enabled);
             self.runtime.insert(
                 def.schema.name.clone(),
                 RuntimeTable {
@@ -2013,6 +2119,26 @@ impl DbInner {
 
     // ================= expression evaluation =================
 
+    /// Every zone-map synopsis the heaps currently hold in memory, as
+    /// `(tablespace file, page number, synopsis)` sorted for stable
+    /// snapshot serialization. This is the in-memory half of the
+    /// zone-map leakage surface; the persisted half lives in the page
+    /// headers of the `.ibd` files themselves.
+    pub(crate) fn zone_map_pages(&self) -> Vec<(String, u32, crate::storage::PageSynopsis)> {
+        let mut out: Vec<(String, u32, crate::storage::PageSynopsis)> = self
+            .runtime
+            .values()
+            .flat_map(|rt| {
+                rt.heap
+                    .zone_map()
+                    .iter()
+                    .map(|(page_no, syn)| (rt.heap.file.clone(), *page_no, syn.clone()))
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        out
+    }
+
     fn eval_truthy(&mut self, e: &Expr, schema: &TableSchema, row: &Row) -> DbResult<bool> {
         Ok(matches!(
             self.eval(e, schema, row)?,
@@ -2074,51 +2200,206 @@ impl DbInner {
 /// Finds sargable conjuncts (`Column op Literal`) over an indexed column
 /// and intersects their bounds, so `k >= a AND k <= b` scans only `[a, b]`
 /// rather than a half-open range. Returns `None` for unindexable filters.
-fn plan_select(def: &TableDef, where_clause: &Expr) -> Option<IndexPlan> {
+/// How a `SELECT` will touch a table: an index range (when a sargable
+/// predicate hits an indexed column), a zone-map prune spec for the
+/// streaming heap scan, and whether the index bounds alone *guarantee*
+/// the full predicate (letting the executor skip per-row re-evaluation).
+#[derive(Default)]
+struct ScanPlan {
+    /// Index range, if any sargable conjunct hit an indexed column.
+    index: Option<IndexPlan>,
+    /// The index bounds are exactly the predicate: every conjunct folded
+    /// into them, no residual filter remains, and the range provably
+    /// excludes stored NULL keys (NULL sorts below every value, so this
+    /// requires a bounded, non-NULL lower bound). Only then may the
+    /// executor skip `eval_truthy` on fetched rows.
+    guaranteed: bool,
+    /// Zone-map prune spec for the heap path: `(column ordinal, lo, hi)`
+    /// over INT bounds. Pages whose synopsis range is disjoint from it
+    /// are skipped without decoding.
+    prune: Option<(usize, std::ops::Bound<i64>, std::ops::Bound<i64>)>,
+}
+
+fn plan_scan(def: &TableDef, where_clause: &Expr) -> ScanPlan {
     let mut conjuncts = Vec::new();
     flatten_and(where_clause, &mut conjuncts);
     let mut plan: Option<IndexPlan> = None;
+    // A conjunct the index bounds do not fully capture: the per-row
+    // filter stays mandatory.
+    let mut residual = false;
+    // Accumulated bounds per column (first-mention order) for pruning.
+    let mut col_bounds: Vec<(usize, RangeBounds)> = Vec::new();
     for c in conjuncts {
-        if let Expr::Cmp(l, op, r) = c {
-            let (col, op, lit) = match (l.as_ref(), r.as_ref()) {
-                (Expr::Column(c), _) if r.as_literal().is_some() => {
-                    (c.clone(), *op, r.as_literal().unwrap().clone())
-                }
-                (_, Expr::Column(c)) if l.as_literal().is_some() => {
-                    (c.clone(), flip(*op), l.as_literal().unwrap().clone())
-                }
-                _ => continue,
-            };
-            if op == CmpOp::Ne {
+        let Expr::Cmp(l, op, r) = c else {
+            residual = true;
+            continue;
+        };
+        let (col, op, lit) = match (l.as_ref(), r.as_ref()) {
+            (Expr::Column(c), _) if r.as_literal().is_some() => {
+                (c.clone(), *op, r.as_literal().unwrap().clone())
+            }
+            (_, Expr::Column(c)) if l.as_literal().is_some() => {
+                (c.clone(), flip(*op), l.as_literal().unwrap().clone())
+            }
+            _ => {
+                residual = true;
                 continue;
             }
-            let Ok(col_idx) = def.schema.column_index(&col) else {
-                continue;
-            };
-            let Some(pos) = def.indexes.iter().position(|i| i.column_idx == col_idx) else {
-                continue;
-            };
-            let p = plan.get_or_insert_with(|| IndexPlan::new(pos));
-            if p.index_pos != pos {
-                continue; // Stick with the first indexed column.
+        };
+        if op == CmpOp::Ne {
+            residual = true;
+            continue;
+        }
+        let Ok(col_idx) = def.schema.column_index(&col) else {
+            residual = true;
+            continue;
+        };
+        // A NULL literal still narrows the index range (harmlessly — the
+        // range finds stored NULLs, eval rejects them), but can never be
+        // *guaranteed*: `col = NULL` is unknown, not a match.
+        if lit == Value::Null {
+            residual = true;
+        }
+        let bounds = match col_bounds.iter_mut().find(|(i, _)| *i == col_idx) {
+            Some((_, b)) => b,
+            None => {
+                col_bounds.push((col_idx, RangeBounds::new()));
+                &mut col_bounds.last_mut().expect("just pushed").1
             }
-            p.narrow(op, lit);
+        };
+        bounds.narrow(op, lit.clone());
+        match def.indexes.iter().position(|i| i.column_idx == col_idx) {
+            Some(pos) => {
+                let p = plan.get_or_insert_with(|| IndexPlan::new(pos));
+                if p.index_pos != pos {
+                    residual = true; // Stick with the first indexed column.
+                    continue;
+                }
+                p.bounds.narrow(op, lit);
+            }
+            None => residual = true,
         }
     }
-    plan
+    let guaranteed = match &plan {
+        Some(p) => {
+            !residual
+                && matches!(
+                    &p.bounds.lo,
+                    std::ops::Bound::Included(v) | std::ops::Bound::Excluded(v)
+                        if *v != Value::Null
+                )
+        }
+        None => false,
+    };
+    // Pruning only matters on the heap path; pick the first column whose
+    // accumulated bounds are INT and bounded on at least one side.
+    let prune = if plan.is_none() {
+        col_bounds.iter().find_map(|(idx, b)| {
+            let lo = int_bound(&b.lo)?;
+            let hi = int_bound(&b.hi)?;
+            if matches!((&lo, &hi), (std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)) {
+                return None;
+            }
+            Some((*idx, lo, hi))
+        })
+    } else {
+        None
+    };
+    ScanPlan {
+        index: plan,
+        guaranteed,
+        prune,
+    }
+}
+
+/// Converts a `Bound<Value>` to `Bound<i64>` — `None` when the literal
+/// is not an INT (the zone map only tracks INT columns).
+fn int_bound(b: &std::ops::Bound<Value>) -> Option<std::ops::Bound<i64>> {
+    use std::ops::Bound::*;
+    match b {
+        Unbounded => Some(Unbounded),
+        Included(Value::Int(v)) => Some(Included(*v)),
+        Excluded(Value::Int(v)) => Some(Excluded(*v)),
+        _ => None,
+    }
+}
+
+/// Collects every column an expression reads into `mask`.
+fn expr_columns(e: &Expr, schema: &TableSchema, mask: &mut [bool]) -> bool {
+    match e {
+        Expr::Literal(_) => true,
+        Expr::Column(c) => match schema.column_index(c) {
+            Ok(i) => {
+                mask[i] = true;
+                true
+            }
+            Err(_) => false,
+        },
+        Expr::Cmp(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            expr_columns(l, schema, mask) && expr_columns(r, schema, mask)
+        }
+        Expr::Not(inner) => expr_columns(inner, schema, mask),
+        Expr::Func(_, args) => args.iter().all(|a| expr_columns(a, schema, mask)),
+    }
+}
+
+/// The projection-pushdown mask for a `SELECT`: which columns the query
+/// can possibly read (select list + WHERE + ORDER BY). `None` means
+/// materialize everything — a `SELECT *`, or any reference the mask
+/// cannot account for (unknown column names fall through so the normal
+/// error paths report them).
+fn needed_columns(schema: &TableSchema, sel: &SelectStmt) -> Option<Vec<bool>> {
+    let mut mask = vec![false; schema.columns.len()];
+    for item in &sel.items {
+        match item {
+            SelectItem::Star => return None,
+            SelectItem::CountStar => {}
+            SelectItem::Column(c) | SelectItem::Aggregate(_, c) => {
+                match schema.column_index(c) {
+                    Ok(i) => mask[i] = true,
+                    Err(_) => return None,
+                }
+            }
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        if !expr_columns(w, schema, &mut mask) {
+            return None;
+        }
+    }
+    if let Some((c, _)) = &sel.order_by {
+        match schema.column_index(c) {
+            Ok(i) => mask[i] = true,
+            Err(_) => return None,
+        }
+    }
+    Some(mask)
 }
 
 /// Accumulated index bounds for one indexed column.
 struct IndexPlan {
     index_pos: usize,
-    lo: std::ops::Bound<Value>,
-    hi: std::ops::Bound<Value>,
+    bounds: RangeBounds,
 }
 
 impl IndexPlan {
     fn new(index_pos: usize) -> IndexPlan {
         IndexPlan {
             index_pos,
+            bounds: RangeBounds::new(),
+        }
+    }
+}
+
+/// An accumulated `[lo, hi]` range over one column.
+struct RangeBounds {
+    lo: std::ops::Bound<Value>,
+    hi: std::ops::Bound<Value>,
+}
+
+impl RangeBounds {
+    fn new() -> RangeBounds {
+        RangeBounds {
             lo: std::ops::Bound::Unbounded,
             hi: std::ops::Bound::Unbounded,
         }

@@ -61,6 +61,42 @@ impl Row {
         }
         Ok(Row { id, values })
     }
+
+    /// Decodes a row materializing only the columns flagged in `needed`
+    /// (schema-ordinal indexed); every other column is byte-skipped and
+    /// left as [`Value::Null`]. `None` means all columns. Columns past
+    /// `needed.len()` are skipped. The projection-pushdown scan path uses
+    /// this so `SELECT a FROM t` never allocates `t`'s TEXT/BYTES
+    /// payloads.
+    pub fn decode_partial(buf: &[u8], needed: Option<&[bool]>) -> DbResult<Row> {
+        let Some(needed) = needed else {
+            return Self::decode(buf);
+        };
+        let mut pos = 0;
+        let id_bytes = buf
+            .get(..8)
+            .ok_or_else(|| DbError::Storage("truncated row id".into()))?;
+        let id = u64::from_le_bytes(id_bytes.try_into().unwrap());
+        pos += 8;
+        let n_bytes = buf
+            .get(pos..pos + 2)
+            .ok_or_else(|| DbError::Storage("truncated column count".into()))?;
+        let n = u16::from_le_bytes(n_bytes.try_into().unwrap()) as usize;
+        pos += 2;
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            if needed.get(i).copied().unwrap_or(false) {
+                values.push(Value::decode(buf, &mut pos)?);
+            } else {
+                Value::skip(buf, &mut pos)?;
+                values.push(Value::Null);
+            }
+        }
+        if pos != buf.len() {
+            return Err(DbError::Storage("trailing bytes after row".into()));
+        }
+        Ok(Row { id, values })
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +115,31 @@ mod tests {
             ],
         };
         assert_eq!(Row::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn decode_partial_materializes_only_needed_columns() {
+        let row = Row {
+            id: 42,
+            values: vec![
+                Value::Int(7),
+                Value::Text("expensive payload".into()),
+                Value::Int(-3),
+                Value::Bytes(vec![1, 2, 3]),
+            ],
+        };
+        let bytes = row.encode();
+        let got = Row::decode_partial(&bytes, Some(&[true, false, true, false])).unwrap();
+        assert_eq!(got.id, 42);
+        assert_eq!(
+            got.values,
+            vec![Value::Int(7), Value::Null, Value::Int(-3), Value::Null]
+        );
+        // None mask == full decode; short mask skips the tail.
+        assert_eq!(Row::decode_partial(&bytes, None).unwrap(), row);
+        let head = Row::decode_partial(&bytes, Some(&[true])).unwrap();
+        assert_eq!(head.values[0], Value::Int(7));
+        assert_eq!(head.values[3], Value::Null);
     }
 
     #[test]

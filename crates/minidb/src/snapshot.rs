@@ -13,6 +13,21 @@ use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
 use crate::storage::bufpool::PageKey;
 use crate::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
 
+/// One page's zone-map synopsis as captured in a memory image: the
+/// per-page plaintext value ranges the scan pruner keeps hot. Row
+/// payloads may be ciphertext; these min/max bounds never are.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneMapPage {
+    /// Tablespace file the page belongs to.
+    pub file: String,
+    /// Page number within the file.
+    pub page_no: u32,
+    /// Live rows the synopsis reflects.
+    pub rows: u64,
+    /// Per-column `(ordinal, min, max)` bounds.
+    pub columns: Vec<(u16, i64, i64)>,
+}
+
 /// Everything on "disk": tablespace files, catalog, checkpoint, log files,
 /// the binlog, the buffer-pool dump, and the text logs.
 #[derive(Clone, Debug)]
@@ -70,6 +85,12 @@ pub struct MemoryImage {
     /// memory snapshot taken after a diagnostics wipe still carries this
     /// per-statement timeline (experiment e15).
     pub query_traces: Vec<mdb_trace::StatementTrace>,
+    /// The heaps' in-memory zone-map mirrors: per-page min/max value
+    /// ranges for every page a scan or DML has touched. Even when every
+    /// row payload is EDB-encrypted, these synopses bracket the
+    /// plaintext of range-queryable columns page by page (experiment
+    /// e16).
+    pub zone_maps: Vec<ZoneMapPage>,
 }
 
 impl MemoryImage {
@@ -163,6 +184,16 @@ impl Db {
             processlist: g.processlist.entries().into_iter().cloned().collect(),
             metrics: g.telemetry.snapshot(),
             query_traces: g.trace.traces(),
+            zone_maps: g
+                .zone_map_pages()
+                .into_iter()
+                .map(|(file, page_no, syn)| ZoneMapPage {
+                    file,
+                    page_no,
+                    rows: syn.rows as u64,
+                    columns: syn.cols.iter().map(|c| (c.col, c.min, c.max)).collect(),
+                })
+                .collect(),
         }
     }
 

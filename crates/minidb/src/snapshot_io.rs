@@ -3,10 +3,10 @@
 //! standalone forensic tooling (the workflow a real attacker has: image
 //! first, carve at leisure).
 //!
-//! Format (`EDBSNAP3`, little-endian, length-prefixed throughout):
+//! Format (`EDBSNAP4`, little-endian, length-prefixed throughout):
 //!
 //! ```text
-//! magic "EDBSNAP3" | captured_at i64
+//! magic "EDBSNAP4" | captured_at i64
 //! disk:   u32 n, then n × (str name, u64 len, bytes)
 //! memory: u64 heap_len, heap bytes
 //!         [cached_queries] [cached_pages] [page_access_counts]
@@ -14,15 +14,17 @@
 //!         [digest_summary] [processlist]
 //! metrics: [counters] [gauges] [histograms]
 //! traces:  u32 n, then n × (u64 len, mdb-trace record payload)
+//! zonemaps: u32 n, then n × (str file, u32 page_no, u64 rows,
+//!           u32 ncols, ncols × (u32 col, i64 min, i64 max))
 //! ```
 
 use std::collections::BTreeMap;
 
 use crate::error::{DbError, DbResult};
 use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
-use crate::snapshot::{DiskImage, MemoryImage, SystemImage};
+use crate::snapshot::{DiskImage, MemoryImage, SystemImage, ZoneMapPage};
 
-const MAGIC: &[u8; 8] = b"EDBSNAP3";
+const MAGIC: &[u8; 8] = b"EDBSNAP4";
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -87,7 +89,7 @@ impl<'a> Reader<'a> {
 }
 
 impl SystemImage {
-    /// Serializes the image to the `EDBSNAP3` container.
+    /// Serializes the image to the `EDBSNAP4` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -186,14 +188,27 @@ impl SystemImage {
             mdb_trace::record::encode_payload(t, &mut payload);
             w_bytes(&mut out, &payload);
         }
+        // The zone-map mirrors: per-page plaintext min/max bounds.
+        w_u32(&mut out, m.zone_maps.len() as u32);
+        for z in &m.zone_maps {
+            w_str(&mut out, &z.file);
+            w_u32(&mut out, z.page_no);
+            w_u64(&mut out, z.rows);
+            w_u32(&mut out, z.columns.len() as u32);
+            for (col, min, max) in &z.columns {
+                w_u32(&mut out, *col as u32);
+                w_i64(&mut out, *min);
+                w_i64(&mut out, *max);
+            }
+        }
         out
     }
 
-    /// Parses an `EDBSNAP3` container.
+    /// Parses an `EDBSNAP4` container.
     pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
         let mut r = Reader { buf, pos: 0 };
         if r.take(8)? != MAGIC {
-            return Err(DbError::Storage("not an EDBSNAP3 image".into()));
+            return Err(DbError::Storage("not an EDBSNAP4 image".into()));
         }
         let captured_at = r.i64()?;
         let n_files = r.u32()? as usize;
@@ -311,6 +326,25 @@ impl SystemImage {
             }
             query_traces.push(t);
         }
+        let mut zone_maps = Vec::new();
+        for _ in 0..r.u32()? {
+            let file = r.str()?;
+            let page_no = r.u32()?;
+            let rows = r.u64()?;
+            let mut columns = Vec::new();
+            for _ in 0..r.u32()? {
+                let col = r.u32()? as u16;
+                let min = r.i64()?;
+                let max = r.i64()?;
+                columns.push((col, min, max));
+            }
+            zone_maps.push(ZoneMapPage {
+                file,
+                page_no,
+                rows,
+                columns,
+            });
+        }
         if r.pos != buf.len() {
             return Err(DbError::Storage("trailing bytes in snapshot".into()));
         }
@@ -328,6 +362,7 @@ impl SystemImage {
                 processlist,
                 metrics,
                 query_traces,
+                zone_maps,
             },
             captured_at,
         })
@@ -340,9 +375,11 @@ mod tests {
     use crate::engine::{Db, DbConfig};
 
     fn image() -> SystemImage {
-        let mut config = DbConfig::default();
-        config.redo_capacity = 1 << 16;
-        config.undo_capacity = 1 << 16;
+        let config = DbConfig {
+            redo_capacity: 1 << 16,
+            undo_capacity: 1 << 16,
+            ..DbConfig::default()
+        };
         let db = Db::open(config);
         let conn = db.connect("app");
         conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
@@ -381,6 +418,14 @@ mod tests {
         // The flight-recorder ring rides along too, span trees and all.
         assert!(!img.memory.query_traces.is_empty());
         assert_eq!(back.memory.query_traces, img.memory.query_traces);
+        // And so do the zone-map mirrors: the INSERT above touched one
+        // heap page, whose synopsis carries the plaintext id range.
+        assert!(!img.memory.zone_maps.is_empty());
+        assert!(img.memory.zone_maps[0]
+            .columns
+            .iter()
+            .any(|&(_, min, max)| min == 1 && max == 1));
+        assert_eq!(back.memory.zone_maps, img.memory.zone_maps);
     }
 
     #[test]

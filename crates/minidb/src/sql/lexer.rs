@@ -216,7 +216,7 @@ fn utf8_len(first: u8) -> usize {
 }
 
 fn decode_hex(s: &str) -> DbResult<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DbError::Parse("odd-length hex literal".into()));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -9,8 +9,12 @@
 //!   by recent `SELECT`s.
 //! * **Access counters**: per-page counters feed the adaptive hash index
 //!   (§5), another volatile structure that betrays access patterns.
+//!
+//! Eviction is O(log n): an ordered index (`BTreeMap` keyed by access
+//! tick) shadows the frame table, so finding the LRU victim is a
+//! `pop_first` instead of a full scan over every frame.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mdb_telemetry::{Counter, Registry};
 
@@ -23,6 +27,15 @@ pub type PageKey = (String, u32);
 
 /// Name of the persisted LRU dump file (InnoDB's `ib_buffer_pool`).
 pub const DUMP_FILE: &str = "ib_buffer_pool";
+
+/// Upper bound on the `access_counts` map. The counters outlive
+/// eviction on purpose (they feed the adaptive hash index), which made
+/// the map grow without bound on large scans: one entry per page *ever
+/// touched*. At the cap, admitting a new page drops the coldest entry
+/// (smallest lifetime count) — the page least likely to matter to the
+/// AHI. 65536 entries covers a 1 GiB hot set at 16 KiB pages, far above
+/// anything the experiments touch, while bounding snapshot bloat.
+pub const ACCESS_COUNTS_CAP: usize = 65_536;
 
 struct Frame {
     data: Vec<u8>,
@@ -47,7 +60,13 @@ pub struct BufferPool {
     frames: HashMap<PageKey, Frame>,
     /// Monotonic access clock for LRU ordering.
     tick: u64,
+    /// Ordered LRU index: access tick → page. Every cached frame has
+    /// exactly one entry here (ticks are unique: each frame insert or
+    /// touch stamps a freshly incremented tick), so the first entry is
+    /// always the eviction victim.
+    lru: BTreeMap<u64, PageKey>,
     /// Lifetime access counts per page (survives eviction; volatile).
+    /// Bounded by [`ACCESS_COUNTS_CAP`].
     access_counts: HashMap<PageKey, u64>,
     metrics: Option<PoolMetrics>,
 }
@@ -64,6 +83,7 @@ impl BufferPool {
             capacity,
             frames: HashMap::new(),
             tick: 0,
+            lru: BTreeMap::new(),
             access_counts: HashMap::new(),
             metrics: None,
         }
@@ -82,13 +102,37 @@ impl BufferPool {
         });
     }
 
-    fn touch(&mut self, key: &PageKey) {
+    /// Stamps a fresh tick on the frame for `key`, keeping the ordered
+    /// LRU index in sync.
+    fn stamp(&mut self, key: &PageKey) {
         self.tick += 1;
         let tick = self.tick;
         if let Some(f) = self.frames.get_mut(key) {
+            self.lru.remove(&f.last_access);
             f.last_access = tick;
+            self.lru.insert(tick, key.clone());
+        }
+    }
+
+    fn count_access(&mut self, key: &PageKey) {
+        if !self.access_counts.contains_key(key) && self.access_counts.len() >= ACCESS_COUNTS_CAP {
+            // Overflow: drop the coldest page. Linear, but only on the
+            // rare admission-at-cap path, never per access.
+            if let Some(victim) = self
+                .access_counts
+                .iter()
+                .min_by_key(|(_, n)| **n)
+                .map(|(k, _)| k.clone())
+            {
+                self.access_counts.remove(&victim);
+            }
         }
         *self.access_counts.entry(key.clone()).or_insert(0) += 1;
+    }
+
+    fn touch(&mut self, key: &PageKey) {
+        self.stamp(key);
+        self.count_access(key);
     }
 
     fn load(&mut self, vdisk: &mut VDisk, key: &PageKey) -> DbResult<()> {
@@ -112,6 +156,7 @@ impl BufferPool {
                 )))
             }
         };
+        self.tick += 1;
         self.frames.insert(
             key.clone(),
             Frame {
@@ -120,18 +165,17 @@ impl BufferPool {
                 last_access: self.tick,
             },
         );
+        self.lru.insert(self.tick, key.clone());
         Ok(())
     }
 
     fn evict_to_fit(&mut self, vdisk: &mut VDisk, incoming: usize) {
         while self.frames.len() + incoming > self.capacity {
-            let victim = self
-                .frames
-                .iter()
-                .min_by_key(|(_, f)| f.last_access)
-                .map(|(k, _)| k.clone())
-                .expect("pool not empty when over capacity");
-            let frame = self.frames.remove(&victim).unwrap();
+            let (_, victim) = self
+                .lru
+                .pop_first()
+                .expect("LRU index tracks every frame");
+            let frame = self.frames.remove(&victim).expect("indexed frame exists");
             if let Some(m) = &self.metrics {
                 m.evictions.inc();
             }
@@ -184,18 +228,17 @@ impl BufferPool {
         vdisk.write_at(file, page_no as usize * PAGE_SIZE, &buf);
         self.evict_to_fit(vdisk, 1);
         self.tick += 1;
+        let key = (file.to_string(), page_no);
         self.frames.insert(
-            (file.to_string(), page_no),
+            key.clone(),
             Frame {
                 data: buf,
                 dirty: false,
                 last_access: self.tick,
             },
         );
-        *self
-            .access_counts
-            .entry((file.to_string(), page_no))
-            .or_insert(0) += 1;
+        self.lru.insert(self.tick, key.clone());
+        self.count_access(&key);
         page_no
     }
 
@@ -221,13 +264,7 @@ impl BufferPool {
 
     /// Cached pages most-recently-used first.
     pub fn lru_order(&self) -> Vec<PageKey> {
-        let mut keys: Vec<(&PageKey, u64)> = self
-            .frames
-            .iter()
-            .map(|(k, f)| (k, f.last_access))
-            .collect();
-        keys.sort_by(|a, b| b.1.cmp(&a.1));
-        keys.into_iter().map(|(k, _)| k.clone()).collect()
+        self.lru.values().rev().cloned().collect()
     }
 
     /// Writes the LRU dump file (`ib_buffer_pool`) to disk: one
@@ -265,6 +302,7 @@ impl BufferPool {
     /// the same name must not see stale frames.
     pub fn purge_file(&mut self, file: &str) {
         self.frames.retain(|(f, _), _| f != file);
+        self.lru.retain(|_, (f, _)| f != file);
         self.access_counts.retain(|(f, _), _| f != file);
     }
 
@@ -272,6 +310,7 @@ impl BufferPool {
     /// pages die here; recovery must redo them from the WAL.
     pub fn crash(&mut self) {
         self.frames.clear();
+        self.lru.clear();
         self.access_counts.clear();
         self.tick = 0;
     }
@@ -360,6 +399,27 @@ mod tests {
     }
 
     #[test]
+    fn lru_index_stays_in_sync_under_churn() {
+        let (mut bp, mut vd) = setup();
+        for _ in 0..16 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        // Touch a survivor, then force more evictions around it.
+        bp.with_page(&mut vd, "t.ibd", 13, |_| ()).unwrap();
+        for p in 0..8 {
+            bp.with_page(&mut vd, "t.ibd", p, |_| ()).unwrap();
+        }
+        assert_eq!(bp.cached_pages(), 4);
+        let order = bp.lru_order();
+        assert_eq!(order.len(), 4, "one LRU entry per frame");
+        assert_eq!(order[0], ("t.ibd".to_string(), 7), "most recent first");
+        // Every LRU entry maps to a cached frame and vice versa.
+        for key in &order {
+            assert!(bp.with_page(&mut vd, &key.0, key.1, |_| ()).is_ok());
+        }
+    }
+
+    #[test]
     fn dump_file_contents() {
         let (mut bp, mut vd) = setup();
         bp.allocate_page(&mut vd, "a.ibd");
@@ -392,5 +452,30 @@ mod tests {
             bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
         }
         assert_eq!(bp.access_count("t.ibd", 0), 6); // 1 alloc + 5 reads.
+    }
+
+    #[test]
+    fn access_counters_bounded() {
+        let (mut bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "hot.ibd");
+        // Heat one page well past everything else.
+        for _ in 0..10 {
+            bp.with_page(&mut vd, "hot.ibd", 0, |_| ()).unwrap();
+        }
+        // Fill to the cap with cold synthetic entries (avoids allocating
+        // 65k real pages just to trigger the overflow path).
+        let mut i = 0u32;
+        while bp.access_counts.len() < ACCESS_COUNTS_CAP {
+            bp.access_counts.insert((format!("cold-{i}.ibd"), 0), 2);
+            i += 1;
+        }
+        // Admitting new pages at the cap evicts a coldest entry each time
+        // (the newest admission, at count 1, is itself the next victim).
+        bp.allocate_page(&mut vd, "new-a.ibd");
+        bp.allocate_page(&mut vd, "new-b.ibd");
+        assert!(bp.access_counts.len() <= ACCESS_COUNTS_CAP);
+        assert_eq!(bp.access_count("new-b.ibd", 0), 1);
+        // The hot page's counter survived the overflow evictions.
+        assert_eq!(bp.access_count("hot.ibd", 0), 11);
     }
 }

@@ -7,6 +7,6 @@ pub mod page;
 pub mod table;
 
 pub use btree::{BTree, SearchResult};
-pub use bufpool::{BufferPool, PageKey, DUMP_FILE};
-pub use page::{Page, SlotNo, PAGE_SIZE};
+pub use bufpool::{BufferPool, PageKey, ACCESS_COUNTS_CAP, DUMP_FILE};
+pub use page::{ColumnStats, Page, PageRef, PageSynopsis, SlotNo, PAGE_SIZE, SYN_MAX_COLS};
 pub use table::{TableHeap, UpdatePlacement};

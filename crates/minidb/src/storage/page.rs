@@ -6,10 +6,32 @@
 //! 0..8    page_lsn      LSN of the last change applied to this page
 //! 8..10   n_slots       number of slot-directory entries
 //! 10..12  free_end      offset where the cell area begins (cells grow down)
-//! 12..    slot dir      n_slots × u16 cell offsets (0 = tombstone)
+//! 12..13  syn_valid     1 = the synopsis below covers every live cell
+//! 13..14  syn_ncols     number of synopsis entries in use
+//! 14..16  syn_rows      live row count the synopsis reflects
+//! 16..88  synopsis      4 × (col u16, min i64, max i64) zone-map entries
+//! 88..    slot dir      n_slots × u16 cell offsets (0 = tombstone)
 //! ...     free space
 //! ...     cells         each cell: u16 length + payload, packed at the end
 //! ```
+//!
+//! The synopsis is the page's **zone map**: per-column min/max over the
+//! INT values of the live rows, plus a live-row count. The scan executor
+//! uses it to skip pages that cannot match a range predicate without
+//! decoding them. It is deliberately *conservative*: deletes and
+//! narrowing updates leave the bounds wider than the live data, which is
+//! always sound for pruning. Byte-level mutators ([`Page::insert`],
+//! [`Page::insert_at`], [`Page::update_in_place`], [`Page::delete`])
+//! know nothing about row encodings, so they clear `syn_valid`; the
+//! value-aware table-heap layer restores it, and scans lazily rebuild
+//! synopses that raw paths (redo replay) left invalid.
+//!
+//! Forensics note (§3/§5 of the paper): the synopsis is plaintext page
+//! metadata. Every flushed heap page hands an attacker the min/max of
+//! its rows' indexable columns — even when the row payload cells
+//! themselves carry ciphertext.
+
+use std::ops::Bound;
 
 use crate::error::{DbError, DbResult};
 
@@ -19,10 +41,88 @@ pub const PAGE_SIZE: usize = 16 * 1024;
 const HDR_LSN: usize = 0;
 const HDR_NSLOTS: usize = 8;
 const HDR_FREE_END: usize = 10;
-const HDR_SIZE: usize = 12;
+const HDR_SYN_VALID: usize = 12;
+const HDR_SYN_NCOLS: usize = 13;
+const HDR_SYN_ROWS: usize = 14;
+const HDR_SYN_ENTRIES: usize = 16;
+/// Bytes per synopsis entry: column ordinal + min + max.
+const SYN_ENTRY_SIZE: usize = 2 + 8 + 8;
+/// Maximum number of columns a page synopsis tracks (the first
+/// [`SYN_MAX_COLS`] INT columns that appear in this page's rows).
+pub const SYN_MAX_COLS: usize = 4;
+const HDR_SIZE: usize = HDR_SYN_ENTRIES + SYN_MAX_COLS * SYN_ENTRY_SIZE;
 
 /// Slot index within a page.
 pub type SlotNo = u16;
+
+/// Min/max statistics for one column within one page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Column ordinal in schema order.
+    pub col: u16,
+    /// Smallest live INT value seen (conservative lower bound).
+    pub min: i64,
+    /// Largest live INT value seen (conservative upper bound).
+    pub max: i64,
+}
+
+/// A decoded page synopsis (zone map): live-row count plus per-column
+/// min/max bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageSynopsis {
+    /// Live rows on the page.
+    pub rows: u16,
+    /// Per-column bounds, in first-seen order.
+    pub cols: Vec<ColumnStats>,
+}
+
+impl PageSynopsis {
+    /// Stats for one column, if tracked.
+    pub fn stats(&self, col: u16) -> Option<&ColumnStats> {
+        self.cols.iter().find(|c| c.col == col)
+    }
+
+    /// Whether the page provably holds no row with `col` inside
+    /// `(lo, hi)`. Untracked columns never exclude (the column may be
+    /// non-INT, all-NULL, or beyond the synopsis capacity).
+    pub fn excludes(&self, col: u16, lo: &Bound<i64>, hi: &Bound<i64>) -> bool {
+        if self.rows == 0 {
+            return true;
+        }
+        let Some(s) = self.stats(col) else {
+            return false;
+        };
+        let below = match lo {
+            Bound::Included(v) => s.max < *v,
+            Bound::Excluded(v) => s.max <= *v,
+            Bound::Unbounded => false,
+        };
+        let above = match hi {
+            Bound::Included(v) => s.min > *v,
+            Bound::Excluded(v) => s.min >= *v,
+            Bound::Unbounded => false,
+        };
+        below || above
+    }
+}
+
+fn syn_decode(buf: &[u8]) -> Option<PageSynopsis> {
+    if buf[HDR_SYN_VALID] != 1 {
+        return None;
+    }
+    let ncols = (buf[HDR_SYN_NCOLS] as usize).min(SYN_MAX_COLS);
+    let rows = u16::from_le_bytes([buf[HDR_SYN_ROWS], buf[HDR_SYN_ROWS + 1]]);
+    let mut cols = Vec::with_capacity(ncols);
+    for i in 0..ncols {
+        let off = HDR_SYN_ENTRIES + i * SYN_ENTRY_SIZE;
+        cols.push(ColumnStats {
+            col: u16::from_le_bytes([buf[off], buf[off + 1]]),
+            min: i64::from_le_bytes(buf[off + 2..off + 10].try_into().unwrap()),
+            max: i64::from_le_bytes(buf[off + 10..off + 18].try_into().unwrap()),
+        });
+    }
+    Some(PageSynopsis { rows, cols })
+}
 
 /// A view over one page's bytes providing slotted-record operations.
 ///
@@ -44,12 +144,14 @@ impl<'a> Page<'a> {
         Page { buf }
     }
 
-    /// Formats the buffer as an empty page.
+    /// Formats the buffer as an empty page (with an empty, valid
+    /// synopsis: zero rows, zero tracked columns).
     pub fn format(buf: &mut [u8]) {
         assert_eq!(buf.len(), PAGE_SIZE);
         buf[..HDR_SIZE].fill(0);
         let free_end = PAGE_SIZE as u16;
         buf[HDR_FREE_END..HDR_FREE_END + 2].copy_from_slice(&free_end.to_le_bytes());
+        buf[HDR_SYN_VALID] = 1;
     }
 
     fn read_u16(&self, off: usize) -> u16 {
@@ -115,6 +217,7 @@ impl<'a> Page<'a> {
         let slot = self.n_slots();
         self.write_u16(HDR_NSLOTS, slot + 1);
         self.set_slot_offset(slot, new_end as u16);
+        self.buf[HDR_SYN_VALID] = 0;
         Ok(slot)
     }
 
@@ -143,6 +246,7 @@ impl<'a> Page<'a> {
         self.buf[new_end + 2..new_end + 2 + payload.len()].copy_from_slice(payload);
         self.write_u16(HDR_FREE_END, new_end as u16);
         self.set_slot_offset(slot, new_end as u16);
+        self.buf[HDR_SYN_VALID] = 0;
         Ok(())
     }
 
@@ -167,6 +271,7 @@ impl<'a> Page<'a> {
             return Err(DbError::Storage("delete of missing slot".into()));
         }
         self.set_slot_offset(slot, 0);
+        self.buf[HDR_SYN_VALID] = 0;
         Ok(())
     }
 
@@ -187,12 +292,158 @@ impl<'a> Page<'a> {
             return Err(DbError::Storage("in-place update length mismatch".into()));
         }
         self.buf[off + 2..off + 2 + len].copy_from_slice(payload);
+        self.buf[HDR_SYN_VALID] = 0;
         Ok(())
     }
 
     /// Iterates live `(slot, payload)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SlotNo, &[u8])> {
         (0..self.n_slots()).filter_map(move |s| self.get(s).map(|p| (s, p)))
+    }
+
+    // ---------------- synopsis (zone map) maintenance ----------------
+
+    /// Whether the persisted synopsis covers every live cell. Raw byte
+    /// mutators clear this; the value-aware heap layer restores it.
+    pub fn synopsis_valid(&self) -> bool {
+        self.buf[HDR_SYN_VALID] == 1
+    }
+
+    /// Marks the synopsis valid (or not). Only the table-heap layer,
+    /// which knows the row values, may set this to `true`.
+    pub fn set_synopsis_valid(&mut self, valid: bool) {
+        self.buf[HDR_SYN_VALID] = valid as u8;
+    }
+
+    /// Decodes the synopsis, or `None` when it is invalid.
+    pub fn synopsis(&self) -> Option<PageSynopsis> {
+        syn_decode(self.buf)
+    }
+
+    /// Resets the synopsis to empty-and-valid (start of a rebuild).
+    pub fn synopsis_reset(&mut self) {
+        self.buf[HDR_SYN_VALID] = 1;
+        self.buf[HDR_SYN_NCOLS] = 0;
+        self.write_u16(HDR_SYN_ROWS, 0);
+    }
+
+    fn synopsis_widen(&mut self, cols: &[(u16, i64)]) {
+        for &(col, v) in cols {
+            let ncols = self.buf[HDR_SYN_NCOLS] as usize;
+            let mut found = false;
+            for i in 0..ncols.min(SYN_MAX_COLS) {
+                let off = HDR_SYN_ENTRIES + i * SYN_ENTRY_SIZE;
+                if self.read_u16(off) == col {
+                    let min = i64::from_le_bytes(self.buf[off + 2..off + 10].try_into().unwrap());
+                    let max = i64::from_le_bytes(self.buf[off + 10..off + 18].try_into().unwrap());
+                    if v < min {
+                        self.buf[off + 2..off + 10].copy_from_slice(&v.to_le_bytes());
+                    }
+                    if v > max {
+                        self.buf[off + 10..off + 18].copy_from_slice(&v.to_le_bytes());
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if !found && ncols < SYN_MAX_COLS {
+                let off = HDR_SYN_ENTRIES + ncols * SYN_ENTRY_SIZE;
+                self.write_u16(off, col);
+                self.buf[off + 2..off + 10].copy_from_slice(&v.to_le_bytes());
+                self.buf[off + 10..off + 18].copy_from_slice(&v.to_le_bytes());
+                self.buf[HDR_SYN_NCOLS] = (ncols + 1) as u8;
+            }
+            // Columns past the capacity simply go untracked (and can
+            // therefore never prune).
+        }
+    }
+
+    /// Accounts for one inserted row: widens the tracked bounds by its
+    /// INT values and bumps the live-row count.
+    pub fn synopsis_note_insert(&mut self, cols: &[(u16, i64)]) {
+        self.synopsis_widen(cols);
+        let rows = self.read_u16(HDR_SYN_ROWS).saturating_add(1);
+        self.write_u16(HDR_SYN_ROWS, rows);
+    }
+
+    /// Accounts for an in-place update: widens bounds by the new values.
+    /// The old values stay inside the bounds — conservative but sound.
+    pub fn synopsis_note_update(&mut self, cols: &[(u16, i64)]) {
+        self.synopsis_widen(cols);
+    }
+
+    /// Accounts for one deleted row: the bounds stay (a superset is
+    /// sound), only the live-row count drops.
+    pub fn synopsis_note_delete(&mut self) {
+        let rows = self.read_u16(HDR_SYN_ROWS).saturating_sub(1);
+        self.write_u16(HDR_SYN_ROWS, rows);
+    }
+}
+
+/// A read-only view over a page buffer. Unlike [`Page`], it borrows the
+/// bytes immutably, so scan paths can decode straight out of the buffer
+/// pool frame without copying the page first.
+pub struct PageRef<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PageRef<'a> {
+    /// Wraps a page-sized buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly [`PAGE_SIZE`] bytes.
+    pub fn new(buf: &'a [u8]) -> PageRef<'a> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page buffer size");
+        PageRef { buf }
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    /// Number of slots (including tombstones).
+    pub fn n_slots(&self) -> u16 {
+        self.read_u16(HDR_NSLOTS)
+    }
+
+    /// Reads the record in `slot`, or `None` for tombstones.
+    pub fn get(&self, slot: SlotNo) -> Option<&'a [u8]> {
+        if slot >= self.n_slots() {
+            return None;
+        }
+        let off = self.read_u16(HDR_SIZE + slot as usize * 2) as usize;
+        if off == 0 {
+            return None;
+        }
+        let len = u16::from_le_bytes([self.buf[off], self.buf[off + 1]]) as usize;
+        Some(&self.buf[off + 2..off + 2 + len])
+    }
+
+    /// Iterates live `(slot, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotNo, &'a [u8])> + '_ {
+        (0..self.n_slots()).filter_map(move |s| self.get(s).map(|p| (s, p)))
+    }
+
+    /// Free bytes between the slot directory and the cell area.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HDR_SIZE + self.n_slots() as usize * 2;
+        self.read_u16(HDR_FREE_END) as usize - dir_end
+    }
+
+    /// Whether a cell of `len` payload bytes fits (including a new slot).
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + 4
+    }
+
+    /// Whether the persisted synopsis covers every live cell.
+    pub fn synopsis_valid(&self) -> bool {
+        self.buf[HDR_SYN_VALID] == 1
+    }
+
+    /// Decodes the synopsis, or `None` when it is invalid.
+    pub fn synopsis(&self) -> Option<PageSynopsis> {
+        syn_decode(self.buf)
     }
 }
 
@@ -285,5 +536,100 @@ mod tests {
         let mut buf = fresh();
         let mut p = Page::new(&mut buf);
         assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn raw_mutations_invalidate_synopsis() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        assert!(p.synopsis_valid(), "fresh page starts valid and empty");
+        let s = p.insert(b"row").unwrap();
+        assert!(!p.synopsis_valid(), "raw insert must invalidate");
+        p.set_synopsis_valid(true);
+        p.update_in_place(s, b"ROW").unwrap();
+        assert!(!p.synopsis_valid(), "raw update must invalidate");
+        p.set_synopsis_valid(true);
+        p.delete(s).unwrap();
+        assert!(!p.synopsis_valid(), "raw delete must invalidate");
+    }
+
+    #[test]
+    fn synopsis_tracks_min_max_and_rows() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        p.insert(b"a").unwrap();
+        p.synopsis_note_insert(&[(0, 50), (1, -3)]);
+        p.set_synopsis_valid(true);
+        p.insert(b"b").unwrap();
+        p.synopsis_note_insert(&[(0, 10), (1, 7)]);
+        p.set_synopsis_valid(true);
+        let syn = p.synopsis().expect("valid");
+        assert_eq!(syn.rows, 2);
+        assert_eq!(syn.stats(0).unwrap(), &ColumnStats { col: 0, min: 10, max: 50 });
+        assert_eq!(syn.stats(1).unwrap(), &ColumnStats { col: 1, min: -3, max: 7 });
+        // Update widens, delete only drops the count.
+        p.synopsis_note_update(&[(0, 99)]);
+        p.synopsis_note_delete();
+        let syn = p.synopsis().unwrap();
+        assert_eq!(syn.rows, 1);
+        assert_eq!(syn.stats(0).unwrap().max, 99);
+        assert_eq!(syn.stats(0).unwrap().min, 10);
+    }
+
+    #[test]
+    fn synopsis_capacity_caps_tracked_columns() {
+        let mut buf = fresh();
+        let mut p = Page::new(&mut buf);
+        let cols: Vec<(u16, i64)> = (0..8).map(|i| (i as u16, i)).collect();
+        p.synopsis_note_insert(&cols);
+        let syn = p.synopsis().unwrap();
+        assert_eq!(syn.cols.len(), SYN_MAX_COLS);
+        assert!(syn.stats(7).is_none(), "columns past capacity go untracked");
+        // Untracked columns never exclude.
+        use std::ops::Bound::*;
+        assert!(!syn.excludes(7, &Included(100), &Unbounded));
+    }
+
+    #[test]
+    fn excludes_respects_bound_kinds() {
+        use std::ops::Bound::*;
+        let syn = PageSynopsis {
+            rows: 5,
+            cols: vec![ColumnStats { col: 0, min: 10, max: 20 }],
+        };
+        // Disjoint above and below.
+        assert!(syn.excludes(0, &Included(21), &Unbounded));
+        assert!(syn.excludes(0, &Unbounded, &Included(9)));
+        // Touching endpoints: inclusive overlaps, exclusive does not.
+        assert!(!syn.excludes(0, &Included(20), &Unbounded));
+        assert!(syn.excludes(0, &Excluded(20), &Unbounded));
+        assert!(!syn.excludes(0, &Unbounded, &Included(10)));
+        assert!(syn.excludes(0, &Unbounded, &Excluded(10)));
+        // Overlapping range keeps the page.
+        assert!(!syn.excludes(0, &Included(15), &Included(30)));
+        // Empty pages always prune.
+        let empty = PageSynopsis { rows: 0, cols: vec![] };
+        assert!(empty.excludes(0, &Unbounded, &Unbounded));
+    }
+
+    #[test]
+    fn page_ref_reads_match_page() {
+        let mut buf = fresh();
+        {
+            let mut p = Page::new(&mut buf);
+            p.insert(b"alpha").unwrap();
+            let s = p.insert(b"beta").unwrap();
+            p.insert(b"gamma").unwrap();
+            p.delete(s).unwrap();
+            p.synopsis_reset();
+            p.synopsis_note_insert(&[(0, 4)]);
+            p.synopsis_note_insert(&[(0, 9)]);
+        }
+        let r = PageRef::new(&buf);
+        assert_eq!(r.n_slots(), 3);
+        let live: Vec<&[u8]> = r.iter().map(|(_, b)| b).collect();
+        assert_eq!(live, vec![b"alpha".as_ref(), b"gamma".as_ref()]);
+        assert!(r.synopsis_valid());
+        assert_eq!(r.synopsis().unwrap().stats(0).unwrap().max, 9);
     }
 }

@@ -130,6 +130,33 @@ impl Value {
         }
     }
 
+    /// Advances `pos` past one encoded value without materializing it —
+    /// no allocation, no UTF-8 validation. The projection-pushdown scan
+    /// path uses this to step over columns the query never reads.
+    pub fn skip(buf: &[u8], pos: &mut usize) -> DbResult<()> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| DbError::Storage("truncated value tag".into()))?;
+        *pos += 1;
+        let body = match tag {
+            0 => 0,
+            1 => 8,
+            2 | 3 => {
+                let len_bytes = buf
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| DbError::Storage("truncated length".into()))?;
+                *pos += 4;
+                u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize
+            }
+            t => return Err(DbError::Storage(format!("unknown value tag {t}"))),
+        };
+        if buf.len() < *pos + body {
+            return Err(DbError::Storage("truncated body".into()));
+        }
+        *pos += body;
+        Ok(())
+    }
+
     /// SQL three-valued comparison: `None` when either side is NULL.
     pub fn sql_cmp(&self, other: &Value) -> Option<core::cmp::Ordering> {
         match (self, other) {
@@ -199,6 +226,26 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             assert!(Value::decode(&buf[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn skip_advances_like_decode() {
+        for v in [
+            Value::Null,
+            Value::Int(-77),
+            Value::Text("skip me".into()),
+            Value::Bytes(vec![9; 300]),
+        ] {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            let mut pos = 0;
+            Value::skip(&buf, &mut pos).unwrap();
+            assert_eq!(pos, buf.len());
+            for cut in 0..buf.len() {
+                let mut p = 0;
+                assert!(Value::skip(&buf[..cut], &mut p).is_err(), "cut {cut}");
+            }
         }
     }
 

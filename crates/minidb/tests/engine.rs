@@ -344,8 +344,10 @@ fn binlog_records_writes_with_timestamps() {
 
 #[test]
 fn general_log_off_by_default_slow_log_triggers() {
-    let mut config = DbConfig::default();
-    config.slow_query_threshold_us = 100; // Everything with rows is "slow".
+    let config = DbConfig {
+        slow_query_threshold_us: 100, // Everything with rows is "slow".
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     setup_customers(&db);
     let conn = db.connect("app");
@@ -569,8 +571,10 @@ fn explain_analyze_executes_writes() {
 
 #[test]
 fn query_traces_virtual_table_and_ring_eviction() {
-    let mut config = DbConfig::default();
-    config.trace_ring_capacity = 4;
+    let config = DbConfig {
+        trace_ring_capacity: 4,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     setup_customers(&db);
     let conn = db.connect("app");
@@ -605,9 +609,11 @@ fn query_traces_virtual_table_and_ring_eviction() {
 
 #[test]
 fn tracing_disabled_keeps_ring_empty_and_slow_log_minimal() {
-    let mut config = DbConfig::default();
-    config.trace_enabled = false;
-    config.slow_query_threshold_us = 100;
+    let config = DbConfig {
+        trace_enabled: false,
+        slow_query_threshold_us: 100,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     setup_customers(&db);
     let conn = db.connect("app");
@@ -631,8 +637,10 @@ fn tracing_disabled_keeps_ring_empty_and_slow_log_minimal() {
 
 #[test]
 fn flush_diagnostics_scrub_clears_latency_histograms_and_trace_ring() {
-    let mut config = DbConfig::default();
-    config.telemetry_scrub_on_flush = true;
+    let config = DbConfig {
+        telemetry_scrub_on_flush: true,
+        ..DbConfig::default()
+    };
     let db = Db::open(config);
     setup_customers(&db);
     let conn = db.connect("app");

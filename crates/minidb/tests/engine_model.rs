@@ -38,9 +38,11 @@ proptest! {
 
     #[test]
     fn engine_matches_btreemap_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
-        let mut config = DbConfig::default();
-        config.redo_capacity = 256 * 1024;
-        config.undo_capacity = 256 * 1024;
+        let config = DbConfig {
+            redo_capacity: 256 * 1024,
+            undo_capacity: 256 * 1024,
+            ..DbConfig::default()
+        };
         let db = Db::open(config);
         let mut conn = db.connect("model");
         conn.execute("CREATE TABLE m (k INT PRIMARY KEY, v INT)").unwrap();
