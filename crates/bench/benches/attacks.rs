@@ -1,7 +1,6 @@
 //! Benchmarks of the attack primitives: how cheap plaintext recovery is
 //! once the snapshot artifacts are in hand.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use minidb::wal::{carve_frames, frame};
 use rand::rngs::StdRng;
@@ -11,6 +10,7 @@ use snapshot_attack::attacks::count::{count_attack_batch, AuxiliaryCounts};
 use snapshot_attack::attacks::frequency::rank_match;
 use snapshot_attack::attacks::matching::min_cost_assignment;
 use snapshot_attack::forensics::memscan;
+use std::time::Duration;
 
 fn bench_carving(c: &mut Criterion) {
     let mut g = c.benchmark_group("forensics");
@@ -91,7 +91,9 @@ fn bench_statistics(c: &mut Criterion) {
 
     let observed: Vec<(u32, f64)> = (0..1_000).map(|i| (i, rng.gen_range(0.0..100.0))).collect();
     let model: Vec<(u32, f64)> = (0..1_000).map(|i| (i, rng.gen_range(0.0..1.0))).collect();
-    g.bench_function("rank_match_1000", |b| b.iter(|| rank_match(&observed, &model)));
+    g.bench_function("rank_match_1000", |b| {
+        b.iter(|| rank_match(&observed, &model))
+    });
     g.finish();
 }
 

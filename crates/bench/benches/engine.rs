@@ -1,9 +1,9 @@
 //! Benchmarks of the MiniDB substrate: statement throughput and the cost
 //! of the instrumentation that makes the leakage possible.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use minidb::engine::{Db, DbConfig};
+use std::time::Duration;
 
 fn small_config() -> DbConfig {
     DbConfig {
@@ -22,7 +22,8 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("insert_per_stmt", |b| {
         let db = Db::open(small_config());
         let conn = db.connect("bench");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         let mut i = 0i64;
         b.iter(|| {
             conn.execute(&format!("INSERT INTO t VALUES ({i}, 'payload-{i}')"))
@@ -34,9 +35,11 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("point_select_indexed", |b| {
         let db = Db::open(small_config());
         let conn = db.connect("bench");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..5_000 {
-            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')"))
+                .unwrap();
         }
         let mut i = 0i64;
         b.iter(|| {
@@ -51,9 +54,11 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("range_select_indexed", |b| {
         let db = Db::open(small_config());
         let conn = db.connect("bench");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..5_000 {
-            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')"))
+                .unwrap();
         }
         let mut i = 0i64;
         b.iter(|| {
@@ -70,9 +75,11 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("query_cache_hit", |b| {
         let db = Db::open(small_config());
         let conn = db.connect("bench");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..1_000 {
-            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')"))
+                .unwrap();
         }
         conn.execute("SELECT * FROM t WHERE id = 7").unwrap();
         b.iter(|| conn.execute("SELECT * FROM t WHERE id = 7").unwrap());
@@ -83,9 +90,11 @@ fn bench_engine(c: &mut Criterion) {
             || {
                 let db = Db::open(small_config());
                 let conn = db.connect("bench");
-                conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+                conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+                    .unwrap();
                 for i in 0..1_000 {
-                    conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+                    conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')"))
+                        .unwrap();
                 }
                 db.crash();
                 db
@@ -97,9 +106,11 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("system_snapshot", |b| {
         let db = Db::open(small_config());
         let conn = db.connect("bench");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..1_000 {
-            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')")).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({i}, 'p{i}')"))
+                .unwrap();
         }
         b.iter(|| db.system_image());
     });

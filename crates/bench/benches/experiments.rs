@@ -3,8 +3,8 @@
 //! `experiments` binary regenerates the actual numbers; these benches
 //! track the cost of regenerating them.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 fn bench_experiments(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments_quick");

@@ -1,13 +1,13 @@
 //! Micro-benchmarks of the cryptographic primitives and PRE schemes —
 //! the cost side of the paper's leakage/performance trade-off discussion.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use edb_crypto::ore::{compare, OreKey, OreParams};
 use edb_crypto::swp::{server_match, SwpClient};
 use edb_crypto::{ashe, chacha20, det, hmac, rnd, sha256, Key};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_hashes(c: &mut Criterion) {
     let mut g = c.benchmark_group("hash");
@@ -53,7 +53,9 @@ fn bench_schemes(c: &mut Criterion) {
     g.bench_function("rnd_encrypt_64B", |b| {
         b.iter(|| rnd::encrypt(&key, &[0u8; 64], &mut rng))
     });
-    g.bench_function("det_encrypt_64B", |b| b.iter(|| det::encrypt(&key, &[0u8; 64])));
+    g.bench_function("det_encrypt_64B", |b| {
+        b.iter(|| det::encrypt(&key, &[0u8; 64]))
+    });
 
     let ore = OreKey::new(&key, OreParams::PAPER).unwrap();
     g.bench_function("ore_encrypt_left_u32", |b| {
@@ -64,7 +66,9 @@ fn bench_schemes(c: &mut Criterion) {
     });
     let left = ore.encrypt_left(123456).unwrap();
     let right = ore.encrypt_right(654321, &mut rng).unwrap();
-    g.bench_function("ore_compare", |b| b.iter(|| compare(&left, &right).unwrap()));
+    g.bench_function("ore_compare", |b| {
+        b.iter(|| compare(&left, &right).unwrap())
+    });
 
     let swp = SwpClient::new(&key);
     g.bench_function("swp_encrypt_word", |b| {

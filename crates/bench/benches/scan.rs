@@ -5,8 +5,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::scanbench;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan");

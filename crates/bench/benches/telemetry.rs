@@ -59,9 +59,11 @@ fn query_db(telemetry_enabled: bool) -> Db {
     };
     let db = Db::open(config);
     let conn = db.connect("bench");
-    conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..64 {
-        conn.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')")).unwrap();
+        conn.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')"))
+            .unwrap();
     }
     db
 }
@@ -75,16 +77,13 @@ fn bench_engine_overhead(c: &mut Criterion) {
         let db = query_db(enabled);
         let conn = db.connect("bench");
         let mut i = 0u64;
-        g.bench_with_input(
-            BenchmarkId::new("point-select", label),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    i = (i + 1) % 64;
-                    conn.execute(&format!("SELECT * FROM kv WHERE id = {i}")).unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("point-select", label), &(), |b, _| {
+            b.iter(|| {
+                i = (i + 1) % 64;
+                conn.execute(&format!("SELECT * FROM kv WHERE id = {i}"))
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }

@@ -57,9 +57,11 @@ fn query_db(trace_enabled: bool) -> Db {
     };
     let db = Db::open(config);
     let conn = db.connect("bench");
-    conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE kv (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..64 {
-        conn.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')")).unwrap();
+        conn.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')"))
+            .unwrap();
     }
     db
 }
@@ -73,16 +75,13 @@ fn bench_engine_overhead(c: &mut Criterion) {
         let db = query_db(enabled);
         let conn = db.connect("bench");
         let mut i = 0u64;
-        g.bench_with_input(
-            BenchmarkId::new("point-select", label),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    i = (i + 1) % 64;
-                    conn.execute(&format!("SELECT * FROM kv WHERE id = {i}")).unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("point-select", label), &(), |b, _| {
+            b.iter(|| {
+                i = (i + 1) % 64;
+                conn.execute(&format!("SELECT * FROM kv WHERE id = {i}"))
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }
@@ -95,7 +94,8 @@ fn bench_chrome_export(c: &mut Criterion) {
     let db = query_db(true);
     let conn = db.connect("bench");
     for i in 0..64 {
-        conn.execute(&format!("SELECT * FROM kv WHERE id = {}", i % 64)).unwrap();
+        conn.execute(&format!("SELECT * FROM kv WHERE id = {}", i % 64))
+            .unwrap();
     }
     let traces = db.query_traces();
     g.bench_function("to_chrome_json/64", |b| {

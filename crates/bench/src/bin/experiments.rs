@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [--json <path>] [--trace <dir>]
-//!             [--bench-json <path>] [e1 e2 … | all]
+//!             [--bench-json <path>] [--obs-bench-json <path>]
+//!             [e1 e2 … | all]
 //! ```
 //!
 //! Tables always go to stdout; `--json <path>` additionally writes a
@@ -12,7 +13,9 @@
 //! `chrome://tracing` / Perfetto) from the statement traces the
 //! experiment's engines recorded; `--bench-json <path>` runs the scan
 //! micro-benchmark (full vs zone-map-pruned range scans) and writes its
-//! rows/sec and pruning counters as JSON.
+//! rows/sec and pruning counters as JSON; `--obs-bench-json <path>`
+//! runs the scrape-plane benchmark (exposition shape + scrape/encode/
+//! parse timing) and writes it as JSON.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -20,17 +23,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let path_flag = |flag: &str| {
-        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => p.clone(),
-            _ => {
-                eprintln!("{flag} requires a path argument");
-                std::process::exit(2);
-            }
-        })
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => p.clone(),
+                _ => {
+                    eprintln!("{flag} requires a path argument");
+                    std::process::exit(2);
+                }
+            })
     };
     let json_path = path_flag("--json");
     let trace_dir = path_flag("--trace");
     let bench_json_path = path_flag("--bench-json");
+    let obs_bench_json_path = path_flag("--obs-bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -39,20 +45,21 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--trace" || a == "--bench-json" {
+        if a == "--json" || a == "--trace" || a == "--bench-json" || a == "--obs-bench-json" {
             skip_next = true;
         } else if !a.starts_with("--") {
             ids.push(a.clone());
         }
     }
-    // With --bench-json and no explicit ids, run only the benchmark.
-    let ids: Vec<String> = if ids.is_empty() && bench_json_path.is_some() {
-        Vec::new()
-    } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ALL.iter().map(|s| s.to_string()).collect()
-    } else {
-        ids
-    };
+    // With a bench flag and no explicit ids, run only the benchmark.
+    let ids: Vec<String> =
+        if ids.is_empty() && (bench_json_path.is_some() || obs_bench_json_path.is_some()) {
+            Vec::new()
+        } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
+            ALL.iter().map(|s| s.to_string()).collect()
+        } else {
+            ids
+        };
     let opts = Options {
         quick,
         ..Default::default()
@@ -65,7 +72,10 @@ fn main() {
     }
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
-        eprintln!("[experiments] running {id}{}", if quick { " (quick)" } else { "" });
+        eprintln!(
+            "[experiments] running {id}{}",
+            if quick { " (quick)" } else { "" }
+        );
         match bench::run_report(id, &opts) {
             Some(report) => {
                 for t in &report.tables {
@@ -122,5 +132,19 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote scan bench JSON to {path}");
+    }
+    if let Some(path) = obs_bench_json_path {
+        let (rows, queries) = if quick { (2_000, 8) } else { (10_000, 20) };
+        eprintln!("[experiments] obs bench: {rows} rows, {queries} queries");
+        let b = bench::obsbench::run(rows, queries);
+        eprintln!(
+            "[experiments] {} series / {} bytes per scrape (scrubbed: {} / {}), round-trip {:.0} us",
+            b.series, b.body_bytes, b.scrub_series, b.scrub_body_bytes, b.scrape_roundtrip_us,
+        );
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote obs bench JSON to {path}");
     }
 }

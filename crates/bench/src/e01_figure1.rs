@@ -42,8 +42,10 @@ pub fn run(opts: &Options) -> Vec<Table> {
     }
     let db = set.primary().clone();
     let conn = db.connect("app");
-    conn.execute("SELECT * FROM accounts WHERE balance >= 4000").unwrap();
-    conn.execute("UPDATE accounts SET balance = 0 WHERE id = 7").unwrap();
+    conn.execute("SELECT * FROM accounts WHERE balance >= 4000")
+        .unwrap();
+    conn.execute("UPDATE accounts SET balance = 0 WHERE id = 7")
+        .unwrap();
     set.wait_for_sync(std::time::Duration::from_secs(10));
 
     // The Figure 1 matrix, measured — per host: each replica is one more
@@ -70,7 +72,13 @@ pub fn run(opts: &Options) -> Vec<Table> {
     // REPLICA host's relay log.
     let mut artifacts = Table::new(
         "Figure 1 (extended) - query-history artifacts actually recovered",
-        &["attack", "binlog stmts", "diag tables", "heap SQL strings", "replica relay stmts"],
+        &[
+            "attack",
+            "binlog stmts",
+            "diag tables",
+            "heap SQL strings",
+            "replica relay stmts",
+        ],
     );
     for vector in AttackVector::ALL {
         let obs = capture(&db, vector);
@@ -84,9 +92,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         // backing state sits in process memory for snapshot vectors.
         let diag = match (&obs.sql, &obs.volatile_db) {
             (Some(conn), _) => conn
-                .execute(
-                    "SELECT * FROM performance_schema.events_statements_summary_by_digest",
-                )
+                .execute("SELECT * FROM performance_schema.events_statements_summary_by_digest")
                 .map(|r| r.rows.len())
                 .unwrap_or(0),
             (None, Some(mem)) => mem.digest_summary.len(),
@@ -135,10 +141,7 @@ mod tests {
         assert_eq!(m.rows[0][1], "X");
         assert_eq!(m.rows[0][2], "");
         // VM snapshot: everything.
-        assert_eq!(
-            m.rows[2],
-            vec!["VM snapshot leak", "X", "X", "X", "X"]
-        );
+        assert_eq!(m.rows[2], vec!["VM snapshot leak", "X", "X", "X", "X"]);
     }
 
     #[test]

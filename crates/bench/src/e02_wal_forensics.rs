@@ -54,7 +54,8 @@ pub fn run(opts: &Options) -> Vec<Table> {
             }
             Write::Delete { id } => {
                 issued.2 += 1;
-                conn.execute(&format!("DELETE FROM ledger WHERE id = {id}")).unwrap();
+                conn.execute(&format!("DELETE FROM ledger WHERE id = {id}"))
+                    .unwrap();
             }
         }
     }
@@ -90,7 +91,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     t1.row(&[
         "full row images decoded".into(),
         "-".into(),
-        recovered.iter().filter(|w| w.row.is_some()).count().to_string(),
+        recovered
+            .iter()
+            .filter(|w| w.row.is_some())
+            .count()
+            .to_string(),
     ]);
     t1.row(&[
         "before-images (undo)".into(),
@@ -103,7 +108,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let undo_stats = history_stats(undo_raw, DEFAULT_LOG_CAPACITY);
     let mut t2 = Table::new(
         "E2b - days of history in 50 MB at 1 write/sec (paper: ~16 days)",
-        &["log", "mean record bytes", "records at 50 MB", "days of history"],
+        &[
+            "log",
+            "mean record bytes",
+            "records at 50 MB",
+            "days of history",
+        ],
     );
     t2.row(&[
         "redo".into(),
@@ -166,9 +176,6 @@ mod tests {
         let t2 = &tables[1];
         // Undo retention lands in the paper's order of magnitude.
         let undo_days: f64 = t2.rows[1][3].parse().unwrap();
-        assert!(
-            undo_days > 4.0 && undo_days < 40.0,
-            "undo days {undo_days}"
-        );
+        assert!(undo_days > 4.0 && undo_days < 40.0, "undo days {undo_days}");
     }
 }

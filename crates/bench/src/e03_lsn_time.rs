@@ -20,7 +20,8 @@ pub fn run(opts: &Options) -> Vec<Table> {
     };
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE events (id INT PRIMARY KEY, note TEXT)").unwrap();
+    conn.execute("CREATE TABLE events (id INT PRIMARY KEY, note TEXT)")
+        .unwrap();
 
     // Phase 1: early history (will be purged from the binlog).
     for i in 0..n {
@@ -29,12 +30,10 @@ pub fn run(opts: &Options) -> Vec<Table> {
     }
     // Ground truth for phase 1, taken from the binlog *before* the purge
     // (the attacker will never see this).
-    let truth: Vec<(u64, i64)> = binlog::parse_binlog(
-        db.disk_image().file(BINLOG_FILE).unwrap(),
-    )
-    .iter()
-    .map(|e| (e.lsn, e.timestamp))
-    .collect();
+    let truth: Vec<(u64, i64)> = binlog::parse_binlog(db.disk_image().file(BINLOG_FILE).unwrap())
+        .iter()
+        .map(|e| (e.lsn, e.timestamp))
+        .collect();
 
     db.purge_binlog(); // Admin housekeeping.
 
@@ -72,12 +71,19 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "E3 - dating purged history via LSN-rate correlation",
         &["metric", "value"],
     );
-    t.row(&["binlog events visible (post-purge)".into(), events.len().to_string()]);
+    t.row(&[
+        "binlog events visible (post-purge)".into(),
+        events.len().to_string(),
+    ]);
     t.row(&["fit slope (sec/LSN)".into(), format!("{:.4}", model.slope)]);
     t.row(&["purged redo records dated".into(), dated.to_string()]);
     t.row(&[
         "mean dating error (sec)".into(),
-        f2(if dated == 0 { 0.0 } else { err_sum / dated as f64 }),
+        f2(if dated == 0 {
+            0.0
+        } else {
+            err_sum / dated as f64
+        }),
     ]);
     t.row(&["max dating error (sec)".into(), f2(err_max)]);
     t.row(&["workload span (sec)".into(), f2(span_secs)]);

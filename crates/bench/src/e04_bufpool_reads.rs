@@ -22,7 +22,8 @@ pub fn run(opts: &Options) -> Vec<Table> {
     };
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE s (k INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE s (k INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
         let values: Vec<String> = chunk.iter().map(|i| format!("({i}, 'v{i}')")).collect();
         conn.execute(&format!("INSERT INTO s VALUES {}", values.join(", ")))
@@ -50,7 +51,9 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let mut hits = 0usize;
     let mut shown = 0usize;
     for (rank, (page, min, max)) in top.enumerate() {
-        let (Value::Int(lo), Value::Int(hi)) = (min, max) else { continue };
+        let (Value::Int(lo), Value::Int(hi)) = (min, max) else {
+            continue;
+        };
         let overlap = queries
             .iter()
             .any(|&(qlo, qhi)| *lo <= qhi && *hi >= qlo && qhi < rows as i64);
@@ -69,7 +72,10 @@ pub fn run(opts: &Options) -> Vec<Table> {
     summary.row(&["leaf pages in dump".into(), ranges.len().to_string()]);
     summary.row(&[
         "top-ranked leaves overlapping victim queries".into(),
-        format!("{hits}/{shown} ({})", pct(hits as f64 / shown.max(1) as f64)),
+        format!(
+            "{hits}/{shown} ({})",
+            pct(hits as f64 / shown.max(1) as f64)
+        ),
     ]);
     opts.absorb_db(&db);
     vec![t, summary]

@@ -113,9 +113,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         &["metric", "value", "history rows left"],
     );
     let hist_after = inj
-        .execute(
-            "SELECT thread_id, sql_text FROM performance_schema.events_statements_history",
-        )
+        .execute("SELECT thread_id, sql_text FROM performance_schema.events_statements_history")
         .unwrap()
         .rows
         .len();
@@ -185,8 +183,6 @@ mod tests {
     fn attacker_sees_own_injected_query_in_processlist() {
         let tables = run(&Options::default());
         let procs = &tables[2].rows;
-        assert!(procs
-            .iter()
-            .any(|r| r[3].contains("processlist")));
+        assert!(procs.iter().any(|r| r[3].contains("processlist")));
     }
 }

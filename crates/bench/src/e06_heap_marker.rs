@@ -21,7 +21,9 @@ use crate::Options;
 
 fn random_token(rng: &mut StdRng, len: usize) -> String {
     const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
-    (0..len).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect()
+    (0..len)
+        .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+        .collect()
 }
 
 /// Runs the experiment.
@@ -56,8 +58,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
 
     // Step 2: 100 matching + 900 non-matching SELECTs.
     for i in 0..100 {
-        conn.execute(&format!("SELECT * FROM inbox WHERE sender = 'user{}'", i % 17))
-            .unwrap();
+        conn.execute(&format!(
+            "SELECT * FROM inbox WHERE sender = 'user{}'",
+            i % 17
+        ))
+        .unwrap();
     }
     for i in 0..900 {
         conn.execute(&format!("SELECT * FROM inbox WHERE sender = 'ghost{i}'"))
@@ -108,7 +113,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
         (2_500 + tail_queries).to_string(),
         "102,000".into(),
     ]);
-    t.row(&["heap image size (bytes)".into(), mem.heap.len().to_string(), "-".into()]);
+    t.row(&[
+        "heap image size (bytes)".into(),
+        mem.heap.len().to_string(),
+        "-".into(),
+    ]);
     opts.absorb_db(&db);
     vec![t]
 }

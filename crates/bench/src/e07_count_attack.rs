@@ -61,10 +61,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         proxy
             .insert(
                 "docs",
-                &[
-                    Value::Int(doc.id as i64),
-                    Value::Text(doc.words.join(" ")),
-                ],
+                &[Value::Int(doc.id as i64), Value::Text(doc.words.join(" "))],
             )
             .unwrap();
     }
@@ -153,13 +150,25 @@ pub fn run(opts: &Options) -> Vec<Table> {
         tokens.len().to_string(),
         "-".into(),
     ]);
-    t.row(&["victim queries issued".into(), num_queries.to_string(), "-".into()]);
     t.row(&[
-        "keywords uniquely recovered".into(),
-        format!("{} ({})", report.recovered.len(), pct(report.recovery_rate())),
+        "victim queries issued".into(),
+        num_queries.to_string(),
         "-".into(),
     ]);
-    t.row(&["recoveries verified correct".into(), correct.to_string(), "-".into()]);
+    t.row(&[
+        "keywords uniquely recovered".into(),
+        format!(
+            "{} ({})",
+            report.recovered.len(),
+            pct(report.recovery_rate())
+        ),
+        "-".into(),
+    ]);
+    t.row(&[
+        "recoveries verified correct".into(),
+        correct.to_string(),
+        "-".into(),
+    ]);
     t.row(&[
         "documents with partial content revealed".into(),
         format!(

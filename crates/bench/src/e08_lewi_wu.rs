@@ -15,7 +15,11 @@ pub const PAPER: [(usize, f64); 3] = [(5, 0.12), (25, 0.19), (50, 0.25)];
 
 /// Runs the experiment.
 pub fn run(opts: &Options) -> Vec<Table> {
-    let (db_size, trials) = if opts.quick { (1_000, 30) } else { (10_000, 1_000) };
+    let (db_size, trials) = if opts.quick {
+        (1_000, 30)
+    } else {
+        (10_000, 1_000)
+    };
     let mut t = Table::new(
         &format!(
             "E8 - Lewi-Wu bit leakage (db={db_size}, trials={trials}, paper: db=10000, trials=1000)"
@@ -72,10 +76,7 @@ mod tests {
         // Within ±4 percentage points of the paper at each point.
         for (row, (_, paper)) in rows.iter().zip(PAPER) {
             let m = parse(&row[2]);
-            assert!(
-                (m - paper).abs() < 0.045,
-                "measured {m} vs paper {paper}"
-            );
+            assert!((m - paper).abs() < 0.045, "measured {m} vs paper {paper}");
         }
     }
 }

@@ -36,7 +36,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
 /// E9a: digest histogram → frequency analysis on basic SPLASHE.
 fn splashe_digest_attack(opts: &Options) -> Table {
     let domain = 30u32;
-    let (rows, queries) = if opts.quick { (300, 400) } else { (2_000, 3_000) };
+    let (rows, queries) = if opts.quick {
+        (300, 400)
+    } else {
+        (2_000, 3_000)
+    };
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let zipf = Zipf::new(domain as usize, 1.0);
 
@@ -112,19 +116,23 @@ fn splashe_digest_attack(opts: &Options) -> Table {
     );
     t.row(&["domain size".into(), domain.to_string()]);
     t.row(&["count queries issued".into(), queries.to_string()]);
-    t.row(&["columns observed in digest table".into(), observed.len().to_string()]);
+    t.row(&[
+        "columns observed in digest table".into(),
+        observed.len().to_string(),
+    ]);
     t.row(&[
         "columns correctly mapped (frequency analysis)".into(),
-        format!("{correct}/{} ({})", guesses.len(), pct(correct as f64 / guesses.len().max(1) as f64)),
+        format!(
+            "{correct}/{} ({})",
+            guesses.len(),
+            pct(correct as f64 / guesses.len().max(1) as f64)
+        ),
     ]);
     t.row(&[
         "queries whose value is revealed".into(),
         pct(correct_weighted / observed_total.max(1.0)),
     ]);
-    t.row(&[
-        "random-guess baseline".into(),
-        pct(1.0 / domain as f64),
-    ]);
+    t.row(&["random-guess baseline".into(), pct(1.0 / domain as f64)]);
     opts.absorb_db(&db);
     t
 }
@@ -159,7 +167,10 @@ fn seabed_ore_attack(opts: &Options) -> Table {
     let aux_ages: Vec<u32> = aux_rows.iter().map(|r| r.age).collect();
     let total = truth.len() as f64;
     let aux_total = aux_ages.len() as f64;
-    let ct_freq: Vec<f64> = distinct.iter().map(|&v| counts(&truth, v) / total).collect();
+    let ct_freq: Vec<f64> = distinct
+        .iter()
+        .map(|&v| counts(&truth, v) / total)
+        .collect();
     let cand_freq: Vec<f64> = candidates
         .iter()
         .map(|&v| counts(&aux_ages, v) / aux_total)
@@ -221,7 +232,11 @@ fn seabed_ore_attack(opts: &Options) -> Table {
 fn enhanced_splashe_attack(opts: &Options) -> Table {
     let domain = 20u32;
     let frequent: Vec<u32> = (0..4).collect(); // Zipf head gets columns.
-    let (rows, queries) = if opts.quick { (200, 500) } else { (1_000, 2_500) };
+    let (rows, queries) = if opts.quick {
+        (200, 500)
+    } else {
+        (1_000, 2_500)
+    };
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xE9C);
     let zipf = Zipf::new(domain as usize, 1.0);
 
@@ -295,20 +310,27 @@ fn enhanced_splashe_attack(opts: &Options) -> Table {
             tail_rows_revealed += true_values.iter().filter(|&&v| v == *value).count();
         }
     }
-    let tail_rows_total = true_values
-        .iter()
-        .filter(|v| !frequent.contains(v))
-        .count();
+    let tail_rows_total = true_values.iter().filter(|v| !frequent.contains(v)).count();
 
     let mut t = Table::new(
         "E9c - enhanced SPLASHE: row recovery via carved tail queries",
         &["metric", "value"],
     );
-    t.row(&["tail values in domain".into(), tail_values.len().to_string()]);
-    t.row(&["distinct tail ciphertexts in the slow log".into(), observed.len().to_string()]);
+    t.row(&[
+        "tail values in domain".into(),
+        tail_values.len().to_string(),
+    ]);
+    t.row(&[
+        "distinct tail ciphertexts in the slow log".into(),
+        observed.len().to_string(),
+    ]);
     t.row(&[
         "tail ciphertexts correctly mapped".into(),
-        format!("{ct_correct}/{} ({})", guesses.len(), pct(ct_correct as f64 / guesses.len().max(1) as f64)),
+        format!(
+            "{ct_correct}/{} ({})",
+            guesses.len(),
+            pct(ct_correct as f64 / guesses.len().max(1) as f64)
+        ),
     ]);
     t.row(&[
         "tail rows with value revealed".into(),
@@ -347,7 +369,10 @@ mod tests {
         });
         let mapped = pct_of(&t.rows[3][1]);
         let baseline = pct_of(&t.rows[5][1]);
-        assert!(mapped > 2.0 * baseline, "mapped {mapped} vs baseline {baseline}");
+        assert!(
+            mapped > 2.0 * baseline,
+            "mapped {mapped} vs baseline {baseline}"
+        );
         // The MLE metric: fraction of query mass whose value is revealed.
         // Head values dominate and rank-match reliably.
         let revealed = pct_of(&t.rows[4][1]);

@@ -63,11 +63,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "E10 - Arx: range-query transcripts from the transaction logs",
         &["metric", "value", "paper"],
     );
-    t.row(&[
-        "range queries issued".into(),
-        q.to_string(),
-        "-".into(),
-    ]);
+    t.row(&["range queries issued".into(), q.to_string(), "-".into()]);
     t.row(&[
         "transcripts reconstructed from binlog".into(),
         transcripts.len().to_string(),
@@ -78,8 +74,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
         format!("{}/{}", freqs.len(), ix.len()),
         "-".into(),
     ]);
-    let mean_path: f64 =
-        transcripts.iter().map(|t| t.visited.len() as f64).sum::<f64>() / transcripts.len().max(1) as f64;
+    let mean_path: f64 = transcripts
+        .iter()
+        .map(|t| t.visited.len() as f64)
+        .sum::<f64>()
+        / transcripts.len().max(1) as f64;
     t.row(&[
         "mean nodes visited per query".into(),
         f2(mean_path),

@@ -23,7 +23,8 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let db = Db::open(config);
     let at_rest = AtRest::install(&db, &Key([0x0A; 32]));
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE vault (id INT PRIMARY KEY, secret TEXT)").unwrap();
+    conn.execute("CREATE TABLE vault (id INT PRIMARY KEY, secret TEXT)")
+        .unwrap();
     for i in 0..30 {
         conn.execute(&format!(
             "INSERT INTO vault VALUES ({i}, 'classified-record-{i}')"
@@ -80,11 +81,19 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "disk theft (encrypted disk)".into(),
         if plaintext_found { "LEAKED" } else { "none" }.into(),
         binlog_readable.to_string(),
-        format!("only file names/sizes visible ({} files)", stolen.files.len()),
+        format!(
+            "only file names/sizes visible ({} files)",
+            stolen.files.len()
+        ),
     ]);
     t.row(&[
         "VM snapshot (memory + disk)".into(),
-        if full_recovery { "ALL (key carved from heap)" } else { "none" }.into(),
+        if full_recovery {
+            "ALL (key carved from heap)"
+        } else {
+            "none"
+        }
+        .into(),
         recovered_binlog.to_string(),
         format!("plus {heap_sql} SQL strings straight from the heap"),
     ]);
@@ -101,7 +110,10 @@ mod tests {
         let tables = run(&Options::default());
         let rows = &tables[0].rows;
         assert_eq!(rows[0][1], "none");
-        assert_eq!(rows[0][2], "0", "binlog unreadable under at-rest encryption");
+        assert_eq!(
+            rows[0][2], "0",
+            "binlog unreadable under at-rest encryption"
+        );
         assert!(rows[1][1].contains("ALL"));
         let stmts: usize = rows[1][2].parse().unwrap();
         assert!(stmts >= 30, "decrypted binlog reveals the write history");

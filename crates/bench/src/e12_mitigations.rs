@@ -33,16 +33,22 @@ struct Probe {
 fn run_workload(opts: &Options, config: DbConfig, marker: &str, flush_diagnostics: bool) -> Probe {
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)").unwrap();
-    conn.execute("CREATE TABLE other (id INT PRIMARY KEY)").unwrap();
+    conn.execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
+        .unwrap();
+    conn.execute("CREATE TABLE other (id INT PRIMARY KEY)")
+        .unwrap();
     // The victim writes and reads the marker.
-    conn.execute(&format!("INSERT INTO notes VALUES (1, '{marker}')")).unwrap();
-    conn.execute(&format!("SELECT * FROM notes WHERE body = '{marker}'")).unwrap();
+    conn.execute(&format!("INSERT INTO notes VALUES (1, '{marker}')"))
+        .unwrap();
+    conn.execute(&format!("SELECT * FROM notes WHERE body = '{marker}'"))
+        .unwrap();
     // A little follow-up traffic on another table (so the history ring
     // still holds the marker and its cache entry stays valid).
     for i in 0..4 {
-        conn.execute(&format!("INSERT INTO other VALUES ({i})")).unwrap();
-        conn.execute(&format!("SELECT * FROM other WHERE id = {i}")).unwrap();
+        conn.execute(&format!("INSERT INTO other VALUES ({i})"))
+            .unwrap();
+        conn.execute(&format!("SELECT * FROM other WHERE id = {i}"))
+            .unwrap();
     }
     if flush_diagnostics {
         // The defender wipes the perf schema (TRUNCATE + FLUSH STATUS)
@@ -60,7 +66,11 @@ fn run_workload(opts: &Options, config: DbConfig, marker: &str, flush_diagnostic
     Probe {
         binlog_text: disk
             .file(minidb::wal::BINLOG_FILE)
-            .map(|raw| binlog::parse_binlog(raw).iter().any(|e| e.statement.contains(marker)))
+            .map(|raw| {
+                binlog::parse_binlog(raw)
+                    .iter()
+                    .any(|e| e.statement.contains(marker))
+            })
             .unwrap_or(false),
         redo_rows: disk
             .file(minidb::wal::REDO_FILE)
@@ -77,8 +87,7 @@ fn run_workload(opts: &Options, config: DbConfig, marker: &str, flush_diagnostic
             .chain(mem.statements_current.iter())
             .any(|e| e.sql_text.contains(marker)),
         cache_text: mem.cached_queries.iter().any(|q| q.contains(marker)),
-        heap_text: memscan::count_occurrences(&mem.heap, m) > 0
-            || contains(&mem.heap),
+        heap_text: memscan::count_occurrences(&mem.heap, m) > 0 || contains(&mem.heap),
         telemetry_tables: telemetry::table_access_distribution(&mem.metrics)
             .iter()
             .any(|d| d.table == "notes" && d.count > 0),
@@ -95,57 +104,87 @@ fn mark(b: bool) -> &'static str {
 
 /// Runs the ablation.
 pub fn run(opts: &Options) -> Vec<Table> {
-    let base = || {
-        DbConfig {
-            redo_capacity: 1 << 20,
-            undo_capacity: 1 << 20,
-            history_size: 10,
-            ..DbConfig::default()
-        }
+    let base = || DbConfig {
+        redo_capacity: 1 << 20,
+        undo_capacity: 1 << 20,
+        history_size: 10,
+        ..DbConfig::default()
     };
     let variants: Vec<(&str, DbConfig, bool)> = vec![
         ("production defaults", base(), false),
-        ("binlog disabled", {
-            let mut c = base();
-            c.binlog_enabled = false;
-            c
-        }, false),
-        ("query cache disabled", {
-            let mut c = base();
-            c.query_cache_enabled = false;
-            c
-        }, false),
-        ("heap secure-delete", {
-            let mut c = base();
-            c.heap_secure_delete = true;
-            c
-        }, false),
-        ("all three hardenings", {
-            let mut c = base();
-            c.binlog_enabled = false;
-            c.query_cache_enabled = false;
-            c.heap_secure_delete = true;
-            c
-        }, false),
+        (
+            "binlog disabled",
+            {
+                let mut c = base();
+                c.binlog_enabled = false;
+                c
+            },
+            false,
+        ),
+        (
+            "query cache disabled",
+            {
+                let mut c = base();
+                c.query_cache_enabled = false;
+                c
+            },
+            false,
+        ),
+        (
+            "heap secure-delete",
+            {
+                let mut c = base();
+                c.heap_secure_delete = true;
+                c
+            },
+            false,
+        ),
+        (
+            "all three hardenings",
+            {
+                let mut c = base();
+                c.binlog_enabled = false;
+                c.query_cache_enabled = false;
+                c.heap_secure_delete = true;
+                c
+            },
+            false,
+        ),
         // Telemetry ablation: wiping the perf schema does NOT wipe the
         // metrics registry — only the scrub knob (or disabling telemetry
         // outright) closes the channel.
         ("diagnostics flushed", base(), true),
-        ("flush + telemetry scrub", {
-            let mut c = base();
-            c.telemetry_scrub_on_flush = true;
-            c
-        }, true),
-        ("telemetry disabled", {
-            let mut c = base();
-            c.telemetry_enabled = false;
-            c
-        }, false),
+        (
+            "flush + telemetry scrub",
+            {
+                let mut c = base();
+                c.telemetry_scrub_on_flush = true;
+                c
+            },
+            true,
+        ),
+        (
+            "telemetry disabled",
+            {
+                let mut c = base();
+                c.telemetry_enabled = false;
+                c
+            },
+            false,
+        ),
     ];
 
     let mut t = Table::new(
         "E12 - which channels still leak the marker query, per hardening",
-        &["configuration", "binlog", "redo rows", "stmt history", "query cache", "heap", "telemetry"],
+        &[
+            "configuration",
+            "binlog",
+            "redo rows",
+            "stmt history",
+            "query cache",
+            "heap",
+            "telemetry",
+        ],
     );
     for (i, (name, config, flush)) in variants.into_iter().enumerate() {
         let marker = format!("mitigation_marker_{i}_zxqv");

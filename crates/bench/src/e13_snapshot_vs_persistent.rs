@@ -30,12 +30,16 @@ pub fn run(opts: &Options) -> Vec<Table> {
     };
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
 
     // The persistent attacker's ground-truth transcript.
     let mut transcript: Vec<String> = Vec::new();
     for i in 0..writes {
-        let stmt = format!("INSERT INTO t VALUES ({i}, 'value-{}')", rng.gen_range(0..1000));
+        let stmt = format!(
+            "INSERT INTO t VALUES ({i}, 'value-{}')",
+            rng.gen_range(0..1000)
+        );
         conn.execute(&stmt).unwrap();
         transcript.push(stmt);
     }
@@ -67,10 +71,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         recovered.insert(s.text.clone());
     }
 
-    let verbatim = transcript
-        .iter()
-        .filter(|s| recovered.contains(*s))
-        .count();
+    let verbatim = transcript.iter().filter(|s| recovered.contains(*s)).count();
     let writes_recovered = transcript[..writes]
         .iter()
         .filter(|s| recovered.contains(*s))
@@ -84,22 +85,37 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "E13 - one snapshot vs the persistent attacker's transcript",
         &["metric", "value"],
     );
-    t.row(&["statements in the persistent transcript".into(), transcript.len().to_string()]);
+    t.row(&[
+        "statements in the persistent transcript".into(),
+        transcript.len().to_string(),
+    ]);
     t.row(&[
         "verbatim statements recovered from one snapshot".into(),
-        format!("{verbatim} ({})", pct(verbatim as f64 / transcript.len() as f64)),
+        format!(
+            "{verbatim} ({})",
+            pct(verbatim as f64 / transcript.len() as f64)
+        ),
     ]);
     t.row(&[
         "  - writes recovered verbatim".into(),
-        format!("{writes_recovered}/{writes} ({})", pct(writes_recovered as f64 / writes as f64)),
+        format!(
+            "{writes_recovered}/{writes} ({})",
+            pct(writes_recovered as f64 / writes as f64)
+        ),
     ]);
     t.row(&[
         "  - reads recovered verbatim".into(),
-        format!("{reads_recovered}/{reads} ({})", pct(reads_recovered as f64 / reads as f64)),
+        format!(
+            "{reads_recovered}/{reads} ({})",
+            pct(reads_recovered as f64 / reads as f64)
+        ),
     ]);
     t.row(&[
         "statements covered by digest type+count records".into(),
-        format!("{digest_count} ({})", pct(digest_count as f64 / transcript.len() as f64)),
+        format!(
+            "{digest_count} ({})",
+            pct(digest_count as f64 / transcript.len() as f64)
+        ),
     ]);
     opts.absorb_db(&db);
     vec![t]
@@ -138,6 +154,9 @@ mod tests {
             .trim_end_matches('%')
             .parse::<f64>()
             .unwrap();
-        assert!(reads_frac > 10.0, "query cache + history + heap recover reads: {reads}");
+        assert!(
+            reads_frac > 10.0,
+            "query cache + history + heap recover reads: {reads}"
+        );
     }
 }

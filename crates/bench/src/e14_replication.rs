@@ -47,50 +47,50 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let mut executed: Vec<String> = Vec::with_capacity(writes);
     let (read_attempts, reads_total, reads_on_replicas, max_lag_seen, retries) =
         std::thread::scope(|s| {
-        let reader = s.spawn(|| {
-            let mut attempts = 0u64;
-            let mut total = 0u64;
-            let mut on_replicas = 0u64;
-            let mut max_lag = 0u64;
-            while !stop.load(Ordering::SeqCst) {
-                attempts += 1;
-                if matches!(set.route_read(), ReadTarget::Replica(_)) {
-                    on_replicas += 1;
+            let reader = s.spawn(|| {
+                let mut attempts = 0u64;
+                let mut total = 0u64;
+                let mut on_replicas = 0u64;
+                let mut max_lag = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    attempts += 1;
+                    if matches!(set.route_read(), ReadTarget::Replica(_)) {
+                        on_replicas += 1;
+                    }
+                    // An early routed read can fail while the replica is
+                    // still behind the CREATE TABLE — that is lag, not loss.
+                    if set.read("SELECT COUNT(*) FROM visits").is_ok() {
+                        total += 1;
+                    }
+                    for st in set.status() {
+                        max_lag = max_lag.max(st.lag_events);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
                 }
-                // An early routed read can fail while the replica is
-                // still behind the CREATE TABLE — that is lag, not loss.
-                if set.read("SELECT COUNT(*) FROM visits").is_ok() {
-                    total += 1;
-                }
-                for st in set.status() {
-                    max_lag = max_lag.max(st.lag_events);
-                }
-                std::thread::sleep(Duration::from_micros(200));
-            }
-            (attempts, total, on_replicas, max_lag)
-        });
+                (attempts, total, on_replicas, max_lag)
+            });
 
-        for i in 0..writes {
-            let stmt = format!(
-                "INSERT INTO visits VALUES ({i}, 'patient-{}', {})",
-                rng.gen_range(0..10_000),
-                rng.gen_range(0..20)
-            );
-            set.write(&stmt).unwrap();
-            executed.push(stmt);
-            if i == writes / 2 {
-                // Cut replica 0's link mid-stream; it must reconnect and
-                // resume without losing or duplicating events.
-                set.inject_disconnect(0);
+            for i in 0..writes {
+                let stmt = format!(
+                    "INSERT INTO visits VALUES ({i}, 'patient-{}', {})",
+                    rng.gen_range(0..10_000),
+                    rng.gen_range(0..20)
+                );
+                set.write(&stmt).unwrap();
+                executed.push(stmt);
+                if i == writes / 2 {
+                    // Cut replica 0's link mid-stream; it must reconnect and
+                    // resume without losing or duplicating events.
+                    set.inject_disconnect(0);
+                }
             }
-        }
-        let synced = set.wait_for_sync(Duration::from_secs(30));
-        assert!(synced, "replicas catch up after the injected disconnect");
-        stop.store(true, Ordering::SeqCst);
-        let (attempts, total, on_replicas, max_lag) = reader.join().unwrap();
-        let retries: u64 = set.status().iter().map(|st| st.retries).sum();
-        (attempts, total, on_replicas, max_lag, retries)
-    });
+            let synced = set.wait_for_sync(Duration::from_secs(30));
+            assert!(synced, "replicas catch up after the injected disconnect");
+            stop.store(true, Ordering::SeqCst);
+            let (attempts, total, on_replicas, max_lag) = reader.join().unwrap();
+            let retries: u64 = set.status().iter().map(|st| st.retries).sum();
+            (attempts, total, on_replicas, max_lag, retries)
+        });
 
     // Row counts agree everywhere: nothing lost, nothing duplicated.
     let primary_rows = set
@@ -108,11 +108,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     topology.row(&["rows on primary".into(), primary_rows.to_string()]);
     for i in 0..set.replica_count() {
         let conn = set.replica(i).connect("audit");
-        let n = conn
-            .execute("SELECT COUNT(*) FROM visits")
-            .unwrap()
-            .rows[0][0]
-            .to_string();
+        let n = conn.execute("SELECT COUNT(*) FROM visits").unwrap().rows[0][0].to_string();
         topology.row(&[format!("rows on replica {i}"), n]);
     }
     topology.row(&["concurrent reads served".into(), reads_total.to_string()]);
@@ -123,7 +119,10 @@ pub fn run(opts: &Options) -> Vec<Table> {
             pct(reads_on_replicas as f64 / read_attempts.max(1) as f64)
         ),
     ]);
-    topology.row(&["max replication lag seen (events)".into(), max_lag_seen.to_string()]);
+    topology.row(&[
+        "max replication lag seen (events)".into(),
+        max_lag_seen.to_string(),
+    ]);
     topology.row(&["stream retries (injected cut)".into(), retries.to_string()]);
 
     // Lag is an ordinary SQL query away on the primary.
@@ -144,7 +143,13 @@ pub fn run(opts: &Options) -> Vec<Table> {
 
     let mut recovery = Table::new(
         "E14 - write-statement recovery after primary PURGE BINARY LOGS",
-        &["snapshot site", "channel", "events", "write coverage", "timestamped"],
+        &[
+            "snapshot site",
+            "channel",
+            "events",
+            "write coverage",
+            "timestamped",
+        ],
     );
     for obs in &observations {
         let disk = obs.observation.persistent_db.as_ref().unwrap();
@@ -159,10 +164,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
             "binlog".into(),
             binlog_events.len().to_string(),
             pct(cov),
-            binlog_events
-                .iter()
-                .all(|e| e.timestamp > 0)
-                .to_string(),
+            binlog_events.iter().all(|e| e.timestamp > 0).to_string(),
         ]);
         // Channel 2: relay logs (replicas only).
         if matches!(obs.site, CaptureSite::Replica(_)) {
@@ -208,9 +210,19 @@ mod tests {
         assert_eq!(cell(topology, "rows on primary"), "60");
         assert_eq!(cell(topology, "rows on replica 0"), "60");
         assert_eq!(cell(topology, "rows on replica 1"), "60");
-        assert!(cell(topology, "stream retries (injected cut)").parse::<u64>().unwrap() >= 1);
+        assert!(
+            cell(topology, "stream retries (injected cut)")
+                .parse::<u64>()
+                .unwrap()
+                >= 1
+        );
         assert_eq!(cell(topology, "information_schema.replicas rows"), "2");
-        assert!(cell(topology, "concurrent reads served").parse::<u64>().unwrap() >= 1);
+        assert!(
+            cell(topology, "concurrent reads served")
+                .parse::<u64>()
+                .unwrap()
+                >= 1
+        );
 
         let recovery = &tables[1];
         // Primary binlog: purged empty.

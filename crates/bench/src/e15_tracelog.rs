@@ -35,13 +35,19 @@ struct Expected {
 /// three tables, every one slow enough to cross the slow-log threshold.
 fn workload(db: &Db, per_table: usize, rng: &mut StdRng) -> Vec<Expected> {
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE patients (id INT PRIMARY KEY, dx TEXT)").unwrap();
-    conn.execute("CREATE TABLE billing (id INT PRIMARY KEY, amount INT)").unwrap();
-    conn.execute("CREATE TABLE staff (id INT PRIMARY KEY, role TEXT)").unwrap();
+    conn.execute("CREATE TABLE patients (id INT PRIMARY KEY, dx TEXT)")
+        .unwrap();
+    conn.execute("CREATE TABLE billing (id INT PRIMARY KEY, amount INT)")
+        .unwrap();
+    conn.execute("CREATE TABLE staff (id INT PRIMARY KEY, role TEXT)")
+        .unwrap();
     for i in 0..8 {
-        conn.execute(&format!("INSERT INTO patients VALUES ({i}, 'dx-{i}')")).unwrap();
-        conn.execute(&format!("INSERT INTO billing VALUES ({i}, {})", i * 100)).unwrap();
-        conn.execute(&format!("INSERT INTO staff VALUES ({i}, 'role-{i}')")).unwrap();
+        conn.execute(&format!("INSERT INTO patients VALUES ({i}, 'dx-{i}')"))
+            .unwrap();
+        conn.execute(&format!("INSERT INTO billing VALUES ({i}, {})", i * 100))
+            .unwrap();
+        conn.execute(&format!("INSERT INTO staff VALUES ({i}, 'role-{i}')"))
+            .unwrap();
     }
     let mut expected = Vec::new();
     for i in 0..per_table {

@@ -54,8 +54,11 @@ fn encrypted_victim(rows: usize, zone_maps: bool, seed: u64) -> minidb::engine::
                 format!("({i}, {}, X'{hex}')", i * scanbench::STEP)
             })
             .collect();
-        conn.execute(&format!("INSERT INTO readings VALUES {}", values.join(", ")))
-            .unwrap();
+        conn.execute(&format!(
+            "INSERT INTO readings VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
     }
     db
 }
@@ -144,7 +147,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
         // Sub-percent but decisively nonzero: print enough decimals.
         format!("{:.5}%", carve_on.fraction * 100.0),
         pct(carve_on.fraction * (1u64 << 32) as f64 / domain_rows),
-        if carve_on.ciphertext_cracked { "LEAKED" } else { "none" }.into(),
+        if carve_on.ciphertext_cracked {
+            "LEAKED"
+        } else {
+            "none"
+        }
+        .into(),
     ]);
 
     let off = encrypted_victim(victim_rows, false, opts.seed ^ 0x61);
@@ -155,7 +163,12 @@ pub fn run(opts: &Options) -> Vec<Table> {
         carve_off.pages.to_string(),
         format!("{:.5}%", carve_off.fraction * 100.0),
         pct(0.0),
-        if carve_off.ciphertext_cracked { "LEAKED" } else { "none" }.into(),
+        if carve_off.ciphertext_cracked {
+            "LEAKED"
+        } else {
+            "none"
+        }
+        .into(),
     ]);
 
     vec![perf, leak]

@@ -1,0 +1,443 @@
+//! E17 (extension) — the scrape channel: your status port is a remote
+//! volume oracle.
+//!
+//! The victim is the E16 fixture — EDB-encrypted payloads, plaintext
+//! range-queried `ts` — with one production-realistic addition: the
+//! engine's observability port is on (`DbConfig::obs_listen`), serving
+//! `/metrics` to whatever can open a TCP connection, the way every
+//! Prometheus-scraped DBMS does. The attacker is
+//! [`snapshot_attack::attacks::volume::RemoteObserver`]: it never sees
+//! disk, memory, logs, or SQL — it polls `/metrics` on an interval and
+//! diffs cumulative counters between scrapes. When at most one client
+//! query lands per scrape window, the `sql.rows_returned` sum delta IS
+//! that query's result volume, and for the victim's range family
+//! (`ts <= k*STEP` over a dense column) the volume inverts straight to
+//! the secret bound `k`.
+//!
+//! The experiment measures the channel's bandwidth against its
+//! controls: recovery rate vs scrape interval (fast scrapes isolate
+//! queries; slow scrapes merge them), then the two mitigation knobs —
+//! `obs_scrub` (per-table series dropped, every value quantized to a
+//! power of two) and bearer-token auth (the observer is simply denied).
+//! A second table cross-checks the replication-lag histograms: the
+//! p50/p95/p99 a remote scrape derives from `_bucket` lines must equal
+//! the engine-side [`HistogramSnapshot::p99`] family — same data, no
+//! privileged access needed.
+
+use std::time::Duration;
+
+use edb_crypto::{kdf, rnd, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snapshot_attack::attacks::volume::{
+    denied_count, evaluate, infer_windows, invert_range_volume, scrapes, RemoteObserver,
+};
+use snapshot_attack::report::Table;
+
+use crate::scanbench;
+use crate::{pct, Options};
+
+/// Scrape interval for the acceptance variant (the issue's criterion:
+/// >= 80% per-query volume recovery at 100 ms).
+const FAST_SCRAPE_MS: u64 = 100;
+/// Client spacing for isolated-query variants: three scrape windows, so
+/// consecutive queries land in distinct windows despite jitter.
+const ISOLATED_SPACING_MS: u64 = 300;
+/// Slow-scraper variant: queries arrive faster than scrapes, so
+/// volumes merge.
+const SLOW_SCRAPE_MS: u64 = 500;
+const MERGED_SPACING_MS: u64 = 180;
+
+/// The E16 encrypted victim with its status port open.
+fn victim(rows: usize, scrub: bool, auth: Option<&str>, seed: u64) -> minidb::engine::Db {
+    let config = minidb::engine::DbConfig {
+        redo_capacity: 16 << 20,
+        undo_capacity: 16 << 20,
+        query_cache_enabled: false,
+        obs_listen: Some("127.0.0.1:0".into()),
+        obs_scrub: scrub,
+        obs_auth_token: auth.map(str::to_string),
+        ..minidb::engine::DbConfig::default()
+    };
+    let db = minidb::engine::Db::open(config);
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE readings (id INT PRIMARY KEY, ts INT, payload BYTES)")
+        .unwrap();
+    let master = Key([0x17; 32]);
+    let key = Key(kdf::derive_key(&master.0, b"e17/payload"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| {
+                let ct = rnd::encrypt(&key, format!("reading-{i}").as_bytes(), &mut rng);
+                let hex: String = ct.iter().map(|b| format!("{b:02x}")).collect();
+                format!("({i}, {}, X'{hex}')", i * scanbench::STEP)
+            })
+            .collect();
+        conn.execute(&format!(
+            "INSERT INTO readings VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// One variant's scoreboard.
+struct VariantOutcome {
+    scrapes: usize,
+    denied: usize,
+    isolated: usize,
+    merged_queries: u64,
+    recovery_rate: f64,
+    /// Fraction of secret range bounds recovered exactly via
+    /// [`invert_range_volume`].
+    bound_rate: f64,
+}
+
+/// Which mitigation knob (if any) a variant enables.
+#[derive(Clone, Copy, PartialEq)]
+enum Mitigation {
+    None,
+    Scrub,
+    Auth,
+}
+
+/// Runs the victim workload under a polling observer and scores it.
+fn run_variant(
+    rows: usize,
+    queries: usize,
+    scrape_ms: u64,
+    spacing_ms: u64,
+    mitigation: Mitigation,
+    seed: u64,
+    opts: &Options,
+) -> VariantOutcome {
+    let scrub = mitigation == Mitigation::Scrub;
+    let token = (mitigation == Mitigation::Auth).then_some("scrape-secret");
+    let db = victim(rows, scrub, token, seed);
+    let addr = db.obs_addr().expect("victim obs port must be up");
+    // The attack premise: the observer holds NO credentials.
+    let observer = RemoteObserver::start(addr, Duration::from_millis(scrape_ms), None);
+    // Let the observer land a baseline scrape before the queries start.
+    std::thread::sleep(Duration::from_millis(scrape_ms * 2));
+
+    let conn = db.connect("analyst");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE17);
+    let mut true_bounds = Vec::with_capacity(queries);
+    let mut truth = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        let k = rng.gen_range(0..rows as u64);
+        let res = conn
+            .execute(&format!(
+                "SELECT payload FROM readings WHERE ts >= 0 AND ts <= {}",
+                k as i64 * scanbench::STEP
+            ))
+            .unwrap();
+        assert_eq!(res.rows.len() as u64, k + 1, "dense fixture: volume = k+1");
+        true_bounds.push(k);
+        truth.push(k + 1);
+        std::thread::sleep(Duration::from_millis(spacing_ms));
+    }
+    // Drain: let the final query's counters get scraped.
+    std::thread::sleep(Duration::from_millis(scrape_ms * 3));
+    let observations = observer.stop();
+    opts.absorb_db(&db);
+    db.shutdown();
+
+    let scraped = scrapes(&observations);
+    // Scrub drops the per-table counters; the observer falls back to the
+    // global statement counter as its query clock.
+    let query_key = if scrub {
+        "sql.statements"
+    } else {
+        "sql.table_access.readings"
+    };
+    let windows = infer_windows(&scraped, query_key, "sql.rows_returned.sum");
+    let score = evaluate(&windows, &truth);
+    // Volume → secret bound, scored against the true ks (multiset).
+    let mut remaining = true_bounds.clone();
+    let mut bound_hits = 0usize;
+    for v in &score.recovered {
+        if let Some(k) = invert_range_volume(*v) {
+            if let Some(pos) = remaining.iter().position(|&t| t == k) {
+                remaining.swap_remove(pos);
+                bound_hits += 1;
+            }
+        }
+    }
+    VariantOutcome {
+        scrapes: scraped.len(),
+        denied: denied_count(&observations),
+        isolated: score.recovered.len(),
+        merged_queries: score.merged_queries,
+        recovery_rate: score.recovery_rate,
+        bound_rate: bound_hits as f64 / queries as f64,
+    }
+}
+
+/// Remote percentile from exposition `_bucket` lines: the smallest
+/// bucket upper bound whose cumulative count reaches quantile `q` —
+/// the same rule as `HistogramSnapshot::quantile_upper_bound`, computed
+/// from nothing but one scrape.
+fn percentile_from_exposition(
+    samples: &[mdb_obs::prom::Sample],
+    name: &str,
+    q: f64,
+) -> Option<u64> {
+    let count = samples
+        .iter()
+        .find(|s| s.series.ends_with("_count") && s.metric_name() == Some(name))?
+        .value_u64()?;
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil() as u64;
+    let mut last = None;
+    for s in samples
+        .iter()
+        .filter(|s| s.series.ends_with("_bucket") && s.metric_name() == Some(name))
+    {
+        let le = match s.label("le")? {
+            "+Inf" => u64::MAX,
+            v => v.parse().ok()?,
+        };
+        last = Some(le);
+        if s.value_u64()? >= target {
+            return Some(le);
+        }
+    }
+    last
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let rows = if opts.quick { 2_000 } else { 5_000 };
+    let queries = if opts.quick { 10 } else { 20 };
+
+    let mut channel = Table::new(
+        "E17 - per-query volume recovery by a remote /metrics observer",
+        &[
+            "variant",
+            "scrape interval",
+            "scrapes",
+            "denied",
+            "isolated",
+            "merged queries",
+            "volume recovery",
+            "range bound recovery",
+        ],
+    );
+
+    let fast = run_variant(
+        rows,
+        queries,
+        FAST_SCRAPE_MS,
+        ISOLATED_SPACING_MS,
+        Mitigation::None,
+        opts.seed ^ 0x1701,
+        opts,
+    );
+    channel.row(&[
+        "open port (production default)".into(),
+        format!("{FAST_SCRAPE_MS}ms"),
+        fast.scrapes.to_string(),
+        fast.denied.to_string(),
+        fast.isolated.to_string(),
+        fast.merged_queries.to_string(),
+        pct(fast.recovery_rate),
+        pct(fast.bound_rate),
+    ]);
+
+    let slow = run_variant(
+        rows,
+        queries,
+        SLOW_SCRAPE_MS,
+        MERGED_SPACING_MS,
+        Mitigation::None,
+        opts.seed ^ 0x1702,
+        opts,
+    );
+    channel.row(&[
+        "open port, slow scraper (windows merge)".into(),
+        format!("{SLOW_SCRAPE_MS}ms"),
+        slow.scrapes.to_string(),
+        slow.denied.to_string(),
+        slow.isolated.to_string(),
+        slow.merged_queries.to_string(),
+        pct(slow.recovery_rate),
+        pct(slow.bound_rate),
+    ]);
+
+    let scrubbed = run_variant(
+        rows,
+        queries,
+        FAST_SCRAPE_MS,
+        ISOLATED_SPACING_MS,
+        Mitigation::Scrub,
+        opts.seed ^ 0x1703,
+        opts,
+    );
+    channel.row(&[
+        "obs_scrub = true (quantized exposition)".into(),
+        format!("{FAST_SCRAPE_MS}ms"),
+        scrubbed.scrapes.to_string(),
+        scrubbed.denied.to_string(),
+        scrubbed.isolated.to_string(),
+        scrubbed.merged_queries.to_string(),
+        pct(scrubbed.recovery_rate),
+        pct(scrubbed.bound_rate),
+    ]);
+
+    let authed = run_variant(
+        rows,
+        queries,
+        FAST_SCRAPE_MS,
+        ISOLATED_SPACING_MS,
+        Mitigation::Auth,
+        opts.seed ^ 0x1704,
+        opts,
+    );
+    channel.row(&[
+        "bearer-token auth (observer unauthenticated)".into(),
+        format!("{FAST_SCRAPE_MS}ms"),
+        authed.scrapes.to_string(),
+        authed.denied.to_string(),
+        authed.isolated.to_string(),
+        authed.merged_queries.to_string(),
+        pct(authed.recovery_rate),
+        pct(authed.bound_rate),
+    ]);
+
+    // ---- part two: lag percentiles, engine-side vs remote scrape ----
+    let mut lag = Table::new(
+        "E17 - replication lag percentiles: engine histogram vs remote scrape",
+        &[
+            "metric",
+            "count",
+            "p50",
+            "p95",
+            "p99",
+            "remote p50/p95/p99",
+            "match",
+        ],
+    );
+    let mut set = mdb_repl::router::ReplicaSet::start(mdb_repl::router::ReplicaSetConfig {
+        replicas: 2,
+        base: minidb::engine::DbConfig {
+            obs_listen: Some("127.0.0.1:0".into()),
+            ..minidb::engine::DbConfig::default()
+        },
+        ..mdb_repl::router::ReplicaSetConfig::default()
+    })
+    .expect("replica set");
+    set.write("CREATE TABLE evts (id INT PRIMARY KEY)").unwrap();
+    let syncs = if opts.quick { 8 } else { 16 };
+    for i in 0..syncs {
+        set.write(&format!("INSERT INTO evts VALUES ({i})"))
+            .unwrap();
+        assert!(set.wait_for_sync(Duration::from_secs(5)));
+    }
+    let engine = set
+        .primary()
+        .telemetry()
+        .snapshot()
+        .histogram("repl.wait_for_sync_us")
+        .expect("wait_for_sync histogram")
+        .clone();
+    let addr = set.primary().obs_addr().expect("primary obs port");
+    let (status, body) = mdb_obs::http::get(addr, "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let samples = mdb_obs::prom::parse(&body).expect("primary exposition parses");
+    let remote: Vec<u64> = [0.50, 0.95, 0.99]
+        .iter()
+        .map(|q| percentile_from_exposition(&samples, "repl.wait_for_sync_us", *q).unwrap_or(0))
+        .collect();
+    let engine_p = [engine.p50(), engine.p95(), engine.p99()];
+    lag.row(&[
+        "repl.wait_for_sync_us".into(),
+        engine.count.to_string(),
+        format!("{}us", engine_p[0]),
+        format!("{}us", engine_p[1]),
+        format!("{}us", engine_p[2]),
+        format!("{}/{}/{}us", remote[0], remote[1], remote[2]),
+        if remote == engine_p {
+            "EXACT"
+        } else {
+            "DIVERGED"
+        }
+        .into(),
+    ]);
+    let apply = set
+        .replica(0)
+        .telemetry()
+        .snapshot()
+        .histogram("repl.apply_latency_us")
+        .expect("apply latency histogram")
+        .clone();
+    lag.row(&[
+        "repl.apply_latency_us (replica 0, engine-side)".into(),
+        apply.count.to_string(),
+        format!("{}us", apply.p50()),
+        format!("{}us", apply.p95()),
+        format!("{}us", apply.p99()),
+        "-".into(),
+        "-".into(),
+    ]);
+    opts.absorb_db(set.primary());
+    set.shutdown();
+
+    vec![channel, lag]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_channel_recovers_volumes_and_mitigations_narrow_it() {
+        let tables = run(&Options {
+            quick: true,
+            ..Default::default()
+        });
+        let rate = |row: &Vec<String>, col: usize| -> f64 {
+            row[col].trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+        };
+
+        let open = &tables[0].rows[0];
+        // The acceptance criterion: >= 80% per-query volume recovery
+        // from scrapes alone at a 100 ms interval.
+        assert!(rate(open, 6) >= 0.8, "open-port recovery too low: {open:?}");
+        assert!(
+            rate(open, 7) >= 0.8,
+            "bound inversion should track volumes: {open:?}"
+        );
+
+        let slow = &tables[0].rows[1];
+        assert!(
+            slow[5].parse::<u64>().unwrap() > 0,
+            "slow scraper must merge windows: {slow:?}"
+        );
+        assert!(rate(slow, 6) < rate(open, 6), "{slow:?}");
+
+        let scrubbed = &tables[0].rows[2];
+        assert!(
+            rate(scrubbed, 6) <= 0.5 && rate(scrubbed, 6) < rate(open, 6),
+            "scrub must measurably narrow the channel: {scrubbed:?}"
+        );
+
+        let authed = &tables[0].rows[3];
+        assert_eq!(
+            rate(authed, 6),
+            0.0,
+            "auth must close the channel: {authed:?}"
+        );
+        assert!(
+            authed[3].parse::<u64>().unwrap() > 0,
+            "denials recorded: {authed:?}"
+        );
+        assert_eq!(authed[2], "0", "no successful scrapes: {authed:?}");
+
+        // Part two: a remote scrape reproduces engine-side percentiles.
+        let lag = &tables[1].rows[0];
+        assert_eq!(lag[6], "EXACT", "{lag:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Scrape-plane micro-benchmark (the `--obs-bench-json` output, and the
+//! committed `BENCH_e17.json` baseline).
+//!
+//! Two kinds of numbers, deliberately separated:
+//!
+//! * **Shape metrics** — exposition series count and body bytes for a
+//!   fixed seeded workload, plain and scrubbed. These are deterministic
+//!   (the engine's simulated clock makes even the latency histograms
+//!   reproducible), machine-independent, and therefore what CI's
+//!   perf-trajectory gate diffs against the committed baseline: a >25%
+//!   jump in `body_bytes` means someone bloated the scrape channel.
+//! * **Timing metrics** — mean `/metrics` TCP round-trip and in-process
+//!   encode/parse cost. Machine-dependent; reported for trajectory
+//!   context, never gated.
+
+use std::time::Instant;
+
+use mdb_obs::{http, prom};
+use mdb_telemetry::json;
+
+/// One obs-bench run.
+#[derive(Clone, Debug)]
+pub struct ObsBench {
+    /// Workload size, in rows.
+    pub rows: usize,
+    /// Range queries executed before measuring.
+    pub queries: usize,
+    /// Samples in one plain exposition (first scrape: no rate series).
+    pub series: usize,
+    /// Body bytes of that exposition.
+    pub body_bytes: usize,
+    /// Samples after `obs_scrub`.
+    pub scrub_series: usize,
+    /// Body bytes after `obs_scrub`.
+    pub scrub_body_bytes: usize,
+    /// TCP scrapes timed.
+    pub scrapes: usize,
+    /// Mean `/metrics` round-trip, microseconds.
+    pub scrape_roundtrip_us: f64,
+    /// Mean in-process `prom::encode` cost, microseconds.
+    pub encode_us: f64,
+    /// Mean `prom::parse` cost over the encoded body, microseconds.
+    pub parse_us: f64,
+}
+
+impl ObsBench {
+    /// Scrub-to-plain body size ratio (the mitigation's bandwidth cut).
+    pub fn scrub_bytes_ratio(&self) -> f64 {
+        self.scrub_body_bytes as f64 / self.body_bytes.max(1) as f64
+    }
+
+    /// Serialises as the `--obs-bench-json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.obj_open();
+        w.key("rows");
+        w.u64(self.rows as u64);
+        w.key("queries");
+        w.u64(self.queries as u64);
+        w.key("series");
+        w.u64(self.series as u64);
+        w.key("body_bytes");
+        w.u64(self.body_bytes as u64);
+        w.key("scrub_series");
+        w.u64(self.scrub_series as u64);
+        w.key("scrub_body_bytes");
+        w.u64(self.scrub_body_bytes as u64);
+        w.key("scrub_bytes_ratio");
+        w.f64(self.scrub_bytes_ratio());
+        w.key("scrapes");
+        w.u64(self.scrapes as u64);
+        w.key("scrape_roundtrip_us");
+        w.f64(self.scrape_roundtrip_us);
+        w.key("encode_us");
+        w.f64(self.encode_us);
+        w.key("parse_us");
+        w.f64(self.parse_us);
+        w.obj_close();
+        w.into_string()
+    }
+}
+
+/// Seeds a deterministic workload and opens the status port.
+fn build_db(rows: usize, queries: usize, scrub: bool) -> minidb::engine::Db {
+    let config = minidb::engine::DbConfig {
+        query_cache_enabled: false,
+        obs_listen: Some("127.0.0.1:0".into()),
+        obs_scrub: scrub,
+        ..minidb::engine::DbConfig::default()
+    };
+    let db = minidb::engine::Db::open(config);
+    let conn = db.connect("bench");
+    conn.execute("CREATE TABLE events (id INT PRIMARY KEY, ts INT, note TEXT)")
+        .unwrap();
+    for chunk in (0..rows as i64).collect::<Vec<_>>().chunks(200) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 'evt-{i}')", i * crate::scanbench::STEP))
+            .collect();
+        conn.execute(&format!("INSERT INTO events VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    let span = rows as i64 * crate::scanbench::STEP;
+    for q in 0..queries as i64 {
+        let lo = q * span / queries.max(1) as i64;
+        conn.execute(&format!(
+            "SELECT COUNT(*) FROM events WHERE ts >= {lo} AND ts <= {}",
+            lo + span / 100
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// Runs the benchmark.
+pub fn run(rows: usize, queries: usize) -> ObsBench {
+    // Shape: one fresh scrape per variant, before any rate series or
+    // scrape-counter drift can change the body.
+    let plain = build_db(rows, queries, false);
+    let plain_addr = plain.obs_addr().unwrap();
+    let (status, body) = http::get(plain_addr, "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let series = prom::parse(&body).expect("exposition parses").len();
+
+    let scrubbed = build_db(rows, queries, true);
+    let (status, scrub_body) = http::get(scrubbed.obs_addr().unwrap(), "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let scrub_series = prom::parse(&scrub_body)
+        .expect("scrubbed exposition parses")
+        .len();
+    scrubbed.shutdown();
+
+    // Timing: TCP round-trips against the live plain server…
+    let scrapes = 50;
+    let started = Instant::now();
+    for _ in 0..scrapes {
+        let (s, _) = http::get(plain_addr, "/metrics", None).unwrap();
+        assert_eq!(s, 200);
+    }
+    let scrape_roundtrip_us = started.elapsed().as_micros() as f64 / scrapes as f64;
+
+    // …and the in-process encode/parse cost over the same registry.
+    let snap = plain.telemetry().snapshot();
+    let iters = 200;
+    let started = Instant::now();
+    let mut encoded = String::new();
+    for _ in 0..iters {
+        encoded = prom::encode(&snap, &[]);
+    }
+    let encode_us = started.elapsed().as_micros() as f64 / iters as f64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        let _ = prom::parse(&encoded).unwrap();
+    }
+    let parse_us = started.elapsed().as_micros() as f64 / iters as f64;
+    plain.shutdown();
+
+    ObsBench {
+        rows,
+        queries,
+        series,
+        body_bytes: body.len(),
+        scrub_series,
+        scrub_body_bytes: scrub_body.len(),
+        scrapes,
+        scrape_roundtrip_us,
+        encode_us,
+        parse_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bench_produces_sane_shape_metrics() {
+        let b = run(1_000, 4);
+        assert!(b.series > 20, "engine workload must register series: {b:?}");
+        assert!(b.body_bytes > 500, "{b:?}");
+        // Scrub drops per-table series and all bucket lines: strictly
+        // smaller exposition.
+        assert!(b.scrub_series < b.series, "{b:?}");
+        assert!(b.scrub_bytes_ratio() < 1.0, "{b:?}");
+        assert!(b.scrape_roundtrip_us > 0.0 && b.encode_us > 0.0 && b.parse_us > 0.0);
+        let json = b.to_json();
+        assert!(json.contains("\"body_bytes\""), "{json}");
+        assert!(json.contains("\"scrub_bytes_ratio\""), "{json}");
+    }
+}

@@ -50,7 +50,10 @@ pub fn query(rows: usize, q: usize) -> String {
     let span = rows as i64 * STEP;
     let width = span / 100;
     let lo = (q as i64 * 37 * width) % (span - width);
-    format!("SELECT id, ts FROM events WHERE ts >= {lo} AND ts < {}", lo + width)
+    format!(
+        "SELECT id, ts FROM events WHERE ts >= {lo} AND ts < {}",
+        lo + width
+    )
 }
 
 /// One measured scan configuration.
@@ -78,9 +81,7 @@ pub fn measure(db: &Db, rows: usize, queries: usize) -> ScanMeasurement {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let after = db.metrics_snapshot();
-    let delta = |name: &str| {
-        after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
-    };
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
     ScanMeasurement {
         rows_per_sec: (rows as f64 * queries as f64) / elapsed.max(1e-9),
         pages_pruned: delta("scan.pages_pruned"),

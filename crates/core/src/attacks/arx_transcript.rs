@@ -32,10 +32,7 @@ pub struct QueryTranscript {
 /// transcripts. The Arx client commits one repair round per query, so the
 /// repairs of one query share a transaction id in the binlog; a change of
 /// transaction (or any non-repair statement) ends the current group.
-pub fn reconstruct_transcripts(
-    events: &[BinlogEvent],
-    index_table: &str,
-) -> Vec<QueryTranscript> {
+pub fn reconstruct_transcripts(events: &[BinlogEvent], index_table: &str) -> Vec<QueryTranscript> {
     let prefix = format!("UPDATE {index_table} SET ");
     let mut out = Vec::new();
     let mut current: Option<(u64, QueryTranscript)> = None;
@@ -171,9 +168,8 @@ mod tests {
 
         // ---- attacker side: persistent state only ----
         let disk = db.disk_image();
-        let events = crate::forensics::binlog::parse_binlog(
-            disk.file(minidb::wal::BINLOG_FILE).unwrap(),
-        );
+        let events =
+            crate::forensics::binlog::parse_binlog(disk.file(minidb::wal::BINLOG_FILE).unwrap());
         let transcripts = reconstruct_transcripts(&events, "arx_age");
         assert_eq!(
             transcripts.len(),

@@ -117,7 +117,7 @@ pub fn leak_once(db_values: &[u32], token_values: &[u32], mode: Mode) -> Leakage
                 continue;
             }
             let msdb = (diff.leading_zeros()) as usize; // Bit 0 = MSB.
-            // Direct leakage: position msdb of both operands.
+                                                        // Direct leakage: position msdb of both operands.
             let v_bit = (val >> (31 - msdb)) & 1 == 1;
             let t_bit = (tok >> (31 - msdb)) & 1 == 1;
             direct_known[i * width + msdb] = true;

@@ -11,6 +11,9 @@
 //!   simulation (12%/19%/25% of plaintext bits at 5/25/50 queries).
 //! * [`arx_transcript`] — range-query transcript reconstruction from the
 //!   read-repair writes Arx leaves in the transaction logs.
+//! * [`volume`] — the scrape-channel volume attack: a remote observer
+//!   polling `/metrics` reconstructs per-query result volumes from
+//!   counter deltas (E17).
 
 pub mod arx_transcript;
 pub mod binomial;
@@ -18,3 +21,4 @@ pub mod bit_leakage;
 pub mod count;
 pub mod frequency;
 pub mod matching;
+pub mod volume;

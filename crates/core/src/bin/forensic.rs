@@ -26,7 +26,9 @@
 use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
-use snapshot_attack::forensics::{binlog, bufpool, memscan, relay, telemetry, tracelog, wal, zonemap};
+use snapshot_attack::forensics::{
+    binlog, bufpool, memscan, relay, telemetry, tracelog, wal, zonemap,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -117,7 +119,10 @@ fn zonemap_cmd(image: &SystemImage) {
             cols.join("  ")
         );
     }
-    let mut cols: Vec<u16> = pages.iter().flat_map(|p| p.columns.iter().map(|c| c.0)).collect();
+    let mut cols: Vec<u16> = pages
+        .iter()
+        .flat_map(|p| p.columns.iter().map(|c| c.0))
+        .collect();
     cols.sort_unstable();
     cols.dedup();
     for c in cols {
@@ -164,7 +169,12 @@ fn metrics_cmd(image: &SystemImage) {
     if !dist.is_empty() {
         println!("table access distribution (the victim's query targets):");
         for d in &dist {
-            println!("  {:<24} {:>8}  {:>5.1}%", d.table, d.count, d.share * 100.0);
+            println!(
+                "  {:<24} {:>8}  {:>5.1}%",
+                d.table,
+                d.count,
+                d.share * 100.0
+            );
         }
     }
     let mix = telemetry::statement_mix(ms);
@@ -186,7 +196,10 @@ fn writes(image: &SystemImage) {
     };
     for w in wal::reconstruct_writes(raw) {
         match &w.row {
-            Some(row) => println!("lsn {:>8} txn {:>6} {:?} {:?}", w.lsn, w.txn, w.op, row.values),
+            Some(row) => println!(
+                "lsn {:>8} txn {:>6} {:?} {:?}",
+                w.lsn, w.txn, w.op, row.values
+            ),
             None => println!("lsn {:>8} txn {:>6} {:?} (no image)", w.lsn, w.txn, w.op),
         }
     }
@@ -203,7 +216,10 @@ fn undo(image: &SystemImage) {
                 "lsn {:>8} txn {:>6} {:?} row {} was {:?}",
                 b.lsn, b.txn, b.op, b.row_id, row.values
             ),
-            None => println!("lsn {:>8} txn {:>6} {:?} row {}", b.lsn, b.txn, b.op, b.row_id),
+            None => println!(
+                "lsn {:>8} txn {:>6} {:?} row {}",
+                b.lsn, b.txn, b.op, b.row_id
+            ),
         }
     }
 }
@@ -214,7 +230,10 @@ fn binlog_cmd(image: &SystemImage) {
         return;
     };
     for e in binlog::parse_binlog(raw) {
-        println!("t={} lsn={} txn={} {}", e.timestamp, e.lsn, e.txn, e.statement);
+        println!(
+            "t={} lsn={} txn={} {}",
+            e.timestamp, e.lsn, e.txn, e.statement
+        );
     }
 }
 
@@ -226,7 +245,10 @@ fn relay_cmd(image: &SystemImage) {
     }
     eprintln!("relay files: {}", files.join(", "));
     for e in relay::carve_relay(&image.disk) {
-        println!("t={} lsn={} txn={} {}", e.timestamp, e.lsn, e.txn, e.statement);
+        println!(
+            "t={} lsn={} txn={} {}",
+            e.timestamp, e.lsn, e.txn, e.statement
+        );
     }
 }
 
@@ -259,7 +281,11 @@ fn tokens(image: &SystemImage) {
         for tok in binlog::extract_hex_literals(t) {
             if seen.insert(tok.clone()) {
                 let hex: String = tok.iter().take(24).map(|b| format!("{b:02x}")).collect();
-                println!("{:>5} bytes  {hex}{}", tok.len(), if tok.len() > 24 { "…" } else { "" });
+                println!(
+                    "{:>5} bytes  {hex}{}",
+                    tok.len(),
+                    if tok.len() > 24 { "…" } else { "" }
+                );
             }
         }
     }
@@ -268,9 +294,12 @@ fn tokens(image: &SystemImage) {
 
 fn digests(image: &SystemImage) {
     let mut rows = image.memory.digest_summary.clone();
-    rows.sort_by(|a, b| b.count_star.cmp(&a.count_star));
+    rows.sort_by_key(|d| std::cmp::Reverse(d.count_star));
     for d in rows {
-        println!("{:>8}x  rows_examined={:<8} {}", d.count_star, d.sum_rows_examined, d.digest);
+        println!(
+            "{:>8}x  rows_examined={:<8} {}",
+            d.count_star, d.sum_rows_examined, d.digest
+        );
     }
 }
 

@@ -95,7 +95,8 @@ mod tests {
         config.undo_capacity = 1 << 16;
         let db = Db::open(config);
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         conn.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
         db.advance_time(3600);
         conn.execute("UPDATE t SET v = 'b' WHERE id = 1").unwrap();
@@ -111,7 +112,9 @@ mod tests {
             events[2].timestamp - events[1].timestamp >= 3600,
             "timestamps reflect the hour gap"
         );
-        assert!(events[1].statement.contains("INSERT INTO t VALUES (1, 'a')"));
+        assert!(events[1]
+            .statement
+            .contains("INSERT INTO t VALUES (1, 'a')"));
     }
 
     #[test]

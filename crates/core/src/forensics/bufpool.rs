@@ -151,10 +151,10 @@ mod tests {
         config.buffer_pool_pages = 64;
         let db = Db::open(config);
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE s (k INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE s (k INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for chunk in (0..2000i64).collect::<Vec<_>>().chunks(100) {
-            let values: Vec<String> =
-                chunk.iter().map(|i| format!("({i}, 'v{i}')")).collect();
+            let values: Vec<String> = chunk.iter().map(|i| format!("({i}, 'v{i}')")).collect();
             conn.execute(&format!("INSERT INTO s VALUES {}", values.join(", ")))
                 .unwrap();
         }
@@ -167,8 +167,14 @@ mod tests {
         assert_eq!(
             entries,
             vec![
-                DumpEntry { file: "a.ibd".into(), page_no: 3 },
-                DumpEntry { file: "b.ibd".into(), page_no: 0 },
+                DumpEntry {
+                    file: "a.ibd".into(),
+                    page_no: 3
+                },
+                DumpEntry {
+                    file: "b.ibd".into(),
+                    page_no: 0
+                },
             ]
         );
         assert!(parse_dump(b"garbage without spaces\n").is_empty());
@@ -203,20 +209,20 @@ mod tests {
         let conn = db.connect("app");
         // Flood the pool with unrelated reads, then touch one narrow range.
         conn.execute("SELECT * FROM s WHERE v = 'none'").unwrap(); // Full scan.
-        conn.execute("SELECT * FROM s WHERE k >= 1500 AND k <= 1510").unwrap();
+        conn.execute("SELECT * FROM s WHERE k >= 1500 AND k <= 1510")
+            .unwrap();
         db.shutdown();
 
         let disk = db.disk_image();
         let dump = parse_dump(disk.file(DUMP_FILE).unwrap());
-        let ranges = recently_read_ranges(
-            &dump,
-            "index_s_k.ibd",
-            disk.file("index_s_k.ibd").unwrap(),
-        );
+        let ranges =
+            recently_read_ranges(&dump, "index_s_k.ibd", disk.file("index_s_k.ibd").unwrap());
         assert!(!ranges.is_empty());
         // The most recent index leaf covers the queried range.
         let (_, min, max) = &ranges[0];
-        let (Value::Int(lo), Value::Int(hi)) = (min, max) else { panic!() };
+        let (Value::Int(lo), Value::Int(hi)) = (min, max) else {
+            panic!()
+        };
         assert!(
             *lo <= 1510 && *hi >= 1500,
             "hottest leaf [{lo}, {hi}] should overlap the queried range"

@@ -40,10 +40,7 @@ pub fn fit(events: &[BinlogEvent]) -> Option<LsnTimeModel> {
     if sxx == 0.0 {
         return None;
     }
-    let sxy: f64 = pts
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     Some(LsnTimeModel {
         slope,

@@ -50,7 +50,10 @@ pub fn coverage(recovered: &[BinlogEvent], executed: &[String]) -> f64 {
     }
     let texts: std::collections::HashSet<&str> =
         recovered.iter().map(|e| e.statement.as_str()).collect();
-    let hit = executed.iter().filter(|s| texts.contains(s.as_str())).count();
+    let hit = executed
+        .iter()
+        .filter(|s| texts.contains(s.as_str()))
+        .count();
     hit as f64 / executed.len() as f64
 }
 

@@ -40,9 +40,7 @@ pub fn table_access_distribution(metrics: &MetricsSnapshot) -> Vec<TableAccess> 
     let mut hits: Vec<(String, u64)> = metrics
         .counters
         .iter()
-        .filter_map(|(name, v)| {
-            name.strip_prefix(PREFIX).map(|t| (t.to_string(), *v))
-        })
+        .filter_map(|(name, v)| name.strip_prefix(PREFIX).map(|t| (t.to_string(), *v)))
         .collect();
     let total: u64 = hits.iter().map(|(_, v)| v).sum();
     hits.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));

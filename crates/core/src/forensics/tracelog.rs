@@ -128,7 +128,8 @@ mod tests {
             .unwrap();
         conn.execute("INSERT INTO patients VALUES (1, 'flu'), (2, 'hiv')")
             .unwrap();
-        conn.execute("SELECT * FROM patients WHERE dx = 'hiv'").unwrap();
+        conn.execute("SELECT * FROM patients WHERE dx = 'hiv'")
+            .unwrap();
         db
     }
 
@@ -136,9 +137,10 @@ mod tests {
     fn slow_log_carves_statement_texts() {
         let db = victim();
         let carved = carve_slow_log(&db.disk_image());
-        assert!(carved
-            .iter()
-            .any(|t| t.statement.contains("dx = 'hiv'")), "{carved:?}");
+        assert!(
+            carved.iter().any(|t| t.statement.contains("dx = 'hiv'")),
+            "{carved:?}"
+        );
         let hit = carved
             .iter()
             .find(|t| t.statement.contains("dx = 'hiv'"))
@@ -172,8 +174,6 @@ mod tests {
         assert!(mem.statements_history.is_empty());
         let tl = timeline(None, Some(&mem));
         assert!(tl.iter().any(|e| e.statement.contains("dx = 'hiv'")));
-        assert!(tl
-            .iter()
-            .all(|e| e.source == TraceSource::FlightRecorder));
+        assert!(tl.iter().all(|e| e.source == TraceSource::FlightRecorder));
     }
 }

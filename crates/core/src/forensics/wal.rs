@@ -147,9 +147,12 @@ mod tests {
     fn reconstructs_insert_update_delete() {
         let db = small_db();
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)").unwrap();
-        conn.execute("INSERT INTO p VALUES (1, 'original-secret')").unwrap();
-        conn.execute("UPDATE p SET v = 'replaced-value!' WHERE id = 1").unwrap();
+        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
+        conn.execute("INSERT INTO p VALUES (1, 'original-secret')")
+            .unwrap();
+        conn.execute("UPDATE p SET v = 'replaced-value!' WHERE id = 1")
+            .unwrap();
         conn.execute("DELETE FROM p WHERE id = 1").unwrap();
 
         let disk = db.disk_image();
@@ -184,10 +187,13 @@ mod tests {
         config.undo_capacity = 8 * 1024;
         let db = Db::open(config);
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..500 {
-            conn.execute(&format!("INSERT INTO p VALUES ({i}, 'xxxxxxxxxxxxxxxxxxxx')"))
-                .unwrap();
+            conn.execute(&format!(
+                "INSERT INTO p VALUES ({i}, 'xxxxxxxxxxxxxxxxxxxx')"
+            ))
+            .unwrap();
         }
         let disk = db.disk_image();
         let writes = reconstruct_writes(disk.file(REDO_FILE).unwrap());
@@ -210,14 +216,12 @@ mod tests {
     fn history_stats_days_arithmetic() {
         let db = small_db();
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE p (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         for i in 0..100 {
             // 20-byte payload, the paper's example write.
-            conn.execute(&format!(
-                "INSERT INTO p VALUES ({i}, '{:020}')",
-                i
-            ))
-            .unwrap();
+            conn.execute(&format!("INSERT INTO p VALUES ({i}, '{:020}')", i))
+                .unwrap();
         }
         let disk = db.disk_image();
         let stats = history_stats(disk.file(UNDO_FILE).unwrap(), 50_000_000);

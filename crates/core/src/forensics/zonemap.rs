@@ -126,10 +126,7 @@ pub fn from_memory(memory: &MemoryImage) -> Vec<RecoveredZoneMap> {
 /// deduplicated by `(file, page)`. A page present in both surfaces is
 /// reported once with [`ZoneMapSource::Both`], preferring the memory
 /// mirror's bounds (it reflects un-flushed DML the disk page missed).
-pub fn recover(
-    disk: Option<&DiskImage>,
-    memory: Option<&MemoryImage>,
-) -> Vec<RecoveredZoneMap> {
+pub fn recover(disk: Option<&DiskImage>, memory: Option<&MemoryImage>) -> Vec<RecoveredZoneMap> {
     let mut by_page: BTreeMap<(String, u32), RecoveredZoneMap> = BTreeMap::new();
     if let Some(d) = disk {
         for r in carve_disk(d) {
@@ -215,7 +212,11 @@ mod tests {
         db.shutdown();
         let disk = db.disk_image();
         let pages = carve_disk(&disk);
-        assert!(pages.len() >= 2, "expected a multi-page heap, got {}", pages.len());
+        assert!(
+            pages.len() >= 2,
+            "expected a multi-page heap, got {}",
+            pages.len()
+        );
         // Column 1 (ts) spans 0..=7990 across the recovered pages.
         let lo = pages
             .iter()
@@ -280,7 +281,10 @@ mod tests {
         // Untracked column: nothing bracketed.
         assert_eq!(bracket_fraction(&pages, 7, 1u128 << 32), 0.0);
         // Empty pages don't count.
-        let empty = vec![RecoveredZoneMap { rows: 0, ..pages[0].clone() }];
+        let empty = vec![RecoveredZoneMap {
+            rows: 0,
+            ..pages[0].clone()
+        }];
         assert_eq!(bracket_fraction(&empty, 1, 1u128 << 32), 0.0);
     }
 
@@ -293,10 +297,8 @@ mod tests {
         assert!(carve_page(&page).is_none());
         page[HDR_SYN_NCOLS] = 1;
         // min > max in the first entry.
-        page[HDR_SYN_ENTRIES + 2..HDR_SYN_ENTRIES + 10]
-            .copy_from_slice(&5i64.to_le_bytes());
-        page[HDR_SYN_ENTRIES + 10..HDR_SYN_ENTRIES + 18]
-            .copy_from_slice(&1i64.to_le_bytes());
+        page[HDR_SYN_ENTRIES + 2..HDR_SYN_ENTRIES + 10].copy_from_slice(&5i64.to_le_bytes());
+        page[HDR_SYN_ENTRIES + 10..HDR_SYN_ENTRIES + 18].copy_from_slice(&1i64.to_le_bytes());
         assert!(carve_page(&page).is_none());
     }
 }

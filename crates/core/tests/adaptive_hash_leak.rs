@@ -15,9 +15,11 @@ fn hot_search_keys_appear_in_the_memory_image() {
     config.query_cache_enabled = false; // Force every search to the index.
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..2_000 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+            .unwrap();
     }
     // The victim hammers one key and touches others once.
     for _ in 0..40 {
@@ -28,7 +30,8 @@ fn hot_search_keys_appear_in_the_memory_image() {
     // Drown the statement history and heap in noise so the only place the
     // hot key survives is the adaptive hash index.
     for i in 0..200 {
-        conn.execute(&format!("SELECT v FROM t WHERE k = {}", 1000 + i)).unwrap();
+        conn.execute(&format!("SELECT v FROM t WHERE k = {}", 1000 + i))
+            .unwrap();
     }
 
     let obs = capture(&db, AttackVector::VmSnapshotLeak);

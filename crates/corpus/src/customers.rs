@@ -13,10 +13,10 @@ use crate::zipf::Zipf;
 /// Two-letter codes of the 50 US states, ordered by (approximate 2016)
 /// population so that rank correlates with frequency.
 pub const STATES: [&str; 50] = [
-    "CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA",
-    "TN", "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "CT", "UT",
-    "IA", "NV", "AR", "MS", "KS", "NM", "NE", "WV", "ID", "HI", "NH", "ME", "MT", "RI", "DE",
-    "SD", "ND", "AK", "VT", "WY",
+    "CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA", "TN",
+    "IN", "MO", "MD", "WI", "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "CT", "UT", "IA", "NV",
+    "AR", "MS", "KS", "NM", "NE", "WV", "ID", "HI", "NH", "ME", "MT", "RI", "DE", "SD", "ND", "AK",
+    "VT", "WY",
 ];
 
 /// One generated customer row.
@@ -107,7 +107,10 @@ mod tests {
         assert!(rows.iter().all(|r| (18..=90).contains(&r.age)));
         let mid = rows.iter().filter(|r| (40..=68).contains(&r.age)).count();
         let edge = rows.iter().filter(|r| r.age < 30 || r.age > 78).count();
-        assert!(mid > edge, "triangular bulge missing: mid={mid} edge={edge}");
+        assert!(
+            mid > edge,
+            "triangular bulge missing: mid={mid} edge={edge}"
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl Corpus {
         let mut by_freq: Vec<(&String, usize)> =
             self.doc_freq.iter().map(|(w, &c)| (w, c)).collect();
         by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
-        by_freq.into_iter().take(k).map(|(w, _)| w.clone()).collect()
+        by_freq
+            .into_iter()
+            .take(k)
+            .map(|(w, _)| w.clone())
+            .collect()
     }
 
     /// Fraction of the top `k` words whose result count is unique across

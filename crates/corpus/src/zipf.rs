@@ -31,7 +31,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "rank space must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 1..=n {

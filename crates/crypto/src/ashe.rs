@@ -106,7 +106,8 @@ impl AsheKey {
 /// Wrapping sum of ciphertext bodies, the server-side aggregation
 /// (`ashe(...)` in Seabed's rewritten queries).
 pub fn aggregate<'a>(cts: impl IntoIterator<Item = &'a AsheCiphertext>) -> u64 {
-    cts.into_iter().fold(0u64, |acc, c| acc.wrapping_add(c.body))
+    cts.into_iter()
+        .fold(0u64, |acc, c| acc.wrapping_add(c.body))
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ pub fn decrypt(key: &Key, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
     // splice a valid nonce onto a different valid body.
     let siv_key = kdf::derive_key(&key.0, b"det-siv");
     let tag = hmac_parts(&siv_key, &[&plain]);
-    if !crate::hmac::ct_eq(&tag[..chacha20::NONCE_LEN], &ciphertext[..chacha20::NONCE_LEN]) {
+    if !crate::hmac::ct_eq(
+        &tag[..chacha20::NONCE_LEN],
+        &ciphertext[..chacha20::NONCE_LEN],
+    ) {
         return Err(CryptoError::AuthenticationFailed);
     }
     Ok(plain)

@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaau8; 131];
-        let tag = raw_hmac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = raw_hmac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -171,7 +174,10 @@ mod tests {
     #[test]
     fn framing_distinguishes_part_boundaries() {
         let k = [9u8; 32];
-        assert_ne!(hmac_parts(&k, &[b"ab", b"c"]), hmac_parts(&k, &[b"a", b"bc"]));
+        assert_ne!(
+            hmac_parts(&k, &[b"ab", b"c"]),
+            hmac_parts(&k, &[b"a", b"bc"])
+        );
         assert_ne!(hmac_parts(&k, &[b"abc"]), hmac_parts(&k, &[b"abc", b""]));
     }
 

@@ -66,9 +66,7 @@ impl OreParams {
             return Err(CryptoError::DomainViolation("width must be in 1..=64"));
         }
         if self.block_bits == 0 || !self.width.is_multiple_of(self.block_bits) {
-            return Err(CryptoError::DomainViolation(
-                "block_bits must divide width",
-            ));
+            return Err(CryptoError::DomainViolation("block_bits must divide width"));
         }
         if self.block_bits > 8 {
             return Err(CryptoError::DomainViolation(
@@ -162,10 +160,7 @@ impl OreKey {
 
     /// Permutation over block values for `(block_idx, prefix)`.
     fn slot_prp(&self, block_idx: u32, prefix: &[u8; 8]) -> SmallPrp {
-        let k = hmac_parts(
-            &self.prf2,
-            &[b"ore-perm", &block_idx.to_le_bytes(), prefix],
-        );
+        let k = hmac_parts(&self.prf2, &[b"ore-perm", &block_idx.to_le_bytes(), prefix]);
         SmallPrp::new(&k, self.params.block_space())
     }
 
@@ -437,11 +432,26 @@ mod tests {
     fn invalid_params_rejected() {
         let m = Key([0; 32]);
         for p in [
-            OreParams { width: 0, block_bits: 1 },
-            OreParams { width: 65, block_bits: 1 },
-            OreParams { width: 32, block_bits: 5 },
-            OreParams { width: 32, block_bits: 0 },
-            OreParams { width: 32, block_bits: 16 },
+            OreParams {
+                width: 0,
+                block_bits: 1,
+            },
+            OreParams {
+                width: 65,
+                block_bits: 1,
+            },
+            OreParams {
+                width: 32,
+                block_bits: 5,
+            },
+            OreParams {
+                width: 32,
+                block_bits: 0,
+            },
+            OreParams {
+                width: 32,
+                block_bits: 16,
+            },
         ] {
             assert!(OreKey::new(&m, p).is_err(), "{p:?}");
         }
@@ -457,10 +467,7 @@ mod tests {
         let right2 = RightCiphertext::from_bytes(&right.to_bytes()).unwrap();
         assert_eq!(left2, left);
         assert_eq!(right2, right);
-        assert_eq!(
-            compare(&left2, &right2).unwrap(),
-            0xCAFEu64.cmp(&0xBEEF)
-        );
+        assert_eq!(compare(&left2, &right2).unwrap(), 0xCAFEu64.cmp(&0xBEEF));
         assert!(LeftCiphertext::from_bytes(&[1]).is_err());
         assert!(RightCiphertext::from_bytes(&[0; 5]).is_err());
         let mut trunc = right.to_bytes();
@@ -470,7 +477,10 @@ mod tests {
 
     #[test]
     fn mismatched_widths_detected() {
-        let k8 = key(OreParams { width: 8, block_bits: 1 });
+        let k8 = key(OreParams {
+            width: 8,
+            block_bits: 1,
+        });
         let k32 = key(OreParams::PAPER);
         let mut rng = StdRng::seed_from_u64(11);
         let left = k8.encrypt_left(1).unwrap();

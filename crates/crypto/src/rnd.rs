@@ -29,7 +29,11 @@ pub fn encrypt<R: Rng + ?Sized>(key: &Key, plaintext: &[u8], rng: &mut R) -> Vec
 }
 
 /// Encrypts with an explicit nonce (used by DET, which derives the nonce).
-pub fn encrypt_with_nonce(key: &Key, plaintext: &[u8], nonce: &[u8; chacha20::NONCE_LEN]) -> Vec<u8> {
+pub fn encrypt_with_nonce(
+    key: &Key,
+    plaintext: &[u8],
+    nonce: &[u8; chacha20::NONCE_LEN],
+) -> Vec<u8> {
     let enc_key = kdf::derive_key(&key.0, b"rnd-enc");
     let mac_key = kdf::derive_key(&key.0, b"rnd-mac");
 

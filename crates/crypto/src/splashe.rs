@@ -133,12 +133,9 @@ impl SplasheColumn {
         ids: impl IntoIterator<Item = u64>,
         sum_body: u64,
     ) -> Result<u64, CryptoError> {
-        let idx = self
-            .config
-            .dedicated
-            .iter()
-            .position(|&d| d == v)
-            .ok_or(CryptoError::DomainViolation("value has no dedicated column"))?;
+        let idx = self.config.dedicated.iter().position(|&d| d == v).ok_or(
+            CryptoError::DomainViolation("value has no dedicated column"),
+        )?;
         Ok(self.ashe_keys[idx].decrypt_sum(ids, sum_body))
     }
 

@@ -76,7 +76,10 @@ impl Trapdoor {
         word_enc.copy_from_slice(&bytes[..WORD_ENC_LEN]);
         let mut match_key = [0u8; 32];
         match_key.copy_from_slice(&bytes[WORD_ENC_LEN..]);
-        Some(Trapdoor { word_enc, match_key })
+        Some(Trapdoor {
+            word_enc,
+            match_key,
+        })
     }
 }
 
@@ -132,7 +135,10 @@ impl SwpClient {
     pub fn trapdoor(&self, word: &str) -> Trapdoor {
         let word_enc = self.word_encoding(word);
         let match_key = self.match_key_for(&word_enc);
-        Trapdoor { word_enc, match_key }
+        Trapdoor {
+            word_enc,
+            match_key,
+        }
     }
 }
 

@@ -136,14 +136,18 @@ impl EncTreap {
     }
 
     fn rotate_right(&mut self, r: NodeId) -> NodeId {
-        let l = self.nodes[r as usize].left.expect("rotate_right needs left child");
+        let l = self.nodes[r as usize]
+            .left
+            .expect("rotate_right needs left child");
         self.nodes[r as usize].left = self.nodes[l as usize].right;
         self.nodes[l as usize].right = Some(r);
         l
     }
 
     fn rotate_left(&mut self, r: NodeId) -> NodeId {
-        let l = self.nodes[r as usize].right.expect("rotate_left needs right child");
+        let l = self.nodes[r as usize]
+            .right
+            .expect("rotate_left needs right child");
         self.nodes[r as usize].right = self.nodes[l as usize].left;
         self.nodes[l as usize].left = Some(r);
         l
@@ -295,7 +299,11 @@ mod tests {
     fn inorder_is_sorted() {
         let values = [50u64, 20, 80, 10, 30, 70, 90, 25, 60];
         let (t, _) = build(&values, 1);
-        let inorder: Vec<u64> = t.inorder_ids().iter().map(|&id| t.oracle_value(id)).collect();
+        let inorder: Vec<u64> = t
+            .inorder_ids()
+            .iter()
+            .map(|&id| t.oracle_value(id))
+            .collect();
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
         assert_eq!(inorder, sorted);
@@ -308,7 +316,11 @@ mod tests {
         let res = t.range(20, 40, &mut rng).unwrap();
         let mut got: Vec<u64> = res.matches.iter().map(|&id| t.oracle_value(id)).collect();
         got.sort_unstable();
-        let mut expect: Vec<u64> = values.iter().copied().filter(|&v| (20..=40).contains(&v)).collect();
+        let mut expect: Vec<u64> = values
+            .iter()
+            .copied()
+            .filter(|&v| (20..=40).contains(&v))
+            .collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
         t.drain_repairs();
@@ -335,7 +347,11 @@ mod tests {
     #[test]
     fn repairs_reencrypt_with_fresh_randomness() {
         let (mut t, mut rng) = build(&[10, 20, 30], 4);
-        let before: Vec<Vec<u8>> = t.server_view().iter().map(|n| n.ciphertext.clone()).collect();
+        let before: Vec<Vec<u8>> = t
+            .server_view()
+            .iter()
+            .map(|n| n.ciphertext.clone())
+            .collect();
         let res = t.range(0, 100, &mut rng).unwrap();
         let repairs = t.drain_repairs();
         assert_eq!(repairs.len(), res.visited.len());
@@ -345,10 +361,7 @@ mod tests {
                 "repair must change the ciphertext"
             );
             // But it still decrypts to the same value.
-            assert_eq!(
-                t.decrypt_node(r.node).unwrap(),
-                t.oracle_value(r.node)
-            );
+            assert_eq!(t.decrypt_node(r.node).unwrap(), t.oracle_value(r.node));
         }
     }
 

@@ -87,11 +87,7 @@ impl ArxRangeIndex {
             }
             self.conn.execute("COMMIT")?;
         }
-        Ok(result
-            .matches
-            .iter()
-            .map(|n| self.node_to_row[n])
-            .collect())
+        Ok(result.matches.iter().map(|n| self.node_to_row[n]).collect())
     }
 
     /// Number of index nodes.
@@ -120,7 +116,7 @@ mod tests {
     use super::*;
     use minidb::engine::DbConfig;
     use minidb::value::Value;
-    use minidb::wal::{BinlogEvent, carve_frames};
+    use minidb::wal::{carve_frames, BinlogEvent};
 
     fn build(values: &[u64]) -> (Db, ArxRangeIndex) {
         let db = Db::open(DbConfig::default());
@@ -186,9 +182,13 @@ mod tests {
     fn repairs_reencrypt_the_stored_ciphertexts() {
         let (db, mut ix) = build(&[1, 2, 3]);
         let conn = db.connect("observer");
-        let before = conn.execute("SELECT ct FROM arx_age ORDER BY node_id").unwrap();
+        let before = conn
+            .execute("SELECT ct FROM arx_age ORDER BY node_id")
+            .unwrap();
         let _ = ix.range(0, 10).unwrap();
-        let after = conn.execute("SELECT ct FROM arx_age ORDER BY node_id").unwrap();
+        let after = conn
+            .execute("SELECT ct FROM arx_age ORDER BY node_id")
+            .unwrap();
         // All three nodes visited → all three ciphertexts changed.
         for (b, a) in before.rows.iter().zip(after.rows.iter()) {
             assert_ne!(b, a, "repair must change the stored ciphertext");

@@ -107,8 +107,10 @@ mod tests {
     fn disk_theft_sees_only_sizes() {
         let db = small_db();
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE s (id INT PRIMARY KEY, secret TEXT)").unwrap();
-        conn.execute("INSERT INTO s VALUES (1, 'the-plaintext-secret')").unwrap();
+        conn.execute("CREATE TABLE s (id INT PRIMARY KEY, secret TEXT)")
+            .unwrap();
+        conn.execute("INSERT INTO s VALUES (1, 'the-plaintext-secret')")
+            .unwrap();
         db.shutdown();
 
         let at_rest = AtRest::install(&db, &Key([9u8; 32]));

@@ -181,21 +181,22 @@ impl CryptDbProxy {
                     literals.push(hex_literal(&ct));
                 }
                 (ColumnCrypto::Ore, Value::Int(i)) => {
-                    let x = u32::try_from(*i).map_err(|_| {
-                        EdbError::Client(format!("ORE plaintext {i} outside u32"))
-                    })?;
+                    let x = u32::try_from(*i)
+                        .map_err(|_| EdbError::Client(format!("ORE plaintext {i} outside u32")))?;
                     let right = self.ore_key.encrypt_right(x as u64, &mut self.rng)?;
                     literals.push(hex_literal(&right.to_bytes()));
-                    let ct =
-                        rnd::encrypt(&self.rnd_key(table, &c.name), &x.to_le_bytes(), &mut self.rng);
+                    let ct = rnd::encrypt(
+                        &self.rnd_key(table, &c.name),
+                        &x.to_le_bytes(),
+                        &mut self.rng,
+                    );
                     literals.push(hex_literal(&ct));
                 }
                 (ColumnCrypto::Search, Value::Text(s)) => {
                     let swp = self.swp_client(table, &c.name);
                     let row_nonce: u64 = rand::Rng::gen(&mut self.rng);
                     let words: Vec<&str> = s.split_whitespace().collect();
-                    let mut blob =
-                        Vec::with_capacity(2 + words.len() * CIPHERTEXT_LEN);
+                    let mut blob = Vec::with_capacity(2 + words.len() * CIPHERTEXT_LEN);
                     blob.extend_from_slice(&(words.len() as u16).to_le_bytes());
                     for (pos, w) in words.iter().enumerate() {
                         let ct = swp.encrypt_word(row_nonce, pos as u32, &w.to_lowercase());
@@ -213,8 +214,10 @@ impl CryptDbProxy {
                 }
             }
         }
-        self.conn
-            .execute(&format!("INSERT INTO {table} VALUES ({})", literals.join(", ")))?;
+        self.conn.execute(&format!(
+            "INSERT INTO {table} VALUES ({})",
+            literals.join(", ")
+        ))?;
         Ok(())
     }
 
@@ -263,7 +266,10 @@ impl CryptDbProxy {
                     return Err(EdbError::Client(format!("{col} is not a Search column")));
                 }
                 let td = self.swp_client(table, col).trapdoor(&word.to_lowercase());
-                format!(" WHERE SWP_MATCH({col}_swp, {})", hex_literal(&td.to_bytes()))
+                format!(
+                    " WHERE SWP_MATCH({col}_swp, {})",
+                    hex_literal(&td.to_bytes())
+                )
             }
         };
         Ok(format!("SELECT * FROM {table}{where_clause}"))
@@ -350,12 +356,10 @@ pub fn register_udfs(db: &Db) {
             .map_err(|e| minidb::DbError::Eval(format!("ORE compare: {e}")))?;
         // stored >= token  ⇔  token <= stored  ⇔  compare(token, stored) is
         // Less or Equal.
-        Ok(Value::Int(
-            matches!(
-                leak.ordering,
-                core::cmp::Ordering::Less | core::cmp::Ordering::Equal
-            ) as i64,
-        ))
+        Ok(Value::Int(matches!(
+            leak.ordering,
+            core::cmp::Ordering::Less | core::cmp::Ordering::Equal
+        ) as i64))
     };
     let ore_cmps = ore_cmp_count;
     let le = move |args: &[Value]| -> minidb::DbResult<Value> {
@@ -363,12 +367,10 @@ pub fn register_udfs(db: &Db) {
         let (stored, token) = parse_ore_args(args)?;
         let leak = ore::compare_leak(&token, &stored)
             .map_err(|e| minidb::DbError::Eval(format!("ORE compare: {e}")))?;
-        Ok(Value::Int(
-            matches!(
-                leak.ordering,
-                core::cmp::Ordering::Greater | core::cmp::Ordering::Equal
-            ) as i64,
-        ))
+        Ok(Value::Int(matches!(
+            leak.ordering,
+            core::cmp::Ordering::Greater | core::cmp::Ordering::Equal
+        ) as i64))
     };
     db.register_function("ORE_GE", Arc::new(ge));
     db.register_function("ORE_LE", Arc::new(le));
@@ -390,11 +392,11 @@ pub fn register_udfs(db: &Db) {
     );
 }
 
-fn parse_ore_args(
-    args: &[Value],
-) -> minidb::DbResult<(ore::RightCiphertext, ore::LeftCiphertext)> {
+fn parse_ore_args(args: &[Value]) -> minidb::DbResult<(ore::RightCiphertext, ore::LeftCiphertext)> {
     let (Value::Bytes(stored), Value::Bytes(token)) = (&args[0], &args[1]) else {
-        return Err(minidb::DbError::Eval("ORE UDF expects two byte args".into()));
+        return Err(minidb::DbError::Eval(
+            "ORE UDF expects two byte args".into(),
+        ));
     };
     let right = ore::RightCiphertext::from_bytes(stored)
         .map_err(|e| minidb::DbError::Eval(format!("bad right ct: {e}")))?;
@@ -615,9 +617,6 @@ mod tests {
         let rows = p.select("docs", &Query::All).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[3][2], Value::Int(120_000));
-        assert_eq!(
-            rows[3][3],
-            Value::Text("quarterly energy results".into())
-        );
+        assert_eq!(rows[3][3], Value::Text("quarterly energy results".into()));
     }
 }

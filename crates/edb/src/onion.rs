@@ -127,9 +127,7 @@ impl OnionTable {
         // and a burst of rewrites the size of the column.
         let telemetry = self.conn.db().telemetry();
         telemetry.counter("edb.onion.peel_downgrades").inc();
-        telemetry
-            .counter("edb.onion.peel_rewrites")
-            .add(self.rows);
+        telemetry.counter("edb.onion.peel_rewrites").add(self.rows);
         Ok(())
     }
 
@@ -154,10 +152,9 @@ impl OnionTable {
 
     /// Decrypts one row through the proxy (any level).
     pub fn read(&mut self, id: u64) -> EdbResult<String> {
-        let r = self.conn.execute(&format!(
-            "SELECT secret FROM {} WHERE id = {id}",
-            self.name
-        ))?;
+        let r = self
+            .conn
+            .execute(&format!("SELECT secret FROM {} WHERE id = {id}", self.name))?;
         let Some(row) = r.rows.first() else {
             return Err(EdbError::Client(format!("row {id} not found")));
         };
@@ -277,10 +274,8 @@ mod tests {
         assert_eq!(txns.len(), 1);
         // And the undo log still holds the *old RND cells* — the snapshot
         // attacker can even prove the column used to be RND.
-        let undo = minidb::wal::carve_frames(
-            db.disk_image().file(minidb::wal::UNDO_FILE).unwrap(),
-        )
-        .len();
+        let undo =
+            minidb::wal::carve_frames(db.disk_image().file(minidb::wal::UNDO_FILE).unwrap()).len();
         assert!(undo > 0);
     }
 }

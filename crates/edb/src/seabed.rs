@@ -13,7 +13,7 @@
 //! plaintext value*, and frequency analysis does the rest.
 
 use edb_crypto::feistel::SmallPrp;
-use edb_crypto::splashe::{SplasheConfig, SplasheColumn};
+use edb_crypto::splashe::{SplasheColumn, SplasheConfig};
 use edb_crypto::{kdf, Key};
 use minidb::engine::{Connection, Db};
 use minidb::value::Value;
@@ -255,7 +255,9 @@ mod tests {
         // The raw column sums are ASHE-padded: they are not the counts.
         let conn = db.connect("attacker");
         let r = conn.execute("SELECT ASHE_SUM(c0) FROM sales").unwrap();
-        let Value::Int(raw) = r.rows[0][0] else { panic!() };
+        let Value::Int(raw) = r.rows[0][0] else {
+            panic!()
+        };
         assert_ne!(raw, 2, "raw ASHE sum must not equal the plaintext count");
     }
 
@@ -300,7 +302,10 @@ mod tests {
         let db = Db::open(DbConfig::default());
         let t = SeabedTable::create(&db, &Key([4u8; 32]), "s", 4, SeabedMode::Basic).unwrap();
         let sql = t.rewrite_count(2).unwrap();
-        assert!(sql.starts_with("SELECT ASHE_SUM(c") && sql.ends_with(" FROM s"), "{sql}");
+        assert!(
+            sql.starts_with("SELECT ASHE_SUM(c") && sql.ends_with(" FROM s"),
+            "{sql}"
+        );
         // The column label must not trivially reveal the value for every
         // value (the map is a secret permutation)...
         let labels: Vec<String> = (0..4).map(|v| t.rewrite_count(v).unwrap()).collect();

@@ -180,11 +180,8 @@ impl AdaptiveHash {
 
     /// The indexed (hot) keys — pure leakage to a memory snapshot.
     pub fn indexed_keys(&self) -> Vec<(&[u8], &PageKey)> {
-        let mut v: Vec<(&[u8], &PageKey)> = self
-            .index
-            .iter()
-            .map(|(k, p)| (k.as_slice(), p))
-            .collect();
+        let mut v: Vec<(&[u8], &PageKey)> =
+            self.index.iter().map(|(k, p)| (k.as_slice(), p)).collect();
         v.sort_by(|a, b| a.0.cmp(b.0));
         v
     }

@@ -103,6 +103,21 @@ pub struct DbConfig {
     /// replication applier ([`Db::apply_replicated`]) bypasses the check,
     /// exactly like MySQL's `read_only` vs the SQL thread.
     pub read_only: bool,
+    /// When set, [`Db::open`] starts an [`mdb_obs::ObsServer`] on this
+    /// address serving `/metrics`, `/healthz`, and `/varz` for the
+    /// engine's telemetry registry — the status port every production
+    /// DBMS exposes. Use `"127.0.0.1:0"` for an ephemeral port
+    /// ([`Db::obs_addr`] resolves it). Off by default; E17 measures
+    /// what turning it on hands a remote observer.
+    pub obs_listen: Option<String>,
+    /// Bearer token required on `/metrics` and `/varz` (mitigation
+    /// knob; `/healthz` stays open for load balancers).
+    pub obs_auth_token: Option<String>,
+    /// Scrub the exposition: drop per-table series, quantize values to
+    /// powers of two (mitigation knob, [`mdb_obs::prom::scrub`]).
+    pub obs_scrub: bool,
+    /// Scrape retention-ring capacity, in snapshots.
+    pub obs_retention: usize,
 }
 
 impl Default for DbConfig {
@@ -131,6 +146,10 @@ impl Default for DbConfig {
             trace_ring_capacity: 64,
             server_id: 1,
             read_only: false,
+            obs_listen: None,
+            obs_auth_token: None,
+            obs_scrub: false,
+            obs_retention: 64,
         }
     }
 }
@@ -267,6 +286,10 @@ pub(crate) struct DbInner {
     /// `information_schema.replicas` rows, published by the replication
     /// layer (the engine renders, the layer above reports).
     replica_status: Option<Arc<dyn Fn() -> Vec<ReplicaStatus> + Send + Sync>>,
+    /// The observability server, when [`DbConfig::obs_listen`] is set.
+    /// Held here so its lifetime matches the engine's; shutdown takes it
+    /// out of the lock before joining the accept thread.
+    obs: Option<mdb_obs::ObsServer>,
 }
 
 /// Handle to a MiniDB instance. Cloneable; all clones share the engine.
@@ -335,11 +358,49 @@ impl Db {
             crashed: false,
             applying: false,
             replica_status: None,
+            obs: None,
             config,
         };
-        Db {
+        let db = Db {
             inner: Arc::new(Mutex::new(inner)),
-        }
+        };
+        db.start_obs();
+        db
+    }
+
+    /// Starts the observability server when [`DbConfig::obs_listen`] is
+    /// set. The health closure holds only a [`Weak`] engine reference:
+    /// the server must not keep the engine alive, and a probe racing
+    /// engine teardown reports `503` instead of deadlocking.
+    fn start_obs(&self) {
+        let mut g = self.inner.lock();
+        let Some(listen) = g.config.obs_listen.clone() else {
+            return;
+        };
+        let options = mdb_obs::ObsOptions {
+            listen,
+            auth_token: g.config.obs_auth_token.clone(),
+            scrub: g.config.obs_scrub,
+            retention: g.config.obs_retention,
+        };
+        let weak = Arc::downgrade(&self.inner);
+        let health: mdb_obs::HealthSource = Arc::new(move || match weak.upgrade() {
+            Some(inner) => inner.lock().health_report(),
+            None => mdb_obs::HealthReport::unavailable("engine gone"),
+        });
+        let server = mdb_obs::ObsServer::start(g.telemetry.clone(), health, options)
+            .unwrap_or_else(|e| panic!("obs_listen {:?}: {e}", g.config.obs_listen));
+        g.obs = Some(server);
+    }
+
+    /// The observability server's bound address, when one is running.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.lock().obs.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The scrape retention ring, when the obs server is running.
+    pub fn obs_ring(&self) -> Option<mdb_obs::RetentionRing> {
+        self.inner.lock().obs.as_ref().map(|s| s.ring())
     }
 
     /// Opens with defaults.
@@ -421,9 +482,15 @@ impl Db {
     pub fn apply_replicated(&self, sql: &str, commit_ts: i64) -> DbResult<QueryResult> {
         let mut g = self.inner.lock();
         let g = &mut *g;
-        if !g.processlist.entries().iter().any(|e| e.id == REPL_APPLIER_CONN) {
+        if !g
+            .processlist
+            .entries()
+            .iter()
+            .any(|e| e.id == REPL_APPLIER_CONN)
+        {
             let now = g.now_unix;
-            g.processlist.connect(REPL_APPLIER_CONN, "repl_applier", now);
+            g.processlist
+                .connect(REPL_APPLIER_CONN, "repl_applier", now);
         }
         g.now_unix = g.now_unix.max(commit_ts - g.config.seconds_per_statement);
         g.applying = true;
@@ -517,6 +584,12 @@ impl Db {
             // per-statement timeline (the e15 surface).
             inner.telemetry.scrub();
             inner.trace.clear();
+            // The scrape retention ring is diagnostics state too: a
+            // "wiped" server whose status port still serves the last N
+            // scrape deltas has not wiped anything.
+            if let Some(obs) = &inner.obs {
+                obs.ring().clear();
+            }
         }
     }
 
@@ -532,10 +605,17 @@ impl Db {
     /// Clean shutdown: flush dirty pages, checkpoint, and write the
     /// buffer-pool LRU dump (like MySQL on `SHUTDOWN`).
     pub fn shutdown(&self) {
-        let mut g = self.inner.lock();
-        let inner = &mut *g;
-        inner.checkpoint();
-        inner.bufpool.dump(&mut inner.vdisk);
+        let obs = {
+            let mut g = self.inner.lock();
+            let inner = &mut *g;
+            inner.checkpoint();
+            inner.bufpool.dump(&mut inner.vdisk);
+            inner.obs.take()
+        };
+        // Join the obs accept thread *outside* the engine lock: a
+        // health probe racing shutdown takes that lock, and joining
+        // while holding it would deadlock.
+        drop(obs);
     }
 
     /// Simulated crash: every volatile structure dies; disk state remains.
@@ -557,6 +637,9 @@ impl Db {
         g.telemetry.scrub();
         g.trace.clear();
         g.current_trace = None;
+        if let Some(obs) = &g.obs {
+            obs.ring().clear();
+        }
     }
 
     /// Crash recovery: ARIES-lite redo of logged changes (pageLSN-gated),
@@ -601,6 +684,60 @@ impl Drop for Connection {
 }
 
 impl DbInner {
+    /// The `/healthz` payload: WAL position, buffer-pool occupancy, and
+    /// replication lag, gated on the crashed flag. Runs on the obs
+    /// accept thread under the engine lock — keep it cheap.
+    fn health_report(&self) -> mdb_obs::HealthReport {
+        use mdb_obs::HealthComponent;
+        let mut components = vec![
+            HealthComponent {
+                name: "engine".into(),
+                ok: !self.crashed,
+                detail: if self.crashed {
+                    "crashed; awaiting recovery".into()
+                } else {
+                    format!("{} statements executed", self.statements_executed)
+                },
+            },
+            HealthComponent {
+                name: "wal".into(),
+                ok: !self.crashed,
+                detail: format!(
+                    "lsn={} binlog_next_seq={}",
+                    self.wal.current_lsn(),
+                    self.wal.binlog_next_seq()
+                ),
+            },
+            HealthComponent {
+                name: "bufpool".into(),
+                ok: !self.crashed,
+                detail: format!(
+                    "cached={}/{}",
+                    self.bufpool.cached_pages(),
+                    self.config.buffer_pool_pages
+                ),
+            },
+        ];
+        if let Some(source) = &self.replica_status {
+            let rows = source();
+            let lagging = rows.iter().filter(|r| r.state != "streaming").count();
+            let max_lag = rows.iter().map(|r| r.lag_events).max().unwrap_or(0);
+            components.push(HealthComponent {
+                name: "replication".into(),
+                ok: lagging == 0,
+                detail: format!(
+                    "replicas={} non_streaming={} max_lag_events={max_lag}",
+                    rows.len(),
+                    lagging
+                ),
+            });
+        }
+        mdb_obs::HealthReport {
+            ready: components.iter().all(|c| c.ok),
+            components,
+        }
+    }
+
     // ================= statement pipeline =================
 
     fn execute(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
@@ -651,8 +788,7 @@ impl DbInner {
             Ok(r) => (r.rows_examined, r.rows.len() as u64),
             Err(_) => (0, 0),
         };
-        let duration_us =
-            self.config.statement_base_us + rows_examined * self.config.per_row_us;
+        let duration_us = self.config.statement_base_us + rows_examined * self.config.per_row_us;
         self.metrics.statements.inc();
         if outcome.is_err() {
             self.metrics.errors.inc();
@@ -684,7 +820,10 @@ impl DbInner {
             self.vdisk
                 .append(SLOW_LOG_FILE, &mdb_trace::record::encode_record(&rec));
         }
-        if let Some(evicted) = self.perf.statement_end(conn_id, rows_examined, rows_returned) {
+        if let Some(evicted) = self
+            .perf
+            .statement_end(conn_id, rows_examined, rows_returned)
+        {
             self.heap.free(evicted);
         }
         self.processlist.set_query(conn_id, None);
@@ -780,8 +919,12 @@ impl DbInner {
                 // EXPLAIN ANALYZE always traces its target, even when
                 // the flight recorder is disarmed.
                 if self.current_trace.is_none() {
-                    self.current_trace =
-                        Some(TraceBuilder::new(conn_id, self.now_unix, sql, &digest_text(sql)));
+                    self.current_trace = Some(TraceBuilder::new(
+                        conn_id,
+                        self.now_unix,
+                        sql,
+                        &digest_text(sql),
+                    ));
                 }
                 let res = self.run_stmt(conn_id, sql, *inner)?;
                 // The target's simulated wall time is fully determined
@@ -805,7 +948,15 @@ impl DbInner {
                 table,
                 columns,
                 rows,
-            } => self.dml(conn_id, sql, DmlOp::Insert { table, columns, rows }),
+            } => self.dml(
+                conn_id,
+                sql,
+                DmlOp::Insert {
+                    table,
+                    columns,
+                    rows,
+                },
+            ),
             Statement::Update {
                 table,
                 sets,
@@ -822,7 +973,14 @@ impl DbInner {
             Statement::Delete {
                 table,
                 where_clause,
-            } => self.dml(conn_id, sql, DmlOp::Delete { table, where_clause }),
+            } => self.dml(
+                conn_id,
+                sql,
+                DmlOp::Delete {
+                    table,
+                    where_clause,
+                },
+            ),
             Statement::DropTable { name } => {
                 let r = self.drop_table(&name);
                 if r.is_ok() {
@@ -1005,7 +1163,11 @@ impl DbInner {
     /// `EXPLAIN SELECT`: reports the access path the planner would take.
     fn explain(&mut self, sel: SelectStmt) -> DbResult<QueryResult> {
         let plan = if sel.schema.is_some() {
-            format!("virtual table scan on {}.{}", sel.schema.as_deref().unwrap(), sel.table)
+            format!(
+                "virtual table scan on {}.{}",
+                sel.schema.as_deref().unwrap(),
+                sel.table
+            )
         } else {
             let def = self.catalog.get(&sel.table)?.clone();
             let plan = sel.where_clause.as_ref().map(|w| plan_scan(&def, w));
@@ -1014,10 +1176,7 @@ impl DbInner {
                     let ix = &def.indexes[p.index_pos];
                     format!(
                         "index scan on {} ({}) bounds {:?}..{:?}",
-                        ix.name,
-                        def.schema.columns[ix.column_idx].name,
-                        p.bounds.lo,
-                        p.bounds.hi
+                        ix.name, def.schema.columns[ix.column_idx].name, p.bounds.lo, p.bounds.hi
                     )
                 }
                 Some(ScanPlan {
@@ -1062,10 +1221,18 @@ impl DbInner {
         // runs before projection, so aggregates see the same rows either
         // way). The projection mask covers every column the query can
         // read: select list, WHERE, ORDER BY.
-        let push_limit = if sel.order_by.is_none() { sel.limit } else { None };
+        let push_limit = if sel.order_by.is_none() {
+            sel.limit
+        } else {
+            None
+        };
         let needed = needed_columns(&def.schema, &sel);
-        let (mut rows, examined) =
-            self.fetch_rows(&def, sel.where_clause.as_ref(), push_limit, needed.as_deref())?;
+        let (mut rows, examined) = self.fetch_rows(
+            &def,
+            sel.where_clause.as_ref(),
+            push_limit,
+            needed.as_deref(),
+        )?;
 
         // ORDER BY before projection.
         if let Some((col, desc)) = &sel.order_by {
@@ -1391,8 +1558,12 @@ impl DbInner {
                     pages_decoded += 1;
                     let page_rows = {
                         let rt = self.runtime.get(&def.schema.name).expect("checked");
-                        rt.heap
-                            .read_page_rows(&mut self.bufpool, &mut self.vdisk, page_no, needed)?
+                        rt.heap.read_page_rows(
+                            &mut self.bufpool,
+                            &mut self.vdisk,
+                            page_no,
+                            needed,
+                        )?
                     };
                     for row in page_rows {
                         examined += 1;
@@ -1563,10 +1734,7 @@ impl DbInner {
                         let rt = self.runtime.get_mut(&table).expect("catalog hit");
                         rt.heap.allocate_row_id()
                     };
-                    let row = Row {
-                        id: row_id,
-                        values,
-                    };
+                    let row = Row { id: row_id, values };
                     self.insert_row(txn_id, &def, &row, undo_written)?;
                     affected += 1;
                 }
@@ -1587,7 +1755,8 @@ impl DbInner {
                 self.record_table_access(&def.schema.name);
                 // No pushdowns: updates re-encode the old row, so every
                 // column must be materialized, and all targets matter.
-                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
+                let (targets, examined) =
+                    self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
                 self.trace_begin("write");
                 let mut set_idx = Vec::new();
                 for (col, val) in &sets {
@@ -1621,7 +1790,8 @@ impl DbInner {
                 let def = self.catalog.get(&table)?.clone();
                 self.record_table_access(&def.schema.name);
                 // No pushdowns: the undo image needs the full old row.
-                let (targets, examined) = self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
+                let (targets, examined) =
+                    self.fetch_rows(&def, where_clause.as_ref(), None, None)?;
                 self.trace_begin("write");
                 let affected = targets.len() as u64;
                 for old in targets {
@@ -1779,7 +1949,9 @@ impl DbInner {
         undo_written.push(undo);
 
         let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
-        let placement = rt.heap.update(&mut self.bufpool, &mut self.vdisk, new_row)?;
+        let placement = rt
+            .heap
+            .update(&mut self.bufpool, &mut self.vdisk, new_row)?;
         match placement {
             UpdatePlacement::InPlace { page_no, slot } => {
                 self.stamp_page_lsn(&def.file, page_no, lsn)?;
@@ -1880,9 +2052,10 @@ impl DbInner {
     }
 
     fn stamp_page_lsn(&mut self, file: &str, page_no: u32, lsn: u64) -> DbResult<()> {
-        self.bufpool.with_page_mut(&mut self.vdisk, file, page_no, |buf| {
-            crate::storage::page::Page::new(buf).set_lsn(lsn);
-        })
+        self.bufpool
+            .with_page_mut(&mut self.vdisk, file, page_no, |buf| {
+                crate::storage::page::Page::new(buf).set_lsn(lsn);
+            })
     }
 
     fn finish_write(&mut self, table: &str) {
@@ -1908,8 +2081,7 @@ impl DbInner {
     }
 
     fn commit_txn(&mut self, txn: TxnState) -> DbResult<()> {
-        let logged0 =
-            self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
+        let logged0 = self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
         self.trace_begin("wal_append");
         let lsn = self.wal.alloc_lsn();
         self.log_redo(RedoRecord {
@@ -1930,8 +2102,7 @@ impl DbInner {
                 statement: stmt.clone(),
             });
         }
-        let logged1 =
-            self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
+        let logged1 = self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
         self.trace_attr("bytes_logged", logged1.saturating_sub(logged0));
         self.trace_attr("binlog_events", binlog_events);
         let cost = self.stage_cost();
@@ -1976,26 +2147,38 @@ impl DbInner {
         match rec.op {
             OpKind::Insert => {
                 // Undo an insert: delete the row if it exists.
-                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                let exists = self.runtime[&def.schema.name]
+                    .heap
+                    .locate(rec.row_id)
+                    .is_some();
                 if exists {
                     let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
-                    let old = rt.heap.read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    let old = rt
+                        .heap
+                        .read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
                     self.delete_row(rec.txn, &def, &old, &mut scratch)?;
                 }
             }
             OpKind::Update => {
                 let before = Row::decode(&rec.before)?;
-                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                let exists = self.runtime[&def.schema.name]
+                    .heap
+                    .locate(rec.row_id)
+                    .is_some();
                 if exists {
                     let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
-                    let current =
-                        rt.heap.read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    let current = rt
+                        .heap
+                        .read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
                     self.update_row(rec.txn, &def, &current, &before, &mut scratch)?;
                 }
             }
             OpKind::Delete => {
                 let before = Row::decode(&rec.before)?;
-                let exists = self.runtime[&def.schema.name].heap.locate(rec.row_id).is_some();
+                let exists = self.runtime[&def.schema.name]
+                    .heap
+                    .locate(rec.row_id)
+                    .is_some();
                 if !exists {
                     self.insert_row(rec.txn, &def, &before, &mut scratch)?;
                 }
@@ -2039,7 +2222,10 @@ impl DbInner {
             let Some(def) = self.catalog.get_by_id(rec.table_id).cloned() else {
                 continue;
             };
-            let rt = self.runtime.get_mut(&def.schema.name).expect("opened above");
+            let rt = self
+                .runtime
+                .get_mut(&def.schema.name)
+                .expect("opened above");
             match rec.op {
                 OpKind::Insert => rt.heap.replay_insert(
                     &mut self.bufpool,
@@ -2297,7 +2483,10 @@ fn plan_scan(def: &TableDef, where_clause: &Expr) -> ScanPlan {
         col_bounds.iter().find_map(|(idx, b)| {
             let lo = int_bound(&b.lo)?;
             let hi = int_bound(&b.hi)?;
-            if matches!((&lo, &hi), (std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)) {
+            if matches!(
+                (&lo, &hi),
+                (std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            ) {
                 return None;
             }
             Some((*idx, lo, hi))
@@ -2354,12 +2543,10 @@ fn needed_columns(schema: &TableSchema, sel: &SelectStmt) -> Option<Vec<bool>> {
         match item {
             SelectItem::Star => return None,
             SelectItem::CountStar => {}
-            SelectItem::Column(c) | SelectItem::Aggregate(_, c) => {
-                match schema.column_index(c) {
-                    Ok(i) => mask[i] = true,
-                    Err(_) => return None,
-                }
-            }
+            SelectItem::Column(c) | SelectItem::Aggregate(_, c) => match schema.column_index(c) {
+                Ok(i) => mask[i] = true,
+                Err(_) => return None,
+            },
         }
     }
     if let Some(w) = &sel.where_clause {

@@ -43,7 +43,9 @@ impl fmt::Display for DbError {
             DbError::Eval(m) => write!(f, "evaluation error: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Crashed => write!(f, "engine is in crashed state; recover first"),
-            DbError::ReadOnly => write!(f, "server is read-only (replica); writes go to the primary"),
+            DbError::ReadOnly => {
+                write!(f, "server is read-only (replica); writes go to the primary")
+            }
         }
     }
 }

@@ -391,9 +391,18 @@ mod tests {
     fn digest_summary_counts_by_type() {
         let mut ps = PerfSchema::new(10);
         for (sql, digest) in [
-            ("SELECT * FROM c WHERE s='IN'", "SELECT * FROM c WHERE s = ?"),
-            ("SELECT * FROM c WHERE s='AZ'", "SELECT * FROM c WHERE s = ?"),
-            ("SELECT * FROM c WHERE a>=25", "SELECT * FROM c WHERE a >= ?"),
+            (
+                "SELECT * FROM c WHERE s='IN'",
+                "SELECT * FROM c WHERE s = ?",
+            ),
+            (
+                "SELECT * FROM c WHERE s='AZ'",
+                "SELECT * FROM c WHERE s = ?",
+            ),
+            (
+                "SELECT * FROM c WHERE a>=25",
+                "SELECT * FROM c WHERE a >= ?",
+            ),
         ] {
             ps.statement_start(1, sql, digest, 7, None);
             ps.statement_end(1, 10, 2);

@@ -129,12 +129,18 @@ mod tests {
     fn rejects_duplicates_and_multi_pk() {
         assert!(TableSchema::new(
             "t",
-            vec![col("a", ColumnType::Int, false), col("a", ColumnType::Int, false)]
+            vec![
+                col("a", ColumnType::Int, false),
+                col("a", ColumnType::Int, false)
+            ]
         )
         .is_err());
         assert!(TableSchema::new(
             "t",
-            vec![col("a", ColumnType::Int, true), col("b", ColumnType::Int, true)]
+            vec![
+                col("a", ColumnType::Int, true),
+                col("b", ColumnType::Int, true)
+            ]
         )
         .is_err());
         assert!(TableSchema::new("t", vec![]).is_err());
@@ -150,7 +156,9 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(s.check_row(&[Value::Int(1), Value::Text("x".into())]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Text("x".into())])
+            .is_ok());
         assert!(s.check_row(&[Value::Int(1), Value::Null]).is_ok());
         assert!(s.check_row(&[Value::Null, Value::Null]).is_err(), "NULL pk");
         assert!(s.check_row(&[Value::Int(1)]).is_err(), "arity");

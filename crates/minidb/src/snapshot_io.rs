@@ -382,7 +382,8 @@ mod tests {
         };
         let db = Db::open(config);
         let conn = db.connect("app");
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
         conn.execute("INSERT INTO t VALUES (1, 'hello')").unwrap();
         conn.execute("SELECT * FROM t WHERE id = 1").unwrap();
         db.system_image()

@@ -20,9 +20,9 @@ use crate::sql::lexer::{tokenize, Sym, Token};
 
 /// Keywords recognized for upper-casing in digest text.
 const KEYWORDS: &[&str] = &[
-    "select", "from", "where", "and", "or", "not", "insert", "into", "values", "update",
-    "set", "delete", "create", "table", "index", "on", "order", "by", "asc", "desc",
-    "limit", "primary", "key", "begin", "commit", "rollback", "null", "count",
+    "select", "from", "where", "and", "or", "not", "insert", "into", "values", "update", "set",
+    "delete", "create", "table", "index", "on", "order", "by", "asc", "desc", "limit", "primary",
+    "key", "begin", "commit", "rollback", "null", "count",
 ];
 
 /// Computes the canonical digest text of a statement.
@@ -66,7 +66,9 @@ pub fn digest_text(sql: &str) -> String {
         );
         let tight = matches!(
             &tokens[i],
-            Token::Symbol(Sym::Dot) | Token::Symbol(Sym::Comma) | Token::Symbol(Sym::Semi)
+            Token::Symbol(Sym::Dot)
+                | Token::Symbol(Sym::Comma)
+                | Token::Symbol(Sym::Semi)
                 | Token::Symbol(Sym::RParen)
         );
         if !out.is_empty() && prev_joinable && !tight {

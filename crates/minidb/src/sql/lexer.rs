@@ -166,8 +166,7 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     i = next;
                 } else {
                     let start = i;
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }
@@ -256,7 +255,9 @@ mod tests {
         let toks = tokenize("a >= 1 AND b <> 2 OR c != 3 AND d <= -4").unwrap();
         assert!(toks.contains(&Token::Symbol(Sym::Ge)));
         assert_eq!(
-            toks.iter().filter(|t| **t == Token::Symbol(Sym::Ne)).count(),
+            toks.iter()
+                .filter(|t| **t == Token::Symbol(Sym::Ne))
+                .count(),
             2
         );
         assert!(toks.contains(&Token::Symbol(Sym::Minus)));

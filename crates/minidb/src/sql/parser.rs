@@ -95,7 +95,9 @@ impl Parser {
             if self.eat_kw("index") {
                 return self.create_index();
             }
-            return Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()));
+            return Err(DbError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ));
         }
         if self.eat_kw("insert") {
             return self.insert();
@@ -173,7 +175,11 @@ impl Parser {
         self.expect_symbol(Sym::LParen)?;
         let column = self.identifier()?;
         self.expect_symbol(Sym::RParen)?;
-        Ok(Statement::CreateIndex { name, table, column })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn insert(&mut self) -> DbResult<Statement> {
@@ -209,7 +215,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn select(&mut self) -> DbResult<SelectStmt> {
@@ -327,11 +337,15 @@ impl Parser {
             Token::Hex(b) => Ok(Value::Bytes(b)),
             Token::Symbol(Sym::Minus) => match self.next()? {
                 Token::Int(n) => Ok(Value::Int(-n)),
-                t => Err(DbError::Parse(format!("expected number after '-', got {t:?}"))),
+                t => Err(DbError::Parse(format!(
+                    "expected number after '-', got {t:?}"
+                ))),
             },
             Token::Symbol(Sym::Plus) => match self.next()? {
                 Token::Int(n) => Ok(Value::Int(n)),
-                t => Err(DbError::Parse(format!("expected number after '+', got {t:?}"))),
+                t => Err(DbError::Parse(format!(
+                    "expected number after '+', got {t:?}"
+                ))),
             },
             Token::Word(w) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
             t => Err(DbError::Parse(format!("expected literal, found {t:?}"))),
@@ -425,7 +439,9 @@ impl Parser {
                     Ok(Expr::Column(w.to_ascii_lowercase()))
                 }
             }
-            t => Err(DbError::Parse(format!("unexpected token in expression: {t:?}"))),
+            t => Err(DbError::Parse(format!(
+                "unexpected token in expression: {t:?}"
+            ))),
         }
     }
 }
@@ -436,10 +452,8 @@ mod tests {
 
     #[test]
     fn create_table() {
-        let s = parse_statement(
-            "CREATE TABLE Customers (id INT PRIMARY KEY, state TEXT, age INT)",
-        )
-        .unwrap();
+        let s = parse_statement("CREATE TABLE Customers (id INT PRIMARY KEY, state TEXT, age INT)")
+            .unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "customers");
@@ -453,12 +467,14 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let s = parse_statement(
-            "INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL), (3, X'ff')",
-        )
-        .unwrap();
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL), (3, X'ff')")
+            .unwrap();
         match s {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 3);
@@ -532,8 +548,7 @@ mod tests {
 
     #[test]
     fn function_in_where() {
-        let s = parse_statement("SELECT * FROM docs WHERE SWP_MATCH(body_idx, X'0a0b')")
-            .unwrap();
+        let s = parse_statement("SELECT * FROM docs WHERE SWP_MATCH(body_idx, X'0a0b')").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         match sel.where_clause.unwrap() {
             Expr::Func(name, args) => {
@@ -549,7 +564,11 @@ mod tests {
     fn update_and_delete() {
         let s = parse_statement("UPDATE t SET a = 5, b = 'y' WHERE id = 1").unwrap();
         match s {
-            Statement::Update { table, sets, where_clause } => {
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(sets.len(), 2);
                 assert!(where_clause.is_some());
@@ -559,7 +578,10 @@ mod tests {
         let s = parse_statement("DELETE FROM t").unwrap();
         assert!(matches!(
             s,
-            Statement::Delete { where_clause: None, .. }
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
         ));
     }
 
@@ -567,7 +589,9 @@ mod tests {
     fn drop_table() {
         assert_eq!(
             parse_statement("DROP TABLE Customers").unwrap(),
-            Statement::DropTable { name: "customers".into() }
+            Statement::DropTable {
+                name: "customers".into()
+            }
         );
         assert!(parse_statement("DROP Customers").is_err());
     }
@@ -595,7 +619,10 @@ mod tests {
         assert!(parse_statement("SELEC * FROM t").is_err());
         assert!(parse_statement("SELECT * FROM t garbage").is_err());
         assert!(parse_statement("INSERT INTO t VALUES").is_err());
-        assert!(parse_statement("UPDATE t SET a = b").is_err(), "non-literal SET");
+        assert!(
+            parse_statement("UPDATE t SET a = b").is_err(),
+            "non-literal SET"
+        );
         assert!(parse_statement("SELECT * FROM t LIMIT 'x'").is_err());
     }
 }

@@ -314,12 +314,7 @@ impl BTree {
                             children: right_children,
                         },
                     )?;
-                    self.store_node(
-                        bufpool,
-                        vdisk,
-                        page_no,
-                        &Node::Internal { keys, children },
-                    )?;
+                    self.store_node(bufpool, vdisk, page_no, &Node::Internal { keys, children })?;
                     return Ok(Some((promote, right_page)));
                 }
                 Ok(None)
@@ -445,10 +440,7 @@ impl BTree {
             let Node::Leaf { mut entries, next } = node else {
                 return Err(DbError::Storage("descend ended on internal node".into()));
             };
-            if let Some(pos) = entries
-                .iter()
-                .position(|(k, r)| k == key && *r == row_id)
-            {
+            if let Some(pos) = entries.iter().position(|(k, r)| k == key && *r == row_id) {
                 entries.remove(pos);
                 self.store_node(bufpool, vdisk, leaf, &Node::Leaf { entries, next })?;
                 return Ok(true);
@@ -480,7 +472,8 @@ mod tests {
     fn insert_and_point_lookup() {
         let (mut bp, mut vd, t) = setup();
         for i in 0..200i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i * 2), i as u64).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i * 2), i as u64)
+                .unwrap();
         }
         let hit = t.search_eq(&mut bp, &mut vd, &Value::Int(100)).unwrap();
         assert_eq!(hit.row_ids, vec![50]);
@@ -494,7 +487,8 @@ mod tests {
         let (mut bp, mut vd, t) = setup();
         // Insert shuffled.
         for i in (0..500i64).map(|i| (i * 37) % 500) {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
+                .unwrap();
         }
         let r = t
             .search_range(
@@ -519,8 +513,10 @@ mod tests {
         // 100 duplicates of one key, interleaved with others, forces the
         // duplicates across multiple leaves.
         for i in 0..100u64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(7), 1000 + i).unwrap();
-            t.insert(&mut bp, &mut vd, &Value::Int(i as i64 * 10), i).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(7), 1000 + i)
+                .unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i as i64 * 10), i)
+                .unwrap();
         }
         let r = t.search_eq(&mut bp, &mut vd, &Value::Int(7)).unwrap();
         assert_eq!(r.row_ids.len(), 100);
@@ -575,12 +571,17 @@ mod tests {
         let (mut bp, mut vd, t) = setup();
         let root_before = t.root;
         for i in 0..2000i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
+                .unwrap();
         }
         assert_eq!(t.root, root_before);
         // Multi-level now: search path longer than 1.
         let hit = t.search_eq(&mut bp, &mut vd, &Value::Int(1999)).unwrap();
-        assert!(hit.pages.len() >= 3, "expected depth >= 3, path {:?}", hit.pages);
+        assert!(
+            hit.pages.len() >= 3,
+            "expected depth >= 3, path {:?}",
+            hit.pages
+        );
         assert_eq!(hit.row_ids, vec![1999]);
     }
 
@@ -588,7 +589,8 @@ mod tests {
     fn access_path_is_recorded() {
         let (mut bp, mut vd, t) = setup();
         for i in 0..2000i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
+                .unwrap();
         }
         let r = t.search_eq(&mut bp, &mut vd, &Value::Int(123)).unwrap();
         assert_eq!(r.pages[0], t.root, "path starts at the root");
@@ -605,7 +607,8 @@ mod tests {
     fn survives_flush_and_reload() {
         let (mut bp, mut vd, t) = setup();
         for i in 0..300i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64).unwrap();
+            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
+                .unwrap();
         }
         bp.flush_all(&mut vd);
         // A cold pool reading from disk sees the same tree.

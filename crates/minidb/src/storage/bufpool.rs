@@ -171,10 +171,7 @@ impl BufferPool {
 
     fn evict_to_fit(&mut self, vdisk: &mut VDisk, incoming: usize) {
         while self.frames.len() + incoming > self.capacity {
-            let (_, victim) = self
-                .lru
-                .pop_first()
-                .expect("LRU index tracks every frame");
+            let (_, victim) = self.lru.pop_first().expect("LRU index tracks every frame");
             let frame = self.frames.remove(&victim).expect("indexed frame exists");
             if let Some(m) = &self.metrics {
                 m.evictions.inc();
@@ -336,7 +333,8 @@ mod tests {
         assert_eq!(p0, 0);
         let p1 = bp.allocate_page(&mut vd, "t.ibd");
         assert_eq!(p1, 1);
-        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[100] = 42).unwrap();
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[100] = 42)
+            .unwrap();
         let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[100]).unwrap();
         assert_eq!(v, 42);
         assert_eq!(BufferPool::page_count(&vd, "t.ibd"), 2);
@@ -354,7 +352,8 @@ mod tests {
         for _ in 0..4 {
             bp.allocate_page(&mut vd, "t.ibd");
         }
-        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[50] = 7).unwrap();
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[50] = 7)
+            .unwrap();
         // Cause evictions: capacity is 4, so loading 4 more pages evicts
         // page 0 (the LRU victim).
         for _ in 0..4 {
@@ -370,7 +369,8 @@ mod tests {
     fn crash_loses_unflushed_changes() {
         let (mut bp, mut vd) = setup();
         bp.allocate_page(&mut vd, "t.ibd");
-        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9).unwrap();
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9)
+            .unwrap();
         bp.crash();
         let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
         assert_eq!(v, 0, "dirty page must be lost on crash");
@@ -380,7 +380,8 @@ mod tests {
     fn flush_makes_changes_durable() {
         let (mut bp, mut vd) = setup();
         bp.allocate_page(&mut vd, "t.ibd");
-        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9).unwrap();
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9)
+            .unwrap();
         bp.flush_all(&mut vd);
         bp.crash();
         let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
@@ -433,7 +434,8 @@ mod tests {
     fn purge_file_removes_stale_frames() {
         let (mut bp, mut vd) = setup();
         bp.allocate_page(&mut vd, "t.ibd");
-        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[20] = 9).unwrap();
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[20] = 9)
+            .unwrap();
         bp.purge_file("t.ibd");
         vd.remove("t.ibd");
         // Recreate the file: the old frame must not resurface.

@@ -565,8 +565,22 @@ mod tests {
         p.set_synopsis_valid(true);
         let syn = p.synopsis().expect("valid");
         assert_eq!(syn.rows, 2);
-        assert_eq!(syn.stats(0).unwrap(), &ColumnStats { col: 0, min: 10, max: 50 });
-        assert_eq!(syn.stats(1).unwrap(), &ColumnStats { col: 1, min: -3, max: 7 });
+        assert_eq!(
+            syn.stats(0).unwrap(),
+            &ColumnStats {
+                col: 0,
+                min: 10,
+                max: 50
+            }
+        );
+        assert_eq!(
+            syn.stats(1).unwrap(),
+            &ColumnStats {
+                col: 1,
+                min: -3,
+                max: 7
+            }
+        );
         // Update widens, delete only drops the count.
         p.synopsis_note_update(&[(0, 99)]);
         p.synopsis_note_delete();
@@ -595,7 +609,11 @@ mod tests {
         use std::ops::Bound::*;
         let syn = PageSynopsis {
             rows: 5,
-            cols: vec![ColumnStats { col: 0, min: 10, max: 20 }],
+            cols: vec![ColumnStats {
+                col: 0,
+                min: 10,
+                max: 20,
+            }],
         };
         // Disjoint above and below.
         assert!(syn.excludes(0, &Included(21), &Unbounded));
@@ -608,7 +626,10 @@ mod tests {
         // Overlapping range keeps the page.
         assert!(!syn.excludes(0, &Included(15), &Included(30)));
         // Empty pages always prune.
-        let empty = PageSynopsis { rows: 0, cols: vec![] };
+        let empty = PageSynopsis {
+            rows: 0,
+            cols: vec![],
+        };
         assert!(empty.excludes(0, &Unbounded, &Unbounded));
     }
 

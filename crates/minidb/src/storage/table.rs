@@ -164,7 +164,10 @@ impl TableHeap {
         row: &Row,
     ) -> DbResult<(u32, SlotNo)> {
         if self.locations.contains_key(&row.id) {
-            return Err(DbError::Storage(format!("row id {} already exists", row.id)));
+            return Err(DbError::Storage(format!(
+                "row id {} already exists",
+                row.id
+            )));
         }
         let bytes = row.encode();
         let last = BufferPool::page_count(vdisk, &self.file).saturating_sub(1);
@@ -546,7 +549,10 @@ mod tests {
         // Longer payload: moved.
         let longer = Row {
             id,
-            values: vec![Value::Int(8), Value::Text("much longer payload here".into())],
+            values: vec![
+                Value::Int(8),
+                Value::Text("much longer payload here".into()),
+            ],
         };
         let p = h.update(&mut bp, &mut vd, &longer).unwrap();
         assert!(matches!(p, UpdatePlacement::Moved { .. }));
@@ -589,10 +595,13 @@ mod tests {
     #[test]
     fn replay_update_respects_page_lsn() {
         let (mut bp, mut vd, mut h) = setup();
-        h.replay_insert(&mut bp, &mut vd, 5, 0, 0, &row(1, 1).encode()).unwrap();
-        h.replay_update(&mut bp, &mut vd, 6, 0, 0, &row(1, 2).encode()).unwrap();
+        h.replay_insert(&mut bp, &mut vd, 5, 0, 0, &row(1, 1).encode())
+            .unwrap();
+        h.replay_update(&mut bp, &mut vd, 6, 0, 0, &row(1, 2).encode())
+            .unwrap();
         // Stale update (lower LSN) must not regress the page.
-        h.replay_update(&mut bp, &mut vd, 4, 0, 0, &row(1, 9).encode()).unwrap();
+        h.replay_update(&mut bp, &mut vd, 4, 0, 0, &row(1, 9).encode())
+            .unwrap();
         assert_eq!(h.read(&mut bp, &mut vd, 1).unwrap(), row(1, 2));
     }
 
@@ -631,14 +640,35 @@ mod tests {
         }
         // Values are 0..=9 in column 0; [50, ∞) must prune, [5, ∞) must not.
         assert!(h
-            .page_prunable(&mut bp, &mut vd, 0, 0, &Bound::Included(50), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                0,
+                &Bound::Included(50),
+                &Bound::Unbounded
+            )
             .unwrap());
         assert!(!h
-            .page_prunable(&mut bp, &mut vd, 0, 0, &Bound::Included(5), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                0,
+                &Bound::Included(5),
+                &Bound::Unbounded
+            )
             .unwrap());
         // Column 1 is TEXT — untracked, never prunable.
         assert!(!h
-            .page_prunable(&mut bp, &mut vd, 0, 1, &Bound::Included(50), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                1,
+                &Bound::Included(50),
+                &Bound::Unbounded
+            )
             .unwrap());
     }
 
@@ -648,23 +678,35 @@ mod tests {
         let id = h.allocate_row_id();
         h.insert(&mut bp, &mut vd, &row(id, 5)).unwrap();
         // A redo replay is value-blind: synopsis goes invalid everywhere.
-        h.replay_insert(&mut bp, &mut vd, 100, 0, 1, &row(77, 500).encode()).unwrap();
+        h.replay_insert(&mut bp, &mut vd, 100, 0, 1, &row(77, 500).encode())
+            .unwrap();
         assert!(h.zone_map().get(&0).is_none(), "mirror dropped");
         let valid = bp
-            .with_page(&mut vd, "t.ibd", 0, |buf| PageRef::new(buf).synopsis_valid())
+            .with_page(&mut vd, "t.ibd", 0, |buf| {
+                PageRef::new(buf).synopsis_valid()
+            })
             .unwrap();
         assert!(!valid, "persisted synopsis invalid after replay");
         // First prune consult rebuilds from live rows — and must see the
         // replayed value 500 (pruning on it would be unsound otherwise).
         assert!(!h
-            .page_prunable(&mut bp, &mut vd, 0, 0, &Bound::Included(500), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                0,
+                &Bound::Included(500),
+                &Bound::Unbounded
+            )
             .unwrap());
         let syn = h.zone_map().get(&0).expect("rebuilt into mirror");
         assert_eq!(syn.rows, 2);
         assert_eq!(syn.stats(0).unwrap().max, 500);
         // The rebuild persisted: a fresh heap sees a valid synopsis.
         let valid = bp
-            .with_page(&mut vd, "t.ibd", 0, |buf| PageRef::new(buf).synopsis_valid())
+            .with_page(&mut vd, "t.ibd", 0, |buf| {
+                PageRef::new(buf).synopsis_valid()
+            })
             .unwrap();
         assert!(valid);
     }
@@ -679,12 +721,26 @@ mod tests {
         }
         assert!(h.zone_map().is_empty());
         assert!(!h
-            .page_prunable(&mut bp, &mut vd, 0, 0, &Bound::Included(900), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                0,
+                &Bound::Included(900),
+                &Bound::Unbounded
+            )
             .unwrap());
         // Re-enable: lazy rebuild recovers the stale page.
         h.set_zone_maps(true);
         assert!(h
-            .page_prunable(&mut bp, &mut vd, 0, 0, &Bound::Included(900), &Bound::Unbounded)
+            .page_prunable(
+                &mut bp,
+                &mut vd,
+                0,
+                0,
+                &Bound::Included(900),
+                &Bound::Unbounded
+            )
             .unwrap());
     }
 
@@ -695,7 +751,9 @@ mod tests {
             let id = h.allocate_row_id();
             h.insert(&mut bp, &mut vd, &row(id, n)).unwrap();
         }
-        let rows = h.read_page_rows(&mut bp, &mut vd, 0, Some(&[true, false])).unwrap();
+        let rows = h
+            .read_page_rows(&mut bp, &mut vd, 0, Some(&[true, false]))
+            .unwrap();
         assert_eq!(rows.len(), 3);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.values[0], Value::Int(i as i64));

@@ -33,7 +33,10 @@ impl VDisk {
 
     /// Appends to `name`, creating it if needed.
     pub fn append(&mut self, name: &str, data: &[u8]) {
-        self.files.entry(name.to_string()).or_default().extend_from_slice(data);
+        self.files
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
     }
 
     /// Writes `data` at byte `offset` of `name`, zero-extending as needed.

@@ -107,8 +107,7 @@ impl RedoRecord {
         if buf.len() < 31 {
             return Err(DbError::Storage("short redo record".into()));
         }
-        let op = OpKind::from_u8(buf[0])
-            .ok_or_else(|| DbError::Storage("bad redo op".into()))?;
+        let op = OpKind::from_u8(buf[0]).ok_or_else(|| DbError::Storage("bad redo op".into()))?;
         let lsn = u64::from_le_bytes(buf[1..9].try_into().unwrap());
         let txn = u64::from_le_bytes(buf[9..17].try_into().unwrap());
         let table_id = u32::from_le_bytes(buf[17..21].try_into().unwrap());
@@ -166,8 +165,7 @@ impl UndoRecord {
         if buf.len() < 33 {
             return Err(DbError::Storage("short undo record".into()));
         }
-        let op = OpKind::from_u8(buf[0])
-            .ok_or_else(|| DbError::Storage("bad undo op".into()))?;
+        let op = OpKind::from_u8(buf[0]).ok_or_else(|| DbError::Storage("bad undo op".into()))?;
         let lsn = u64::from_le_bytes(buf[1..9].try_into().unwrap());
         let txn = u64::from_le_bytes(buf[9..17].try_into().unwrap());
         let table_id = u32::from_le_bytes(buf[17..21].try_into().unwrap());

@@ -40,7 +40,9 @@ fn basic_crud() {
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(31));
 
-    let r = conn.execute("DELETE FROM customers WHERE age >= 60").unwrap();
+    let r = conn
+        .execute("DELETE FROM customers WHERE age >= 60")
+        .unwrap();
     assert_eq!(r.rows_affected, 1);
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(4));
@@ -79,9 +81,8 @@ fn multi_row_insert_atomicity_on_error() {
     setup_customers(&db);
     let conn = db.connect("app");
     // Third row collides with pk 2: the whole statement must roll back.
-    let err = conn.execute(
-        "INSERT INTO customers VALUES (10, 'WA', 20), (11, 'OR', 21), (2, 'XX', 1)",
-    );
+    let err =
+        conn.execute("INSERT INTO customers VALUES (10, 'WA', 20), (11, 'OR', 21), (2, 'XX', 1)");
     assert!(err.is_err());
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5));
@@ -116,7 +117,8 @@ fn secondary_index_used_and_correct() {
 fn pk_range_scan() {
     let db = db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE n (k INT PRIMARY KEY, v INT)").unwrap();
+    conn.execute("CREATE TABLE n (k INT PRIMARY KEY, v INT)")
+        .unwrap();
     for chunk in (0..300).collect::<Vec<i64>>().chunks(50) {
         let values: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i * 2)).collect();
         conn.execute(&format!("INSERT INTO n VALUES {}", values.join(", ")))
@@ -140,16 +142,21 @@ fn explicit_transaction_commit_and_rollback() {
     setup_customers(&db);
     let conn = db.connect("app");
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)").unwrap();
-    conn.execute("UPDATE customers SET age = 99 WHERE id = 1").unwrap();
+    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)")
+        .unwrap();
+    conn.execute("UPDATE customers SET age = 99 WHERE id = 1")
+        .unwrap();
     conn.execute("ROLLBACK").unwrap();
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5));
-    let r = conn.execute("SELECT age FROM customers WHERE id = 1").unwrap();
+    let r = conn
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(30), "update rolled back");
 
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)").unwrap();
+    conn.execute("INSERT INTO customers VALUES (6, 'TX', 19)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(6));
@@ -170,7 +177,8 @@ fn crash_recovery_preserves_committed_data() {
     let db = db();
     setup_customers(&db);
     let conn = db.connect("app");
-    conn.execute("UPDATE customers SET age = 77 WHERE id = 2").unwrap();
+    conn.execute("UPDATE customers SET age = 77 WHERE id = 2")
+        .unwrap();
     drop(conn);
     // No shutdown: dirty pages die with the crash.
     db.crash();
@@ -180,8 +188,14 @@ fn crash_recovery_preserves_committed_data() {
     drop(conn2);
     db.recover().unwrap();
     let conn = db.connect("app");
-    let r = conn.execute("SELECT age FROM customers WHERE id = 2").unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(77), "committed update survives crash");
+    let r = conn
+        .execute("SELECT age FROM customers WHERE id = 2")
+        .unwrap();
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(77),
+        "committed update survives crash"
+    );
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5));
 }
@@ -192,7 +206,8 @@ fn crash_rolls_back_open_transaction() {
     setup_customers(&db);
     let conn = db.connect("app");
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO customers VALUES (9, 'FL', 33)").unwrap();
+    conn.execute("INSERT INTO customers VALUES (9, 'FL', 33)")
+        .unwrap();
     conn.execute("DELETE FROM customers WHERE id = 1").unwrap();
     // Crash with the transaction still open.
     db.crash();
@@ -200,9 +215,13 @@ fn crash_rolls_back_open_transaction() {
     let conn = db.connect("app");
     let r = conn.execute("SELECT COUNT(*) FROM customers").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5), "uncommitted txn rolled back");
-    let r = conn.execute("SELECT * FROM customers WHERE id = 9").unwrap();
+    let r = conn
+        .execute("SELECT * FROM customers WHERE id = 9")
+        .unwrap();
     assert!(r.rows.is_empty());
-    let r = conn.execute("SELECT * FROM customers WHERE id = 1").unwrap();
+    let r = conn
+        .execute("SELECT * FROM customers WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows.len(), 1, "uncommitted delete undone");
 }
 
@@ -210,13 +229,15 @@ fn crash_rolls_back_open_transaction() {
 fn recovery_with_many_writes_and_index_rebuild() {
     let db = db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE big (k INT PRIMARY KEY, s TEXT)").unwrap();
+    conn.execute("CREATE TABLE big (k INT PRIMARY KEY, s TEXT)")
+        .unwrap();
     for i in 0..500 {
         conn.execute(&format!("INSERT INTO big VALUES ({i}, 'row-{i}')"))
             .unwrap();
     }
     conn.execute("DELETE FROM big WHERE k < 100").unwrap();
-    conn.execute("UPDATE big SET s = 'updated' WHERE k = 250").unwrap();
+    conn.execute("UPDATE big SET s = 'updated' WHERE k = 250")
+        .unwrap();
     drop(conn);
     db.crash();
     db.recover().unwrap();
@@ -237,10 +258,14 @@ fn query_cache_hit_and_invalidation() {
     let first = conn.execute(q).unwrap();
     assert!(first.rows_examined > 0);
     let second = conn.execute(q).unwrap();
-    assert_eq!(second.rows_examined, 0, "second run served from query cache");
+    assert_eq!(
+        second.rows_examined, 0,
+        "second run served from query cache"
+    );
     assert_eq!(first.rows, second.rows);
     // A write to the table invalidates.
-    conn.execute("INSERT INTO customers VALUES (7, 'IN', 52)").unwrap();
+    conn.execute("INSERT INTO customers VALUES (7, 'IN', 52)")
+        .unwrap();
     let third = conn.execute(q).unwrap();
     assert!(third.rows_examined > 0, "cache invalidated by write");
     assert_eq!(third.rows.len(), 3);
@@ -251,7 +276,9 @@ fn processlist_visible_via_sql_injection() {
     let db = db();
     setup_customers(&db);
     let victim = db.connect("webapp");
-    victim.execute("SELECT * FROM customers WHERE id = 1").unwrap();
+    victim
+        .execute("SELECT * FROM customers WHERE id = 1")
+        .unwrap();
     // The attacker's own injected query is visible as *current*; the
     // victim's connection shows in the list.
     let attacker = db.connect("webapp"); // Same user: SQL injection runs as the app.
@@ -271,16 +298,22 @@ fn performance_schema_history_and_digests_via_sql() {
     let db = db();
     setup_customers(&db);
     let conn = db.connect("app");
-    conn.execute("SELECT * FROM customers WHERE state = 'IN'").unwrap();
-    conn.execute("SELECT * FROM customers WHERE state = 'AZ'").unwrap();
-    conn.execute("SELECT * FROM customers WHERE age >= 25").unwrap();
+    conn.execute("SELECT * FROM customers WHERE state = 'IN'")
+        .unwrap();
+    conn.execute("SELECT * FROM customers WHERE state = 'AZ'")
+        .unwrap();
+    conn.execute("SELECT * FROM customers WHERE age >= 25")
+        .unwrap();
 
     let attacker = db.connect("app");
     let r = attacker
         .execute("SELECT sql_text FROM performance_schema.events_statements_history")
         .unwrap();
     let texts: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
-    assert!(texts.iter().any(|t| t.contains("state = 'IN'")), "{texts:?}");
+    assert!(
+        texts.iter().any(|t| t.contains("state = 'IN'")),
+        "{texts:?}"
+    );
 
     let r = attacker
         .execute(
@@ -353,7 +386,10 @@ fn general_log_off_by_default_slow_log_triggers() {
     let conn = db.connect("app");
     conn.execute("SELECT * FROM customers").unwrap();
     let image = db.disk_image();
-    assert!(image.file("general.log").is_none(), "general log off by default");
+    assert!(
+        image.file("general.log").is_none(),
+        "general log off by default"
+    );
     // The slow log is a stream of structured trace records, not text.
     let carved = mdb_trace::record::carve(image.file("slow.log").unwrap());
     assert!(
@@ -374,8 +410,10 @@ fn general_log_off_by_default_slow_log_triggers() {
 fn udf_registration_and_use() {
     let db = db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)").unwrap();
-    conn.execute("INSERT INTO t VALUES (1, 'aa'), (2, 'bb')").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'aa'), (2, 'bb')")
+        .unwrap();
     db.register_function(
         "IS_AA",
         std::sync::Arc::new(|args: &[Value]| {
@@ -397,7 +435,8 @@ fn heap_residue_of_executed_queries() {
     // Execute some more statements so the marker's exec allocation is
     // definitely freed.
     for i in 0..20 {
-        conn.execute(&format!("SELECT * FROM customers WHERE id = {i}")).unwrap();
+        conn.execute(&format!("SELECT * FROM customers WHERE id = {i}"))
+            .unwrap();
     }
     let mem = db.memory_image();
     assert!(
@@ -447,8 +486,10 @@ fn bufpool_dump_written_on_shutdown() {
 fn null_handling() {
     let db = db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
-    conn.execute("INSERT INTO t VALUES (1, NULL), (2, 5)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, NULL), (2, 5)")
+        .unwrap();
     // NULL never matches comparisons.
     let r = conn.execute("SELECT id FROM t WHERE v = 5").unwrap();
     assert_eq!(r.rows.len(), 1);
@@ -462,11 +503,15 @@ fn null_handling() {
 fn bytes_values_round_trip() {
     let db = db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE c (id INT PRIMARY KEY, ct BYTES)").unwrap();
-    conn.execute("INSERT INTO c VALUES (1, X'deadbeef')").unwrap();
+    conn.execute("CREATE TABLE c (id INT PRIMARY KEY, ct BYTES)")
+        .unwrap();
+    conn.execute("INSERT INTO c VALUES (1, X'deadbeef')")
+        .unwrap();
     let r = conn.execute("SELECT ct FROM c WHERE id = 1").unwrap();
     assert_eq!(r.rows[0][0], Value::Bytes(vec![0xDE, 0xAD, 0xBE, 0xEF]));
-    let r = conn.execute("SELECT id FROM c WHERE ct = X'deadbeef'").unwrap();
+    let r = conn
+        .execute("SELECT id FROM c WHERE ct = X'deadbeef'")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -475,21 +520,36 @@ fn explain_reports_access_path() {
     let db = db();
     setup_customers(&db);
     let conn = db.connect("app");
-    let r = conn.execute("EXPLAIN SELECT * FROM customers WHERE id = 3").unwrap();
+    let r = conn
+        .execute("EXPLAIN SELECT * FROM customers WHERE id = 3")
+        .unwrap();
     let plan = r.rows[0][0].to_string();
     assert!(plan.contains("index scan on pk_customers"), "{plan}");
-    let r = conn.execute("EXPLAIN SELECT * FROM customers WHERE age = 25").unwrap();
-    assert!(r.rows[0][0].to_string().contains("full table scan"), "{:?}", r.rows);
+    let r = conn
+        .execute("EXPLAIN SELECT * FROM customers WHERE age = 25")
+        .unwrap();
+    assert!(
+        r.rows[0][0].to_string().contains("full table scan"),
+        "{:?}",
+        r.rows
+    );
     // Bound intersection shows in the plan.
     let r = conn
         .execute("EXPLAIN SELECT * FROM customers WHERE id >= 2 AND id < 4")
         .unwrap();
     let plan = r.rows[0][0].to_string();
-    assert!(plan.contains("Included(Int(2))") && plan.contains("Excluded(Int(4))"), "{plan}");
+    assert!(
+        plan.contains("Included(Int(2))") && plan.contains("Excluded(Int(4))"),
+        "{plan}"
+    );
     let r = conn
         .execute("EXPLAIN SELECT * FROM information_schema.processlist")
         .unwrap();
-    assert!(r.rows[0][0].to_string().contains("virtual table"), "{:?}", r.rows);
+    assert!(
+        r.rows[0][0].to_string().contains("virtual table"),
+        "{:?}",
+        r.rows
+    );
 }
 
 #[test]
@@ -497,8 +557,13 @@ fn aggregates() {
     let db = db();
     setup_customers(&db);
     let conn = db.connect("app");
-    let r = conn.execute("SELECT SUM(age), MIN(age), MAX(age) FROM customers").unwrap();
-    assert_eq!(r.rows[0], vec![Value::Int(188), Value::Int(25), Value::Int(67)]);
+    let r = conn
+        .execute("SELECT SUM(age), MIN(age), MAX(age) FROM customers")
+        .unwrap();
+    assert_eq!(
+        r.rows[0],
+        vec![Value::Int(188), Value::Int(25), Value::Int(67)]
+    );
     let r = conn
         .execute("SELECT COUNT(*) FROM customers WHERE age = 25")
         .unwrap();
@@ -519,7 +584,15 @@ fn explain_analyze_span_tree_and_exact_child_sum() {
     let spans: Vec<(String, i64)> = r
         .rows
         .iter()
-        .map(|row| (row[0].to_string(), match row[2] { Value::Int(d) => d, _ => -1 }))
+        .map(|row| {
+            (
+                row[0].to_string(),
+                match row[2] {
+                    Value::Int(d) => d,
+                    _ => -1,
+                },
+            )
+        })
         .collect();
     // Root, then the pipeline stages, depth-indented.
     assert_eq!(spans[0].0, "statement");
@@ -528,8 +601,14 @@ fn explain_analyze_span_tree_and_exact_child_sum() {
         assert!(names.contains(&stage), "missing {stage} in {names:?}");
     }
     // bufpool is nested under scan (deeper indent).
-    let scan = spans.iter().find(|(n, _)| n.trim_start() == "scan").unwrap();
-    let bufpool = spans.iter().find(|(n, _)| n.trim_start() == "bufpool").unwrap();
+    let scan = spans
+        .iter()
+        .find(|(n, _)| n.trim_start() == "scan")
+        .unwrap();
+    let bufpool = spans
+        .iter()
+        .find(|(n, _)| n.trim_start() == "bufpool")
+        .unwrap();
     let depth = |s: &str| (s.len() - s.trim_start().len()) / 2;
     assert_eq!(depth(&bufpool.0), depth(&scan.0) + 1);
     // The cost model partitions the statement duration across top-level
@@ -540,7 +619,10 @@ fn explain_analyze_span_tree_and_exact_child_sum() {
         .filter(|(n, _)| depth(n) == 1)
         .map(|(_, d)| *d)
         .sum();
-    assert_eq!(top_level_sum, total, "top-level spans partition the statement time");
+    assert_eq!(
+        top_level_sum, total,
+        "top-level spans partition the statement time"
+    );
     // EXPLAIN ANALYZE executes its target (MySQL 8 semantics).
     assert_eq!(r.rows_examined, 5);
     // The rows_examined attribute rides on the scan span.
@@ -563,9 +645,17 @@ fn explain_analyze_executes_writes() {
         .unwrap();
     let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
     assert!(names.iter().any(|n| n.trim_start() == "write"), "{names:?}");
-    assert!(names.iter().any(|n| n.trim_start() == "wal_append"), "{names:?}");
-    assert!(names.iter().any(|n| n.trim_start() == "commit"), "{names:?}");
-    let check = conn.execute("SELECT age FROM customers WHERE id = 1").unwrap();
+    assert!(
+        names.iter().any(|n| n.trim_start() == "wal_append"),
+        "{names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.trim_start() == "commit"),
+        "{names:?}"
+    );
+    let check = conn
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
     assert_eq!(check.rows[0][0], Value::Int(99), "the target actually ran");
 }
 
@@ -588,7 +678,10 @@ fn query_traces_virtual_table_and_ring_eviction() {
     // Capacity 4: the ring holds the latest 4 statements only.
     assert_eq!(r.rows.len(), 4);
     let texts: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
-    assert!(texts.iter().all(|t| !t.contains("id = 0")), "oldest evicted: {texts:?}");
+    assert!(
+        texts.iter().all(|t| !t.contains("id = 0")),
+        "oldest evicted: {texts:?}"
+    );
     assert!(texts.iter().any(|t| t.contains("id = 5")), "{texts:?}");
     assert!(r.rows.iter().all(|row| row[1].to_string() == "customers"));
     let rec = db.trace_recorder();
@@ -618,7 +711,10 @@ fn tracing_disabled_keeps_ring_empty_and_slow_log_minimal() {
     setup_customers(&db);
     let conn = db.connect("app");
     conn.execute("SELECT * FROM customers").unwrap();
-    assert!(db.query_traces().is_empty(), "disarmed recorder stays empty");
+    assert!(
+        db.query_traces().is_empty(),
+        "disarmed recorder stays empty"
+    );
     let err = conn
         .execute("SELECT * FROM information_schema.query_traces")
         .unwrap();
@@ -662,7 +758,10 @@ fn flush_diagnostics_scrub_clears_latency_histograms_and_trace_ring() {
     // recorder go with the counters, not just the perf-schema rows.
     let after = db.metrics_snapshot();
     assert_eq!(lat(&after), 0, "latency histograms scrubbed on flush");
-    assert!(db.query_traces().is_empty(), "flight recorder cleared on flush");
+    assert!(
+        db.query_traces().is_empty(),
+        "flight recorder cleared on flush"
+    );
 }
 
 #[test]

@@ -1,0 +1,127 @@
+//! Minimal HTTP/1.1 plumbing for the diagnostics plane (and the tiny
+//! client the tests and the E17 remote observer use).
+//!
+//! Deliberately small: one request per connection, `Connection: close`,
+//! GET only. A diagnostics endpoint does not need keep-alive — but it
+//! does need to never wedge the engine, so every socket carries read
+//! and write timeouts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// A parsed request line + headers.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// HTTP method (`GET`).
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The bearer token from an `Authorization: Bearer <token>` header.
+    pub fn bearer_token(&self) -> Option<&str> {
+        self.header("authorization")?.strip_prefix("Bearer ")
+    }
+}
+
+/// Reads one request (line + headers, no body) from the stream.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let path = target.split('?').next().unwrap_or_default().to_string();
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+    })
+}
+
+/// Writes a complete response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let reason = match status {
+        200 => "OK",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Curl-style one-shot GET: returns `(status, body)`. This is the whole
+/// client an external observer needs — which is the point of E17.
+pub fn get(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    bearer: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let auth = match bearer {
+        Some(t) => format!("Authorization: Bearer {t}\r\n"),
+        None => String::new(),
+    };
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}

@@ -1,0 +1,400 @@
+//! Prometheus text-exposition encoding (and the matching parser).
+//!
+//! Every series carries the *exact* registry metric name in a `name`
+//! label, escaped per the exposition format (`\\`, `\"`, `\n`), so the
+//! encoder round-trips losslessly even for names an operator never
+//! chose — per-table counters like `sql.table_access.<table>` embed
+//! user-controlled table names, and a table called `a"b\nc` must not
+//! corrupt the scrape. The series identifier itself is a sanitized
+//! (`[a-zA-Z0-9_]`, `mdb_`-prefixed) rendering for Prometheus
+//! compatibility; consumers that need the true name read the label.
+//!
+//! [`scrub`] is the mitigation knob the E17 experiment measures: it
+//! drops per-table series and quantizes every value to a power of two,
+//! so successive scrapes no longer reveal exact per-query deltas.
+
+use mdb_telemetry::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot};
+
+/// Content-Type of the text exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label`]. `None` on a dangling or unknown escape.
+pub fn unescape_label(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Sanitized series identifier for a registry metric name: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, prefixed with `mdb_`.
+/// Lossy by design — the `name` label carries the original.
+pub fn series_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("mdb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn sample_line(out: &mut String, series: &str, name: &str, extra: &[(&str, &str)], value: &str) {
+    out.push_str(series);
+    out.push_str("{name=\"");
+    out.push_str(&escape_label(name));
+    out.push('"');
+    for (k, v) in extra {
+        out.push(',');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push_str("} ");
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Encodes a snapshot in the text exposition format. `rates` is the
+/// per-second counter rate computed from the retention ring (empty on
+/// the first scrape); rates are emitted as `<series>_rate` gauges.
+pub fn encode(snap: &MetricsSnapshot, rates: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let series = series_name(name);
+        out.push_str(&format!("# TYPE {series} counter\n"));
+        sample_line(&mut out, &series, name, &[], &v.to_string());
+    }
+    for (name, v) in &snap.gauges {
+        let series = series_name(name);
+        out.push_str(&format!("# TYPE {series} gauge\n"));
+        sample_line(&mut out, &series, name, &[], &v.to_string());
+    }
+    for h in &snap.histograms {
+        encode_histogram(&mut out, h);
+    }
+    for (name, per_sec) in rates {
+        let series = format!("{}_rate", series_name(name));
+        out.push_str(&format!("# TYPE {series} gauge\n"));
+        sample_line(&mut out, &series, name, &[], &format!("{per_sec}"));
+    }
+    out
+}
+
+fn encode_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let series = series_name(&h.name);
+    out.push_str(&format!("# TYPE {series} histogram\n"));
+    let bucket_series = format!("{series}_bucket");
+    let mut cumulative = 0u64;
+    for (idx, n) in &h.buckets {
+        cumulative += n;
+        let le = bucket_upper_bound(*idx as usize);
+        let le = if le == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            le.to_string()
+        };
+        sample_line(
+            out,
+            &bucket_series,
+            &h.name,
+            &[("le", le.as_str())],
+            &cumulative.to_string(),
+        );
+    }
+    sample_line(
+        out,
+        &bucket_series,
+        &h.name,
+        &[("le", "+Inf")],
+        &h.count.to_string(),
+    );
+    sample_line(
+        out,
+        &format!("{series}_sum"),
+        &h.name,
+        &[],
+        &h.sum.to_string(),
+    );
+    sample_line(
+        out,
+        &format!("{series}_count"),
+        &h.name,
+        &[],
+        &h.count.to_string(),
+    );
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Sanitized series identifier (`mdb_...`).
+    pub series: String,
+    /// Labels in line order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Raw value text (integers stay exact; parse as needed).
+    pub value: String,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `name` label: the exact registry metric name.
+    pub fn metric_name(&self) -> Option<&str> {
+        self.label("name")
+    }
+
+    /// The value as an exact u64, if it is one.
+    pub fn value_u64(&self) -> Option<u64> {
+        self.value.parse().ok()
+    }
+
+    /// The value as f64 (`None` for unparseable text).
+    pub fn value_f64(&self) -> Option<f64> {
+        self.value.parse().ok()
+    }
+}
+
+/// Parses exposition text produced by [`encode`] (comments and blank
+/// lines skipped). `None` when any sample line is malformed — the
+/// round-trip property the proptests pin down.
+pub fn parse(text: &str) -> Option<Vec<Sample>> {
+    let mut samples = Vec::new();
+    for line in text.split('\n') {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line)?);
+    }
+    Some(samples)
+}
+
+fn parse_line(line: &str) -> Option<Sample> {
+    let brace = line.find('{');
+    let (series, rest) = match brace {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => {
+            let sp = line.find(' ')?;
+            return Some(Sample {
+                series: line[..sp].to_string(),
+                labels: Vec::new(),
+                value: line[sp + 1..].to_string(),
+            });
+        }
+    };
+    let mut labels = Vec::new();
+    let mut rest = rest;
+    loop {
+        if let Some(stripped) = rest.strip_prefix('}') {
+            let value = stripped.strip_prefix(' ')?;
+            return Some(Sample {
+                series: series.to_string(),
+                labels,
+                value: value.to_string(),
+            });
+        }
+        let eq = rest.find("=\"")?;
+        let key = rest[..eq].trim_start_matches(',').to_string();
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let bytes = &rest.as_bytes()[eq + 2..];
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end?;
+        let raw = &rest[eq + 2..eq + 2 + end];
+        labels.push((key, unescape_label(raw)?));
+        rest = &rest[eq + 2 + end + 1..];
+    }
+}
+
+/// Quantizes `v` up to the next power of two (0 stays 0) — the value
+/// coarsening behind [`scrub`].
+pub fn quantize_pow2(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        v.next_power_of_two()
+    }
+}
+
+/// The scrape-channel mitigation: returns a copy of `snap` with
+/// per-table series dropped and every remaining value quantized to a
+/// power of two. Between two scrapes a counter then moves in power-of-two
+/// jumps (or not at all), denying the remote observer the exact
+/// per-query deltas the E17 volume attack reconstructs.
+pub fn scrub(snap: &MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("sql.table_access."))
+            .map(|(name, v)| (name.clone(), quantize_pow2(*v)))
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .map(|(name, v)| {
+                (
+                    name.clone(),
+                    v.signum() * quantize_pow2(v.unsigned_abs()) as i64,
+                )
+            })
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .map(|h| HistogramSnapshot {
+                name: h.name.clone(),
+                count: quantize_pow2(h.count),
+                sum: quantize_pow2(h.sum),
+                // No buckets: a scrubbed exposition reveals magnitude,
+                // not distribution.
+                buckets: Vec::new(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_telemetry::Registry;
+
+    #[test]
+    fn escape_round_trips_hostile_names() {
+        for s in ["plain", "a\"b", "back\\slash", "new\nline", "uni❄codé", ""] {
+            assert_eq!(unescape_label(&escape_label(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape_label("dangling\\"), None);
+        assert_eq!(unescape_label("bad\\q"), None);
+    }
+
+    #[test]
+    fn series_names_are_prometheus_safe() {
+        assert_eq!(series_name("sql.statements"), "mdb_sql_statements");
+        assert_eq!(series_name("a\"b\nc"), "mdb_a_b_c");
+        assert_eq!(
+            series_name("sql.latency_us.select"),
+            "mdb_sql_latency_us_select"
+        );
+    }
+
+    #[test]
+    fn encode_then_parse_recovers_every_metric() {
+        let r = Registry::new();
+        r.counter("sql.statements").add(42);
+        r.counter("sql.table_access.pat\"ients\n").add(7);
+        r.gauge("repl.lag_events").set(-3);
+        let h = r.histogram("sql.latency_us.select");
+        for v in [0, 3, 700, 700] {
+            h.record(v);
+        }
+        let text = encode(&r.snapshot(), &[("sql.statements".into(), 1.5)]);
+        let samples = parse(&text).expect("own output parses");
+
+        let find = |series: &str, name: &str| {
+            samples
+                .iter()
+                .find(|s| s.series == series && s.metric_name() == Some(name))
+                .unwrap_or_else(|| panic!("missing {series} for {name}"))
+        };
+        assert_eq!(
+            find("mdb_sql_statements", "sql.statements").value_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            find(
+                "mdb_sql_table_access_pat_ients_",
+                "sql.table_access.pat\"ients\n"
+            )
+            .value_u64(),
+            Some(7)
+        );
+        assert_eq!(find("mdb_repl_lag_events", "repl.lag_events").value, "-3");
+        assert_eq!(
+            find("mdb_sql_latency_us_select_sum", "sql.latency_us.select").value_u64(),
+            Some(1403)
+        );
+        assert_eq!(
+            find("mdb_sql_latency_us_select_count", "sql.latency_us.select").value_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            find("mdb_sql_statements_rate", "sql.statements").value_f64(),
+            Some(1.5)
+        );
+        // Buckets are cumulative and end with +Inf at the total count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.series == "mdb_sql_latency_us_select_bucket")
+            .collect();
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value_u64(), Some(4));
+        let counts: Vec<u64> = buckets.iter().filter_map(|s| s.value_u64()).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn scrub_drops_tables_and_quantizes() {
+        let r = Registry::new();
+        r.counter("sql.statements").add(37);
+        r.counter("sql.table_access.secret").add(5);
+        r.gauge("depth").set(-37);
+        r.histogram("lat").record(1000);
+        let s = scrub(&r.snapshot());
+        assert_eq!(s.counter("sql.statements"), Some(64));
+        assert_eq!(s.counter("sql.table_access.secret"), None);
+        assert_eq!(s.gauge("depth"), Some(-64));
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.sum, 1024);
+        assert!(h.buckets.is_empty());
+        assert_eq!(quantize_pow2(0), 0);
+        assert_eq!(quantize_pow2(1), 1);
+        assert_eq!(quantize_pow2(65), 128);
+    }
+}

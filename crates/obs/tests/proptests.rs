@@ -1,0 +1,129 @@
+//! Property tests for the Prometheus text-exposition encoder: hostile
+//! metric names (newlines, quotes, backslashes, unicode) must survive
+//! an encode → parse round trip losslessly. This is the invariant the
+//! E17 observer depends on — and the reason label escaping exists at
+//! all: `sql.table_access.<table>` puts *user-controlled* table names
+//! into the exposition.
+
+use mdb_obs::prom;
+use mdb_telemetry::Registry;
+use proptest::prelude::*;
+
+/// Palette of hostile characters: exposition-syntax chars (`\n`, `"`,
+/// `\\`, `{`, `}`, `=`, spaces), plain ASCII, and multi-byte unicode.
+const PALETTE: [char; 20] = [
+    'a', 'b', 'z', 'A', '0', '9', '_', '.', '-', ' ', '\n', '"', '\\', '{', '}', '=', ',', '❤',
+    'é', '雪',
+];
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 1..24)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn label_escaping_round_trips(name in name_strategy()) {
+        let escaped = prom::escape_label(&name);
+        // Escaped form never contains a raw newline or unescaped quote,
+        // so it is always safe inside `name="..."`.
+        prop_assert!(!escaped.contains('\n'));
+        prop_assert_eq!(prom::unescape_label(&escaped), Some(name));
+    }
+
+    #[test]
+    fn encode_then_parse_recovers_every_metric(
+        counter_names in proptest::collection::vec(name_strategy(), 1..6),
+        values in proptest::collection::vec(0u64..1_000_000, 6),
+        gauge_name in name_strategy(),
+        gauge_value in -500_000i64..500_000,
+        histogram_name in name_strategy(),
+    ) {
+        let registry = Registry::new();
+        // Distinct kind prefixes keep generated names from colliding
+        // across counter/gauge/histogram namespaces.
+        let counter_names: Vec<String> = counter_names.iter().map(|n| format!("c.{n}")).collect();
+        let gauge_name = format!("g.{gauge_name}");
+        let histogram_name = format!("h.{histogram_name}");
+        // Registry keys are unique; duplicate generated names collapse,
+        // so build the expectation from the registry's own view.
+        for (i, name) in counter_names.iter().enumerate() {
+            registry.counter(name).add(values[i % values.len()]);
+        }
+        registry.gauge(&gauge_name).set(gauge_value);
+        let h = registry.histogram(&histogram_name);
+        for v in &values {
+            h.record(*v);
+        }
+        let snap = registry.snapshot();
+        let text = prom::encode(&snap, &[]);
+        let samples = prom::parse(&text).expect("encoder output must re-parse");
+
+        for (name, expect) in &snap.counters {
+            let got = samples
+                .iter()
+                .find(|s| s.metric_name() == Some(name.as_str()) && !s.series.ends_with("_bucket")
+                    && !s.series.ends_with("_sum") && !s.series.ends_with("_count"))
+                .unwrap_or_else(|| panic!("counter {name:?} lost in {text:?}"));
+            prop_assert_eq!(got.value_u64(), Some(*expect));
+        }
+        for (name, expect) in &snap.gauges {
+            let got = samples
+                .iter()
+                .find(|s| s.metric_name() == Some(name.as_str()))
+                .unwrap_or_else(|| panic!("gauge {name:?} lost in {text:?}"));
+            prop_assert_eq!(got.value_f64(), Some(*expect as f64));
+        }
+        let hist = snap.histogram(&histogram_name).unwrap();
+        let sum = samples
+            .iter()
+            .find(|s| s.series.ends_with("_sum") && s.metric_name() == Some(histogram_name.as_str()))
+            .unwrap_or_else(|| panic!("histogram sum lost in {text:?}"));
+        prop_assert_eq!(sum.value_u64(), Some(hist.sum));
+        let count = samples
+            .iter()
+            .find(|s| s.series.ends_with("_count") && s.metric_name() == Some(histogram_name.as_str()))
+            .unwrap_or_else(|| panic!("histogram count lost in {text:?}"));
+        prop_assert_eq!(count.value_u64(), Some(hist.count));
+        // Bucket lines are cumulative and end at the total count.
+        let buckets: Vec<&prom::Sample> = samples
+            .iter()
+            .filter(|s| s.series.ends_with("_bucket") && s.metric_name() == Some(histogram_name.as_str()))
+            .collect();
+        prop_assert!(!buckets.is_empty());
+        prop_assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        prop_assert_eq!(buckets.last().unwrap().value_u64(), Some(hist.count));
+        let mut prev = 0u64;
+        for b in &buckets {
+            let v = b.value_u64().unwrap();
+            prop_assert!(v >= prev, "buckets must be cumulative in {text:?}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn scrubbed_encoding_still_parses_and_hides_tables(
+        table in name_strategy(),
+        n in 1u64..100_000,
+    ) {
+        let registry = Registry::new();
+        registry.counter(&format!("sql.table_access.{table}")).add(n);
+        registry.counter("sql.statements").add(n);
+        let scrubbed = prom::scrub(&registry.snapshot());
+        let text = prom::encode(&scrubbed, &[]);
+        let samples = prom::parse(&text).expect("scrubbed output must re-parse");
+        let no_tables = samples
+            .iter()
+            .all(|s| s.metric_name().is_none_or(|m| !m.starts_with("sql.table_access.")));
+        prop_assert!(no_tables);
+        // Quantized, not zeroed: the total survives as a power of two.
+        let stm = samples
+            .iter()
+            .find(|s| s.metric_name() == Some("sql.statements"))
+            .unwrap();
+        let v = stm.value_u64().unwrap();
+        prop_assert!(v.is_power_of_two() && v >= n);
+    }
+}

@@ -258,18 +258,27 @@ impl ReplicaSet {
 
     /// Waits until every replica has applied everything the primary has
     /// logged. Returns `false` on timeout.
+    ///
+    /// Each call records its wall-clock wait into the primary's
+    /// `repl.wait_for_sync_us` histogram, so semi-sync commit latency
+    /// shows up with p50/p95/p99 tails on the status port — and, like
+    /// every histogram there, in every `/metrics` scrape.
     pub fn wait_for_sync(&self, timeout: Duration) -> bool {
         let target = self.primary.binlog_next_seq();
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let hist = self.primary.telemetry().histogram("repl.wait_for_sync_us");
         loop {
             let synced = self
                 .slots
                 .iter()
                 .all(|s| s.shared.next_seq.load(std::sync::atomic::Ordering::SeqCst) >= target);
             if synced {
+                hist.record(started.elapsed().as_micros() as u64);
                 return true;
             }
             if Instant::now() >= deadline {
+                hist.record(started.elapsed().as_micros() as u64);
                 return false;
             }
             std::thread::sleep(Duration::from_millis(2));

@@ -75,9 +75,7 @@ impl crate::transport::Transport for TcpEndpoint {
                     // Partial frame: loop for the rest (bounded by the
                     // read timeout still armed on the socket).
                 }
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(None);
                 }
                 Err(e) => return Err(io_err(e)),

@@ -193,13 +193,17 @@ impl FrameDecoder {
         // Drop garbage before the next magic (a resync after a cut),
         // keeping up to 3 trailing bytes that may be a magic prefix
         // still arriving.
-        let start = self.buf.windows(4).position(|w| w == magic).unwrap_or_else(|| {
-            let keep = (1..4.min(self.buf.len() + 1))
-                .rev()
-                .find(|&k| magic.starts_with(&self.buf[self.buf.len() - k..]))
-                .unwrap_or(0);
-            self.buf.len() - keep
-        });
+        let start = self
+            .buf
+            .windows(4)
+            .position(|w| w == magic)
+            .unwrap_or_else(|| {
+                let keep = (1..4.min(self.buf.len() + 1))
+                    .rev()
+                    .find(|&k| magic.starts_with(&self.buf[self.buf.len() - k..]))
+                    .unwrap_or(0);
+                self.buf.len() - keep
+            });
         if start > 0 {
             self.buf.drain(..start);
         }

@@ -6,9 +6,9 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use mdb_repl::replica::Replica;
-use mdb_repl::router::{ReplicaSet, ReplicaSetConfig};
 #[cfg(feature = "tcp")]
 use mdb_repl::router::{ReadTarget, TransportKind};
+use mdb_repl::router::{ReplicaSet, ReplicaSetConfig};
 use mdb_repl::transport::{duplex, Transport};
 use mdb_repl::{PrimaryServer, ReplError};
 use minidb::wal::{carve_frames, BinlogEvent};
@@ -99,7 +99,8 @@ fn restarted_replica_resumes_without_duplicates() {
     let conn = primary.connect("root");
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
     for i in 0..5 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     let mut endpoints = vec![connect(&server)];
     let mut replica = Replica::start(
@@ -118,11 +119,15 @@ fn restarted_replica_resumes_without_duplicates() {
         Duration::from_secs(5)
     ));
     replica.stop();
-    let relay_len_before = replica_db.read_server_file("relay-bin.000001").unwrap().len();
+    let relay_len_before = replica_db
+        .read_server_file("relay-bin.000001")
+        .unwrap()
+        .len();
 
     // Phase 2: more writes while the replica is down, then restart it.
     for i in 5..9 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     let mut endpoints = vec![connect(&server)];
     let mut replica = Replica::start(
@@ -168,9 +173,11 @@ fn replica_set_over_tcp() {
         ..ReplicaSetConfig::default()
     })
     .unwrap();
-    set.write("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    set.write("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..12 {
-        set.write(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        set.write(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+            .unwrap();
     }
     assert!(set.wait_for_sync(Duration::from_secs(10)));
     assert!(matches!(set.route_read(), ReadTarget::Replica(_)));
@@ -206,5 +213,41 @@ fn read_only_gate_and_write_routing() {
     assert!(set.wait_for_sync(Duration::from_secs(5)));
     let rows = set.read("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(rows.rows[0][0].to_string(), "1");
+    set.shutdown();
+}
+
+#[test]
+fn lag_histograms_populate_with_percentiles() {
+    // ROADMAP item: `wait_for_sync` latency and relay-apply latency are
+    // histograms on the primary/replica registries, so lag percentiles
+    // (p50/p95/p99) come from telemetry instead of ad-hoc timers — and
+    // surface on the status port like every other histogram.
+    let mut set = ReplicaSet::start(ReplicaSetConfig::default()).unwrap();
+    set.write("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    for i in 0..20 {
+        set.write(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        if i % 5 == 4 {
+            assert!(set.wait_for_sync(Duration::from_secs(5)));
+        }
+    }
+    assert!(set.wait_for_sync(Duration::from_secs(5)));
+
+    let snap = set.primary().telemetry().snapshot();
+    let wait = snap
+        .histogram("repl.wait_for_sync_us")
+        .expect("wait_for_sync must record a histogram");
+    assert_eq!(wait.count, 5);
+    // Percentile upper bounds are monotone and bracket the recorded data.
+    assert!(wait.p50() <= wait.p95() && wait.p95() <= wait.p99());
+    assert!(wait.p99() >= wait.p50());
+    assert_eq!(wait.p99(), wait.quantile_upper_bound(0.99));
+
+    let rsnap = set.replica(0).telemetry().snapshot();
+    let apply = rsnap
+        .histogram("repl.apply_latency_us")
+        .expect("apply loop must record per-event latency");
+    assert_eq!(apply.count, 21, "one sample per applied event");
+    assert!(apply.sum > 0);
+    assert!(apply.p95() >= apply.p50());
     set.shutdown();
 }

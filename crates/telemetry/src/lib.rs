@@ -422,6 +422,21 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Median upper bound — [`quantile_upper_bound`](Self::quantile_upper_bound) at 0.5.
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile_upper_bound(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
     /// Upper bound of the bucket containing quantile `q` in `[0, 1]`.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
@@ -573,6 +588,42 @@ mod tests {
     }
 
     #[test]
+    fn percentile_conveniences_wrap_quantile_upper_bound() {
+        // Empty histogram: every percentile is 0 (no buckets at all).
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p95(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        // Single-bucket histogram: every percentile is that bucket's
+        // upper bound, regardless of count.
+        let r = Registry::new();
+        let h = r.histogram("single");
+        for _ in 0..10 {
+            h.record(700); // bucket 10: values 512..=1023
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("single").unwrap();
+        assert_eq!(hs.buckets.len(), 1);
+        assert_eq!(hs.p50(), 1023);
+        assert_eq!(hs.p95(), 1023);
+        assert_eq!(hs.p99(), 1023);
+
+        // Multi-bucket: p50/p95/p99 agree with quantile_upper_bound.
+        let h2 = r.histogram("multi");
+        for v in [1, 1, 1, 1, 1, 1, 1, 1, 1000, 5000] {
+            h2.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("multi").unwrap();
+        assert_eq!(hs.p50(), hs.quantile_upper_bound(0.50));
+        assert_eq!(hs.p50(), 1);
+        assert_eq!(hs.p95(), hs.quantile_upper_bound(0.95));
+        assert_eq!(hs.p95(), 8191);
+        assert_eq!(hs.p99(), hs.quantile_upper_bound(0.99));
+    }
+
+    #[test]
     fn disabled_registry_records_nothing() {
         let r = Registry::new_disabled();
         let c = r.counter("hits");
@@ -639,7 +690,10 @@ mod tests {
         let js = r.snapshot().to_json();
         assert!(js.starts_with('{') && js.ends_with('}'));
         assert!(js.contains(r#""a\"b\\c\n":1"#), "{js}");
-        assert!(js.contains(r#""h":{"count":1,"sum":3,"mean_us":3,"buckets":[[2,1]]}"#), "{js}");
+        assert!(
+            js.contains(r#""h":{"count":1,"sum":3,"mean_us":3,"buckets":[[2,1]]}"#),
+            "{js}"
+        );
     }
 
     #[test]

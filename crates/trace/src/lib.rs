@@ -448,7 +448,15 @@ mod tests {
         // Children are laid out sequentially.
         assert_eq!(t.root.child("plan").unwrap().start_us, 40);
         assert_eq!(t.root.child("scan").unwrap().start_us, 80);
-        assert_eq!(t.root.child("scan").unwrap().child("bufpool").unwrap().start_us, 80);
+        assert_eq!(
+            t.root
+                .child("scan")
+                .unwrap()
+                .child("bufpool")
+                .unwrap()
+                .start_us,
+            80
+        );
     }
 
     #[test]
@@ -468,7 +476,7 @@ mod tests {
         b.begin("scan");
         b.begin("bufpool");
         b.end(9999); // Advisory nested cost larger than the statement.
-        // "scan" left open: finish closes it.
+                     // "scan" left open: finish closes it.
         let t = b.finish(100);
         let scan = t.root.child("scan").unwrap();
         assert!(scan.child("bufpool").unwrap().dur_us <= scan.dur_us);
@@ -501,7 +509,11 @@ mod tests {
         r.clear();
         assert!(r.is_empty());
         // Numbering continues across the wipe.
-        assert_eq!(r.record(StatementTrace::minimal(1, 9, "q", "d", 1, 0)).trace_id, 6);
+        assert_eq!(
+            r.record(StatementTrace::minimal(1, 9, "q", "d", 1, 0))
+                .trace_id,
+            6
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn main() {
     println!("victim range queries over the encrypted salary index:");
     for &(lo, hi) in &[(50_000u64, 80_000u64), (100_000, 120_000), (60_000, 75_000)] {
         let matches = ix.range(lo, hi).expect("range");
-        println!("  [{lo}, {hi}] -> {} matching rows (repairs committed)", matches.len());
+        println!(
+            "  [{lo}, {hi}] -> {} matching rows (repairs committed)",
+            matches.len()
+        );
     }
 
     // --- disk theft ---

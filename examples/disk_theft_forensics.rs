@@ -17,17 +17,22 @@ fn main() {
     let conn = db.connect("payroll");
     conn.execute("CREATE TABLE salaries (id INT PRIMARY KEY, name TEXT, amount INT)")
         .unwrap();
-    conn.execute("INSERT INTO salaries VALUES (1, 'alice', 95000)").unwrap();
-    conn.execute("INSERT INTO salaries VALUES (2, 'bob', 72000)").unwrap();
-    conn.execute("UPDATE salaries SET amount = 105000 WHERE id = 1").unwrap();
+    conn.execute("INSERT INTO salaries VALUES (1, 'alice', 95000)")
+        .unwrap();
+    conn.execute("INSERT INTO salaries VALUES (2, 'bob', 72000)")
+        .unwrap();
+    conn.execute("UPDATE salaries SET amount = 105000 WHERE id = 1")
+        .unwrap();
     conn.execute("DELETE FROM salaries WHERE id = 2").unwrap();
 
     // Admin hygiene: purge the binlog. (The circular redo/undo logs
     // cannot be purged -- ACID needs them.)
     let pre_purge = binlog::parse_binlog(db.disk_image().file(BINLOG_FILE).unwrap());
     db.purge_binlog();
-    conn.execute("INSERT INTO salaries VALUES (3, 'carol', 88000)").unwrap();
-    conn.execute("INSERT INTO salaries VALUES (4, 'dave', 61000)").unwrap();
+    conn.execute("INSERT INTO salaries VALUES (3, 'carol', 88000)")
+        .unwrap();
+    conn.execute("INSERT INTO salaries VALUES (4, 'dave', 61000)")
+        .unwrap();
 
     // --- the theft ---
     let obs = capture(&db, AttackVector::DiskTheft);

@@ -30,7 +30,10 @@ fn main() {
     let token_value: u32 = rng.gen();
     let token = key.encrypt_left(token_value as u64).expect("token");
 
-    println!("one recovered range token vs {} stored ciphertexts:", stored.len());
+    println!(
+        "one recovered range token vs {} stored ciphertexts:",
+        stored.len()
+    );
     println!("(the comparison needs NO keys - only the two ciphertexts)\n");
     for (v, ct) in db_values.iter().zip(&stored) {
         let leak = compare_leak(&token, ct).expect("compare");
@@ -44,9 +47,7 @@ fn main() {
 
     // Part 2: the paper's aggregate numbers.
     let (db_size, trials) = if full { (10_000, 1_000) } else { (2_000, 100) };
-    println!(
-        "\naggregate simulation: db={db_size} uniform 32-bit values, {trials} trials"
-    );
+    println!("\naggregate simulation: db={db_size} uniform 32-bit values, {trials} trials");
     println!("(paper: 10,000 values, 1,000 trials -> 12% / 19% / 25%)\n");
     println!("queries  fraction of all bits leaked  bits per 32-bit value");
     for queries in [5usize, 25, 50] {

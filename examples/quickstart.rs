@@ -62,7 +62,10 @@ fn main() {
 
     // 3. The application runs queries; the proxy decrypts results.
     let rows = proxy
-        .select("patients", &Query::Eq("diagnosis".into(), Value::Text("flu".into())))
+        .select(
+            "patients",
+            &Query::Eq("diagnosis".into(), Value::Text("flu".into())),
+        )
         .expect("select");
     println!("application sees {} flu patients (plaintext!)", rows.len());
     let rows = proxy
@@ -77,16 +80,25 @@ fn main() {
 
     let sql_strings = memscan::carve_sql(&mem.heap);
     println!("\n--- snapshot attacker's view ---");
-    println!("SQL statements carved from the process heap: {}", sql_strings.len());
+    println!(
+        "SQL statements carved from the process heap: {}",
+        sql_strings.len()
+    );
     for s in sql_strings.iter().take(3) {
         let preview: String = s.text.chars().take(76).collect();
         println!("  heap@{:>7}: {preview}...", s.offset);
     }
     let tokens = memscan::carve_tokens(&mem.heap);
-    println!("ciphertexts/query tokens carved from heap SQL: {}", tokens.len());
+    println!(
+        "ciphertexts/query tokens carved from heap SQL: {}",
+        tokens.len()
+    );
 
     let events = binlog::parse_binlog(disk.file(minidb::wal::BINLOG_FILE).unwrap());
-    println!("binlog statements (with timestamps) on disk: {}", events.len());
+    println!(
+        "binlog statements (with timestamps) on disk: {}",
+        events.len()
+    );
     if let Some(e) = events.first() {
         let preview: String = e.statement.chars().take(60).collect();
         println!("  t={} {preview}...", e.timestamp);

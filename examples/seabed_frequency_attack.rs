@@ -35,7 +35,10 @@ fn main() {
         let v = zipf.sample(&mut rng) as u32;
         let n = table.count_eq(v).expect("count");
         if i < 3 {
-            println!("  {}  -> decrypted count {n}", table.rewrite_count(v).unwrap());
+            println!(
+                "  {}  -> decrypted count {n}",
+                table.rewrite_count(v).unwrap()
+            );
         }
     }
 
@@ -52,7 +55,10 @@ fn main() {
     for row in &digests.rows {
         let text = row[0].to_string();
         if let Some(pos) = text.find("(c") {
-            let digits: String = text[pos + 2..].chars().take_while(|c| c.is_ascii_digit()).collect();
+            let digits: String = text[pos + 2..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
             if text.contains("ashe_sum") {
                 if let Ok(label) = digits.parse::<u32>() {
                     observed.push((label, row[1].to_string().parse().unwrap_or(0.0)));

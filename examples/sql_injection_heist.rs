@@ -61,7 +61,9 @@ fn main() {
         println!("  conn {} user {:<14} running: {}", row[0], row[1], row[3]);
     }
 
-    println!("\n--- injected: SELECT sql_text FROM performance_schema.events_statements_history ---");
+    println!(
+        "\n--- injected: SELECT sql_text FROM performance_schema.events_statements_history ---"
+    );
     let hist = inj
         .execute("SELECT sql_text FROM performance_schema.events_statements_history")
         .unwrap();

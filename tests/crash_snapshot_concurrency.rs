@@ -16,13 +16,15 @@ fn small_db() -> Db {
 fn repeated_crash_recover_cycles_preserve_data() {
     let db = small_db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     let mut expected = 0i64;
     for round in 0..5 {
         let conn = db.connect("app");
         for i in 0..50 {
             let id = round * 50 + i;
-            conn.execute(&format!("INSERT INTO t VALUES ({id}, {})", id * 2)).unwrap();
+            conn.execute(&format!("INSERT INTO t VALUES ({id}, {})", id * 2))
+                .unwrap();
             expected += 1;
         }
         db.crash();
@@ -37,16 +39,23 @@ fn repeated_crash_recover_cycles_preserve_data() {
 fn crash_mid_explicit_txn_is_atomic() {
     let db = small_db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)").unwrap();
-    conn.execute("INSERT INTO acct VALUES (1, 100), (2, 100)").unwrap();
+    conn.execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)")
+        .unwrap();
+    conn.execute("INSERT INTO acct VALUES (1, 100), (2, 100)")
+        .unwrap();
     // A transfer that crashes between the two legs.
     conn.execute("BEGIN").unwrap();
-    conn.execute("UPDATE acct SET bal = 0 WHERE id = 1").unwrap();
+    conn.execute("UPDATE acct SET bal = 0 WHERE id = 1")
+        .unwrap();
     db.crash();
     db.recover().unwrap();
     let conn = db.connect("check");
     let r = conn.execute("SELECT SUM(bal) FROM acct").unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(200), "half-applied transfer rolled back");
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(200),
+        "half-applied transfer rolled back"
+    );
 }
 
 #[test]
@@ -56,7 +65,8 @@ fn crash_immediately_after_wraparound_recovers() {
     config.undo_capacity = 64 * 1024;
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     // Far more writes than the circular log holds: the engine must have
     // checkpointed before each wrap, so recovery still converges.
     for i in 0..3_000 {
@@ -76,7 +86,8 @@ fn crash_immediately_after_wraparound_recovers() {
 fn snapshot_during_concurrent_workload_is_consistent() {
     let db = small_db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     drop(conn);
 
     let writers: Vec<_> = (0..4)
@@ -86,7 +97,8 @@ fn snapshot_during_concurrent_workload_is_consistent() {
                 let conn = db.connect(&format!("writer{w}"));
                 for i in 0..200 {
                     let id = w * 1_000 + i;
-                    conn.execute(&format!("INSERT INTO t VALUES ({id}, {i})")).unwrap();
+                    conn.execute(&format!("INSERT INTO t VALUES ({id}, {i})"))
+                        .unwrap();
                 }
             })
         })
@@ -114,7 +126,8 @@ fn observation_capture_on_all_vectors_during_activity() {
     let conn = db.connect("app");
     conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
     for i in 0..100 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     for vector in AttackVector::ALL {
         let obs = capture(&db, vector);
@@ -131,8 +144,10 @@ fn observation_capture_on_all_vectors_during_activity() {
 fn recovery_is_idempotent() {
     let db = small_db();
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
-    conn.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        .unwrap();
     conn.execute("UPDATE t SET v = 11 WHERE id = 1").unwrap();
     db.crash();
     db.recover().unwrap();
@@ -141,8 +156,5 @@ fn recovery_is_idempotent() {
     db.recover().unwrap();
     let conn = db.connect("check");
     let r = conn.execute("SELECT v FROM t ORDER BY id").unwrap();
-    assert_eq!(
-        r.rows,
-        vec![vec![Value::Int(11)], vec![Value::Int(20)]]
-    );
+    assert_eq!(r.rows, vec![vec![Value::Int(11)], vec![Value::Int(20)]]);
 }

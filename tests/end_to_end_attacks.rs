@@ -51,7 +51,10 @@ fn swp_trapdoor_breaks_semantic_security_from_a_snapshot() {
     }
     // Victim searches once.
     proxy
-        .select("mail", &Query::Contains("body".into(), "acquisition".into()))
+        .select(
+            "mail",
+            &Query::Contains("body".into(), "acquisition".into()),
+        )
         .unwrap();
 
     // Attacker: VM snapshot → carve the trapdoor → replay it.
@@ -61,14 +64,19 @@ fn swp_trapdoor_breaks_semantic_security_from_a_snapshot() {
         .iter()
         .filter_map(|b| Trapdoor::from_bytes(b))
         .collect();
-    assert!(!tokens.is_empty(), "trapdoor must be carvable from the heap");
+    assert!(
+        !tokens.is_empty(),
+        "trapdoor must be carvable from the heap"
+    );
 
     let conn = db.connect("attacker");
     let stored = conn.execute("SELECT id, body_swp FROM mail").unwrap();
     let mut matching = std::collections::BTreeSet::new();
     for td in &tokens {
         for row in &stored.rows {
-            let Value::Bytes(blob) = &row[1] else { panic!() };
+            let Value::Bytes(blob) = &row[1] else {
+                panic!()
+            };
             let cts = edb_repro::edb::cryptdb::parse_swp_blob(blob).unwrap();
             if cts
                 .iter()
@@ -166,7 +174,10 @@ fn det_column_leaks_histogram_to_pure_disk_theft() {
     let diagnoses = ["flu", "flu", "flu", "diabetes", "diabetes", "rare-disease"];
     for (i, d) in diagnoses.iter().enumerate() {
         proxy
-            .insert("patients", &[Value::Int(i as i64), Value::Text(d.to_string())])
+            .insert(
+                "patients",
+                &[Value::Int(i as i64), Value::Text(d.to_string())],
+            )
             .unwrap();
     }
     db.shutdown();
@@ -198,9 +209,11 @@ fn full_pipeline_survives_log_wraparound() {
     config.undo_capacity = 64 * 1024;
     let db = Db::open(config);
     let conn = db.connect("app");
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..2_000 {
-        conn.execute(&format!("INSERT INTO t VALUES ({i}, 'row-{i}')")).unwrap();
+        conn.execute(&format!("INSERT INTO t VALUES ({i}, 'row-{i}')"))
+            .unwrap();
     }
     let disk = db.disk_image();
     let writes = edb_repro::snapshot_attack::forensics::wal::reconstruct_writes(

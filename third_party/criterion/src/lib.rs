@@ -160,7 +160,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { text: s.to_string() }
+        BenchmarkId {
+            text: s.to_string(),
+        }
     }
 }
 
@@ -263,7 +265,12 @@ fn run_benchmark<F>(
     while Instant::now() < warm_up_deadline {
         bencher.sample_ns.clear();
         f(&mut bencher);
-        per_iter_ns = bencher.sample_ns.last().copied().unwrap_or(per_iter_ns).max(1.0);
+        per_iter_ns = bencher
+            .sample_ns
+            .last()
+            .copied()
+            .unwrap_or(per_iter_ns)
+            .max(1.0);
     }
 
     // Size batches so all samples fit the measurement budget.
@@ -362,7 +369,9 @@ mod tests {
             warm_up_time: Duration::from_millis(5),
         };
         let mut group = c.benchmark_group("g");
-        group.sample_size(5).measurement_time(Duration::from_millis(20));
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
         group.throughput(Throughput::Bytes(64));
         let mut ran = 0u64;
         group.bench_function("add", |b| b.iter(|| ran = ran.wrapping_add(1)));

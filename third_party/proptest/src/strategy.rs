@@ -224,7 +224,11 @@ fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
             } else {
                 min
             };
-            assert_eq!(chars.get(i), Some(&'}'), "unterminated {{}} in pattern {pat:?}");
+            assert_eq!(
+                chars.get(i),
+                Some(&'}'),
+                "unterminated {{}} in pattern {pat:?}"
+            );
             i += 1;
             (min, max)
         } else {
@@ -244,6 +248,9 @@ fn parse_number(chars: &[char], i: &mut usize, pat: &str) -> usize {
     while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
         *i += 1;
     }
-    assert!(*i > start, "expected digits in repetition of pattern {pat:?}");
+    assert!(
+        *i > start,
+        "expected digits in repetition of pattern {pat:?}"
+    );
     chars[start..*i].iter().collect::<String>().parse().unwrap()
 }
