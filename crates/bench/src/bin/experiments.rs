@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--quick] [--json <path>] [--trace <dir>]
 //!             [--bench-json <path>] [--obs-bench-json <path>]
+//!             [--server-bench-json <path>]
 //!             [e1 e2 … | all]
 //! ```
 //!
@@ -15,7 +16,10 @@
 //! micro-benchmark (full vs zone-map-pruned range scans) and writes its
 //! rows/sec and pruning counters as JSON; `--obs-bench-json <path>`
 //! runs the scrape-plane benchmark (exposition shape + scrape/encode/
-//! parse timing) and writes it as JSON.
+//! parse timing) and writes it as JSON; `--server-bench-json <path>`
+//! runs the sharded-buffer-pool benchmark (8-thread mixed scan/write
+//! throughput, single latch vs latch-partitioned) and writes it as
+//! JSON.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -37,6 +41,7 @@ fn main() {
     let trace_dir = path_flag("--trace");
     let bench_json_path = path_flag("--bench-json");
     let obs_bench_json_path = path_flag("--obs-bench-json");
+    let server_bench_json_path = path_flag("--server-bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -45,21 +50,29 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--trace" || a == "--bench-json" || a == "--obs-bench-json" {
+        if a == "--json"
+            || a == "--trace"
+            || a == "--bench-json"
+            || a == "--obs-bench-json"
+            || a == "--server-bench-json"
+        {
             skip_next = true;
         } else if !a.starts_with("--") {
             ids.push(a.clone());
         }
     }
     // With a bench flag and no explicit ids, run only the benchmark.
-    let ids: Vec<String> =
-        if ids.is_empty() && (bench_json_path.is_some() || obs_bench_json_path.is_some()) {
-            Vec::new()
-        } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
-            ALL.iter().map(|s| s.to_string()).collect()
-        } else {
-            ids
-        };
+    let ids: Vec<String> = if ids.is_empty()
+        && (bench_json_path.is_some()
+            || obs_bench_json_path.is_some()
+            || server_bench_json_path.is_some())
+    {
+        Vec::new()
+    } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
     let opts = Options {
         quick,
         ..Default::default()
@@ -146,5 +159,22 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote obs bench JSON to {path}");
+    }
+    if let Some(path) = server_bench_json_path {
+        let ops = if quick { 400 } else { 2_000 };
+        eprintln!("[experiments] server bench: 8 threads, {ops} page ops each");
+        let b = bench::serverbench::run(8, ops);
+        eprintln!(
+            "[experiments] single latch {:.0} ops/s, {} shards {:.0} ops/s ({:.2}x)",
+            b.single.ops_per_sec,
+            b.sharded.shards,
+            b.sharded.ops_per_sec,
+            b.speedup(),
+        );
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote server bench JSON to {path}");
     }
 }

@@ -25,6 +25,7 @@
 //! | e15 | §4    | (ext) flight recorder: query timeline survives wipe |
 //! | e16 | §3    | (ext) zone maps: scan pruning speedup + page-range leak |
 //! | e17 | §4    | (ext) scrape channel: remote volume recovery off `/metrics` |
+//! | e18 | §3/§6 | (ext) version chains: MVCC archives the victim's edit history |
 
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
@@ -43,8 +44,10 @@ pub mod e14_replication;
 pub mod e15_tracelog;
 pub mod e16_zonemap;
 pub mod e17_obs;
+pub mod e18_versions;
 pub mod obsbench;
 pub mod scanbench;
+pub mod serverbench;
 
 use mdb_telemetry::{json, MetricsSnapshot, Registry};
 use mdb_trace::{Recorder, StatementTrace};
@@ -108,18 +111,19 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e15" => Some(e15_tracelog::run(opts)),
         "e16" => Some(e16_zonemap::run(opts)),
         "e17" => Some(e17_obs::run(opts)),
+        "e18" => Some(e18_versions::run(opts)),
         _ => None,
     }
 }
 
-/// All experiment ids in order. `e12`–`e17` are extensions beyond the
+/// All experiment ids in order. `e12`–`e18` are extensions beyond the
 /// paper: the §7 mitigation ablation, the snapshot-vs-persistent
 /// coverage comparison, the replication relay-log surface, the
-/// query-flight-recorder surface, the zone-map surface, and the
-/// metrics-scrape surface.
-pub const ALL: [&str; 17] = [
+/// query-flight-recorder surface, the zone-map surface, the
+/// metrics-scrape surface, and the MVCC version-chain surface.
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the

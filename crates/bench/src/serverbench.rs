@@ -1,0 +1,201 @@
+//! Sharded-buffer-pool throughput micro-benchmark (the
+//! `--server-bench-json` output, and the committed `BENCH_e18.json`
+//! baseline).
+//!
+//! Eight client threads hammer one pool with a mixed scan/write page
+//! workload (75% reads, 25% writes, LCG-scattered pages) while every
+//! page *fault* costs a fixed simulated I/O latency, slept under the
+//! faulting shard's latch — exactly where a real pool holds its
+//! partition latch across the disk read. With one shard (the classic
+//! single-latch `BufferPool` discipline) every fault serializes the
+//! whole pool; with [`DEFAULT_SHARDS`] latch partitions, faults on
+//! different shards overlap and the pool keeps serving hits while a
+//! miss sleeps.
+//!
+//! The headline `speedup` is fault-overlap-dominated, not
+//! CPU-dominated, so it is stable across runner speeds — CI's
+//! perf-trajectory gate diffs it against the committed baseline the
+//! same way it gates the e16 scan-pruning speedup. Absolute ops/sec
+//! are machine-dependent and informational.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minidb::storage::{PageBacking, ShardedBufferPool, DEFAULT_SHARDS, PAGE_SIZE};
+
+/// Distinct pages in the working set (hashes across every shard).
+const PAGES: u32 = 512;
+/// Pool capacity in frames — half the working set, so the steady-state
+/// fault rate stays high and the latch-hold profile dominates.
+const CAPACITY: usize = 256;
+/// Simulated per-fault I/O latency.
+const FAULT_LATENCY: Duration = Duration::from_micros(100);
+/// The tablespace name the workload faults against.
+const FILE: &str = "bench.ibd";
+
+/// A synthetic backing: page contents are a function of the page
+/// number, so every thread can own one (no shared `&mut VDisk`) and a
+/// fault needs no real I/O beyond the pool's simulated latency.
+struct Synthetic;
+
+impl PageBacking for Synthetic {
+    fn read_page(&mut self, _file: &str, page_no: u32) -> Option<Vec<u8>> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..4].copy_from_slice(&page_no.to_le_bytes());
+        Some(page)
+    }
+
+    fn write_page(&mut self, _file: &str, _page_no: u32, _data: &[u8]) {}
+
+    fn file_len(&mut self, _file: &str) -> usize {
+        PAGES as usize * PAGE_SIZE
+    }
+}
+
+/// One pool-configuration measurement.
+#[derive(Clone, Debug)]
+pub struct PoolRun {
+    /// Latch partitions.
+    pub shards: usize,
+    /// Total page operations completed across all threads.
+    pub ops: u64,
+    /// Aggregate throughput.
+    pub ops_per_sec: f64,
+}
+
+/// The full benchmark: single-latch baseline vs the sharded pool.
+#[derive(Clone, Debug)]
+pub struct ServerBench {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Page operations per thread.
+    pub ops_per_thread: usize,
+    /// Working-set pages.
+    pub pages: u32,
+    /// Pool capacity in frames.
+    pub capacity: usize,
+    /// Simulated per-fault latency, microseconds.
+    pub fault_latency_us: u64,
+    /// One shard: every fault serializes the pool.
+    pub single: PoolRun,
+    /// [`DEFAULT_SHARDS`] partitions: faults overlap.
+    pub sharded: PoolRun,
+}
+
+impl ServerBench {
+    /// Sharded-over-single throughput ratio (the acceptance metric:
+    /// >= 2x at 8 threads).
+    pub fn speedup(&self) -> f64 {
+        self.sharded.ops_per_sec / self.single.ops_per_sec.max(f64::MIN_POSITIVE)
+    }
+
+    /// Serialises as the `--server-bench-json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = mdb_telemetry::json::Writer::new();
+        w.obj_open();
+        w.key("threads");
+        w.u64(self.threads as u64);
+        w.key("ops_per_thread");
+        w.u64(self.ops_per_thread as u64);
+        w.key("pages");
+        w.u64(self.pages as u64);
+        w.key("capacity");
+        w.u64(self.capacity as u64);
+        w.key("fault_latency_us");
+        w.u64(self.fault_latency_us);
+        w.key("single_shards");
+        w.u64(self.single.shards as u64);
+        w.key("single_ops_per_sec");
+        w.f64(self.single.ops_per_sec);
+        w.key("sharded_shards");
+        w.u64(self.sharded.shards as u64);
+        w.key("sharded_ops_per_sec");
+        w.f64(self.sharded.ops_per_sec);
+        w.key("speedup");
+        w.f64(self.speedup());
+        w.obj_close();
+        w.into_string()
+    }
+}
+
+/// Drives `threads` workers over one pool configuration and measures
+/// aggregate throughput. Each worker walks its own LCG stream: page
+/// selection scatters across shards, and every fourth operation is a
+/// page write (dirtying the frame so eviction takes the write-back
+/// path too).
+fn drive(shards: usize, threads: usize, ops_per_thread: usize) -> PoolRun {
+    let mut pool = ShardedBufferPool::new(CAPACITY, shards);
+    pool.set_fault_latency(FAULT_LATENCY);
+    let pool = Arc::new(pool);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut backing = Synthetic;
+                let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ (t << 32);
+                for _ in 0..ops_per_thread {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let page = ((x >> 33) % PAGES as u64) as u32;
+                    if (x >> 13).is_multiple_of(4) {
+                        pool.with_page_mut(&mut backing, FILE, page, |b| {
+                            b[8] = b[8].wrapping_add(1);
+                        })
+                        .unwrap();
+                    } else {
+                        let got = pool
+                            .with_page(&mut backing, FILE, page, |b| {
+                                u32::from_le_bytes(b[..4].try_into().unwrap())
+                            })
+                            .unwrap();
+                        assert_eq!(got, page, "torn frame under concurrency");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let ops = (threads * ops_per_thread) as u64;
+    PoolRun {
+        shards,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Runs the benchmark: the same workload against one shard, then
+/// [`DEFAULT_SHARDS`].
+pub fn run(threads: usize, ops_per_thread: usize) -> ServerBench {
+    ServerBench {
+        threads,
+        ops_per_thread,
+        pages: PAGES,
+        capacity: CAPACITY,
+        fault_latency_us: FAULT_LATENCY.as_micros() as u64,
+        single: drive(1, threads, ops_per_thread),
+        sharded: drive(DEFAULT_SHARDS, threads, ops_per_thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_pool_beats_single_latch_at_eight_threads() {
+        let b = run(8, 300);
+        assert_eq!(b.single.ops, b.sharded.ops);
+        assert!(
+            b.speedup() >= 2.0,
+            "latch partitioning must overlap faults: {b:?}"
+        );
+        let json = b.to_json();
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"single_ops_per_sec\""), "{json}");
+    }
+}

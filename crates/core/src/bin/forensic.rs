@@ -1,5 +1,5 @@
 //! `forensic` — standalone snapshot analysis, the attacker's offline
-//! toolbox: point it at a captured `EDBSNAP4` image and carve.
+//! toolbox: point it at a captured `EDBSNAP5` image and carve.
 //!
 //! ```text
 //! forensic <image-file> <command>
@@ -18,6 +18,7 @@
 //!   metrics    telemetry registry: per-table access distribution etc.
 //!   tracelog   query timeline from the slow log + flight recorder
 //!   zonemap    per-page plaintext min/max ranges from heap synopses
+//!   versions   per-row edit history carved from the MVCC version store
 //! ```
 //!
 //! Generate an image with `minidb::SystemImage::to_bytes` (see the
@@ -27,13 +28,13 @@ use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
 use snapshot_attack::forensics::{
-    binlog, bufpool, memscan, relay, telemetry, tracelog, wal, zonemap,
+    binlog, bufpool, memscan, relay, telemetry, tracelog, versions, wal, zonemap,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog|zonemap>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog|zonemap|versions>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -46,7 +47,7 @@ fn main() {
     let image = match SystemImage::from_bytes(&bytes) {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("forensic: not a valid EDBSNAP4 image: {e}");
+            eprintln!("forensic: not a valid EDBSNAP5 image: {e}");
             std::process::exit(1);
         }
     };
@@ -63,6 +64,7 @@ fn main() {
         "metrics" => metrics_cmd(&image),
         "tracelog" => tracelog_cmd(&image),
         "zonemap" => zonemap_cmd(&image),
+        "versions" => versions_cmd(&image),
         other => {
             eprintln!("forensic: unknown command {other}");
             std::process::exit(2);
@@ -92,6 +94,14 @@ fn summary(image: &SystemImage) {
     );
     println!("  query traces (ring)  {:>10}", m.query_traces.len());
     println!("  zone-map mirrors     {:>10}", m.zone_maps.len());
+    println!(
+        "  version chains       {:>10} rows, {} archived versions",
+        m.version_chains.len(),
+        m.version_chains
+            .iter()
+            .map(|c| c.versions.len())
+            .sum::<usize>()
+    );
 }
 
 fn zonemap_cmd(image: &SystemImage) {
@@ -130,6 +140,43 @@ fn zonemap_cmd(image: &SystemImage) {
         eprintln!("col{c}: {:.4}% of the 32-bit space bracketed", f * 100.0);
     }
     eprintln!("{} pages recovered", pages.len());
+}
+
+fn versions_cmd(image: &SystemImage) {
+    // Prefer the raw file carve (it sees tombstoned records the engine
+    // already forgot); fall back to the memory image's chains.
+    let mut carved = versions::carve_disk(&image.disk);
+    if carved.is_empty() {
+        carved = versions::from_memory(&image.memory);
+    }
+    if carved.is_empty() {
+        println!("no version records recovered (vacuumed with scrub, or no updates)");
+        return;
+    }
+    let state_name = |s: u8| match s {
+        minidb::mvcc::STATE_PENDING => "pending",
+        minidb::mvcc::STATE_COMMITTED => "committed",
+        minidb::mvcc::STATE_ABORTED => "aborted",
+        _ => "vacuumed",
+    };
+    for ((table, row_id), chain) in versions::chains(&carved) {
+        println!("{table} row {row_id}: {} superseded versions", chain.len());
+        for v in &chain {
+            let op = if v.op == minidb::mvcc::OP_DELETE {
+                "DELETE"
+            } else {
+                "UPDATE"
+            };
+            println!(
+                "  xmin={:<6} xmax={:<6} [{}/{op}] {:?}",
+                v.xmin,
+                v.xmax,
+                state_name(v.state),
+                v.values
+            );
+        }
+    }
+    eprintln!("{} version records recovered", carved.len());
 }
 
 fn tracelog_cmd(image: &SystemImage) {

@@ -13,5 +13,6 @@ pub mod memscan;
 pub mod relay;
 pub mod telemetry;
 pub mod tracelog;
+pub mod versions;
 pub mod wal;
 pub mod zonemap;

@@ -12,13 +12,14 @@ use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
 use crate::catalog::{Catalog, IndexDef, TableDef};
 use crate::error::{DbError, DbResult};
 use crate::heap::HeapArena;
+use crate::mvcc::{VersionStore, OP_DELETE, OP_UPDATE};
 use crate::observability::{PerfSchema, ProcessList, ReplicaStatus};
 use crate::row::{Row, RowId};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::sql::ast::{CmpOp, Expr, SelectItem, SelectStmt, Statement};
 use crate::sql::{digest_text, parse_statement};
 use crate::storage::btree::BTree;
-use crate::storage::bufpool::BufferPool;
+use crate::storage::shardpool::ShardedBufferPool;
 use crate::storage::table::{TableHeap, UpdatePlacement};
 use crate::value::Value;
 use crate::vdisk::VDisk;
@@ -53,6 +54,17 @@ pub struct DbConfig {
     pub slow_query_threshold_us: u64,
     /// Buffer pool capacity in pages.
     pub buffer_pool_pages: usize,
+    /// Number of latch partitions in the buffer pool
+    /// ([`crate::storage::ShardedBufferPool`]). Concurrent page accesses
+    /// contend only within a shard; `1` degenerates to the classic
+    /// single-latch pool (the E18 bench baseline).
+    pub bufpool_shards: usize,
+    /// Hardening knob: when vacuuming superseded MVCC versions, rewrite
+    /// the version store so reclaimed before-images are physically gone
+    /// rather than merely tombstoned. Off by default — production
+    /// engines mark versions dead and let the space be reused
+    /// eventually, which is exactly the window E18 carves.
+    pub scrub_before_images: bool,
     /// Whether heap pages maintain zone maps (per-page min/max
     /// synopses) and scans use them to prune pages whose value ranges
     /// cannot match the predicate. On by default — it is a pure read
@@ -129,6 +141,8 @@ impl Default for DbConfig {
             general_log_enabled: false,
             slow_query_threshold_us: 2_000_000,
             buffer_pool_pages: 256,
+            bufpool_shards: crate::storage::DEFAULT_SHARDS,
+            scrub_before_images: false,
             zone_maps_enabled: true,
             query_cache_enabled: true,
             query_cache_entries: 64,
@@ -178,6 +192,9 @@ struct TxnState {
     undo: Vec<UndoRecord>,
     /// Statement texts to binlog at commit.
     statements: Vec<String>,
+    /// Snapshot CSN pinned at BEGIN: this transaction's reads see
+    /// exactly the versions committed at or before it.
+    snapshot_csn: u64,
 }
 
 /// Statement-kind labels for per-kind latency histograms.
@@ -260,7 +277,7 @@ pub(crate) struct DbInner {
     pub(crate) vdisk: VDisk,
     pub(crate) catalog: Catalog,
     runtime: HashMap<String, RuntimeTable>,
-    pub(crate) bufpool: BufferPool,
+    pub(crate) bufpool: ShardedBufferPool,
     pub(crate) wal: Wal,
     pub(crate) heap: HeapArena,
     pub(crate) query_cache: QueryCache,
@@ -275,6 +292,10 @@ pub(crate) struct DbInner {
     current_trace: Option<TraceBuilder>,
     functions: HashMap<String, ScalarFn>,
     pub(crate) now_unix: i64,
+    /// MVCC version chains and their commit bookkeeping.
+    pub(crate) mvcc: VersionStore,
+    /// Next commit-sequence number (CSNs start at 1).
+    next_csn: u64,
     next_txn: u64,
     next_conn: u64,
     txns: HashMap<u64, TxnState>, // Active explicit transactions by conn.
@@ -318,7 +339,8 @@ impl Db {
             catalog: Catalog::default(),
             runtime: HashMap::new(),
             bufpool: {
-                let mut bp = BufferPool::new(config.buffer_pool_pages);
+                let mut bp =
+                    ShardedBufferPool::new(config.buffer_pool_pages, config.bufpool_shards);
                 bp.attach_telemetry(&telemetry);
                 bp
             },
@@ -351,6 +373,8 @@ impl Db {
             current_trace: None,
             functions: HashMap::new(),
             now_unix: config.start_time_unix,
+            mvcc: VersionStore::default(),
+            next_csn: 1,
             next_txn: 1,
             next_conn: 1,
             txns: HashMap::new(),
@@ -593,6 +617,63 @@ impl Db {
         }
     }
 
+    /// Reclaims MVCC versions no active snapshot can still see. The
+    /// horizon is the oldest active snapshot CSN (with no open
+    /// transaction, every committed supersession is reclaimable).
+    /// Whether reclaimed before-images are physically erased or merely
+    /// tombstoned follows [`DbConfig::scrub_before_images`]. Returns
+    /// `(reclaimed, remaining)` version counts.
+    pub fn vacuum(&self) -> (usize, usize) {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        let horizon = inner
+            .txns
+            .values()
+            .map(|t| t.snapshot_csn)
+            .min()
+            .unwrap_or(u64::MAX);
+        let scrub = inner.config.scrub_before_images;
+        inner.mvcc.vacuum(&mut inner.vdisk, horizon, scrub)
+    }
+
+    /// The consistent scrub: walks **every** registered in-memory
+    /// leakage surface in one pass, where [`Db::flush_diagnostics`]
+    /// wipes only the perf-schema tables (and the counters only when
+    /// configured). Surfaces covered: perf-schema history + digests,
+    /// the telemetry registry, the flight-recorder ring, the obs scrape
+    /// ring, the query cache, the adaptive hash index, and — the one
+    /// every "wipe the diagnostics" runbook forgets — the MVCC version
+    /// store, vacuumed with physical scrubbing regardless of
+    /// [`DbConfig::scrub_before_images`]. Durable logs (redo, undo,
+    /// binlog, slow log) are *not* touched: they are recovery state, not
+    /// diagnostics, which is exactly why §3 carves them.
+    pub fn scrub_all(&self) {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        for p in inner.perf.clear() {
+            inner.heap.free(p);
+        }
+        inner.telemetry.scrub();
+        inner.trace.clear();
+        if let Some(obs) = &inner.obs {
+            obs.ring().clear();
+        }
+        inner.query_cache.clear();
+        inner.adaptive_hash.clear();
+        let horizon = inner
+            .txns
+            .values()
+            .map(|t| t.snapshot_csn)
+            .min()
+            .unwrap_or(u64::MAX);
+        inner.mvcc.vacuum(&mut inner.vdisk, horizon, true);
+    }
+
+    /// Number of archived (still-reclaimable or pending) MVCC versions.
+    pub fn version_count(&self) -> usize {
+        self.inner.lock().mvcc.version_count()
+    }
+
     /// Allocates `bytes` in the DB process heap and keeps them live for the
     /// process lifetime. Models other components of the server process
     /// (keyring plugins, TLS buffers, …) whose state a memory snapshot
@@ -623,6 +704,7 @@ impl Db {
         let mut g = self.inner.lock();
         g.crashed = true;
         g.bufpool.crash();
+        g.mvcc.crash();
         g.heap.clear();
         g.query_cache.clear();
         g.adaptive_hash.clear();
@@ -679,7 +761,12 @@ impl Drop for Connection {
     fn drop(&mut self) {
         let mut g = self.db.inner.lock();
         g.processlist.disconnect(self.id);
-        g.txns.remove(&self.id);
+        // A dropped connection with an open transaction rolls it back —
+        // otherwise its heap mutations would persist unlogged and its
+        // pending version records would pin the MVCC store forever.
+        if let Some(txn) = g.txns.remove(&self.id) {
+            let _ = g.rollback_txn(txn);
+        }
     }
 }
 
@@ -913,7 +1000,7 @@ impl DbInner {
                 }
                 r
             }
-            Statement::Select(sel) => self.select(sql, sel),
+            Statement::Select(sel) => self.select(conn_id, sql, sel),
             Statement::Explain(sel) => self.explain(sel),
             Statement::ExplainAnalyze(inner) => {
                 // EXPLAIN ANALYZE always traces its target, even when
@@ -1000,6 +1087,9 @@ impl DbInner {
                         id,
                         undo: Vec::new(),
                         statements: Vec::new(),
+                        // Everything committed so far is visible; nothing
+                        // that commits from now on is.
+                        snapshot_csn: self.next_csn - 1,
                     },
                 );
                 Ok(QueryResult::default())
@@ -1060,7 +1150,7 @@ impl DbInner {
             .collect();
         let schema = TableSchema::new(&lname, defs)?;
         let file = format!("table_{lname}.ibd");
-        let mut heap = TableHeap::create(&mut self.bufpool, &mut self.vdisk, &file)?;
+        let mut heap = TableHeap::create(&self.bufpool, &mut self.vdisk, &file)?;
         heap.set_zone_maps(self.config.zone_maps_enabled);
         let id = self.catalog.next_table_id.max(1);
         self.catalog.next_table_id = id + 1;
@@ -1070,7 +1160,7 @@ impl DbInner {
         if let Some(pk_idx) = schema.primary_key_index() {
             let col = &schema.columns[pk_idx].name;
             let ifile = format!("index_{lname}_{col}.ibd");
-            let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ifile)?;
+            let bt = BTree::create(&self.bufpool, &mut self.vdisk, &ifile)?;
             indexes.push(IndexDef {
                 name: format!("pk_{lname}"),
                 file: ifile,
@@ -1108,6 +1198,9 @@ impl DbInner {
         self.catalog.tables.remove(&lname);
         self.catalog.persist(&mut self.vdisk);
         self.runtime.remove(&lname);
+        // Chain state dies with the table, but its disk records do not —
+        // like real engines, DROP does not chase undo history.
+        self.mvcc.purge_table(&def.schema.name);
         for p in self.query_cache.invalidate_table(&lname) {
             self.heap.free(p);
         }
@@ -1124,16 +1217,16 @@ impl DbInner {
             )));
         }
         let ifile = format!("index_{ltable}_{}.ibd", def.schema.columns[column_idx].name);
-        let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ifile)?;
+        let bt = BTree::create(&self.bufpool, &mut self.vdisk, &ifile)?;
         // Backfill from existing rows.
         let rt = self
             .runtime
             .get(&ltable)
             .ok_or_else(|| DbError::UnknownTable(ltable.clone()))?;
-        let (rows, _) = rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?;
+        let (rows, _) = rt.heap.scan(&self.bufpool, &mut self.vdisk)?;
         for row in &rows {
             bt.insert(
-                &mut self.bufpool,
+                &self.bufpool,
                 &mut self.vdisk,
                 &row.values[column_idx],
                 row.id,
@@ -1196,9 +1289,25 @@ impl DbInner {
         })
     }
 
-    fn select(&mut self, sql: &str, sel: SelectStmt) -> DbResult<QueryResult> {
+    fn select(&mut self, conn_id: u64, sql: &str, sel: SelectStmt) -> DbResult<QueryResult> {
         if let Some(schema) = &sel.schema {
             return self.select_virtual(schema.clone(), sel);
+        }
+        // Inside an explicit transaction, reads are snapshot-isolated:
+        // resolve every row against the version chains at the CSN pinned
+        // at BEGIN. Snapshot reads bypass the query cache entirely — a
+        // cached result reflects the latest committed state, not this
+        // transaction's snapshot.
+        if let Some(t) = self.txns.get(&conn_id) {
+            let (txn_id, snapshot) = (t.id, t.snapshot_csn);
+            return self.select_snapshot(txn_id, snapshot, sel);
+        }
+        // Autocommit reads while some transaction has unstamped writes:
+        // resolve read-committed (latest CSN, txn id 0 matches no owner)
+        // so another session's uncommitted heap images stay invisible.
+        if self.mvcc.has_pending() {
+            let snapshot = self.next_csn - 1;
+            return self.select_snapshot(0, snapshot, sel);
         }
         // Query cache: exact-text hits skip execution entirely.
         if let Some(hit) = self.query_cache.get(sql) {
@@ -1270,6 +1379,67 @@ impl DbInner {
             self.heap.free(p);
         }
         Ok(result)
+    }
+
+    /// Snapshot-isolated SELECT: full scan, then per-row visibility
+    /// resolution against the version chains. Index and zone-map
+    /// pushdowns are deliberately skipped — they describe the *latest*
+    /// heap state, not the snapshot's — and so is the query cache.
+    fn select_snapshot(
+        &mut self,
+        txn_id: u64,
+        snapshot: u64,
+        sel: SelectStmt,
+    ) -> DbResult<QueryResult> {
+        let table = sel.table.clone();
+        let def = self.catalog.get(&table)?.clone();
+        self.record_table_access(&def.schema.name);
+        let (current, examined) = self.fetch_rows(&def, None, None, None)?;
+        self.trace_begin("mvcc_visibility");
+        let mut live_ids = std::collections::HashSet::with_capacity(current.len());
+        let mut visible = Vec::with_capacity(current.len());
+        for r in current {
+            live_ids.insert(r.id);
+            if let Some(v) = self.mvcc.visible_row(&def.schema.name, r, snapshot, txn_id) {
+                visible.push(v);
+            }
+        }
+        visible.extend(
+            self.mvcc
+                .resurrect_deleted(&def.schema.name, &live_ids, snapshot, txn_id),
+        );
+        visible.sort_by_key(|r| r.id);
+        self.trace_attr("rows_visible", visible.len() as u64);
+        self.trace_end_elastic();
+        let mut rows = Vec::with_capacity(visible.len());
+        for r in visible {
+            let keep = match sel.where_clause.as_ref() {
+                Some(pred) => self.eval_truthy(pred, &def.schema, &r)?,
+                None => true,
+            };
+            if keep {
+                rows.push(r);
+            }
+        }
+        if let Some((col, desc)) = &sel.order_by {
+            let idx = def.schema.column_index(col)?;
+            rows.sort_by(|a, b| {
+                let o = a.values[idx].cmp(&b.values[idx]);
+                if *desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            });
+        }
+        if let Some(limit) = sel.limit {
+            rows.truncate(limit as usize);
+        }
+        let result = self.project(&def.schema, &sel.items, rows)?;
+        Ok(QueryResult {
+            rows_examined: examined,
+            ..result
+        })
     }
 
     fn select_virtual(&mut self, schema: String, sel: SelectStmt) -> DbResult<QueryResult> {
@@ -1495,7 +1665,7 @@ impl DbInner {
                 let bt = rt.btrees[ip.index_pos].clone();
                 let lit = ip.bounds.sample_key();
                 let (lo, hi) = (ip.bounds.lo, ip.bounds.hi);
-                let found = bt.search_range(&mut self.bufpool, &mut self.vdisk, lo, hi)?;
+                let found = bt.search_range(&self.bufpool, &mut self.vdisk, lo, hi)?;
                 // Adaptive hash: record the searched key against the leaf
                 // page the lookup landed on.
                 if let (Some(leaf), Some(key)) = (found.pages.last(), lit) {
@@ -1510,7 +1680,7 @@ impl DbInner {
                     }
                     let row = {
                         let rt = self.runtime.get(&def.schema.name).expect("checked");
-                        rt.heap.read(&mut self.bufpool, &mut self.vdisk, *rid)?
+                        rt.heap.read(&self.bufpool, &mut self.vdisk, *rid)?
                     };
                     examined += 1;
                     // When the index bounds *are* the predicate, re-running
@@ -1533,7 +1703,7 @@ impl DbInner {
                 // Streaming heap scan: one page at a time, consulting the
                 // zone map first so non-matching pages are never decoded.
                 let file = self.runtime[&def.schema.name].heap.file.clone();
-                let n_pages = BufferPool::page_count(&self.vdisk, &file);
+                let n_pages = ShardedBufferPool::page_count(&self.vdisk, &file);
                 let zone_maps = self.config.zone_maps_enabled;
                 'pages: for page_no in 0..n_pages {
                     if done(&kept) {
@@ -1543,7 +1713,7 @@ impl DbInner {
                         if let Some((col, lo, hi)) = &plan.prune {
                             let rt = self.runtime.get_mut(&def.schema.name).expect("checked");
                             if rt.heap.page_prunable(
-                                &mut self.bufpool,
+                                &self.bufpool,
                                 &mut self.vdisk,
                                 page_no,
                                 *col as u16,
@@ -1558,12 +1728,8 @@ impl DbInner {
                     pages_decoded += 1;
                     let page_rows = {
                         let rt = self.runtime.get(&def.schema.name).expect("checked");
-                        rt.heap.read_page_rows(
-                            &mut self.bufpool,
-                            &mut self.vdisk,
-                            page_no,
-                            needed,
-                        )?
+                        rt.heap
+                            .read_page_rows(&self.bufpool, &mut self.vdisk, page_no, needed)?
                     };
                     for row in page_rows {
                         examined += 1;
@@ -1682,6 +1848,7 @@ impl DbInner {
             }
         };
         let mut undo_written = Vec::new();
+        let version_mark = self.mvcc.pending_mark(txn_id);
         let result = self.apply_dml(txn_id, op, &mut undo_written);
         match result {
             Ok(res) => {
@@ -1694,16 +1861,18 @@ impl DbInner {
                         id: txn_id,
                         undo: Vec::new(),
                         statements: vec![sql.to_string()],
+                        snapshot_csn: 0,
                     })?;
                 }
                 Ok(res)
             }
             Err(e) => {
                 // Statement-level rollback: undo whatever this statement
-                // already did, in reverse.
+                // already did, in reverse — version records included.
                 for rec in undo_written.iter().rev() {
                     self.apply_undo(rec)?;
                 }
+                self.mvcc.abort_from(&mut self.vdisk, txn_id, version_mark);
                 Err(e)
             }
         }
@@ -1736,6 +1905,7 @@ impl DbInner {
                     };
                     let row = Row { id: row_id, values };
                     self.insert_row(txn_id, &def, &row, undo_written)?;
+                    self.mvcc.record_insert(&def.schema.name, row_id, txn_id);
                     affected += 1;
                 }
                 self.trace_attr("rows_affected", affected);
@@ -1771,6 +1941,15 @@ impl DbInner {
                     }
                     def.schema.check_row(&new_row.values)?;
                     self.check_pk_unique(&def, &new_row.values, Some(old.id))?;
+                    // Archive the displaced image before it is overwritten:
+                    // MVCC writers append versions, they never destroy.
+                    self.mvcc.record_supersession(
+                        &mut self.vdisk,
+                        &def.schema.name,
+                        &old,
+                        OP_UPDATE,
+                        txn_id,
+                    );
                     self.update_row(txn_id, &def, &old, &new_row, undo_written)?;
                 }
                 self.trace_attr("rows_affected", affected);
@@ -1795,6 +1974,13 @@ impl DbInner {
                 self.trace_begin("write");
                 let affected = targets.len() as u64;
                 for old in targets {
+                    self.mvcc.record_supersession(
+                        &mut self.vdisk,
+                        &def.schema.name,
+                        &old,
+                        OP_DELETE,
+                        txn_id,
+                    );
                     self.delete_row(txn_id, &def, &old, undo_written)?;
                 }
                 self.trace_attr("rows_affected", affected);
@@ -1823,7 +2009,7 @@ impl DbInner {
             return Ok(());
         };
         let bt = self.runtime[&def.schema.name].btrees[ix_pos].clone();
-        let found = bt.search_eq(&mut self.bufpool, &mut self.vdisk, &values[pk_idx])?;
+        let found = bt.search_eq(&self.bufpool, &mut self.vdisk, &values[pk_idx])?;
         for rid in found.row_ids {
             if Some(rid) != updating {
                 return Err(DbError::DuplicateKey(format!(
@@ -1902,7 +2088,7 @@ impl DbInner {
         undo_written.push(undo);
 
         let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
-        let (page_no, slot) = rt.heap.insert(&mut self.bufpool, &mut self.vdisk, row)?;
+        let (page_no, slot) = rt.heap.insert(&self.bufpool, &mut self.vdisk, row)?;
         self.stamp_page_lsn(&def.file, page_no, lsn)?;
         self.log_redo(RedoRecord {
             lsn,
@@ -1919,7 +2105,7 @@ impl DbInner {
             .zip(self.runtime[&def.schema.name].btrees.clone())
         {
             bt.insert(
-                &mut self.bufpool,
+                &self.bufpool,
                 &mut self.vdisk,
                 &row.values[ix.column_idx],
                 row.id,
@@ -1949,9 +2135,7 @@ impl DbInner {
         undo_written.push(undo);
 
         let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
-        let placement = rt
-            .heap
-            .update(&mut self.bufpool, &mut self.vdisk, new_row)?;
+        let placement = rt.heap.update(&self.bufpool, &mut self.vdisk, new_row)?;
         match placement {
             UpdatePlacement::InPlace { page_no, slot } => {
                 self.stamp_page_lsn(&def.file, page_no, lsn)?;
@@ -1998,8 +2182,8 @@ impl DbInner {
             let old_key = &old.values[ix.column_idx];
             let new_key = &new_row.values[ix.column_idx];
             if old_key != new_key {
-                bt.delete(&mut self.bufpool, &mut self.vdisk, old_key, old.id)?;
-                bt.insert(&mut self.bufpool, &mut self.vdisk, new_key, old.id)?;
+                bt.delete(&self.bufpool, &mut self.vdisk, old_key, old.id)?;
+                bt.insert(&self.bufpool, &mut self.vdisk, new_key, old.id)?;
             }
         }
         Ok(())
@@ -2025,7 +2209,7 @@ impl DbInner {
         undo_written.push(undo);
 
         let rt = self.runtime.get_mut(&def.schema.name).expect("catalog hit");
-        let (page_no, slot) = rt.heap.delete(&mut self.bufpool, &mut self.vdisk, old.id)?;
+        let (page_no, slot) = rt.heap.delete(&self.bufpool, &mut self.vdisk, old.id)?;
         self.stamp_page_lsn(&def.file, page_no, lsn)?;
         self.log_redo(RedoRecord {
             lsn,
@@ -2042,7 +2226,7 @@ impl DbInner {
             .zip(self.runtime[&def.schema.name].btrees.clone())
         {
             bt.delete(
-                &mut self.bufpool,
+                &self.bufpool,
                 &mut self.vdisk,
                 &old.values[ix.column_idx],
                 old.id,
@@ -2081,6 +2265,11 @@ impl DbInner {
     }
 
     fn commit_txn(&mut self, txn: TxnState) -> DbResult<()> {
+        // Stamp the commit CSN into every version record this txn wrote:
+        // before-images get their xmax, fresh rows their xmin.
+        let csn = self.next_csn;
+        self.next_csn += 1;
+        self.mvcc.commit(&mut self.vdisk, txn.id, csn);
         let logged0 = self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();
         self.trace_begin("wal_append");
         let lsn = self.wal.alloc_lsn();
@@ -2120,6 +2309,7 @@ impl DbInner {
         for rec in txn.undo.iter().rev() {
             self.apply_undo(rec)?;
         }
+        self.mvcc.abort(&mut self.vdisk, txn.id);
         // Mark the transaction finished so recovery does not re-undo it.
         let lsn = self.wal.alloc_lsn();
         self.log_redo(RedoRecord {
@@ -2153,9 +2343,7 @@ impl DbInner {
                     .is_some();
                 if exists {
                     let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
-                    let old = rt
-                        .heap
-                        .read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    let old = rt.heap.read(&self.bufpool, &mut self.vdisk, rec.row_id)?;
                     self.delete_row(rec.txn, &def, &old, &mut scratch)?;
                 }
             }
@@ -2167,9 +2355,7 @@ impl DbInner {
                     .is_some();
                 if exists {
                     let rt = self.runtime.get(&def.schema.name).expect("catalog hit");
-                    let current = rt
-                        .heap
-                        .read(&mut self.bufpool, &mut self.vdisk, rec.row_id)?;
+                    let current = rt.heap.read(&self.bufpool, &mut self.vdisk, rec.row_id)?;
                     self.update_row(rec.txn, &def, &current, &before, &mut scratch)?;
                 }
             }
@@ -2197,7 +2383,7 @@ impl DbInner {
         // 2. Open heaps from the (possibly stale) disk pages.
         let defs: Vec<TableDef> = self.catalog.tables.values().cloned().collect();
         for def in &defs {
-            let mut heap = TableHeap::open(&mut self.bufpool, &mut self.vdisk, &def.file)?;
+            let mut heap = TableHeap::open(&self.bufpool, &mut self.vdisk, &def.file)?;
             heap.set_zone_maps(self.config.zone_maps_enabled);
             self.runtime.insert(
                 def.schema.name.clone(),
@@ -2228,7 +2414,7 @@ impl DbInner {
                 .expect("opened above");
             match rec.op {
                 OpKind::Insert => rt.heap.replay_insert(
-                    &mut self.bufpool,
+                    &self.bufpool,
                     &mut self.vdisk,
                     rec.lsn,
                     rec.page_no,
@@ -2236,7 +2422,7 @@ impl DbInner {
                     &rec.after,
                 )?,
                 OpKind::Update => rt.heap.replay_update(
-                    &mut self.bufpool,
+                    &self.bufpool,
                     &mut self.vdisk,
                     rec.lsn,
                     rec.page_no,
@@ -2244,7 +2430,7 @@ impl DbInner {
                     &rec.after,
                 )?,
                 OpKind::Delete => rt.heap.replay_delete(
-                    &mut self.bufpool,
+                    &self.bufpool,
                     &mut self.vdisk,
                     rec.lsn,
                     rec.page_no,
@@ -2260,14 +2446,14 @@ impl DbInner {
             let mut btrees = Vec::new();
             let rows = {
                 let rt = self.runtime.get(&def.schema.name).expect("opened above");
-                rt.heap.scan(&mut self.bufpool, &mut self.vdisk)?.0
+                rt.heap.scan(&self.bufpool, &mut self.vdisk)?.0
             };
             for ix in &def.indexes {
                 self.vdisk.remove(&ix.file);
-                let bt = BTree::create(&mut self.bufpool, &mut self.vdisk, &ix.file)?;
+                let bt = BTree::create(&self.bufpool, &mut self.vdisk, &ix.file)?;
                 for row in &rows {
                     bt.insert(
-                        &mut self.bufpool,
+                        &self.bufpool,
                         &mut self.vdisk,
                         &row.values[ix.column_idx],
                         row.id,

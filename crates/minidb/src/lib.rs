@@ -39,6 +39,7 @@ pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod heap;
+pub mod mvcc;
 pub mod observability;
 pub mod row;
 pub mod schema;

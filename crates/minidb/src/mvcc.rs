@@ -1,0 +1,568 @@
+//! MVCC version chains: snapshot-isolation reads, and the before-image
+//! leakage surface they create.
+//!
+//! Writers never overwrite history. Every UPDATE/DELETE appends the
+//! *old* row image — stamped with `(xmin, xmax)` commit-sequence
+//! numbers — to an append-only version store ([`VERSIONS_FILE`]), and
+//! readers inside an explicit transaction pin a snapshot CSN at BEGIN
+//! and resolve each row against the chain, exactly like InnoDB's undo
+//! tablespaces or Postgres's dead tuples.
+//!
+//! That is the whole point of E18: the version store is an un-scrubbed
+//! copy of every value a secret column has ever held. `UPDATE secrets
+//! SET balance = x` run K times leaves K-1 plaintext before-images
+//! (order-preserved, CSN-stamped) in a file the encryption layer above
+//! never sees. [`VersionStore::vacuum`] models the two deployment
+//! realities: the default pass merely *tombstones* reclaimed versions
+//! (state byte flips to [`STATE_VACUUMED`], payload bytes stay — like
+//! marking pages free), while `scrub=true`
+//! ([`crate::engine::DbConfig::scrub_before_images`]) rewrites the file
+//! so reclaimed images are physically gone.
+//!
+//! ## On-disk record format (`undo_versions.ibd`)
+//!
+//! ```text
+//! magic    b"MVER"   0..4
+//! state    u8        4          0 pending | 1 committed | 2 aborted | 3 vacuumed
+//! op       u8        5          1 update-superseded | 2 deleted
+//! xmin     u64 LE    6..14      CSN that created this image
+//! xmax     u64 LE    14..22     CSN that superseded it (0 = pending)
+//! row_id   u64 LE    22..30
+//! name_len u16 LE    30..32
+//! row_len  u32 LE    32..36
+//! name     bytes     36..36+name_len      table name
+//! row      bytes     ..                   encoded Row (the before-image)
+//! ```
+//!
+//! Commit stamps CSNs *in place* (`write_at` on the state/xmin/xmax
+//! fields), so a record's lifecycle is visible in the file itself — a
+//! carver can distinguish pending, committed, aborted, and tombstoned
+//! history without any engine cooperation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::row::Row;
+use crate::vdisk::VDisk;
+
+/// The version store's tablespace file.
+pub const VERSIONS_FILE: &str = "undo_versions.ibd";
+
+/// Record magic (`b"MVER"`).
+pub const VERSION_MAGIC: &[u8; 4] = b"MVER";
+
+/// Version created/superseded by a still-open transaction.
+pub const STATE_PENDING: u8 = 0;
+/// Supersession committed; `(xmin, xmax)` are final.
+pub const STATE_COMMITTED: u8 = 1;
+/// The superseding transaction rolled back; image is not history.
+pub const STATE_ABORTED: u8 = 2;
+/// Reclaimed by a non-scrubbing vacuum: dead to the engine, but the
+/// payload bytes are still in the file.
+pub const STATE_VACUUMED: u8 = 3;
+
+/// The image was superseded by an UPDATE.
+pub const OP_UPDATE: u8 = 1;
+/// The image was removed by a DELETE.
+pub const OP_DELETE: u8 = 2;
+
+const STATE_OFF: usize = 4;
+const XMIN_OFF: usize = 6;
+const XMAX_OFF: usize = 14;
+const HEADER_LEN: usize = 36;
+
+/// One archived row version in a chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Version {
+    /// CSN that created this image (0 = predates tracking).
+    pub xmin: u64,
+    /// CSN that superseded it (0 = superseding txn still pending).
+    pub xmax: u64,
+    /// Lifecycle state (`STATE_*`).
+    pub state: u8,
+    /// How it was superseded (`OP_*`).
+    pub op: u8,
+    /// The before-image itself.
+    pub row: Row,
+    /// Byte offset of this record in [`VERSIONS_FILE`].
+    pub offset: usize,
+}
+
+type Key = (String, u64);
+
+enum Pending {
+    /// A before-image awaiting its xmax stamp at commit.
+    Supersede {
+        key: Key,
+        offset: usize,
+        op: u8,
+        /// The displaced image was itself written by this same
+        /// transaction — at commit its window collapses to empty
+        /// (intermediate images are never snapshot-visible).
+        intra_txn: bool,
+    },
+    /// A freshly inserted heap row awaiting its xmin at commit.
+    NewRow { key: Key },
+}
+
+/// Version chains plus the commit bookkeeping that stamps them.
+#[derive(Default)]
+pub struct VersionStore {
+    /// Archived versions per row, oldest first.
+    chains: HashMap<Key, Vec<Version>>,
+    /// Committed xmin of each row's *current* heap image.
+    row_xmin: HashMap<Key, u64>,
+    /// Rows whose current heap image was written by a still-open
+    /// transaction (its id) — invisible to other snapshots.
+    pending_owner: HashMap<Key, u64>,
+    /// Per-transaction stamps to apply at commit/abort.
+    pending: HashMap<u64, Vec<Pending>>,
+}
+
+fn encode_record(state: u8, op: u8, xmin: u64, xmax: u64, key: &Key, row: &Row) -> Vec<u8> {
+    let name = key.0.as_bytes();
+    let row_bytes = row.encode();
+    let mut out = Vec::with_capacity(HEADER_LEN + name.len() + row_bytes.len());
+    out.extend_from_slice(VERSION_MAGIC);
+    out.push(state);
+    out.push(op);
+    out.extend_from_slice(&xmin.to_le_bytes());
+    out.extend_from_slice(&xmax.to_le_bytes());
+    out.extend_from_slice(&key.1.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(row_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&row_bytes);
+    out
+}
+
+impl VersionStore {
+    /// Number of stamps queued for `txn` — the statement-rollback mark
+    /// ([`Self::abort_from`]).
+    pub fn pending_mark(&self, txn: u64) -> usize {
+        self.pending.get(&txn).map_or(0, |v| v.len())
+    }
+
+    /// Archives `old_row` as a before-image: the current heap image of
+    /// `(table, old_row.id)` is being superseded by `txn` via `op`.
+    pub fn record_supersession(
+        &mut self,
+        vdisk: &mut VDisk,
+        table: &str,
+        old_row: &Row,
+        op: u8,
+        txn: u64,
+    ) {
+        let key = (table.to_string(), old_row.id);
+        let intra_txn = self.pending_owner.get(&key) == Some(&txn);
+        let xmin = self.row_xmin.get(&key).copied().unwrap_or(0);
+        let offset = vdisk.len(VERSIONS_FILE);
+        let rec = encode_record(STATE_PENDING, op, xmin, 0, &key, old_row);
+        vdisk.append(VERSIONS_FILE, &rec);
+        self.chains.entry(key.clone()).or_default().push(Version {
+            xmin,
+            xmax: 0,
+            state: STATE_PENDING,
+            op,
+            row: old_row.clone(),
+            offset,
+        });
+        self.pending
+            .entry(txn)
+            .or_default()
+            .push(Pending::Supersede {
+                key: key.clone(),
+                offset,
+                op,
+                intra_txn,
+            });
+        self.pending_owner.insert(key, txn);
+    }
+
+    /// Notes a freshly inserted heap row: its xmin is stamped at commit,
+    /// and until then the row belongs to `txn`'s snapshot only.
+    pub fn record_insert(&mut self, table: &str, row_id: u64, txn: u64) {
+        let key = (table.to_string(), row_id);
+        self.pending
+            .entry(txn)
+            .or_default()
+            .push(Pending::NewRow { key: key.clone() });
+        self.pending_owner.insert(key, txn);
+    }
+
+    fn find_version(&mut self, key: &Key, offset: usize) -> Option<&mut Version> {
+        self.chains
+            .get_mut(key)?
+            .iter_mut()
+            .find(|v| v.offset == offset)
+    }
+
+    /// Stamps everything `txn` wrote with its commit CSN.
+    pub fn commit(&mut self, vdisk: &mut VDisk, txn: u64, csn: u64) {
+        let Some(stamps) = self.pending.remove(&txn) else {
+            return;
+        };
+        for stamp in stamps {
+            match stamp {
+                Pending::Supersede {
+                    key,
+                    offset,
+                    op,
+                    intra_txn,
+                } => {
+                    if let Some(v) = self.find_version(&key, offset) {
+                        if intra_txn {
+                            v.xmin = csn;
+                            vdisk.write_at(VERSIONS_FILE, offset + XMIN_OFF, &csn.to_le_bytes());
+                        }
+                        v.xmax = csn;
+                        v.state = STATE_COMMITTED;
+                    }
+                    vdisk.write_at(VERSIONS_FILE, offset + XMAX_OFF, &csn.to_le_bytes());
+                    vdisk.write_at(VERSIONS_FILE, offset + STATE_OFF, &[STATE_COMMITTED]);
+                    match op {
+                        OP_DELETE => {
+                            self.row_xmin.remove(&key);
+                        }
+                        _ => {
+                            self.row_xmin.insert(key.clone(), csn);
+                        }
+                    }
+                    self.pending_owner.remove(&key);
+                }
+                Pending::NewRow { key } => {
+                    self.row_xmin.insert(key.clone(), csn);
+                    self.pending_owner.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Aborts every stamp of `txn` (full rollback).
+    pub fn abort(&mut self, vdisk: &mut VDisk, txn: u64) {
+        self.abort_from(vdisk, txn, 0);
+    }
+
+    /// Aborts `txn`'s stamps from `mark` on (statement-level rollback:
+    /// mark = [`Self::pending_mark`] taken before the statement ran).
+    pub fn abort_from(&mut self, vdisk: &mut VDisk, txn: u64, mark: usize) {
+        let Some(stamps) = self.pending.get_mut(&txn) else {
+            return;
+        };
+        let undone: Vec<Pending> = stamps.drain(mark..).collect();
+        if stamps.is_empty() {
+            self.pending.remove(&txn);
+        }
+        for stamp in undone.into_iter().rev() {
+            match stamp {
+                Pending::Supersede { key, offset, .. } => {
+                    let restored = self.find_version(&key, offset).map(|v| {
+                        v.state = STATE_ABORTED;
+                        v.xmin
+                    });
+                    vdisk.write_at(VERSIONS_FILE, offset + STATE_OFF, &[STATE_ABORTED]);
+                    // The old image is back in the heap (undo restored
+                    // it); its committed xmin is unchanged.
+                    if let Some(xmin) = restored {
+                        if xmin > 0 {
+                            self.row_xmin.insert(key.clone(), xmin);
+                        }
+                    }
+                    self.pending_owner.remove(&key);
+                }
+                Pending::NewRow { key } => {
+                    self.row_xmin.remove(&key);
+                    self.pending_owner.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn chain_visible(&self, key: &Key, snapshot: u64) -> Option<Row> {
+        for v in self.chains.get(key)?.iter().rev() {
+            if v.state == STATE_ABORTED || v.state == STATE_VACUUMED {
+                continue;
+            }
+            if v.xmin <= snapshot && (v.xmax == 0 || v.xmax > snapshot) {
+                return Some(v.row.clone());
+            }
+        }
+        None
+    }
+
+    /// Resolves a *current heap row* against snapshot `snapshot` for
+    /// reader `txn`: the row itself, an older chained image, or nothing.
+    pub fn visible_row(&self, table: &str, row: Row, snapshot: u64, txn: u64) -> Option<Row> {
+        let key = (table.to_string(), row.id);
+        match self.pending_owner.get(&key) {
+            // Read-your-own-writes.
+            Some(&owner) if owner == txn => Some(row),
+            // Another transaction's uncommitted image sits in the heap;
+            // the version visible to us (if any) is in the chain.
+            Some(_) => self.chain_visible(&key, snapshot),
+            None => {
+                let xmin = self.row_xmin.get(&key).copied().unwrap_or(0);
+                if xmin <= snapshot {
+                    Some(row)
+                } else {
+                    self.chain_visible(&key, snapshot)
+                }
+            }
+        }
+    }
+
+    /// Rows deleted from the heap but still visible at `snapshot`
+    /// (their last image lives only in the chain).
+    pub fn resurrect_deleted(
+        &self,
+        table: &str,
+        live_ids: &HashSet<u64>,
+        snapshot: u64,
+        txn: u64,
+    ) -> Vec<Row> {
+        let mut out = Vec::new();
+        for (key, _) in self.chains.iter() {
+            if key.0 != table || live_ids.contains(&key.1) {
+                continue;
+            }
+            // Our own delete is immediately invisible to us.
+            if self.pending_owner.get(key) == Some(&txn) {
+                continue;
+            }
+            if let Some(row) = self.chain_visible(key, snapshot) {
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    /// Reclaims versions no active snapshot can still need: committed
+    /// supersessions with `xmax <= horizon`, plus aborted images.
+    ///
+    /// Without `scrub`, reclamation is a *tombstone*: the record's state
+    /// byte flips to [`STATE_VACUUMED`] and every payload byte stays in
+    /// the file — dead to the engine, alive to a carver. With `scrub`,
+    /// the file is rewritten holding only surviving records.
+    ///
+    /// Returns `(reclaimed, remaining)` version counts.
+    pub fn vacuum(&mut self, vdisk: &mut VDisk, horizon: u64, scrub: bool) -> (usize, usize) {
+        let mut reclaimed = 0usize;
+        for versions in self.chains.values_mut() {
+            versions.retain(|v| {
+                let dead = v.state == STATE_ABORTED
+                    || (v.state == STATE_COMMITTED && v.xmax != 0 && v.xmax <= horizon);
+                if dead {
+                    reclaimed += 1;
+                    if !scrub {
+                        vdisk.write_at(VERSIONS_FILE, v.offset + STATE_OFF, &[STATE_VACUUMED]);
+                    }
+                }
+                !dead
+            });
+        }
+        self.chains.retain(|_, v| !v.is_empty());
+        if scrub {
+            self.rewrite_file(vdisk);
+        }
+        let remaining = self.chains.values().map(Vec::len).sum();
+        (reclaimed, remaining)
+    }
+
+    /// Rewrites [`VERSIONS_FILE`] with only the surviving in-memory
+    /// versions — reclaimed before-images are physically erased.
+    fn rewrite_file(&mut self, vdisk: &mut VDisk) {
+        let mut survivors: Vec<(Key, usize)> = self
+            .chains
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(|v| (k.clone(), v.offset)))
+            .collect();
+        survivors.sort_by_key(|(_, off)| *off);
+        let mut file = Vec::new();
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for (key, old_off) in survivors {
+            let v = self
+                .find_version(&key, old_off)
+                .expect("survivor indexed from chains");
+            let rec = encode_record(v.state, v.op, v.xmin, v.xmax, &key, &v.row);
+            remap.insert(old_off, file.len());
+            v.offset = file.len();
+            file.extend_from_slice(&rec);
+        }
+        for stamps in self.pending.values_mut() {
+            for s in stamps.iter_mut() {
+                if let Pending::Supersede { offset, .. } = s {
+                    if let Some(new) = remap.get(offset) {
+                        *offset = *new;
+                    }
+                }
+            }
+        }
+        vdisk.write(VERSIONS_FILE, file);
+    }
+
+    /// Forgets all chain state of `table` (DROP TABLE). The disk records
+    /// are *not* reclaimed — like real engines, dropping a table does
+    /// not chase its undo history; only vacuum-with-scrub does.
+    pub fn purge_table(&mut self, table: &str) {
+        self.chains.retain(|(t, _), _| t != table);
+        self.row_xmin.retain(|(t, _), _| t != table);
+        self.pending_owner.retain(|(t, _), _| t != table);
+    }
+
+    /// Volatile state dies with the process; [`VERSIONS_FILE`] survives.
+    pub fn crash(&mut self) {
+        self.chains.clear();
+        self.row_xmin.clear();
+        self.pending_owner.clear();
+        self.pending.clear();
+    }
+
+    /// Whether any transaction currently has unstamped writes — the
+    /// signal that plain reads need read-committed resolution instead of
+    /// trusting the heap.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty() || !self.pending_owner.is_empty()
+    }
+
+    /// Total archived versions across all chains.
+    pub fn version_count(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// The chains themselves, for snapshotting
+    /// (`MemoryImage::version_chains`).
+    pub fn chains(&self) -> &HashMap<Key, Vec<Version>> {
+        &self.chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(id: u64, n: i64) -> Row {
+        Row {
+            id,
+            values: vec![Value::Int(n)],
+        }
+    }
+
+    #[test]
+    fn supersession_commit_stamps_window() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        // Row created at CSN 1.
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        // Superseded at CSN 2.
+        vs.record_supersession(&mut vd, "t", &row(1, 100), OP_UPDATE, 11);
+        vs.commit(&mut vd, 11, 2);
+        let chain = &vs.chains()[&("t".to_string(), 1)];
+        assert_eq!(chain.len(), 1);
+        assert_eq!((chain[0].xmin, chain[0].xmax), (1, 2));
+        assert_eq!(chain[0].state, STATE_COMMITTED);
+        // Snapshot 1 sees the old image; snapshot 2 sees the heap row.
+        let visible = vs.visible_row("t", row(1, 200), 1, 99).unwrap();
+        assert_eq!(visible.values[0], Value::Int(100));
+        let visible = vs.visible_row("t", row(1, 200), 2, 99).unwrap();
+        assert_eq!(visible.values[0], Value::Int(200));
+    }
+
+    #[test]
+    fn uncommitted_insert_invisible_to_others() {
+        let mut vs = VersionStore::default();
+        vs.record_insert("t", 5, 10);
+        assert!(vs.visible_row("t", row(5, 1), 100, 99).is_none());
+        // ... but visible to its own transaction.
+        assert!(vs.visible_row("t", row(5, 1), 100, 10).is_some());
+    }
+
+    #[test]
+    fn abort_restores_and_marks() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        vs.record_supersession(&mut vd, "t", &row(1, 100), OP_UPDATE, 11);
+        vs.abort(&mut vd, 11);
+        // The heap row (restored to the old image by undo) is visible
+        // again at any snapshot >= 1.
+        let visible = vs.visible_row("t", row(1, 100), 1, 99).unwrap();
+        assert_eq!(visible.values[0], Value::Int(100));
+        let raw = vd.read(VERSIONS_FILE).unwrap();
+        assert_eq!(raw[STATE_OFF], STATE_ABORTED, "disk record marked");
+    }
+
+    #[test]
+    fn deleted_row_resurrects_for_old_snapshot() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        vs.record_supersession(&mut vd, "t", &row(1, 7), OP_DELETE, 11);
+        vs.commit(&mut vd, 11, 2);
+        let live = HashSet::new();
+        let back = vs.resurrect_deleted("t", &live, 1, 99);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].values[0], Value::Int(7));
+        assert!(vs.resurrect_deleted("t", &live, 2, 99).is_empty());
+    }
+
+    #[test]
+    fn vacuum_tombstones_but_scrub_erases() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        for (i, n) in [(0u64, 100i64), (1, 200), (2, 300)] {
+            vs.record_supersession(&mut vd, "t", &row(1, n), OP_UPDATE, 20 + i);
+            vs.commit(&mut vd, 20 + i, 2 + i);
+        }
+        assert_eq!(vs.version_count(), 3);
+        let before = vd.len(VERSIONS_FILE);
+        let (reclaimed, remaining) = vs.vacuum(&mut vd, u64::MAX, false);
+        assert_eq!((reclaimed, remaining), (3, 0));
+        // Tombstoned: same length, payloads intact, states flipped.
+        assert_eq!(vd.len(VERSIONS_FILE), before);
+        assert_eq!(vd.read(VERSIONS_FILE).unwrap()[STATE_OFF], STATE_VACUUMED);
+        // Scrub: the file physically shrinks to nothing.
+        let (_, _) = vs.vacuum(&mut vd, u64::MAX, true);
+        assert_eq!(vd.len(VERSIONS_FILE), 0);
+    }
+
+    #[test]
+    fn vacuum_respects_horizon() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        vs.record_supersession(&mut vd, "t", &row(1, 100), OP_UPDATE, 11);
+        vs.commit(&mut vd, 11, 2);
+        vs.record_supersession(&mut vd, "t", &row(1, 200), OP_UPDATE, 12);
+        vs.commit(&mut vd, 12, 3);
+        // A snapshot at CSN 2 still needs the second image (xmax 3).
+        let (reclaimed, remaining) = vs.vacuum(&mut vd, 2, false);
+        assert_eq!((reclaimed, remaining), (1, 1));
+        assert_eq!(
+            vs.chains()[&("t".to_string(), 1)][0].xmax,
+            3,
+            "the still-needed image survives"
+        );
+    }
+
+    #[test]
+    fn intra_txn_images_never_visible() {
+        let mut vs = VersionStore::default();
+        let mut vd = VDisk::new();
+        vs.record_insert("t", 1, 10);
+        vs.commit(&mut vd, 10, 1);
+        // One txn updates the row twice: the intermediate image's
+        // window must collapse at commit.
+        vs.record_supersession(&mut vd, "t", &row(1, 100), OP_UPDATE, 11);
+        vs.record_supersession(&mut vd, "t", &row(1, 150), OP_UPDATE, 11);
+        vs.commit(&mut vd, 11, 2);
+        // Snapshot 1: the original image, not the intermediate.
+        let visible = vs.visible_row("t", row(1, 200), 1, 99).unwrap();
+        assert_eq!(visible.values[0], Value::Int(100));
+    }
+}

@@ -28,6 +28,20 @@ pub struct ZoneMapPage {
     pub columns: Vec<(u16, i64, i64)>,
 }
 
+/// One row's archived version chain as captured in a memory image: the
+/// supersession history the MVCC layer keeps so old snapshots can still
+/// read. Every entry is a full before-image with its `(xmin, xmax)`
+/// lifetime — for a frequently-updated secret, the whole edit history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VersionChain {
+    /// Table the row belongs to.
+    pub table: String,
+    /// The row id whose history this is.
+    pub row_id: u64,
+    /// Archived versions, oldest first.
+    pub versions: Vec<crate::mvcc::Version>,
+}
+
 /// Everything on "disk": tablespace files, catalog, checkpoint, log files,
 /// the binlog, the buffer-pool dump, and the text logs.
 #[derive(Clone, Debug)]
@@ -91,6 +105,11 @@ pub struct MemoryImage {
     /// plaintext of range-queryable columns page by page (experiment
     /// e16).
     pub zone_maps: Vec<ZoneMapPage>,
+    /// The MVCC version store's chains: per-row supersession history
+    /// with full before-images and `(xmin, xmax)` ordering. What vacuum
+    /// has not yet reclaimed, a memory snapshot replays as an edit
+    /// timeline (experiment e18).
+    pub version_chains: Vec<VersionChain>,
 }
 
 impl MemoryImage {
@@ -147,16 +166,7 @@ impl Db {
             heap: g.heap.dump(),
             cached_queries: g.query_cache.cached_queries(),
             cached_pages: g.bufpool.lru_order(),
-            page_access_counts: {
-                let mut v: Vec<(PageKey, u64)> = g
-                    .bufpool
-                    .access_counters()
-                    .iter()
-                    .map(|(k, &c)| (k.clone(), c))
-                    .collect();
-                v.sort();
-                v
-            },
+            page_access_counts: g.bufpool.access_counters_snapshot(),
             adaptive_hash_keys: g
                 .adaptive_hash
                 .indexed_keys()
@@ -194,6 +204,20 @@ impl Db {
                     columns: syn.cols.iter().map(|c| (c.col, c.min, c.max)).collect(),
                 })
                 .collect(),
+            version_chains: {
+                let mut chains: Vec<VersionChain> = g
+                    .mvcc
+                    .chains()
+                    .iter()
+                    .map(|((table, row_id), versions)| VersionChain {
+                        table: table.clone(),
+                        row_id: *row_id,
+                        versions: versions.clone(),
+                    })
+                    .collect();
+                chains.sort_by(|a, b| (&a.table, a.row_id).cmp(&(&b.table, b.row_id)));
+                chains
+            },
         }
     }
 

@@ -3,7 +3,7 @@
 //! standalone forensic tooling (the workflow a real attacker has: image
 //! first, carve at leisure).
 //!
-//! Format (`EDBSNAP4`, little-endian, length-prefixed throughout):
+//! Format (`EDBSNAP5`, little-endian, length-prefixed throughout):
 //!
 //! ```text
 //! magic "EDBSNAP4" | captured_at i64
@@ -16,15 +16,20 @@
 //! traces:  u32 n, then n × (u64 len, mdb-trace record payload)
 //! zonemaps: u32 n, then n × (str file, u32 page_no, u64 rows,
 //!           u32 ncols, ncols × (u32 col, i64 min, i64 max))
+//! versions: u32 n, then n × (str table, u64 row_id, u32 nversions,
+//!           nversions × (u8 state, u8 op, u64 xmin, u64 xmax,
+//!           u64 offset, bytes row))
 //! ```
 
 use std::collections::BTreeMap;
 
 use crate::error::{DbError, DbResult};
+use crate::mvcc::Version;
 use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
-use crate::snapshot::{DiskImage, MemoryImage, SystemImage, ZoneMapPage};
+use crate::row::Row;
+use crate::snapshot::{DiskImage, MemoryImage, SystemImage, VersionChain, ZoneMapPage};
 
-const MAGIC: &[u8; 8] = b"EDBSNAP4";
+const MAGIC: &[u8; 8] = b"EDBSNAP5";
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -89,7 +94,7 @@ impl<'a> Reader<'a> {
 }
 
 impl SystemImage {
-    /// Serializes the image to the `EDBSNAP4` container.
+    /// Serializes the image to the `EDBSNAP5` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -201,14 +206,29 @@ impl SystemImage {
                 w_i64(&mut out, *max);
             }
         }
+        // The MVCC version chains: per-row supersession history.
+        w_u32(&mut out, m.version_chains.len() as u32);
+        for c in &m.version_chains {
+            w_str(&mut out, &c.table);
+            w_u64(&mut out, c.row_id);
+            w_u32(&mut out, c.versions.len() as u32);
+            for v in &c.versions {
+                out.push(v.state);
+                out.push(v.op);
+                w_u64(&mut out, v.xmin);
+                w_u64(&mut out, v.xmax);
+                w_u64(&mut out, v.offset as u64);
+                w_bytes(&mut out, &v.row.encode());
+            }
+        }
         out
     }
 
-    /// Parses an `EDBSNAP4` container.
+    /// Parses an `EDBSNAP5` container.
     pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
         let mut r = Reader { buf, pos: 0 };
         if r.take(8)? != MAGIC {
-            return Err(DbError::Storage("not an EDBSNAP4 image".into()));
+            return Err(DbError::Storage("not an EDBSNAP5 image".into()));
         }
         let captured_at = r.i64()?;
         let n_files = r.u32()? as usize;
@@ -345,6 +365,33 @@ impl SystemImage {
                 columns,
             });
         }
+        let mut version_chains = Vec::new();
+        for _ in 0..r.u32()? {
+            let table = r.str()?;
+            let row_id = r.u64()?;
+            let mut versions = Vec::new();
+            for _ in 0..r.u32()? {
+                let state = r.take(1)?[0];
+                let op = r.take(1)?[0];
+                let xmin = r.u64()?;
+                let xmax = r.u64()?;
+                let offset = r.u64()? as usize;
+                let row = Row::decode(&r.bytes()?)?;
+                versions.push(Version {
+                    xmin,
+                    xmax,
+                    state,
+                    op,
+                    row,
+                    offset,
+                });
+            }
+            version_chains.push(VersionChain {
+                table,
+                row_id,
+                versions,
+            });
+        }
         if r.pos != buf.len() {
             return Err(DbError::Storage("trailing bytes in snapshot".into()));
         }
@@ -363,6 +410,7 @@ impl SystemImage {
                 metrics,
                 query_traces,
                 zone_maps,
+                version_chains,
             },
             captured_at,
         })
@@ -385,6 +433,8 @@ mod tests {
         conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
             .unwrap();
         conn.execute("INSERT INTO t VALUES (1, 'hello')").unwrap();
+        conn.execute("UPDATE t SET v = 'world' WHERE id = 1")
+            .unwrap();
         conn.execute("SELECT * FROM t WHERE id = 1").unwrap();
         db.system_image()
     }
@@ -427,6 +477,10 @@ mod tests {
             .iter()
             .any(|&(_, min, max)| min == 1 && max == 1));
         assert_eq!(back.memory.zone_maps, img.memory.zone_maps);
+        // The MVCC version chains: the UPDATE archived one before-image
+        // whose full row survives the container.
+        assert!(!img.memory.version_chains.is_empty());
+        assert_eq!(back.memory.version_chains, img.memory.version_chains);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::ops::Bound;
 
 use crate::error::{DbError, DbResult};
 use crate::row::RowId;
-use crate::storage::bufpool::BufferPool;
 use crate::storage::page::PAGE_SIZE;
+use crate::storage::shardpool::ShardedBufferPool;
 use crate::value::Value;
 use crate::vdisk::VDisk;
 
@@ -153,7 +153,7 @@ pub struct BTree {
 
 impl BTree {
     /// Creates an empty tree in `file`, allocating the root page.
-    pub fn create(bufpool: &mut BufferPool, vdisk: &mut VDisk, file: &str) -> DbResult<BTree> {
+    pub fn create(bufpool: &ShardedBufferPool, vdisk: &mut VDisk, file: &str) -> DbResult<BTree> {
         let root = bufpool.allocate_page(vdisk, file);
         let tree = BTree {
             file: file.to_string(),
@@ -173,7 +173,7 @@ impl BTree {
 
     fn load_node(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
     ) -> DbResult<Node> {
@@ -186,7 +186,7 @@ impl BTree {
 
     fn store_node(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
         node: &Node,
@@ -204,7 +204,7 @@ impl BTree {
     /// Inserts `(key, row_id)`. Duplicate keys are allowed.
     pub fn insert(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         key: &Value,
         row_id: RowId,
@@ -241,7 +241,7 @@ impl BTree {
     /// child at `page_no` split.
     fn insert_rec(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
         key: &Value,
@@ -326,7 +326,7 @@ impl BTree {
     /// `key`, recording the path.
     fn descend_left(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         key: &Value,
         path: &mut Vec<u32>,
@@ -347,7 +347,7 @@ impl BTree {
     /// Finds all row ids with exactly `key`.
     pub fn search_eq(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         key: &Value,
     ) -> DbResult<SearchResult> {
@@ -362,7 +362,7 @@ impl BTree {
     /// Finds all row ids with keys in the given bounds, in key order.
     pub fn search_range(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         lo: Bound<Value>,
         hi: Bound<Value>,
@@ -410,7 +410,7 @@ impl BTree {
 
     fn leftmost_leaf(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         path: &mut Vec<u32>,
     ) -> DbResult<u32> {
@@ -428,7 +428,7 @@ impl BTree {
     /// removed. No rebalancing (lazy deletion, like many real engines).
     pub fn delete(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         key: &Value,
         row_id: RowId,
@@ -461,38 +461,37 @@ impl BTree {
 mod tests {
     use super::*;
 
-    fn setup() -> (BufferPool, VDisk, BTree) {
-        let mut bp = BufferPool::new(64);
+    fn setup() -> (ShardedBufferPool, VDisk, BTree) {
+        let bp = ShardedBufferPool::new(64, 4);
         let mut vd = VDisk::new();
-        let t = BTree::create(&mut bp, &mut vd, "idx.ibd").unwrap();
+        let t = BTree::create(&bp, &mut vd, "idx.ibd").unwrap();
         (bp, vd, t)
     }
 
     #[test]
     fn insert_and_point_lookup() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         for i in 0..200i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i * 2), i as u64)
+            t.insert(&bp, &mut vd, &Value::Int(i * 2), i as u64)
                 .unwrap();
         }
-        let hit = t.search_eq(&mut bp, &mut vd, &Value::Int(100)).unwrap();
+        let hit = t.search_eq(&bp, &mut vd, &Value::Int(100)).unwrap();
         assert_eq!(hit.row_ids, vec![50]);
-        let miss = t.search_eq(&mut bp, &mut vd, &Value::Int(101)).unwrap();
+        let miss = t.search_eq(&bp, &mut vd, &Value::Int(101)).unwrap();
         assert!(miss.row_ids.is_empty());
         assert!(!hit.pages.is_empty());
     }
 
     #[test]
     fn range_scan_ordered() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         // Insert shuffled.
         for i in (0..500i64).map(|i| (i * 37) % 500) {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
-                .unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(i), i as u64).unwrap();
         }
         let r = t
             .search_range(
-                &mut bp,
+                &bp,
                 &mut vd,
                 Bound::Included(Value::Int(100)),
                 Bound::Excluded(Value::Int(110)),
@@ -501,7 +500,7 @@ mod tests {
         assert_eq!(r.row_ids, (100u64..110).collect::<Vec<_>>());
         // Unbounded scan returns everything in order.
         let all = t
-            .search_range(&mut bp, &mut vd, Bound::Unbounded, Bound::Unbounded)
+            .search_range(&bp, &mut vd, Bound::Unbounded, Bound::Unbounded)
             .unwrap();
         assert_eq!(all.row_ids.len(), 500);
         assert!(all.row_ids.windows(2).all(|w| w[0] < w[1]));
@@ -509,16 +508,15 @@ mod tests {
 
     #[test]
     fn duplicates_found_across_leaves() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         // 100 duplicates of one key, interleaved with others, forces the
         // duplicates across multiple leaves.
         for i in 0..100u64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(7), 1000 + i)
-                .unwrap();
-            t.insert(&mut bp, &mut vd, &Value::Int(i as i64 * 10), i)
+            t.insert(&bp, &mut vd, &Value::Int(7), 1000 + i).unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(i as i64 * 10), i)
                 .unwrap();
         }
-        let r = t.search_eq(&mut bp, &mut vd, &Value::Int(7)).unwrap();
+        let r = t.search_eq(&bp, &mut vd, &Value::Int(7)).unwrap();
         assert_eq!(r.row_ids.len(), 100);
         let mut rids = r.row_ids.clone();
         rids.sort_unstable();
@@ -527,29 +525,29 @@ mod tests {
 
     #[test]
     fn delete_specific_entry() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         for i in 0..50u64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(5), i).unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(5), i).unwrap();
         }
-        assert!(t.delete(&mut bp, &mut vd, &Value::Int(5), 25).unwrap());
-        assert!(!t.delete(&mut bp, &mut vd, &Value::Int(5), 25).unwrap());
-        assert!(!t.delete(&mut bp, &mut vd, &Value::Int(6), 0).unwrap());
-        let r = t.search_eq(&mut bp, &mut vd, &Value::Int(5)).unwrap();
+        assert!(t.delete(&bp, &mut vd, &Value::Int(5), 25).unwrap());
+        assert!(!t.delete(&bp, &mut vd, &Value::Int(5), 25).unwrap());
+        assert!(!t.delete(&bp, &mut vd, &Value::Int(6), 0).unwrap());
+        let r = t.search_eq(&bp, &mut vd, &Value::Int(5)).unwrap();
         assert_eq!(r.row_ids.len(), 49);
         assert!(!r.row_ids.contains(&25));
     }
 
     #[test]
     fn text_keys() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         let words = ["delta", "alpha", "echo", "bravo", "charlie"];
         for (i, w) in words.iter().enumerate() {
-            t.insert(&mut bp, &mut vd, &Value::Text(w.to_string()), i as u64)
+            t.insert(&bp, &mut vd, &Value::Text(w.to_string()), i as u64)
                 .unwrap();
         }
         let r = t
             .search_range(
-                &mut bp,
+                &bp,
                 &mut vd,
                 Bound::Included(Value::Text("b".into())),
                 Bound::Excluded(Value::Text("d".into())),
@@ -561,22 +559,21 @@ mod tests {
 
     #[test]
     fn huge_key_rejected() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         let big = Value::Text("x".repeat(600));
-        assert!(t.insert(&mut bp, &mut vd, &big, 0).is_err());
+        assert!(t.insert(&bp, &mut vd, &big, 0).is_err());
     }
 
     #[test]
     fn root_page_number_stable_across_splits() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         let root_before = t.root;
         for i in 0..2000i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
-                .unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(i), i as u64).unwrap();
         }
         assert_eq!(t.root, root_before);
         // Multi-level now: search path longer than 1.
-        let hit = t.search_eq(&mut bp, &mut vd, &Value::Int(1999)).unwrap();
+        let hit = t.search_eq(&bp, &mut vd, &Value::Int(1999)).unwrap();
         assert!(
             hit.pages.len() >= 3,
             "expected depth >= 3, path {:?}",
@@ -587,12 +584,11 @@ mod tests {
 
     #[test]
     fn access_path_is_recorded() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         for i in 0..2000i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
-                .unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(i), i as u64).unwrap();
         }
-        let r = t.search_eq(&mut bp, &mut vd, &Value::Int(123)).unwrap();
+        let r = t.search_eq(&bp, &mut vd, &Value::Int(123)).unwrap();
         assert_eq!(r.pages[0], t.root, "path starts at the root");
         // The visited pages got LRU-touched in the buffer pool.
         let order = bp.lru_order();
@@ -605,15 +601,14 @@ mod tests {
 
     #[test]
     fn survives_flush_and_reload() {
-        let (mut bp, mut vd, t) = setup();
+        let (bp, mut vd, t) = setup();
         for i in 0..300i64 {
-            t.insert(&mut bp, &mut vd, &Value::Int(i), i as u64)
-                .unwrap();
+            t.insert(&bp, &mut vd, &Value::Int(i), i as u64).unwrap();
         }
         bp.flush_all(&mut vd);
         // A cold pool reading from disk sees the same tree.
-        let mut cold = BufferPool::new(8);
-        let r = t.search_eq(&mut cold, &mut vd, &Value::Int(250)).unwrap();
+        let cold = ShardedBufferPool::new(8, 4);
+        let r = t.search_eq(&cold, &mut vd, &Value::Int(250)).unwrap();
         assert_eq!(r.row_ids, vec![250]);
     }
 }

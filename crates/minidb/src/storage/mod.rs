@@ -4,9 +4,11 @@
 pub mod btree;
 pub mod bufpool;
 pub mod page;
+pub mod shardpool;
 pub mod table;
 
 pub use btree::{BTree, SearchResult};
 pub use bufpool::{BufferPool, PageKey, ACCESS_COUNTS_CAP, DUMP_FILE};
 pub use page::{ColumnStats, Page, PageRef, PageSynopsis, SlotNo, PAGE_SIZE, SYN_MAX_COLS};
+pub use shardpool::{PageBacking, ShardedBufferPool, DEFAULT_SHARDS};
 pub use table::{TableHeap, UpdatePlacement};

@@ -1,0 +1,650 @@
+//! The latch-partitioned buffer pool: N independent shards, each an LRU
+//! page cache with its own `Mutex`, selected by `hash(page) % N`.
+//!
+//! The classic [`super::bufpool::BufferPool`] serializes every page
+//! access behind one lock — fine for a single-session library, fatal for
+//! a multi-client server where eight connections fault pages
+//! concurrently. Sharding the frame table partitions that latch: two
+//! accesses contend only when their pages hash to the same shard, and —
+//! the part that dominates real systems — a page *fault* (simulated here
+//! by [`ShardedBufferPool::set_fault_latency`]) stalls only its own
+//! shard while the other shards keep serving hits and faulting in
+//! parallel.
+//!
+//! Everything the paper cares about is preserved shard-by-shard: the LRU
+//! dump file still renders the global recency order (ticks come from one
+//! atomic clock), the per-page access counters still feed the adaptive
+//! hash index, and eviction is still O(log n) per shard via the ordered
+//! tick index. New for this pool: per-shard telemetry
+//! (`bufpool.shard{i}.{hits,misses,evictions}`) alongside the global
+//! `bufpool.*` counters, making the *partition* of the access load — a
+//! coarse page-distribution histogram — one more snapshot-visible
+//! surface.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mdb_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
+
+use crate::error::{DbError, DbResult};
+use crate::storage::bufpool::{PageKey, ACCESS_COUNTS_CAP, DUMP_FILE};
+use crate::storage::page::{Page, PAGE_SIZE};
+use crate::vdisk::VDisk;
+
+/// Default shard count ([`crate::engine::DbConfig::bufpool_shards`]).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The storage a pool faults pages from and writes dirty pages back to.
+///
+/// The engine's backing is the [`VDisk`]; benches substitute synthetic
+/// backings so many threads can fault concurrently without sharing one
+/// `&mut VDisk`.
+pub trait PageBacking {
+    /// Reads page `page_no` of `file`, or `None` if it does not exist.
+    fn read_page(&mut self, file: &str, page_no: u32) -> Option<Vec<u8>>;
+    /// Writes a page back (eviction write-back / flush).
+    fn write_page(&mut self, file: &str, page_no: u32, data: &[u8]);
+    /// Current length of `file` in bytes (for page allocation).
+    fn file_len(&mut self, file: &str) -> usize;
+}
+
+impl PageBacking for VDisk {
+    fn read_page(&mut self, file: &str, page_no: u32) -> Option<Vec<u8>> {
+        let off = page_no as usize * PAGE_SIZE;
+        match self.read(file) {
+            Some(bytes) if bytes.len() >= off + PAGE_SIZE => {
+                Some(bytes[off..off + PAGE_SIZE].to_vec())
+            }
+            _ => None,
+        }
+    }
+
+    fn write_page(&mut self, file: &str, page_no: u32, data: &[u8]) {
+        self.write_at(file, page_no as usize * PAGE_SIZE, data);
+    }
+
+    fn file_len(&mut self, file: &str) -> usize {
+        self.len(file)
+    }
+}
+
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    last_access: u64,
+}
+
+/// One latch partition: a frame table plus its ordered LRU index, both
+/// guarded by the shard's `Mutex` in [`ShardedBufferPool::shards`].
+struct Shard {
+    capacity: usize,
+    frames: HashMap<PageKey, Frame>,
+    /// Ordered LRU index: global access tick → page. Ticks are unique
+    /// (one atomic clock for the whole pool), so `pop_first` is always
+    /// this shard's eviction victim and cross-shard tick order is the
+    /// global recency order.
+    lru: BTreeMap<u64, PageKey>,
+    /// Lifetime access counts (survive eviction; feed the AHI). Bounded
+    /// by a per-shard slice of [`ACCESS_COUNTS_CAP`].
+    access_counts: HashMap<PageKey, u64>,
+    access_cap: usize,
+}
+
+impl Shard {
+    fn count_access(&mut self, key: &PageKey) {
+        if !self.access_counts.contains_key(key) && self.access_counts.len() >= self.access_cap {
+            if let Some(victim) = self
+                .access_counts
+                .iter()
+                .min_by_key(|(_, n)| **n)
+                .map(|(k, _)| k.clone())
+            {
+                self.access_counts.remove(&victim);
+            }
+        }
+        *self.access_counts.entry(key.clone()).or_insert(0) += 1;
+    }
+
+    fn stamp(&mut self, key: &PageKey, tick: u64) {
+        if let Some(f) = self.frames.get_mut(key) {
+            self.lru.remove(&f.last_access);
+            f.last_access = tick;
+            self.lru.insert(tick, key.clone());
+        }
+    }
+}
+
+/// Per-shard telemetry handles (`bufpool.shard{i}.*`).
+struct ShardCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+struct PoolMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+    flushed_pages: Counter,
+    dumps: Counter,
+    per_shard: Vec<ShardCounters>,
+}
+
+/// The latch-partitioned LRU page cache.
+pub struct ShardedBufferPool {
+    shards: Vec<Mutex<Shard>>,
+    /// Global monotonic access clock shared by every shard.
+    tick: AtomicU64,
+    capacity: usize,
+    /// Simulated page-fault I/O latency, slept *while holding the
+    /// faulting shard's latch* — exactly where a real pool holds its
+    /// partition latch across the disk read. Zero (the default) for the
+    /// engine; the server bench turns it up to measure fault overlap.
+    fault_latency: Duration,
+    metrics: Option<PoolMetrics>,
+}
+
+impl ShardedBufferPool {
+    /// Creates a pool of `shards` partitions holding at most `capacity`
+    /// pages in total (each shard gets `ceil(capacity / shards)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shards == 0`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let per_shard = capacity.div_ceil(shards).max(1);
+        let access_cap = (ACCESS_COUNTS_CAP / shards).max(1);
+        ShardedBufferPool {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        capacity: per_shard,
+                        frames: HashMap::new(),
+                        lru: BTreeMap::new(),
+                        access_counts: HashMap::new(),
+                        access_cap,
+                    })
+                })
+                .collect(),
+            tick: AtomicU64::new(0),
+            capacity,
+            fault_latency: Duration::ZERO,
+            metrics: None,
+        }
+    }
+
+    /// Registers the pool's counters on `registry`: the global
+    /// `bufpool.*` family plus `bufpool.shard{i}.{hits,misses,evictions}`
+    /// per shard.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(PoolMetrics {
+            hits: registry.counter("bufpool.hits"),
+            misses: registry.counter("bufpool.misses"),
+            evictions: registry.counter("bufpool.evictions"),
+            writebacks: registry.counter("bufpool.writebacks"),
+            flushed_pages: registry.counter("bufpool.flushed_pages"),
+            dumps: registry.counter("bufpool.dumps"),
+            per_shard: (0..self.shards.len())
+                .map(|i| ShardCounters {
+                    hits: registry.counter(&format!("bufpool.shard{i}.hits")),
+                    misses: registry.counter(&format!("bufpool.shard{i}.misses")),
+                    evictions: registry.counter(&format!("bufpool.shard{i}.evictions")),
+                })
+                .collect(),
+        });
+    }
+
+    /// Sets the simulated per-fault I/O latency (see the field docs).
+    pub fn set_fault_latency(&mut self, latency: Duration) {
+        self.fault_latency = latency;
+    }
+
+    /// Number of latch partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total page capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Which shard a page hashes to (FNV-1a over file name + page_no).
+    pub fn shard_of(&self, file: &str, page_no: u32) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain(page_no.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Ensures `key` is framed in `shard`, faulting it in from `backing`
+    /// (and sleeping the simulated fault latency under the latch) on a
+    /// miss. Counts the hit/miss on both metric families.
+    fn load(
+        &self,
+        shard: &mut Shard,
+        shard_idx: usize,
+        backing: &mut impl PageBacking,
+        key: &PageKey,
+    ) -> DbResult<()> {
+        if shard.frames.contains_key(key) {
+            if let Some(m) = &self.metrics {
+                m.hits.inc();
+                m.per_shard[shard_idx].hits.inc();
+            }
+            return Ok(());
+        }
+        if let Some(m) = &self.metrics {
+            m.misses.inc();
+            m.per_shard[shard_idx].misses.inc();
+        }
+        if !self.fault_latency.is_zero() {
+            std::thread::sleep(self.fault_latency);
+        }
+        self.evict_to_fit(shard, shard_idx, backing, 1);
+        let (file, page_no) = key;
+        let data = backing.read_page(file, *page_no).ok_or_else(|| {
+            DbError::Storage(format!("page {page_no} of {file} does not exist on disk"))
+        })?;
+        let tick = self.next_tick();
+        shard.frames.insert(
+            key.clone(),
+            Frame {
+                data,
+                dirty: false,
+                last_access: tick,
+            },
+        );
+        shard.lru.insert(tick, key.clone());
+        Ok(())
+    }
+
+    fn evict_to_fit(
+        &self,
+        shard: &mut Shard,
+        shard_idx: usize,
+        backing: &mut impl PageBacking,
+        incoming: usize,
+    ) {
+        while shard.frames.len() + incoming > shard.capacity {
+            let (_, victim) = shard.lru.pop_first().expect("LRU index tracks every frame");
+            let frame = shard.frames.remove(&victim).expect("indexed frame exists");
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+                m.per_shard[shard_idx].evictions.inc();
+            }
+            if frame.dirty {
+                if let Some(m) = &self.metrics {
+                    m.writebacks.inc();
+                }
+                backing.write_page(&victim.0, victim.1, &frame.data);
+            }
+        }
+    }
+
+    /// Runs `f` over an immutable view of the page.
+    pub fn with_page<R>(
+        &self,
+        backing: &mut impl PageBacking,
+        file: &str,
+        page_no: u32,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> DbResult<R> {
+        let key = (file.to_string(), page_no);
+        let idx = self.shard_of(file, page_no);
+        let mut shard = self.shards[idx].lock();
+        self.load(&mut shard, idx, backing, &key)?;
+        let tick = self.next_tick();
+        shard.stamp(&key, tick);
+        shard.count_access(&key);
+        Ok(f(&shard.frames[&key].data))
+    }
+
+    /// Runs `f` over a mutable view of the page and marks it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        backing: &mut impl PageBacking,
+        file: &str,
+        page_no: u32,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> DbResult<R> {
+        let key = (file.to_string(), page_no);
+        let idx = self.shard_of(file, page_no);
+        let mut shard = self.shards[idx].lock();
+        self.load(&mut shard, idx, backing, &key)?;
+        let tick = self.next_tick();
+        shard.stamp(&key, tick);
+        shard.count_access(&key);
+        let frame = shard.frames.get_mut(&key).expect("just loaded");
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    /// Allocates a fresh formatted page at the end of `file`, returning
+    /// its page number. Write-through, cached clean.
+    pub fn allocate_page(&self, backing: &mut impl PageBacking, file: &str) -> u32 {
+        let page_no = (backing.file_len(file) / PAGE_SIZE) as u32;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        Page::format(&mut buf);
+        backing.write_page(file, page_no, &buf);
+        let key = (file.to_string(), page_no);
+        let idx = self.shard_of(file, page_no);
+        let mut shard = self.shards[idx].lock();
+        self.evict_to_fit(&mut shard, idx, backing, 1);
+        let tick = self.next_tick();
+        shard.frames.insert(
+            key.clone(),
+            Frame {
+                data: buf,
+                dirty: false,
+                last_access: tick,
+            },
+        );
+        shard.lru.insert(tick, key.clone());
+        shard.count_access(&key);
+        page_no
+    }
+
+    /// Number of pages `file` holds on disk.
+    pub fn page_count(vdisk: &VDisk, file: &str) -> u32 {
+        (vdisk.len(file) / PAGE_SIZE) as u32
+    }
+
+    /// Flushes every dirty frame to the backing (checkpoint/shutdown).
+    pub fn flush_all(&self, backing: &mut impl PageBacking) {
+        let mut flushed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            for (key, frame) in shard.frames.iter_mut() {
+                if frame.dirty {
+                    backing.write_page(&key.0, key.1, &frame.data);
+                    frame.dirty = false;
+                    flushed += 1;
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.flushed_pages.add(flushed);
+        }
+    }
+
+    /// Cached pages most-recently-used first, globally ordered across
+    /// shards (the shared tick clock makes shard-local ticks comparable).
+    pub fn lru_order(&self) -> Vec<PageKey> {
+        let mut entries: Vec<(u64, PageKey)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            entries.extend(shard.lru.iter().map(|(t, k)| (*t, k.clone())));
+        }
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        entries.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Writes the LRU dump file (`ib_buffer_pool`): one `file page_no`
+    /// line per cached page, most recent first — byte-identical format
+    /// to the single-latch pool's, so the forensic carver needs no
+    /// changes.
+    pub fn dump(&self, backing: &mut VDisk) {
+        if let Some(m) = &self.metrics {
+            m.dumps.inc();
+        }
+        let mut text = String::new();
+        for (file, page_no) in self.lru_order() {
+            text.push_str(&file);
+            text.push(' ');
+            text.push_str(&page_no.to_string());
+            text.push('\n');
+        }
+        backing.write(DUMP_FILE, text.into_bytes());
+    }
+
+    /// Lifetime access count of a page.
+    pub fn access_count(&self, file: &str, page_no: u32) -> u64 {
+        let key = (file.to_string(), page_no);
+        let shard = self.shards[self.shard_of(file, page_no)].lock();
+        shard.access_counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// All per-page access counters, sorted (for the adaptive hash index
+    /// and the memory snapshot).
+    pub fn access_counters_snapshot(&self) -> Vec<(PageKey, u64)> {
+        let mut out: Vec<(PageKey, u64)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            out.extend(shard.access_counts.iter().map(|(k, &c)| (k.clone(), c)));
+        }
+        out.sort();
+        out
+    }
+
+    /// Discards every cached frame and counter of `file` without
+    /// flushing (`DROP TABLE`).
+    pub fn purge_file(&self, file: &str) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.retain(|(f, _), _| f != file);
+            shard.lru.retain(|_, (f, _)| f != file);
+            shard.access_counts.retain(|(f, _), _| f != file);
+        }
+    }
+
+    /// Drops all volatile state *without flushing* — the crash path.
+    pub fn crash(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.clear();
+            shard.lru.clear();
+            shard.access_counts.clear();
+        }
+        self.tick.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of frames currently cached across all shards.
+    pub fn cached_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn setup() -> (ShardedBufferPool, VDisk) {
+        (ShardedBufferPool::new(8, 4), VDisk::new())
+    }
+
+    #[test]
+    fn allocate_and_rw() {
+        let (bp, mut vd) = setup();
+        assert_eq!(bp.allocate_page(&mut vd, "t.ibd"), 0);
+        assert_eq!(bp.allocate_page(&mut vd, "t.ibd"), 1);
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[100] = 42)
+            .unwrap();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[100]).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(ShardedBufferPool::page_count(&vd, "t.ibd"), 2);
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let (bp, mut vd) = setup();
+        assert!(bp.with_page(&mut vd, "none.ibd", 0, |_| ()).is_err());
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        // One shard of capacity 4: deterministic eviction pressure.
+        let bp = ShardedBufferPool::new(4, 1);
+        let mut vd = VDisk::new();
+        for _ in 0..4 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[50] = 7)
+            .unwrap();
+        for _ in 0..4 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        assert!(bp.cached_pages() <= 4);
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[50]).unwrap();
+        assert_eq!(v, 7, "dirty page survived via write-back");
+    }
+
+    #[test]
+    fn crash_loses_unflushed_changes() {
+        let (bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9)
+            .unwrap();
+        bp.crash();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
+        assert_eq!(v, 0, "dirty page must be lost on crash");
+    }
+
+    #[test]
+    fn flush_makes_changes_durable() {
+        let (bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[60] = 9)
+            .unwrap();
+        bp.flush_all(&mut vd);
+        bp.crash();
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[60]).unwrap();
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn lru_order_global_across_shards() {
+        let (bp, mut vd) = setup();
+        // Pages land on different shards; the order must still be the
+        // global access order, most recent first.
+        for _ in 0..4 {
+            bp.allocate_page(&mut vd, "t.ibd");
+        }
+        bp.with_page(&mut vd, "t.ibd", 1, |_| ()).unwrap();
+        bp.with_page(&mut vd, "t.ibd", 3, |_| ()).unwrap();
+        bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
+        let order = bp.lru_order();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ("t.ibd".to_string(), 0));
+        assert_eq!(order[1], ("t.ibd".to_string(), 3));
+        assert_eq!(order[2], ("t.ibd".to_string(), 1));
+    }
+
+    #[test]
+    fn dump_file_matches_bufpool_format() {
+        let (bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "a.ibd");
+        bp.allocate_page(&mut vd, "b.ibd");
+        bp.dump(&mut vd);
+        let text = String::from_utf8(vd.read(DUMP_FILE).unwrap().to_vec()).unwrap();
+        assert_eq!(text, "b.ibd 0\na.ibd 0\n");
+    }
+
+    #[test]
+    fn purge_file_removes_stale_frames() {
+        let (bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page_mut(&mut vd, "t.ibd", 0, |b| b[20] = 9)
+            .unwrap();
+        bp.purge_file("t.ibd");
+        vd.remove("t.ibd");
+        bp.allocate_page(&mut vd, "t.ibd");
+        let v = bp.with_page(&mut vd, "t.ibd", 0, |b| b[20]).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(bp.access_count("t.ibd", 0), 2);
+    }
+
+    #[test]
+    fn access_counters_accumulate() {
+        let (bp, mut vd) = setup();
+        bp.allocate_page(&mut vd, "t.ibd");
+        for _ in 0..5 {
+            bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
+        }
+        assert_eq!(bp.access_count("t.ibd", 0), 6);
+        let snap = bp.access_counters_snapshot();
+        assert_eq!(snap, vec![(("t.ibd".to_string(), 0), 6)]);
+    }
+
+    #[test]
+    fn per_shard_metrics_register() {
+        let registry = Registry::new();
+        let mut bp = ShardedBufferPool::new(8, 4);
+        bp.attach_telemetry(&registry);
+        let mut vd = VDisk::new();
+        bp.allocate_page(&mut vd, "t.ibd");
+        bp.with_page(&mut vd, "t.ibd", 0, |_| ()).unwrap();
+        let snap = registry.snapshot();
+        let hit_total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("bufpool.shard") && n.ends_with(".hits"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(hit_total, 1, "the touch after allocation is a shard hit");
+        assert_eq!(snap.counter("bufpool.hits"), Some(1));
+        // All four shards registered all three counters.
+        let shard_counters = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("bufpool.shard"))
+            .count();
+        assert_eq!(shard_counters, 12);
+    }
+
+    /// A backing that synthesizes pages on demand — lets many threads
+    /// fault without sharing one `&mut VDisk`.
+    struct Synthetic;
+
+    impl PageBacking for Synthetic {
+        fn read_page(&mut self, _file: &str, page_no: u32) -> Option<Vec<u8>> {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[..4].copy_from_slice(&page_no.to_le_bytes());
+            Some(page)
+        }
+        fn write_page(&mut self, _file: &str, _page_no: u32, _data: &[u8]) {}
+        fn file_len(&mut self, _file: &str) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn concurrent_access_from_many_threads() {
+        let pool = Arc::new(ShardedBufferPool::new(64, 8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut backing = Synthetic;
+                    for i in 0..200u32 {
+                        let page = (t * 37 + i) % 128;
+                        let got = pool
+                            .with_page(&mut backing, "s.ibd", page, |b| {
+                                u32::from_le_bytes(b[..4].try_into().unwrap())
+                            })
+                            .unwrap();
+                        assert_eq!(got, page, "no torn frames under concurrency");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(pool.cached_pages() <= 64);
+        let order = pool.lru_order();
+        assert_eq!(order.len(), pool.cached_pages(), "one LRU entry per frame");
+    }
+}

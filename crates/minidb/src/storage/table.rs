@@ -17,8 +17,8 @@ use std::ops::Bound;
 
 use crate::error::{DbError, DbResult};
 use crate::row::{Row, RowId};
-use crate::storage::bufpool::BufferPool;
 use crate::storage::page::{Page, PageRef, PageSynopsis, SlotNo};
+use crate::storage::shardpool::ShardedBufferPool;
 use crate::value::Value;
 use crate::vdisk::VDisk;
 
@@ -72,7 +72,11 @@ pub struct TableHeap {
 
 impl TableHeap {
     /// Creates a new empty heap with one allocated page.
-    pub fn create(bufpool: &mut BufferPool, vdisk: &mut VDisk, file: &str) -> DbResult<TableHeap> {
+    pub fn create(
+        bufpool: &ShardedBufferPool,
+        vdisk: &mut VDisk,
+        file: &str,
+    ) -> DbResult<TableHeap> {
         bufpool.allocate_page(vdisk, file);
         Ok(TableHeap {
             file: file.to_string(),
@@ -85,7 +89,7 @@ impl TableHeap {
 
     /// Opens an existing heap, rebuilding the locator by scanning pages
     /// (also the recovery path — locator state is volatile).
-    pub fn open(bufpool: &mut BufferPool, vdisk: &mut VDisk, file: &str) -> DbResult<TableHeap> {
+    pub fn open(bufpool: &ShardedBufferPool, vdisk: &mut VDisk, file: &str) -> DbResult<TableHeap> {
         let mut heap = TableHeap {
             file: file.to_string(),
             locations: HashMap::new(),
@@ -93,7 +97,7 @@ impl TableHeap {
             zone_maps: true,
             zonemap: HashMap::new(),
         };
-        let n_pages = BufferPool::page_count(vdisk, file);
+        let n_pages = ShardedBufferPool::page_count(vdisk, file);
         for page_no in 0..n_pages {
             let entries = bufpool.with_page(vdisk, file, page_no, |buf| {
                 PageRef::new(buf)
@@ -159,7 +163,7 @@ impl TableHeap {
     /// be fresh (allocate via [`Self::allocate_row_id`]).
     pub fn insert(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         row: &Row,
     ) -> DbResult<(u32, SlotNo)> {
@@ -170,7 +174,7 @@ impl TableHeap {
             )));
         }
         let bytes = row.encode();
-        let last = BufferPool::page_count(vdisk, &self.file).saturating_sub(1);
+        let last = ShardedBufferPool::page_count(vdisk, &self.file).saturating_sub(1);
         let fits = bufpool.with_page(vdisk, &self.file, last, |buf| {
             PageRef::new(buf).fits(bytes.len())
         })?;
@@ -200,7 +204,7 @@ impl TableHeap {
     /// Reads a row by id.
     pub fn read(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         row_id: RowId,
     ) -> DbResult<Row> {
@@ -217,7 +221,7 @@ impl TableHeap {
     /// returns the page's resulting synopsis state to the mirror.
     fn page_delete(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
         slot: SlotNo,
@@ -240,7 +244,7 @@ impl TableHeap {
     /// Replaces a row's image, in place when possible.
     pub fn update(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         row: &Row,
     ) -> DbResult<UpdatePlacement> {
@@ -281,7 +285,7 @@ impl TableHeap {
     /// Deletes a row, returning where it lived.
     pub fn delete(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         row_id: RowId,
     ) -> DbResult<(u32, SlotNo)> {
@@ -296,12 +300,12 @@ impl TableHeap {
     /// Full scan in (page, slot) order; returns rows and the pages read.
     pub fn scan(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
     ) -> DbResult<(Vec<Row>, Vec<u32>)> {
         let mut rows = Vec::new();
         let mut pages = Vec::new();
-        let n_pages = BufferPool::page_count(vdisk, &self.file);
+        let n_pages = ShardedBufferPool::page_count(vdisk, &self.file);
         for page_no in 0..n_pages {
             pages.push(page_no);
             let page_rows = self.read_page_rows(bufpool, vdisk, page_no, None)?;
@@ -316,7 +320,7 @@ impl TableHeap {
     /// no whole-table materialization.
     pub fn read_page_rows(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
         needed: Option<&[bool]>,
@@ -339,7 +343,7 @@ impl TableHeap {
     /// a synopsis to justify it.
     pub fn page_prunable(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
         col: u16,
@@ -370,7 +374,7 @@ impl TableHeap {
     /// executed while zone maps were disabled.
     pub fn rebuild_page_synopsis(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
     ) -> DbResult<PageSynopsis> {
@@ -400,11 +404,11 @@ impl TableHeap {
 
     fn ensure_page(
         &self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         page_no: u32,
     ) -> DbResult<()> {
-        while BufferPool::page_count(vdisk, &self.file) <= page_no {
+        while ShardedBufferPool::page_count(vdisk, &self.file) <= page_no {
             bufpool.allocate_page(vdisk, &self.file);
         }
         Ok(())
@@ -413,7 +417,7 @@ impl TableHeap {
     /// Replays an insert at a recorded placement.
     pub fn replay_insert(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         lsn: u64,
         page_no: u32,
@@ -446,7 +450,7 @@ impl TableHeap {
     /// Replays an in-place update.
     pub fn replay_update(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         lsn: u64,
         page_no: u32,
@@ -472,7 +476,7 @@ impl TableHeap {
     /// Replays a delete (tombstone) of a recorded placement.
     pub fn replay_delete(
         &mut self,
-        bufpool: &mut BufferPool,
+        bufpool: &ShardedBufferPool,
         vdisk: &mut VDisk,
         lsn: u64,
         page_no: u32,
@@ -501,10 +505,10 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    fn setup() -> (BufferPool, VDisk, TableHeap) {
-        let mut bp = BufferPool::new(32);
+    fn setup() -> (ShardedBufferPool, VDisk, TableHeap) {
+        let bp = ShardedBufferPool::new(32, 4);
         let mut vd = VDisk::new();
-        let h = TableHeap::create(&mut bp, &mut vd, "t.ibd").unwrap();
+        let h = TableHeap::create(&bp, &mut vd, "t.ibd").unwrap();
         (bp, vd, h)
     }
 
@@ -517,34 +521,37 @@ mod tests {
 
     #[test]
     fn insert_read_round_trip() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         let id = h.allocate_row_id();
-        h.insert(&mut bp, &mut vd, &row(id, 5)).unwrap();
-        assert_eq!(h.read(&mut bp, &mut vd, id).unwrap(), row(id, 5));
+        h.insert(&bp, &mut vd, &row(id, 5)).unwrap();
+        assert_eq!(h.read(&bp, &mut vd, id).unwrap(), row(id, 5));
         assert_eq!(h.row_count(), 1);
-        assert!(h.read(&mut bp, &mut vd, 999).is_err());
+        assert!(h.read(&bp, &mut vd, 999).is_err());
     }
 
     #[test]
     fn spans_pages() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         for i in 0..2000 {
             let id = h.allocate_row_id();
-            h.insert(&mut bp, &mut vd, &row(id, i)).unwrap();
+            h.insert(&bp, &mut vd, &row(id, i)).unwrap();
         }
-        assert!(BufferPool::page_count(&vd, "t.ibd") > 1);
-        let (rows, pages) = h.scan(&mut bp, &mut vd).unwrap();
+        assert!(ShardedBufferPool::page_count(&vd, "t.ibd") > 1);
+        let (rows, pages) = h.scan(&bp, &mut vd).unwrap();
         assert_eq!(rows.len(), 2000);
-        assert_eq!(pages.len() as u32, BufferPool::page_count(&vd, "t.ibd"));
+        assert_eq!(
+            pages.len() as u32,
+            ShardedBufferPool::page_count(&vd, "t.ibd")
+        );
     }
 
     #[test]
     fn update_in_place_vs_moved() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         let id = h.allocate_row_id();
-        h.insert(&mut bp, &mut vd, &row(id, 7)).unwrap();
+        h.insert(&bp, &mut vd, &row(id, 7)).unwrap();
         // Same-length payload: in place.
-        let p = h.update(&mut bp, &mut vd, &row(id, 8)).unwrap();
+        let p = h.update(&bp, &mut vd, &row(id, 8)).unwrap();
         assert!(matches!(p, UpdatePlacement::InPlace { .. }));
         // Longer payload: moved.
         let longer = Row {
@@ -554,21 +561,21 @@ mod tests {
                 Value::Text("much longer payload here".into()),
             ],
         };
-        let p = h.update(&mut bp, &mut vd, &longer).unwrap();
+        let p = h.update(&bp, &mut vd, &longer).unwrap();
         assert!(matches!(p, UpdatePlacement::Moved { .. }));
-        assert_eq!(h.read(&mut bp, &mut vd, id).unwrap(), longer);
+        assert_eq!(h.read(&bp, &mut vd, id).unwrap(), longer);
     }
 
     #[test]
     fn delete_then_reopen() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         let keep = h.allocate_row_id();
-        h.insert(&mut bp, &mut vd, &row(keep, 1)).unwrap();
+        h.insert(&bp, &mut vd, &row(keep, 1)).unwrap();
         let gone = h.allocate_row_id();
-        h.insert(&mut bp, &mut vd, &row(gone, 2)).unwrap();
-        h.delete(&mut bp, &mut vd, gone).unwrap();
+        h.insert(&bp, &mut vd, &row(gone, 2)).unwrap();
+        h.delete(&bp, &mut vd, gone).unwrap();
         bp.flush_all(&mut vd);
-        let h2 = TableHeap::open(&mut bp, &mut vd, "t.ibd").unwrap();
+        let h2 = TableHeap::open(&bp, &mut vd, "t.ibd").unwrap();
         assert_eq!(h2.row_count(), 1);
         assert!(h2.locate(keep).is_some());
         assert!(h2.locate(gone).is_none());
@@ -579,38 +586,38 @@ mod tests {
 
     #[test]
     fn replay_is_idempotent() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         let bytes = row(1, 42).encode();
-        h.replay_insert(&mut bp, &mut vd, 10, 0, 0, &bytes).unwrap();
+        h.replay_insert(&bp, &mut vd, 10, 0, 0, &bytes).unwrap();
         // Replaying the same LSN again is a no-op.
-        h.replay_insert(&mut bp, &mut vd, 10, 0, 0, &bytes).unwrap();
+        h.replay_insert(&bp, &mut vd, 10, 0, 0, &bytes).unwrap();
         assert_eq!(h.row_count(), 1);
-        assert_eq!(h.read(&mut bp, &mut vd, 1).unwrap(), row(1, 42));
+        assert_eq!(h.read(&bp, &mut vd, 1).unwrap(), row(1, 42));
         // A later delete replays once.
-        h.replay_delete(&mut bp, &mut vd, 11, 0, 0).unwrap();
-        h.replay_delete(&mut bp, &mut vd, 11, 0, 0).unwrap();
+        h.replay_delete(&bp, &mut vd, 11, 0, 0).unwrap();
+        h.replay_delete(&bp, &mut vd, 11, 0, 0).unwrap();
         assert_eq!(h.row_count(), 0);
     }
 
     #[test]
     fn replay_update_respects_page_lsn() {
-        let (mut bp, mut vd, mut h) = setup();
-        h.replay_insert(&mut bp, &mut vd, 5, 0, 0, &row(1, 1).encode())
+        let (bp, mut vd, mut h) = setup();
+        h.replay_insert(&bp, &mut vd, 5, 0, 0, &row(1, 1).encode())
             .unwrap();
-        h.replay_update(&mut bp, &mut vd, 6, 0, 0, &row(1, 2).encode())
+        h.replay_update(&bp, &mut vd, 6, 0, 0, &row(1, 2).encode())
             .unwrap();
         // Stale update (lower LSN) must not regress the page.
-        h.replay_update(&mut bp, &mut vd, 4, 0, 0, &row(1, 9).encode())
+        h.replay_update(&bp, &mut vd, 4, 0, 0, &row(1, 9).encode())
             .unwrap();
-        assert_eq!(h.read(&mut bp, &mut vd, 1).unwrap(), row(1, 2));
+        assert_eq!(h.read(&bp, &mut vd, 1).unwrap(), row(1, 2));
     }
 
     #[test]
     fn dml_maintains_page_synopsis() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         for n in [30i64, 10, 20] {
             let id = h.allocate_row_id();
-            h.insert(&mut bp, &mut vd, &row(id, n)).unwrap();
+            h.insert(&bp, &mut vd, &row(id, n)).unwrap();
         }
         let syn = h.zone_map().get(&0).expect("mirror populated").clone();
         assert_eq!(syn.rows, 3);
@@ -623,8 +630,8 @@ mod tests {
             .expect("valid on page");
         assert_eq!(on_page, syn);
         // In-place update widens; delete drops the count but not bounds.
-        h.update(&mut bp, &mut vd, &row(1, 99)).unwrap();
-        h.delete(&mut bp, &mut vd, 2).unwrap();
+        h.update(&bp, &mut vd, &row(1, 99)).unwrap();
+        h.delete(&bp, &mut vd, 2).unwrap();
         let syn = h.zone_map().get(&0).unwrap();
         assert_eq!(syn.rows, 2);
         assert_eq!(syn.stats(0).unwrap().max, 99);
@@ -633,52 +640,31 @@ mod tests {
 
     #[test]
     fn prune_check_uses_bounds() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         for n in 0..10 {
             let id = h.allocate_row_id();
-            h.insert(&mut bp, &mut vd, &row(id, n)).unwrap();
+            h.insert(&bp, &mut vd, &row(id, n)).unwrap();
         }
         // Values are 0..=9 in column 0; [50, ∞) must prune, [5, ∞) must not.
         assert!(h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                0,
-                &Bound::Included(50),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 0, &Bound::Included(50), &Bound::Unbounded)
             .unwrap());
         assert!(!h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                0,
-                &Bound::Included(5),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 0, &Bound::Included(5), &Bound::Unbounded)
             .unwrap());
         // Column 1 is TEXT — untracked, never prunable.
         assert!(!h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                1,
-                &Bound::Included(50),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 1, &Bound::Included(50), &Bound::Unbounded)
             .unwrap());
     }
 
     #[test]
     fn replay_invalidates_and_scan_rebuilds() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         let id = h.allocate_row_id();
-        h.insert(&mut bp, &mut vd, &row(id, 5)).unwrap();
+        h.insert(&bp, &mut vd, &row(id, 5)).unwrap();
         // A redo replay is value-blind: synopsis goes invalid everywhere.
-        h.replay_insert(&mut bp, &mut vd, 100, 0, 1, &row(77, 500).encode())
+        h.replay_insert(&bp, &mut vd, 100, 0, 1, &row(77, 500).encode())
             .unwrap();
         assert!(h.zone_map().get(&0).is_none(), "mirror dropped");
         let valid = bp
@@ -690,14 +676,7 @@ mod tests {
         // First prune consult rebuilds from live rows — and must see the
         // replayed value 500 (pruning on it would be unsound otherwise).
         assert!(!h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                0,
-                &Bound::Included(500),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 0, &Bound::Included(500), &Bound::Unbounded)
             .unwrap());
         let syn = h.zone_map().get(&0).expect("rebuilt into mirror");
         assert_eq!(syn.rows, 2);
@@ -713,46 +692,32 @@ mod tests {
 
     #[test]
     fn zone_maps_disabled_never_prunes() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         h.set_zone_maps(false);
         for n in 0..5 {
             let id = h.allocate_row_id();
-            h.insert(&mut bp, &mut vd, &row(id, n)).unwrap();
+            h.insert(&bp, &mut vd, &row(id, n)).unwrap();
         }
         assert!(h.zone_map().is_empty());
         assert!(!h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                0,
-                &Bound::Included(900),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 0, &Bound::Included(900), &Bound::Unbounded)
             .unwrap());
         // Re-enable: lazy rebuild recovers the stale page.
         h.set_zone_maps(true);
         assert!(h
-            .page_prunable(
-                &mut bp,
-                &mut vd,
-                0,
-                0,
-                &Bound::Included(900),
-                &Bound::Unbounded
-            )
+            .page_prunable(&bp, &mut vd, 0, 0, &Bound::Included(900), &Bound::Unbounded)
             .unwrap());
     }
 
     #[test]
     fn read_page_rows_projects() {
-        let (mut bp, mut vd, mut h) = setup();
+        let (bp, mut vd, mut h) = setup();
         for n in 0..3 {
             let id = h.allocate_row_id();
-            h.insert(&mut bp, &mut vd, &row(id, n)).unwrap();
+            h.insert(&bp, &mut vd, &row(id, n)).unwrap();
         }
         let rows = h
-            .read_page_rows(&mut bp, &mut vd, 0, Some(&[true, false]))
+            .read_page_rows(&bp, &mut vd, 0, Some(&[true, false]))
             .unwrap();
         assert_eq!(rows.len(), 3);
         for (i, r) in rows.iter().enumerate() {

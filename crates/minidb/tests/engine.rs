@@ -781,3 +781,195 @@ fn flush_diagnostics_default_keeps_trace_ring() {
         .unwrap();
     assert!(r.rows.is_empty(), "perf schema history wiped");
 }
+
+// ================= MVCC snapshot isolation =================
+
+#[test]
+fn mvcc_snapshot_reads_ignore_later_commits() {
+    let db = db();
+    setup_customers(&db);
+    let reader = db.connect("reader");
+    let writer = db.connect("writer");
+
+    reader.execute("BEGIN").unwrap();
+    let r = reader
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(30));
+
+    // Another session commits an update and a delete mid-transaction.
+    writer
+        .execute("UPDATE customers SET age = 99 WHERE id = 1")
+        .unwrap();
+    writer
+        .execute("DELETE FROM customers WHERE id = 5")
+        .unwrap();
+
+    // The pinned snapshot still sees the old world: the pre-update age
+    // and the deleted row both resolve through the version chains.
+    let r = reader
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(30), "update invisible to snapshot");
+    let r = reader
+        .execute("SELECT id FROM customers WHERE id = 5")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "deleted row resurrected for snapshot");
+
+    // After COMMIT the next read sees the new committed state.
+    reader.execute("COMMIT").unwrap();
+    let r = reader
+        .execute("SELECT age FROM customers WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(99));
+    let r = reader
+        .execute("SELECT id FROM customers WHERE id = 5")
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn mvcc_uncommitted_writes_invisible_to_others_but_own() {
+    let db = db();
+    setup_customers(&db);
+    let writer = db.connect("writer");
+    let other = db.connect("other");
+
+    writer.execute("BEGIN").unwrap();
+    writer
+        .execute("UPDATE customers SET age = 77 WHERE id = 2")
+        .unwrap();
+    writer
+        .execute("INSERT INTO customers VALUES (6, 'TX', 50)")
+        .unwrap();
+
+    // Read-your-own-writes inside the transaction.
+    let r = writer
+        .execute("SELECT age FROM customers WHERE id = 2")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(77));
+    let r = writer
+        .execute("SELECT id FROM customers WHERE id = 6")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+
+    // An autocommit reader in another session must not see either.
+    let r = other
+        .execute("SELECT age FROM customers WHERE id = 2")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(25), "no dirty read");
+    let r = other
+        .execute("SELECT id FROM customers WHERE id = 6")
+        .unwrap();
+    assert!(r.rows.is_empty(), "uncommitted insert invisible");
+
+    writer.execute("COMMIT").unwrap();
+    let r = other
+        .execute("SELECT age FROM customers WHERE id = 2")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(77));
+}
+
+#[test]
+fn mvcc_rollback_aborts_version_records() {
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    conn.execute("BEGIN").unwrap();
+    conn.execute("UPDATE customers SET age = 1 WHERE age >= 25")
+        .unwrap();
+    conn.execute("ROLLBACK").unwrap();
+    let r = conn
+        .execute("SELECT age FROM customers ORDER BY id")
+        .unwrap();
+    assert_eq!(
+        r.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+        vec![
+            Value::Int(30),
+            Value::Int(25),
+            Value::Int(41),
+            Value::Int(25),
+            Value::Int(67)
+        ],
+        "rollback restored every row"
+    );
+    // The aborted before-images are still counted until vacuum reclaims
+    // them — they are real bytes in the version store.
+    assert!(db.version_count() > 0);
+    let (reclaimed, remaining) = db.vacuum();
+    assert_eq!(remaining, 0);
+    assert!(reclaimed >= 5);
+}
+
+#[test]
+fn mvcc_version_store_archives_update_history() {
+    use minidb::mvcc::VERSIONS_FILE;
+    let db = db();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE secrets (id INT PRIMARY KEY, balance INT)")
+        .unwrap();
+    conn.execute("INSERT INTO secrets VALUES (1, 1000)")
+        .unwrap();
+    for k in 0..8 {
+        conn.execute(&format!("UPDATE secrets SET balance = {}", 1001 + k))
+            .unwrap();
+    }
+    assert_eq!(db.version_count(), 8, "one archived version per UPDATE");
+
+    // Default vacuum tombstones: the engine forgets the versions, the
+    // file keeps every payload byte.
+    let before = db.disk_image().file(VERSIONS_FILE).unwrap().len();
+    let (reclaimed, remaining) = db.vacuum();
+    assert_eq!((reclaimed, remaining), (8, 0));
+    assert_eq!(
+        db.disk_image().file(VERSIONS_FILE).unwrap().len(),
+        before,
+        "tombstoning vacuum leaves the before-images on disk"
+    );
+}
+
+#[test]
+fn scrub_all_walks_every_leakage_surface() {
+    use minidb::mvcc::VERSIONS_FILE;
+    let db = db();
+    setup_customers(&db);
+    let conn = db.connect("app");
+    // Populate every surface: versions, query cache, perf schema,
+    // telemetry, traces.
+    conn.execute("UPDATE customers SET age = 31 WHERE id = 1")
+        .unwrap();
+    conn.execute("SELECT * FROM customers").unwrap();
+    conn.execute("SELECT * FROM customers").unwrap();
+    assert!(db.version_count() > 0);
+    assert!(!db.query_traces().is_empty());
+
+    db.scrub_all();
+
+    // The regression list: every surface, one scrub.
+    assert_eq!(db.version_count(), 0, "version chains vacuumed");
+    let img = db.disk_image();
+    assert!(
+        img.file(VERSIONS_FILE).is_none_or(|f| f.is_empty()),
+        "version store physically scrubbed, not tombstoned"
+    );
+    assert!(db.query_traces().is_empty(), "flight recorder cleared");
+    let snap = db.metrics_snapshot();
+    assert!(
+        snap.counters.iter().all(|(_, v)| *v == 0),
+        "telemetry counters zeroed"
+    );
+    let r = conn
+        .execute("SELECT sql_text FROM performance_schema.events_statements_history")
+        .unwrap();
+    assert!(r.rows.is_empty(), "perf schema history wiped");
+    // Query cache was dropped: the identical SELECT below re-executes
+    // (cache hits counter stays zero after the scrub).
+    conn.execute("SELECT * FROM customers").unwrap();
+    conn.execute("SELECT * FROM customers").unwrap();
+    let snap = db.metrics_snapshot();
+    assert_eq!(
+        snap.counter("sql.query_cache_hits"),
+        Some(1),
+        "cache repopulated only after scrub"
+    );
+}

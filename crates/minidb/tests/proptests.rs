@@ -8,7 +8,7 @@ use minidb::engine::{Db, DbConfig};
 use minidb::row::Row;
 use minidb::sql::digest_text;
 use minidb::storage::btree::BTree;
-use minidb::storage::bufpool::BufferPool;
+use minidb::storage::shardpool::ShardedBufferPool;
 use minidb::value::Value;
 use minidb::vdisk::VDisk;
 use minidb::wal::{carve_frames, frame, BinlogEvent, RedoRecord, UndoRecord};
@@ -338,19 +338,19 @@ proptest! {
         probe in 0i64..200,
         range in (0i64..200, 0i64..60),
     ) {
-        let mut bp = BufferPool::new(64);
+        let bp = ShardedBufferPool::new(64, 4);
         let mut vd = VDisk::new();
-        let tree = BTree::create(&mut bp, &mut vd, "idx.ibd").unwrap();
+        let tree = BTree::create(&bp, &mut vd, "idx.ibd").unwrap();
         // Model: key -> set of row ids (duplicates allowed, so multimap).
         let mut model: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
         for (op, key, rid) in &ops {
             match op {
                 0 | 1 => {
-                    tree.insert(&mut bp, &mut vd, &Value::Int(*key), *rid).unwrap();
+                    tree.insert(&bp, &mut vd, &Value::Int(*key), *rid).unwrap();
                     model.entry(*key).or_default().push(*rid);
                 }
                 _ => {
-                    let removed = tree.delete(&mut bp, &mut vd, &Value::Int(*key), *rid).unwrap();
+                    let removed = tree.delete(&bp, &mut vd, &Value::Int(*key), *rid).unwrap();
                     let model_removed = model.get_mut(key).map(|v| {
                         if let Some(pos) = v.iter().position(|r| r == rid) {
                             v.remove(pos);
@@ -364,7 +364,7 @@ proptest! {
             }
         }
         // Point lookup.
-        let found = tree.search_eq(&mut bp, &mut vd, &Value::Int(probe)).unwrap();
+        let found = tree.search_eq(&bp, &mut vd, &Value::Int(probe)).unwrap();
         let mut got = found.row_ids.clone();
         got.sort_unstable();
         let mut want = model.get(&probe).cloned().unwrap_or_default();
@@ -375,7 +375,7 @@ proptest! {
         let hi = lo + width;
         let found = tree
             .search_range(
-                &mut bp,
+                &bp,
                 &mut vd,
                 Bound::Included(Value::Int(lo)),
                 Bound::Included(Value::Int(hi)),
@@ -452,16 +452,16 @@ proptest! {
     fn btree_survives_flush_reload(
         keys in proptest::collection::vec(0i64..500, 1..100),
     ) {
-        let mut bp = BufferPool::new(32);
+        let bp = ShardedBufferPool::new(32, 4);
         let mut vd = VDisk::new();
-        let tree = BTree::create(&mut bp, &mut vd, "idx.ibd").unwrap();
+        let tree = BTree::create(&bp, &mut vd, "idx.ibd").unwrap();
         for (i, k) in keys.iter().enumerate() {
-            tree.insert(&mut bp, &mut vd, &Value::Int(*k), i as u64).unwrap();
+            tree.insert(&bp, &mut vd, &Value::Int(*k), i as u64).unwrap();
         }
         bp.flush_all(&mut vd);
-        let mut cold = BufferPool::new(8);
+        let cold = ShardedBufferPool::new(8, 4);
         let all = tree
-            .search_range(&mut cold, &mut vd, Bound::Unbounded, Bound::Unbounded)
+            .search_range(&cold, &mut vd, Bound::Unbounded, Bound::Unbounded)
             .unwrap();
         prop_assert_eq!(all.row_ids.len(), keys.len());
     }

@@ -1,0 +1,90 @@
+//! A minimal interactive SQL shell against an in-process `mdb-server`.
+//!
+//! Spins up a [`minidb`] engine, serves it on an ephemeral loopback
+//! port, connects an [`MdbClient`] to that port, and REPLs stdin lines
+//! as SQL — the full network round trip, in one process:
+//!
+//! ```text
+//! cargo run -p mdb-server --example minidb-cli
+//! minidb/0.1 at 127.0.0.1:43617, session 1
+//! sql> CREATE TABLE t (id INT PRIMARY KEY, name TEXT)
+//! ok (0 rows affected)
+//! sql> INSERT INTO t VALUES (1, 'alice'), (2, 'bob')
+//! ok (2 rows affected)
+//! sql> SELECT * FROM t
+//! id | name
+//! ---+------
+//! 1  | alice
+//! 2  | bob
+//! (2 rows)
+//! sql> \q
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mdb_server::{MdbClient, MdbServer, ServerOptions};
+use minidb::engine::{Db, DbConfig};
+
+fn render(rs: &mdb_server::WireResultSet) -> String {
+    if rs.columns.is_empty() {
+        return format!("ok ({} rows affected)", rs.rows_affected);
+    }
+    let mut cells: Vec<Vec<String>> = vec![rs.columns.clone()];
+    for row in &rs.rows {
+        cells.push(row.iter().map(|v| v.to_string()).collect());
+    }
+    let widths: Vec<usize> = (0..rs.columns.len())
+        .map(|i| cells.iter().map(|r| r[i].len()).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    for (ri, row) in cells.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(line.join(" | ").trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&sep.join("-+-"));
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("({} rows)", rs.rows.len()));
+    out
+}
+
+fn main() {
+    let db = Db::open(DbConfig::default());
+    let srv = MdbServer::start(db, ServerOptions::default()).expect("bind ephemeral port");
+    let addr = srv.local_addr();
+    let mut client = MdbClient::connect(addr, "cli").expect("connect");
+    println!(
+        "{} at {addr}, session {}",
+        client.server_name(),
+        client.session_id()
+    );
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("sql> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql == "\\q" || sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match client.query(sql) {
+            Ok(rs) => println!("{}", render(&rs)),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    client.close().ok();
+}

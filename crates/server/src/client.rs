@@ -1,0 +1,148 @@
+//! The client half: a blocking connector speaking the [`crate::wire`]
+//! protocol. One [`MdbClient`] is one server session — and therefore
+//! one engine connection, one transaction scope, one MVCC snapshot at
+//! a time.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{FrameDecoder, WireError, WireMessage, WireResultSet};
+
+/// Client-side protocol error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The byte stream failed to parse.
+    Wire(WireError),
+    /// The server reported a statement error.
+    Server(String),
+    /// The server sent a message this call did not expect.
+    Unexpected(String),
+    /// The server closed the stream.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected message: {m}"),
+            ClientError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connected SQL session.
+pub struct MdbClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    session_id: u64,
+    server: String,
+}
+
+impl MdbClient {
+    /// Connects, performs the Hello/Greeting handshake as `user`.
+    pub fn connect(addr: impl ToSocketAddrs, user: &str) -> Result<MdbClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = MdbClient {
+            stream,
+            decoder: FrameDecoder::default(),
+            session_id: 0,
+            server: String::new(),
+        };
+        client.send(&WireMessage::Hello { user: user.into() })?;
+        match client.recv()? {
+            WireMessage::Greeting { session_id, server } => {
+                client.session_id = session_id;
+                client.server = server;
+                Ok(client)
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The engine connection id backing this session.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The server identification string from the greeting.
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    /// Executes one SQL statement and waits for its result.
+    pub fn query(&mut self, sql: &str) -> Result<WireResultSet, ClientError> {
+        self.send(&WireMessage::Query { sql: sql.into() })?;
+        self.expect_result()
+    }
+
+    /// Caches `sql` under `name` in the server-side session.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<(), ClientError> {
+        self.send(&WireMessage::Prepare {
+            name: name.into(),
+            sql: sql.into(),
+        })?;
+        self.expect_result().map(|_| ())
+    }
+
+    /// Executes a statement prepared with [`MdbClient::prepare`].
+    pub fn execute_prepared(&mut self, name: &str) -> Result<WireResultSet, ClientError> {
+        self.send(&WireMessage::ExecutePrepared { name: name.into() })?;
+        self.expect_result()
+    }
+
+    /// Closes the session gracefully (Quit/Bye).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.send(&WireMessage::Quit)?;
+        match self.recv()? {
+            WireMessage::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    fn send(&mut self, msg: &WireMessage) -> Result<(), ClientError> {
+        self.stream.write_all(&msg.to_frame())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<WireMessage, ClientError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(msg) = self.decoder.next_message()? {
+                return Ok(msg);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Closed);
+            }
+            self.decoder.feed(&buf[..n]);
+        }
+    }
+
+    fn expect_result(&mut self) -> Result<WireResultSet, ClientError> {
+        match self.recv()? {
+            WireMessage::Result(rs) => Ok(rs),
+            WireMessage::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

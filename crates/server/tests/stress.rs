@@ -1,0 +1,155 @@
+//! Multi-threaded wire stress: 8 concurrent client connections mixing
+//! transactional writes with snapshot and read-committed reads, all
+//! over real TCP against one shared engine.
+//!
+//! Invariant under test: every writer keeps its account pair's balance
+//! sum constant *per transaction*, so no reader — autocommit or
+//! snapshot — may ever observe a torn total (one update of a pair
+//! without the other) or a future version (a commit after its pinned
+//! snapshot).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mdb_server::{MdbClient, MdbServer, ServerOptions};
+use minidb::engine::{Db, DbConfig};
+use minidb::value::Value;
+
+const WRITERS: usize = 4;
+const PAIR_SUM: i64 = 1000;
+const TXNS_PER_WRITER: usize = 25;
+
+fn total(rows: &[Vec<Value>]) -> i64 {
+    rows.iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            _ => panic!("non-int balance"),
+        })
+        .sum()
+}
+
+#[test]
+fn eight_connections_never_observe_torn_or_future_versions() {
+    let db = Db::open(DbConfig::default());
+    let srv = MdbServer::start(db.clone(), ServerOptions::default()).unwrap();
+    let addr = srv.local_addr();
+
+    let setup = db.connect("setup");
+    setup
+        .execute("CREATE TABLE accounts (id INT PRIMARY KEY, bal INT)")
+        .unwrap();
+    // One disjoint account pair per writer; each pair sums to PAIR_SUM.
+    for w in 0..WRITERS as i64 {
+        setup
+            .execute(&format!(
+                "INSERT INTO accounts VALUES ({}, {}), ({}, {})",
+                2 * w,
+                PAIR_SUM / 2,
+                2 * w + 1,
+                PAIR_SUM / 2
+            ))
+            .unwrap();
+    }
+    let grand_total = PAIR_SUM * WRITERS as i64;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // 4 writer connections: move a varying amount within the pair, both
+    // legs inside one transaction.
+    for w in 0..WRITERS {
+        let h = std::thread::spawn(move || {
+            let mut c = MdbClient::connect(addr, &format!("writer{w}")).unwrap();
+            for i in 0..TXNS_PER_WRITER {
+                let x = ((i as i64 * 37 + w as i64 * 11) % PAIR_SUM).abs();
+                c.query("BEGIN").unwrap();
+                c.query(&format!(
+                    "UPDATE accounts SET bal = {x} WHERE id = {}",
+                    2 * w
+                ))
+                .unwrap();
+                c.query(&format!(
+                    "UPDATE accounts SET bal = {} WHERE id = {}",
+                    PAIR_SUM - x,
+                    2 * w + 1
+                ))
+                .unwrap();
+                // Occasionally abandon the transfer instead.
+                if i % 7 == 3 {
+                    c.query("ROLLBACK").unwrap();
+                } else {
+                    c.query("COMMIT").unwrap();
+                }
+            }
+            c.close().unwrap();
+        });
+        handles.push(h);
+    }
+
+    // 2 autocommit readers: read-committed totals must always balance.
+    for r in 0..2 {
+        let done = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            let mut c = MdbClient::connect(addr, &format!("rc{r}")).unwrap();
+            while !done.load(Ordering::SeqCst) {
+                let rs = c.query("SELECT bal FROM accounts").unwrap();
+                assert_eq!(rs.rows.len(), 2 * WRITERS);
+                assert_eq!(total(&rs.rows), grand_total, "torn read-committed total");
+            }
+            c.close().unwrap();
+        });
+        handles.push(h);
+    }
+
+    // 2 snapshot readers: inside BEGIN..COMMIT, repeated reads must be
+    // byte-identical (no future versions) and balanced (no torn pairs).
+    for r in 0..2 {
+        let done = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            let mut c = MdbClient::connect(addr, &format!("snap{r}")).unwrap();
+            while !done.load(Ordering::SeqCst) {
+                c.query("BEGIN").unwrap();
+                let first = c.query("SELECT bal FROM accounts ORDER BY id").unwrap();
+                assert_eq!(total(&first.rows), grand_total, "torn snapshot total");
+                for _ in 0..3 {
+                    let again = c.query("SELECT bal FROM accounts ORDER BY id").unwrap();
+                    assert_eq!(
+                        again.rows, first.rows,
+                        "snapshot drifted: saw a future version"
+                    );
+                }
+                c.query("COMMIT").unwrap();
+            }
+            c.close().unwrap();
+        });
+        handles.push(h);
+    }
+
+    // Join writers first, then release the readers.
+    for h in handles.drain(..WRITERS) {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Quiescent state: committed balances still sum, and vacuum can
+    // reclaim every superseded version the run left behind.
+    let rs = setup.execute("SELECT bal FROM accounts").unwrap();
+    let sum: i64 = rs
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            _ => unreachable!(),
+        })
+        .sum();
+    assert_eq!(sum, grand_total);
+    assert!(
+        db.version_count() > 0,
+        "the run must have archived versions"
+    );
+    let (_reclaimed, remaining) = db.vacuum();
+    assert_eq!(remaining, 0);
+}
