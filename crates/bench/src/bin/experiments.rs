@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--json <path>] [--trace <dir>]
 //!             [--bench-json <path>] [--obs-bench-json <path>]
-//!             [--server-bench-json <path>]
+//!             [--server-bench-json <path>] [--xtrace-bench-json <path>]
 //!             [e1 e2 … | all]
 //! ```
 //!
@@ -19,7 +19,9 @@
 //! parse timing) and writes it as JSON; `--server-bench-json <path>`
 //! runs the sharded-buffer-pool benchmark (8-thread mixed scan/write
 //! throughput, single latch vs latch-partitioned) and writes it as
-//! JSON.
+//! JSON; `--xtrace-bench-json <path>` runs the cross-node tracing
+//! benchmark (attribution rates, probe lanes, tracing overhead) and
+//! writes it as JSON plus the merged Chrome trace as `<path>.trace.json`.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -42,6 +44,7 @@ fn main() {
     let bench_json_path = path_flag("--bench-json");
     let obs_bench_json_path = path_flag("--obs-bench-json");
     let server_bench_json_path = path_flag("--server-bench-json");
+    let xtrace_bench_json_path = path_flag("--xtrace-bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -55,6 +58,7 @@ fn main() {
             || a == "--bench-json"
             || a == "--obs-bench-json"
             || a == "--server-bench-json"
+            || a == "--xtrace-bench-json"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -65,7 +69,8 @@ fn main() {
     let ids: Vec<String> = if ids.is_empty()
         && (bench_json_path.is_some()
             || obs_bench_json_path.is_some()
-            || server_bench_json_path.is_some())
+            || server_bench_json_path.is_some()
+            || xtrace_bench_json_path.is_some())
     {
         Vec::new()
     } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -176,5 +181,27 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote server bench JSON to {path}");
+    }
+    if let Some(path) = xtrace_bench_json_path {
+        let writes = if quick { 24 } else { 120 };
+        eprintln!("[experiments] xtrace bench: {writes} writes per variant");
+        let b = bench::xtracebench::run(writes);
+        eprintln!(
+            "[experiments] attribution {:.0}% traced / {:.0}% hashed, {} probe lanes, {:.2}x tracing overhead",
+            b.traced_attribution * 100.0,
+            b.hashed_attribution * 100.0,
+            b.traced_probe_lanes,
+            b.tracing_overhead(),
+        );
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        let trace_path = format!("{path}.trace.json");
+        if let Err(e) = std::fs::write(&trace_path, &b.merged_chrome_json) {
+            eprintln!("failed to write {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote xtrace bench JSON to {path} (+ merged trace {trace_path})");
     }
 }

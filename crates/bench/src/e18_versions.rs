@@ -185,7 +185,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let db = victim(k, false, opts.seed ^ 0x1801);
     let disk = score(&db, &carve_disk(&db.disk_image()), k);
     row_for(&mut archive, "no vacuum, disk image carve", k, &disk);
-    // The same history, replayed from a memory snapshot (the EDBSNAP5
+    // The same history, replayed from a memory snapshot (the EDBSNAP6
     // container carries `version_chains` — no byte carving needed).
     let mem = score(&db, &from_memory(&db.memory_image()), k);
     row_for(&mut archive, "no vacuum, memory image chains", k, &mem);

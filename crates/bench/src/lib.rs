@@ -26,6 +26,7 @@
 //! | e16 | §3    | (ext) zone maps: scan pruning speedup + page-range leak |
 //! | e17 | §4    | (ext) scrape channel: remote volume recovery off `/metrics` |
 //! | e18 | §3/§6 | (ext) version chains: MVCC archives the victim's edit history |
+//! | e19 | §3/§4 | (ext) xtrace: trace ids join replica images to client sessions |
 
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
@@ -45,9 +46,11 @@ pub mod e15_tracelog;
 pub mod e16_zonemap;
 pub mod e17_obs;
 pub mod e18_versions;
+pub mod e19_xtrace;
 pub mod obsbench;
 pub mod scanbench;
 pub mod serverbench;
+pub mod xtracebench;
 
 use mdb_telemetry::{json, MetricsSnapshot, Registry};
 use mdb_trace::{Recorder, StatementTrace};
@@ -112,18 +115,20 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e16" => Some(e16_zonemap::run(opts)),
         "e17" => Some(e17_obs::run(opts)),
         "e18" => Some(e18_versions::run(opts)),
+        "e19" => Some(e19_xtrace::run(opts)),
         _ => None,
     }
 }
 
-/// All experiment ids in order. `e12`–`e18` are extensions beyond the
+/// All experiment ids in order. `e12`–`e19` are extensions beyond the
 /// paper: the §7 mitigation ablation, the snapshot-vs-persistent
 /// coverage comparison, the replication relay-log surface, the
 /// query-flight-recorder surface, the zone-map surface, the
-/// metrics-scrape surface, and the MVCC version-chain surface.
-pub const ALL: [&str; 18] = [
+/// metrics-scrape surface, the MVCC version-chain surface, and the
+/// cross-node trace-correlation surface.
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the

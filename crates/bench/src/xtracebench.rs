@@ -1,0 +1,109 @@
+//! Cross-node tracing benchmark (the `--xtrace-bench-json` output, and
+//! the committed `BENCH_e19.json` baseline).
+//!
+//! Two kinds of numbers, deliberately separated:
+//!
+//! * **Correlation metrics** — attribution rate and probe-lane count
+//!   per variant for a fixed workload. Deterministic (the join either
+//!   holds or it doesn't), machine-independent, and what CI's
+//!   perf-trajectory gate pins: tracing-on attribution must stay ≥ 0.9
+//!   and `trace_id_hashing` must stay at exactly 0.
+//! * **Timing metrics** — wall-clock of the client statement loop with
+//!   tracing on vs off, the tracing tax on the real TCP round trip.
+//!   Machine-dependent; reported for trajectory context, never gated.
+
+use mdb_telemetry::json;
+
+use crate::e19_xtrace::run_variant;
+
+/// One xtrace-bench run.
+#[derive(Clone, Debug)]
+pub struct XtraceBench {
+    /// Client DML statements per variant.
+    pub writes: usize,
+    /// Attribution rate with tracing on (expected 1.0).
+    pub traced_attribution: f64,
+    /// Process lanes the probe statement spans with tracing on.
+    pub traced_probe_lanes: usize,
+    /// Attribution rate under `trace_id_hashing` (expected 0.0).
+    pub hashed_attribution: f64,
+    /// Distinct ids still carved under hashing (present, unjoinable).
+    pub hashed_carved: usize,
+    /// Workload exposure under 1-in-4 sampling.
+    pub sampled_exposure: f64,
+    /// Client loop wall-clock with tracing on, microseconds.
+    pub traced_wall_us: u64,
+    /// Client loop wall-clock with tracing off, microseconds.
+    pub untraced_wall_us: u64,
+    /// The merged multi-node Chrome document from the traced variant.
+    pub merged_chrome_json: String,
+}
+
+impl XtraceBench {
+    /// Tracing's wall-clock overhead over the untraced loop (1.0 = no
+    /// overhead). Timing-class: context, not a gate.
+    pub fn tracing_overhead(&self) -> f64 {
+        self.traced_wall_us as f64 / self.untraced_wall_us.max(1) as f64
+    }
+
+    /// Serialises as the `--xtrace-bench-json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.obj_open();
+        w.key("writes");
+        w.u64(self.writes as u64);
+        w.key("traced_attribution");
+        w.f64(self.traced_attribution);
+        w.key("traced_probe_lanes");
+        w.u64(self.traced_probe_lanes as u64);
+        w.key("hashed_attribution");
+        w.f64(self.hashed_attribution);
+        w.key("hashed_carved");
+        w.u64(self.hashed_carved as u64);
+        w.key("sampled_exposure");
+        w.f64(self.sampled_exposure);
+        w.key("traced_wall_us");
+        w.u64(self.traced_wall_us);
+        w.key("untraced_wall_us");
+        w.u64(self.untraced_wall_us);
+        w.key("tracing_overhead");
+        w.f64(self.tracing_overhead());
+        w.obj_close();
+        w.into_string()
+    }
+}
+
+/// Runs the benchmark: the E19 topology once per variant.
+pub fn run(writes: usize) -> XtraceBench {
+    let traced = run_variant("traced", true, false, 1, writes);
+    let hashed = run_variant("hashed", true, true, 1, writes);
+    let sampled = run_variant("sampled", true, false, 4, writes);
+    let untraced = run_variant("untraced", false, false, 1, writes);
+    XtraceBench {
+        writes,
+        traced_attribution: traced.attribution_rate,
+        traced_probe_lanes: traced.probe_lanes,
+        hashed_attribution: hashed.attribution_rate,
+        hashed_carved: hashed.carved,
+        sampled_exposure: sampled.exposure,
+        traced_wall_us: traced.wall.as_micros() as u64,
+        untraced_wall_us: untraced.wall.as_micros() as u64,
+        merged_chrome_json: traced.merged_chrome_json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_has_the_gated_keys() {
+        let b = run(8);
+        let js = b.to_json();
+        assert!(js.contains("\"traced_attribution\":1"), "{js}");
+        assert!(js.contains("\"hashed_attribution\":0"), "{js}");
+        assert!(js.contains("\"traced_probe_lanes\":3"), "{js}");
+        assert!(b.tracing_overhead() > 0.0);
+        assert!(b.merged_chrome_json.contains("traceEvents"));
+    }
+}

@@ -32,18 +32,26 @@ fn experiment_traces_export_as_valid_chrome_trace_events() {
     assert!(doc.starts_with("{\"traceEvents\":["), "{doc:.>80}");
     assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
 
-    // Every event is a complete event with a timestamp and duration.
+    // Two event shapes: complete ("X") span events with timestamp and
+    // duration, and process/thread-name ("M") metadata events labeling
+    // the lanes.
     let events = count(&doc, "\"ph\":");
-    assert!(events > 0);
-    assert_eq!(count(&doc, "\"ph\":\"X\""), events, "all events are ph=X");
-    assert_eq!(count(&doc, "\"ts\":"), events, "every event has ts");
-    assert_eq!(count(&doc, "\"dur\":"), events, "every event has dur");
+    let spans = count(&doc, "\"ph\":\"X\"");
+    let metadata = count(&doc, "\"ph\":\"M\"");
+    assert!(spans > 0);
+    assert_eq!(spans + metadata, events, "only X and M events");
+    assert_eq!(count(&doc, "\"ts\":"), spans, "every span has ts");
+    assert_eq!(count(&doc, "\"dur\":"), spans, "every span has dur");
     assert_eq!(count(&doc, "\"pid\":"), events, "every event has pid");
-    assert_eq!(count(&doc, "\"tid\":"), events, "every event has tid");
+    assert_eq!(
+        count(&doc, "\"name\":\"process_name\"") + count(&doc, "\"name\":\"thread_name\""),
+        metadata,
+        "metadata events only label lanes"
+    );
 
     // Statement roots carry the query text in args, and there is one
     // root event per absorbed trace.
-    assert_eq!(count(&doc, "\"cat\":\"statement\""), events);
+    assert_eq!(count(&doc, "\"cat\":\"statement\""), spans);
     assert_eq!(count(&doc, "\"statement\":"), report.traces.len());
 
     // Balanced JSON structure (the writer emits no trailing commas; a

@@ -104,6 +104,7 @@ mod tests {
             txn: 0,
             timestamp: ts,
             statement: stmt.to_string(),
+            ctx: None,
         }
     }
 

@@ -1,5 +1,5 @@
 //! `forensic` — standalone snapshot analysis, the attacker's offline
-//! toolbox: point it at a captured `EDBSNAP5` image and carve.
+//! toolbox: point it at a captured `EDBSNAP6` image and carve.
 //!
 //! ```text
 //! forensic <image-file> <command>
@@ -19,6 +19,10 @@
 //!   tracelog   query timeline from the slow log + flight recorder
 //!   zonemap    per-page plaintext min/max ranges from heap synopses
 //!   versions   per-row edit history carved from the MVCC version store
+//!   xtrace [primary-image]
+//!              distributed trace ids carved from this (replica) image;
+//!              with a second image, join them against the primary's
+//!              slow log and attribute statements to client sessions
 //! ```
 //!
 //! Generate an image with `minidb::SystemImage::to_bytes` (see the
@@ -28,7 +32,7 @@ use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
 use snapshot_attack::forensics::{
-    binlog, bufpool, memscan, relay, telemetry, tracelog, versions, wal, zonemap,
+    binlog, bufpool, memscan, relay, telemetry, tracelog, versions, wal, xtrace, zonemap,
 };
 
 fn main() {
@@ -47,7 +51,7 @@ fn main() {
     let image = match SystemImage::from_bytes(&bytes) {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("forensic: not a valid EDBSNAP5 image: {e}");
+            eprintln!("forensic: not a valid EDBSNAP6 image: {e}");
             std::process::exit(1);
         }
     };
@@ -65,6 +69,7 @@ fn main() {
         "tracelog" => tracelog_cmd(&image),
         "zonemap" => zonemap_cmd(&image),
         "versions" => versions_cmd(&image),
+        "xtrace" => xtrace_cmd(&image, args.get(2).map(String::as_str)),
         other => {
             eprintln!("forensic: unknown command {other}");
             std::process::exit(2);
@@ -234,6 +239,53 @@ fn metrics_cmd(image: &SystemImage) {
     if telemetry::onion_was_peeled(ms) {
         println!("onion downgrade events present: a column was ratcheted to DET");
     }
+}
+
+fn xtrace_cmd(image: &SystemImage, primary_path: Option<&str>) {
+    let carved = xtrace::carve_replica_trace_ids(&image.disk);
+    if carved.is_empty() {
+        println!("no trace ids in image (tracing off, sampled out, or id-hashed)");
+        return;
+    }
+    for c in &carved {
+        let src = match c.source {
+            xtrace::XtraceSource::RelayLog => "relay",
+            xtrace::XtraceSource::SlowLog => "slow",
+        };
+        println!(
+            "t={} [{src:<5}] trace={:032x} {}",
+            c.timestamp, c.trace_id, c.statement
+        );
+    }
+    eprintln!("{} trace ids carved", carved.len());
+    let Some(path) = primary_path else {
+        eprintln!("(pass a primary image to attribute statements to sessions)");
+        return;
+    };
+    let primary = match std::fs::read(path)
+        .map_err(|e| e.to_string())
+        .and_then(|b| SystemImage::from_bytes(&b).map_err(|e| e.to_string()))
+    {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("forensic: cannot load primary image {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let index = xtrace::primary_session_index(&primary.disk);
+    let a = xtrace::attribute(&carved, &index);
+    for hit in &a.attributed {
+        println!(
+            "session {:<4} trace={:032x} {}",
+            hit.session_id, hit.trace_id, hit.primary_statement
+        );
+    }
+    eprintln!(
+        "attribution: {}/{} distinct trace ids ({:.1}%)",
+        a.matched,
+        a.carved,
+        a.rate() * 100.0
+    );
 }
 
 fn writes(image: &SystemImage) {

@@ -59,6 +59,7 @@ mod tests {
             txn: lsn,
             timestamp,
             statement: String::new(),
+            ctx: None,
         }
     }
 

@@ -15,4 +15,5 @@ pub mod telemetry;
 pub mod tracelog;
 pub mod versions;
 pub mod wal;
+pub mod xtrace;
 pub mod zonemap;

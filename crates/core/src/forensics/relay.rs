@@ -77,6 +77,7 @@ mod tests {
                 txn: 1,
                 timestamp: ts,
                 statement: statement.to_string(),
+                ctx: None,
             }
             .encode(),
         )
@@ -105,12 +106,14 @@ mod tests {
                 txn: 1,
                 timestamp: 1,
                 statement: "INSERT INTO t VALUES (1)".into(),
+                ctx: None,
             },
             BinlogEvent {
                 lsn: 2,
                 txn: 2,
                 timestamp: 2,
                 statement: "INSERT INTO t VALUES (2)".into(),
+                ctx: None,
             },
         ];
         let executed = vec![

@@ -1,0 +1,249 @@
+//! Cross-node trace-correlation forensics: joining a **replica's** cold
+//! disk image back to the **primary's** client sessions via distributed
+//! trace ids (experiment E19).
+//!
+//! Distributed tracing stamps every statement with a 128-bit trace id
+//! that rides the client wire frame, the engine's trace records, *and*
+//! the binlog — so each replica's relay log and slow log persist the
+//! same id the primary's slow log associates with a concrete client
+//! connection. An attacker who images one replica therefore does not
+//! just read the write history (E14): with one more artifact — any
+//! snapshot of the primary's slow log — every carved statement is
+//! *attributed* to the session (and therefore the application or user)
+//! that issued it. Correlation is the whole point of tracing; here it
+//! is the leak.
+//!
+//! Two mitigations break the join, and both are measured by E19:
+//!
+//! * `DbConfig::trace_id_hashing` — the primary rehashes the trace id
+//!   with a process-local key at the replication boundary, so replica
+//!   artifacts carry ids that match nothing the primary ever logged.
+//! * client-side sampling — unsampled statements propagate no usable
+//!   context, shrinking the joinable population.
+
+use std::collections::BTreeMap;
+
+use minidb::snapshot::DiskImage;
+
+use super::relay::carve_relay;
+use super::tracelog::carve_slow_log;
+
+/// Which replica artifact a trace id was carved from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XtraceSource {
+    /// A relay-log event's optional trace-context tail.
+    RelayLog,
+    /// A v2 slow-log record written by the replica's own apply path.
+    SlowLog,
+}
+
+/// One traced statement carved from a replica image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CarvedTraceId {
+    /// The 128-bit distributed trace id.
+    pub trace_id: u128,
+    /// Statement text as it appears in the replica artifact.
+    pub statement: String,
+    /// Event timestamp (relay) or statement start (slow log), simulated
+    /// UNIX seconds.
+    pub timestamp: i64,
+    /// Artifact the id came from.
+    pub source: XtraceSource,
+}
+
+/// Carves every trace id present in a replica's disk image: relay-log
+/// events that carried a context tail, plus v2 slow-log records from
+/// the replica's apply path. Statements replicated without tracing (or
+/// with an unsampled context) simply do not appear.
+pub fn carve_replica_trace_ids(disk: &DiskImage) -> Vec<CarvedTraceId> {
+    let mut out = Vec::new();
+    for ev in carve_relay(disk) {
+        if let Some(ctx) = ev.ctx {
+            out.push(CarvedTraceId {
+                trace_id: ctx.trace_id,
+                statement: ev.statement,
+                timestamp: ev.timestamp,
+                source: XtraceSource::RelayLog,
+            });
+        }
+    }
+    for t in carve_slow_log(disk) {
+        if let Some(ctx) = t.ctx {
+            out.push(CarvedTraceId {
+                trace_id: ctx.trace_id,
+                statement: t.statement,
+                timestamp: t.started_unix,
+                source: XtraceSource::SlowLog,
+            });
+        }
+    }
+    out
+}
+
+/// The primary-side join index: trace id → `(conn_id, statement text)`
+/// carved from the primary's slow log. This is the second artifact the
+/// correlation attack needs — the one that names sessions.
+pub fn primary_session_index(disk: &DiskImage) -> BTreeMap<u128, (u64, String)> {
+    let mut index = BTreeMap::new();
+    for t in carve_slow_log(disk) {
+        if let Some(ctx) = t.ctx {
+            index.insert(ctx.trace_id, (t.conn_id, t.statement));
+        }
+    }
+    index
+}
+
+/// One replica statement successfully attributed to a primary session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributedStatement {
+    /// The joining trace id.
+    pub trace_id: u128,
+    /// Statement text from the replica artifact.
+    pub replica_statement: String,
+    /// Engine connection id of the client session on the primary.
+    pub session_id: u64,
+    /// Statement text the primary's slow log recorded for that session.
+    pub primary_statement: String,
+    /// Replica artifact the id was carved from.
+    pub source: XtraceSource,
+}
+
+/// Outcome of the cross-node join.
+#[derive(Clone, Debug, Default)]
+pub struct Attribution {
+    /// Every successful join, one entry per carved artifact record.
+    pub attributed: Vec<AttributedStatement>,
+    /// Distinct trace ids carved from the replica.
+    pub carved: usize,
+    /// Distinct carved ids that joined to a primary session.
+    pub matched: usize,
+}
+
+impl Attribution {
+    /// Fraction of distinct carved trace ids attributed to a session —
+    /// E19's headline number (≥0.9 with tracing on; 0.0 under
+    /// `trace_id_hashing`, whose whole point is an empty join).
+    pub fn rate(&self) -> f64 {
+        if self.carved == 0 {
+            0.0
+        } else {
+            self.matched as f64 / self.carved as f64
+        }
+    }
+}
+
+/// Joins replica-carved trace ids against the primary's session index.
+pub fn attribute(
+    replica: &[CarvedTraceId],
+    primary: &BTreeMap<u128, (u64, String)>,
+) -> Attribution {
+    let mut distinct = std::collections::BTreeSet::new();
+    let mut matched_ids = std::collections::BTreeSet::new();
+    let mut attributed = Vec::new();
+    for c in replica {
+        distinct.insert(c.trace_id);
+        if let Some((session_id, primary_statement)) = primary.get(&c.trace_id) {
+            matched_ids.insert(c.trace_id);
+            attributed.push(AttributedStatement {
+                trace_id: c.trace_id,
+                replica_statement: c.statement.clone(),
+                session_id: *session_id,
+                primary_statement: primary_statement.clone(),
+                source: c.source,
+            });
+        }
+    }
+    Attribution {
+        attributed,
+        carved: distinct.len(),
+        matched: matched_ids.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_trace::TraceContext;
+    use minidb::engine::{Db, DbConfig};
+    use minidb::wal::BinlogEvent;
+    use std::collections::BTreeMap as Map;
+
+    fn ctx(id: u128) -> TraceContext {
+        TraceContext {
+            trace_id: id,
+            span_id: id as u64 ^ 0x5555,
+            sampled: true,
+        }
+    }
+
+    fn replica_image(events: Vec<(&str, Option<TraceContext>)>) -> DiskImage {
+        let mut relay = Vec::new();
+        for (i, (stmt, c)) in events.iter().enumerate() {
+            relay.extend(minidb::wal::frame(
+                &BinlogEvent {
+                    lsn: i as u64 + 1,
+                    txn: i as u64 + 1,
+                    timestamp: 100 + i as i64,
+                    statement: stmt.to_string(),
+                    ctx: *c,
+                }
+                .encode(),
+            ));
+        }
+        let mut files = Map::new();
+        files.insert("relay-bin.000001".to_string(), relay);
+        DiskImage { files }
+    }
+
+    #[test]
+    fn carves_only_traced_relay_events() {
+        let disk = replica_image(vec![
+            ("INSERT INTO t VALUES (1)", Some(ctx(0xA1))),
+            ("INSERT INTO t VALUES (2)", None),
+            ("INSERT INTO t VALUES (3)", Some(ctx(0xA3))),
+        ]);
+        let carved = carve_replica_trace_ids(&disk);
+        assert_eq!(carved.len(), 2);
+        assert!(carved.iter().all(|c| c.source == XtraceSource::RelayLog));
+        assert_eq!(carved[0].trace_id, 0xA1);
+        assert_eq!(carved[1].statement, "INSERT INTO t VALUES (3)");
+    }
+
+    #[test]
+    fn join_attributes_replica_statements_to_primary_sessions() {
+        // Primary: a real engine whose slow log records the trace ids
+        // the client sessions ran under.
+        let db = Db::open(DbConfig {
+            slow_query_threshold_us: 0,
+            ..DbConfig::default()
+        });
+        let conn = db.connect("app");
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        conn.execute_traced("INSERT INTO t VALUES (1)", Some(ctx(0xB1)))
+            .unwrap();
+        conn.execute_traced("INSERT INTO t VALUES (2)", Some(ctx(0xB2)))
+            .unwrap();
+        let index = primary_session_index(&db.disk_image());
+        // The engine traces under a *child* context — same trace id.
+        assert!(index.contains_key(&0xB1), "{index:?}");
+
+        let disk = replica_image(vec![
+            ("INSERT INTO t VALUES (1)", Some(ctx(0xB1))),
+            ("INSERT INTO t VALUES (2)", Some(ctx(0xB2))),
+            ("INSERT INTO t VALUES (9)", Some(ctx(0xEE))), // foreign id
+        ]);
+        let a = attribute(&carve_replica_trace_ids(&disk), &index);
+        assert_eq!(a.carved, 3);
+        assert_eq!(a.matched, 2);
+        assert!((a.rate() - 2.0 / 3.0).abs() < 1e-9);
+        let hit = &a.attributed[0];
+        assert_eq!(hit.session_id, conn.id);
+        assert_eq!(hit.primary_statement, "INSERT INTO t VALUES (1)");
+    }
+
+    #[test]
+    fn empty_carve_rates_zero() {
+        let a = attribute(&[], &Map::new());
+        assert_eq!(a.rate(), 0.0);
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdb_telemetry::{Counter, Histogram, Registry};
-use mdb_trace::{Recorder, StatementTrace, TraceBuilder};
+use mdb_trace::{Recorder, StatementTrace, TraceBuilder, TraceContext};
 use parking_lot::Mutex;
 
 use crate::cache::{AdaptiveHash, CachedResult, QueryCache};
@@ -109,6 +109,19 @@ pub struct DbConfig {
     pub trace_enabled: bool,
     /// Flight-recorder ring capacity, in statement traces.
     pub trace_ring_capacity: usize,
+    /// Node identity stamped onto recorded traces and v2 slow-log
+    /// records (the cross-node merge key; `"primary"`, `"replica-0"`,
+    /// …). `None` leaves traces untagged, as a single-node deployment
+    /// would.
+    pub node_name: Option<String>,
+    /// Mitigation knob (E19): rehash distributed trace ids with a
+    /// process-local secret key before they cross the replication
+    /// boundary. Replica-side spans of one trace still correlate with
+    /// each other, but join against nothing recorded on the client or
+    /// primary — the carved ids become worthless off-box. Off by
+    /// default: production tracing propagates ids verbatim, which is
+    /// exactly the correlation surface E19 carves.
+    pub trace_id_hashing: bool,
     /// Server id, stamped into replication positions (GTID-style).
     pub server_id: u64,
     /// Whether client connections may write. Replicas run read-only; the
@@ -158,6 +171,8 @@ impl Default for DbConfig {
             telemetry_scrub_on_flush: false,
             trace_enabled: true,
             trace_ring_capacity: 64,
+            node_name: None,
+            trace_id_hashing: false,
             server_id: 1,
             read_only: false,
             obs_listen: None,
@@ -190,8 +205,9 @@ struct TxnState {
     id: u64,
     /// Undo records of this transaction, in execution order.
     undo: Vec<UndoRecord>,
-    /// Statement texts to binlog at commit.
-    statements: Vec<String>,
+    /// Statement texts to binlog at commit, each with the distributed
+    /// trace context it ran under (stamped onto its binlog event).
+    statements: Vec<(String, Option<TraceContext>)>,
     /// Snapshot CSN pinned at BEGIN: this transaction's reads see
     /// exactly the versions committed at or before it.
     snapshot_csn: u64,
@@ -290,6 +306,14 @@ pub(crate) struct DbInner {
     pub(crate) trace: Recorder,
     /// Span builder of the statement currently executing, if traced.
     current_trace: Option<TraceBuilder>,
+    /// Distributed trace context of the statement currently executing:
+    /// the child this node derived from the client's context, or an
+    /// engine-generated root when tracing is on and none arrived.
+    current_ctx: Option<TraceContext>,
+    /// Secret key for the `trace_id_hashing` mitigation, drawn fresh
+    /// per process — never persisted, so carved rehashed ids cannot be
+    /// inverted offline.
+    trace_hash_key: u64,
     functions: HashMap<String, ScalarFn>,
     pub(crate) now_unix: i64,
     /// MVCC version chains and their commit bookkeeping.
@@ -365,12 +389,20 @@ impl Db {
             processlist: ProcessList::default(),
             metrics: EngineMetrics::new(&telemetry),
             telemetry,
-            trace: if config.trace_enabled {
-                Recorder::new(config.trace_ring_capacity)
-            } else {
-                Recorder::new_disabled(config.trace_ring_capacity)
+            trace: {
+                let r = if config.trace_enabled {
+                    Recorder::new(config.trace_ring_capacity)
+                } else {
+                    Recorder::new_disabled(config.trace_ring_capacity)
+                };
+                if let Some(node) = &config.node_name {
+                    r.set_node(node);
+                }
+                r
             },
             current_trace: None,
+            current_ctx: None,
+            trace_hash_key: mdb_trace::entropy64(),
             functions: HashMap::new(),
             now_unix: config.start_time_unix,
             mvcc: VersionStore::default(),
@@ -504,6 +536,20 @@ impl Db {
     /// is precisely how replication multiplies the paper's snapshot
     /// surfaces onto every replica host.
     pub fn apply_replicated(&self, sql: &str, commit_ts: i64) -> DbResult<QueryResult> {
+        self.apply_replicated_ctx(sql, commit_ts, None)
+    }
+
+    /// [`Db::apply_replicated`] with the distributed trace context the
+    /// binlog event carried: the replica's apply span derives a child of
+    /// it, so the apply lands in the same trace as the client's
+    /// statement — which is what makes the merged timeline (and the E19
+    /// correlation attack) work.
+    pub fn apply_replicated_ctx(
+        &self,
+        sql: &str,
+        commit_ts: i64,
+        ctx: Option<TraceContext>,
+    ) -> DbResult<QueryResult> {
         let mut g = self.inner.lock();
         let g = &mut *g;
         if !g
@@ -518,7 +564,7 @@ impl Db {
         }
         g.now_unix = g.now_unix.max(commit_ts - g.config.seconds_per_statement);
         g.applying = true;
-        let out = g.execute(REPL_APPLIER_CONN, sql);
+        let out = g.execute_ctx(REPL_APPLIER_CONN, sql, ctx);
         g.applying = false;
         match &out {
             Ok(_) => g.metrics.repl_applied.inc(),
@@ -719,6 +765,7 @@ impl Db {
         g.telemetry.scrub();
         g.trace.clear();
         g.current_trace = None;
+        g.current_ctx = None;
         if let Some(obs) = &g.obs {
             obs.ring().clear();
         }
@@ -749,6 +796,33 @@ impl Connection {
     pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
         let mut g = self.db.inner.lock();
         g.execute(self.id, sql)
+    }
+
+    /// Executes one SQL statement under a client-supplied distributed
+    /// trace context (the server side of wire trace propagation). The
+    /// engine derives its own child span context, so the recorded trace
+    /// shares the client's `trace_id` with a fresh `span_id`.
+    pub fn execute_traced(&self, sql: &str, ctx: Option<TraceContext>) -> DbResult<QueryResult> {
+        let mut g = self.db.inner.lock();
+        g.execute_ctx(self.id, sql, ctx)
+    }
+
+    /// The most recent flight-recorder trace of this connection, if the
+    /// ring still holds one (the `\trace` meta-command's data source).
+    pub fn last_trace(&self) -> Option<StatementTrace> {
+        let g = self.db.inner.lock();
+        g.trace
+            .traces()
+            .into_iter()
+            .rev()
+            .find(|t| t.conn_id == self.id)
+    }
+
+    /// Renders this connection's most recent trace as the
+    /// `EXPLAIN ANALYZE`-style span table (the `\trace` meta-command).
+    pub fn last_trace_rendered(&self) -> Option<QueryResult> {
+        self.last_trace()
+            .map(|t| render_explain_analyze(&t, &QueryResult::default()))
     }
 
     /// The owning database handle.
@@ -804,6 +878,24 @@ impl DbInner {
                     self.config.buffer_pool_pages
                 ),
             },
+            HealthComponent {
+                name: "connections".into(),
+                ok: !self.crashed,
+                detail: format!(
+                    "open={} active_txns={}",
+                    self.processlist.entries().len(),
+                    self.txns.len()
+                ),
+            },
+            HealthComponent {
+                name: "mvcc".into(),
+                ok: !self.crashed,
+                detail: format!(
+                    "version_backlog={} next_csn={}",
+                    self.mvcc.version_count(),
+                    self.next_csn
+                ),
+            },
         ];
         if let Some(source) = &self.replica_status {
             let rows = source();
@@ -828,6 +920,15 @@ impl DbInner {
     // ================= statement pipeline =================
 
     fn execute(&mut self, conn_id: u64, sql: &str) -> DbResult<QueryResult> {
+        self.execute_ctx(conn_id, sql, None)
+    }
+
+    fn execute_ctx(
+        &mut self,
+        conn_id: u64,
+        sql: &str,
+        ctx: Option<TraceContext>,
+    ) -> DbResult<QueryResult> {
         if self.crashed {
             return Err(DbError::Crashed);
         }
@@ -855,11 +956,27 @@ impl DbInner {
             .collect();
 
         let digest = digest_text(sql);
+        // Resolve the distributed context this statement runs under:
+        // derive a child of an incoming sampled context (the received
+        // span_id becomes the parent); an unsampled context propagates
+        // nowhere (the sampling mitigation); with no incoming context
+        // an armed tracer generates a fresh root, so local statements
+        // join the same id space.
+        self.current_ctx = match ctx {
+            Some(c) if c.sampled => Some(c.child()),
+            Some(_) => None,
+            None if self.trace.is_enabled() => Some(TraceContext::generate()),
+            None => None,
+        };
         // Arm the tracer. When tracing is disabled this branch is the
         // *entire* per-statement cost: one relaxed atomic load, no
         // allocation (the invariant the `trace` bench pins down).
         if self.trace.is_enabled() {
-            self.current_trace = Some(TraceBuilder::new(conn_id, started, sql, &digest));
+            let mut b = TraceBuilder::new(conn_id, started, sql, &digest);
+            if let Some(c) = self.current_ctx {
+                b.set_ctx(c);
+            }
+            self.current_trace = Some(b);
         }
         self.perf
             .statement_start(conn_id, sql, &digest, started, Some(hist_ptr));
@@ -882,7 +999,14 @@ impl DbInner {
         }
         self.metrics.rows_examined.record(rows_examined);
         self.metrics.rows_returned.record(rows_returned);
-        self.metrics.latency_us[stmt_kind_index(sql)].record(duration_us);
+        // A traced statement stamps its trace_id as the latency bucket's
+        // exemplar — the `/metrics` exposition then links the aggregate
+        // back to one concrete distributed trace.
+        match self.current_ctx {
+            Some(c) => self.metrics.latency_us[stmt_kind_index(sql)]
+                .record_with_exemplar(duration_us, c.trace_id),
+            None => self.metrics.latency_us[stmt_kind_index(sql)].record(duration_us),
+        }
         // Close the trace and deposit it in the flight recorder. An
         // `EXPLAIN ANALYZE` arm has already consumed the builder for its
         // own rendering; everything else finishes here.
@@ -926,6 +1050,7 @@ impl DbInner {
         {
             self.bufpool.dump(&mut self.vdisk);
         }
+        self.current_ctx = None;
         outcome
     }
 
@@ -1006,12 +1131,11 @@ impl DbInner {
                 // EXPLAIN ANALYZE always traces its target, even when
                 // the flight recorder is disarmed.
                 if self.current_trace.is_none() {
-                    self.current_trace = Some(TraceBuilder::new(
-                        conn_id,
-                        self.now_unix,
-                        sql,
-                        &digest_text(sql),
-                    ));
+                    let mut b = TraceBuilder::new(conn_id, self.now_unix, sql, &digest_text(sql));
+                    if let Some(c) = self.current_ctx {
+                        b.set_ctx(c);
+                    }
+                    self.current_trace = Some(b);
                 }
                 let res = self.run_stmt(conn_id, sql, *inner)?;
                 // The target's simulated wall time is fully determined
@@ -1122,13 +1246,26 @@ impl DbInner {
         let lsn = self.wal.alloc_lsn();
         let txn = self.next_txn;
         self.next_txn += 1;
+        let ctx = self.binlog_ctx(self.current_ctx);
         self.wal.append_binlog(&BinlogEvent {
             lsn,
             txn,
             timestamp: self.now_unix,
             statement: sql.to_string(),
+            ctx,
         });
         self.wal.record_fsync();
+    }
+
+    /// The context stamped onto binlog events: the statement's own,
+    /// put through the keyed rehash when
+    /// [`DbConfig::trace_id_hashing`] is on — the mitigation boundary
+    /// sits exactly where trace ids leave for other hosts.
+    fn binlog_ctx(&self, ctx: Option<TraceContext>) -> Option<TraceContext> {
+        match ctx {
+            Some(c) if self.config.trace_id_hashing => Some(c.rehash(self.trace_hash_key)),
+            other => other,
+        }
     }
 
     fn create_table(
@@ -1853,14 +1990,15 @@ impl DbInner {
         match result {
             Ok(res) => {
                 if explicit {
+                    let ctx = self.current_ctx;
                     let t = self.txns.get_mut(&conn_id).expect("checked");
                     t.undo.extend(undo_written);
-                    t.statements.push(sql.to_string());
+                    t.statements.push((sql.to_string(), ctx));
                 } else {
                     self.commit_txn(TxnState {
                         id: txn_id,
                         undo: Vec::new(),
-                        statements: vec![sql.to_string()],
+                        statements: vec![(sql.to_string(), self.current_ctx)],
                         snapshot_csn: 0,
                     })?;
                 }
@@ -2283,12 +2421,14 @@ impl DbInner {
             after: Vec::new(),
         });
         let binlog_events = txn.statements.len() as u64;
-        for stmt in &txn.statements {
+        for (stmt, stmt_ctx) in &txn.statements {
+            let ctx = self.binlog_ctx(*stmt_ctx);
             self.wal.append_binlog(&BinlogEvent {
                 lsn,
                 txn: txn.id,
                 timestamp: self.now_unix,
                 statement: stmt.clone(),
+                ctx,
             });
         }
         let logged1 = self.metrics.wal_redo_bytes.get() + self.metrics.wal_binlog_bytes.get();

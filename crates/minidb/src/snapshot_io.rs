@@ -3,10 +3,10 @@
 //! standalone forensic tooling (the workflow a real attacker has: image
 //! first, carve at leisure).
 //!
-//! Format (`EDBSNAP5`, little-endian, length-prefixed throughout):
+//! Format (`EDBSNAP6`, little-endian, length-prefixed throughout):
 //!
 //! ```text
-//! magic "EDBSNAP4" | captured_at i64
+//! magic "EDBSNAP6" | captured_at i64
 //! disk:   u32 n, then n × (str name, u64 len, bytes)
 //! memory: u64 heap_len, heap bytes
 //!         [cached_queries] [cached_pages] [page_access_counts]
@@ -29,7 +29,7 @@ use crate::observability::{DigestStats, ProcessEntry, StatementEvent};
 use crate::row::Row;
 use crate::snapshot::{DiskImage, MemoryImage, SystemImage, VersionChain, ZoneMapPage};
 
-const MAGIC: &[u8; 8] = b"EDBSNAP5";
+const MAGIC: &[u8; 8] = b"EDBSNAP6";
 
 fn w_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -94,7 +94,7 @@ impl<'a> Reader<'a> {
 }
 
 impl SystemImage {
-    /// Serializes the image to the `EDBSNAP5` container.
+    /// Serializes the image to the `EDBSNAP6` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -184,6 +184,12 @@ impl SystemImage {
                 out.push(*idx);
                 w_u64(&mut out, *n);
             }
+            w_u32(&mut out, h.exemplars.len() as u32);
+            for (idx, tid, val) in &h.exemplars {
+                out.push(*idx);
+                out.extend_from_slice(&tid.to_le_bytes());
+                w_u64(&mut out, *val);
+            }
         }
         // The flight-recorder ring, reusing the mdb-trace payload wire
         // format (same bytes the slow-log carver understands).
@@ -224,11 +230,11 @@ impl SystemImage {
         out
     }
 
-    /// Parses an `EDBSNAP5` container.
+    /// Parses an `EDBSNAP6` container.
     pub fn from_bytes(buf: &[u8]) -> DbResult<SystemImage> {
         let mut r = Reader { buf, pos: 0 };
         if r.take(8)? != MAGIC {
-            return Err(DbError::Storage("not an EDBSNAP5 image".into()));
+            return Err(DbError::Storage("not an EDBSNAP6 image".into()));
         }
         let captured_at = r.i64()?;
         let n_files = r.u32()? as usize;
@@ -329,11 +335,19 @@ impl SystemImage {
                 let n = r.u64()?;
                 buckets.push((idx, n));
             }
+            let mut exemplars = Vec::new();
+            for _ in 0..r.u32()? {
+                let idx = r.take(1)?[0];
+                let tid = u128::from_le_bytes(r.take(16)?.try_into().unwrap());
+                let val = r.u64()?;
+                exemplars.push((idx, tid, val));
+            }
             metrics.histograms.push(mdb_telemetry::HistogramSnapshot {
                 name,
                 count,
                 sum,
                 buckets,
+                exemplars,
             });
         }
         let mut query_traces = Vec::new();

@@ -185,7 +185,10 @@ impl UndoRecord {
     }
 }
 
-/// A binlog event: the full statement text with its commit timestamp.
+/// A binlog event: the full statement text with its commit timestamp
+/// and, when the statement ran under distributed tracing, the trace
+/// context that replica apply spans join (the E19 surface: the same
+/// 128-bit id lands on every machine the event replicates to).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BinlogEvent {
     /// Commit LSN of the transaction.
@@ -196,10 +199,18 @@ pub struct BinlogEvent {
     pub timestamp: i64,
     /// Verbatim statement text.
     pub statement: String,
+    /// Distributed trace context of the statement that produced the
+    /// event (`None` when tracing was off — and the wire bytes are then
+    /// identical to the pre-xtrace format).
+    pub ctx: Option<mdb_trace::TraceContext>,
 }
 
 impl BinlogEvent {
-    /// Serializes the event payload (without framing).
+    /// Serializes the event payload (without framing). Events without a
+    /// trace context encode byte-identically to the pre-xtrace format;
+    /// a context appends exactly
+    /// [`TraceContext::WIRE_LEN`](mdb_trace::TraceContext::WIRE_LEN)
+    /// trailing bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(28 + self.statement.len());
         out.extend_from_slice(&self.lsn.to_le_bytes());
@@ -207,10 +218,15 @@ impl BinlogEvent {
         out.extend_from_slice(&self.timestamp.to_le_bytes());
         out.extend_from_slice(&(self.statement.len() as u32).to_le_bytes());
         out.extend_from_slice(self.statement.as_bytes());
+        if let Some(ctx) = &self.ctx {
+            ctx.encode(&mut out);
+        }
         out
     }
 
-    /// Parses an event payload.
+    /// Parses an event payload. Both lengths are accepted: the bare
+    /// pre-xtrace layout (`ctx = None`) and the layout with the 25-byte
+    /// trace-context tail.
     pub fn decode(buf: &[u8]) -> DbResult<BinlogEvent> {
         if buf.len() < 28 {
             return Err(DbError::Storage("short binlog event".into()));
@@ -219,16 +235,24 @@ impl BinlogEvent {
         let txn = u64::from_le_bytes(buf[8..16].try_into().unwrap());
         let timestamp = i64::from_le_bytes(buf[16..24].try_into().unwrap());
         let slen = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
-        if buf.len() != 28 + slen {
+        let ctx = if buf.len() == 28 + slen {
+            None
+        } else if buf.len() == 28 + slen + mdb_trace::TraceContext::WIRE_LEN {
+            Some(
+                mdb_trace::TraceContext::decode(&buf[28 + slen..])
+                    .ok_or_else(|| DbError::Storage("bad binlog trace context".into()))?,
+            )
+        } else {
             return Err(DbError::Storage("binlog event length mismatch".into()));
-        }
-        let statement = String::from_utf8(buf[28..].to_vec())
+        };
+        let statement = String::from_utf8(buf[28..28 + slen].to_vec())
             .map_err(|_| DbError::Storage("binlog statement not utf8".into()))?;
         Ok(BinlogEvent {
             lsn,
             txn,
             timestamp,
             statement,
+            ctx,
         })
     }
 }
@@ -598,8 +622,28 @@ mod tests {
             txn: 3,
             timestamp: 1_700_000_000,
             statement: "INSERT INTO t VALUES (1)".into(),
+            ctx: None,
         };
         assert_eq!(BinlogEvent::decode(&b.encode()).unwrap(), b);
+        // With a trace context the event grows by exactly 25 bytes and
+        // round-trips; the bare encoding is byte-identical to v1.
+        let traced = BinlogEvent {
+            ctx: Some(mdb_trace::TraceContext {
+                trace_id: 0xFEED_FACE_CAFE_F00D,
+                span_id: 0x1234,
+                sampled: true,
+            }),
+            ..b.clone()
+        };
+        let enc = traced.encode();
+        assert_eq!(
+            enc.len(),
+            b.encode().len() + mdb_trace::TraceContext::WIRE_LEN
+        );
+        assert_eq!(BinlogEvent::decode(&enc).unwrap(), traced);
+        assert!(enc.starts_with(&b.encode()));
+        // A truncated context tail is rejected, not misparsed.
+        assert!(BinlogEvent::decode(&enc[..enc.len() - 3]).is_err());
     }
 
     #[test]
@@ -663,6 +707,7 @@ mod tests {
                 txn: i,
                 timestamp: 1000 + i as i64,
                 statement: format!("INSERT INTO t VALUES ({i})"),
+                ctx: None,
             });
         }
         assert_eq!(wal.carve_redo().len(), 10);
@@ -685,6 +730,7 @@ mod tests {
             txn: 1,
             timestamp: 0,
             statement: "INSERT INTO t VALUES (1)".into(),
+            ctx: None,
         });
         assert!(wal.carve_binlog().is_empty());
     }
@@ -698,6 +744,7 @@ mod tests {
                 txn: i,
                 timestamp: i as i64,
                 statement: format!("INSERT INTO t VALUES ({i})"),
+                ctx: None,
             });
         }
         assert_eq!(wal.binlog_next_seq(), 6);
@@ -719,6 +766,7 @@ mod tests {
             txn: 7,
             timestamp: 7,
             statement: "INSERT INTO t VALUES (7)".into(),
+            ctx: None,
         });
         // A cursor from before the purge lands on the horizon, not on a
         // mis-numbered event.
@@ -739,6 +787,7 @@ mod tests {
                 txn: i,
                 timestamp: 0,
                 statement: "INSERT INTO t VALUES (1)".into(),
+                ctx: None,
             });
         }
         assert_eq!(registry.snapshot().counter("wal.binlog.events"), Some(5));

@@ -128,7 +128,7 @@ proptest! {
             before: body,
         };
         prop_assert_eq!(UndoRecord::decode(&u.encode()).unwrap(), u);
-        let b = BinlogEvent { lsn, txn, timestamp: ts, statement: stmt };
+        let b = BinlogEvent { lsn, txn, timestamp: ts, statement: stmt, ctx: None };
         prop_assert_eq!(BinlogEvent::decode(&b.encode()).unwrap(), b);
     }
 
@@ -161,11 +161,18 @@ proptest! {
         txn in any::<u64>(),
         ts in any::<i64>(),
         stmt in "\\PC{0,60}",
+        trace_id in any::<u128>(),
+        span_id in any::<u64>(),
+        sampled in any::<bool>(),
+        with_ctx in any::<bool>(),
     ) {
         // Statement text is arbitrary UTF-8 (multi-byte identifiers,
         // emoji in string literals) — the wire encoding must not assume
-        // ASCII, because the replica replays this text verbatim.
-        let b = BinlogEvent { lsn, txn, timestamp: ts, statement: stmt };
+        // ASCII, because the replica replays this text verbatim. The
+        // optional distributed trace context tail must ride along (or
+        // stay absent) without disturbing the statement bytes.
+        let ctx = with_ctx.then_some(mdb_trace::TraceContext { trace_id, span_id, sampled });
+        let b = BinlogEvent { lsn, txn, timestamp: ts, statement: stmt, ctx };
         let encoded = b.encode();
         prop_assert_eq!(BinlogEvent::decode(&encoded).unwrap(), b);
     }

@@ -131,6 +131,13 @@ fn encode_histogram(out: &mut String, h: &HistogramSnapshot) {
             &[("le", le.as_str())],
             &cumulative.to_string(),
         );
+        // OpenMetrics-style exemplar: the bucket line gains a
+        // ` # {trace_id="<32hex>"} <value>` suffix linking this bucket
+        // of the aggregate to one concrete distributed trace.
+        if let Some((_, tid, val)) = h.exemplars.iter().find(|(i, _, _)| i == idx) {
+            out.pop();
+            out.push_str(&format!(" # {{trace_id=\"{tid:032x}\"}} {val}\n"));
+        }
     }
     sample_line(
         out,
@@ -164,6 +171,9 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// Raw value text (integers stay exact; parse as needed).
     pub value: String,
+    /// OpenMetrics exemplar riding the line, if any:
+    /// `(trace_id_hex, raw_value_text)`.
+    pub exemplar: Option<(String, String)>,
 }
 
 impl Sample {
@@ -205,16 +215,29 @@ pub fn parse(text: &str) -> Option<Vec<Sample>> {
     Some(samples)
 }
 
+/// Splits a raw value text from an OpenMetrics exemplar suffix, if one
+/// rides the line.
+fn split_exemplar(text: &str) -> (String, Option<(String, String)>) {
+    if let Some((v, ex)) = text.split_once(" # {trace_id=\"") {
+        if let Some((tid, rest)) = ex.split_once("\"} ") {
+            return (v.to_string(), Some((tid.to_string(), rest.to_string())));
+        }
+    }
+    (text.to_string(), None)
+}
+
 fn parse_line(line: &str) -> Option<Sample> {
     let brace = line.find('{');
     let (series, rest) = match brace {
         Some(i) => (&line[..i], &line[i + 1..]),
         None => {
             let sp = line.find(' ')?;
+            let (value, exemplar) = split_exemplar(&line[sp + 1..]);
             return Some(Sample {
                 series: line[..sp].to_string(),
                 labels: Vec::new(),
-                value: line[sp + 1..].to_string(),
+                value,
+                exemplar,
             });
         }
     };
@@ -223,10 +246,12 @@ fn parse_line(line: &str) -> Option<Sample> {
     loop {
         if let Some(stripped) = rest.strip_prefix('}') {
             let value = stripped.strip_prefix(' ')?;
+            let (value, exemplar) = split_exemplar(value);
             return Some(Sample {
                 series: series.to_string(),
                 labels,
-                value: value.to_string(),
+                value,
+                exemplar,
             });
         }
         let eq = rest.find("=\"")?;
@@ -293,8 +318,10 @@ pub fn scrub(snap: &MetricsSnapshot) -> MetricsSnapshot {
                 count: quantize_pow2(h.count),
                 sum: quantize_pow2(h.sum),
                 // No buckets: a scrubbed exposition reveals magnitude,
-                // not distribution.
+                // not distribution. No exemplars either — each one
+                // names a concrete trace, the sharpest correlation.
                 buckets: Vec::new(),
+                exemplars: Vec::new(),
             })
             .collect(),
     }
@@ -377,6 +404,33 @@ mod tests {
         assert_eq!(buckets.last().unwrap().value_u64(), Some(4));
         let counts: Vec<u64> = buckets.iter().filter_map(|s| s.value_u64()).collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn exemplars_ride_bucket_lines_and_scrub_drops_them() {
+        let r = Registry::new();
+        let h = r.histogram("sql.latency_us.select");
+        h.record(3);
+        h.record_with_exemplar(700, 0xDEAD_BEEF);
+        let text = encode(&r.snapshot(), &[]);
+        // The traced bucket (values 512..=1023) carries the exemplar…
+        assert!(
+            text.contains(&format!("# {{trace_id=\"{:032x}\"}} 700", 0xDEAD_BEEFu128)),
+            "{text}"
+        );
+        // …and the output still parses, exposing it structurally.
+        let samples = parse(&text).expect("exemplar lines parse");
+        let traced: Vec<&Sample> = samples.iter().filter(|s| s.exemplar.is_some()).collect();
+        assert_eq!(traced.len(), 1);
+        assert_eq!(traced[0].series, "mdb_sql_latency_us_select_bucket");
+        assert_eq!(traced[0].value_u64(), Some(2), "cumulative count intact");
+        let (tid, val) = traced[0].exemplar.as_ref().unwrap();
+        assert_eq!(tid, &format!("{:032x}", 0xDEAD_BEEFu128));
+        assert_eq!(val, "700");
+
+        // Scrubbed exposition: no exemplars anywhere.
+        let scrubbed = encode(&scrub(&r.snapshot()), &[]);
+        assert!(!scrubbed.contains("trace_id"), "{scrubbed}");
     }
 
     #[test]

@@ -82,6 +82,7 @@ mod tests {
                 txn: seq,
                 timestamp: 100 + seq as i64,
                 statement: format!("INSERT INTO t VALUES ({seq})"),
+                ctx: None,
             },
         }
     }

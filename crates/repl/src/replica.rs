@@ -270,7 +270,10 @@ fn stream(
                     let bytes = relay::append_event(db, &ev);
                     metrics.relay_bytes.add(bytes as u64);
                     metrics.relay_events.inc();
-                    db.apply_replicated(&ev.event.statement, ev.event.timestamp)?;
+                    // The binlog event's distributed trace context (if
+                    // the primary stamped one) flows into the apply, so
+                    // the replica's span joins the statement's trace.
+                    db.apply_replicated_ctx(&ev.event.statement, ev.event.timestamp, ev.event.ctx)?;
                     metrics
                         .apply_latency_us
                         .record(apply_started.elapsed().as_micros() as u64);

@@ -158,6 +158,7 @@ mod tests {
                         txn: 1,
                         timestamp: 42,
                         statement: "INSERT INTO t VALUES (1)".into(),
+                        ctx: None,
                     },
                 }],
             })

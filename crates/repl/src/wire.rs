@@ -232,6 +232,13 @@ mod tests {
                 txn: seq,
                 timestamp: 1_700_000_000 + seq as i64,
                 statement: format!("INSERT INTO t VALUES ({seq})"),
+                // Odd events carry a trace context: the replication
+                // stream must ship the optional tail transparently.
+                ctx: (seq % 2 == 1).then_some(mdb_trace::TraceContext {
+                    trace_id: 0xAB00 + seq as u128,
+                    span_id: 0xCD00 + seq,
+                    sampled: true,
+                }),
             },
         }
     }

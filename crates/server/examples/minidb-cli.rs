@@ -17,8 +17,17 @@
 //! 1  | alice
 //! 2  | bob
 //! (2 rows)
+//! sql> \trace
+//! span       | start_us | dur_us | detail
+//! -----------+----------+--------+-------
+//! statement  | 0        | 304    | rows_examined=2 rows_returned=2
+//! …
 //! sql> \q
 //! ```
+//!
+//! Meta-commands: `\trace` prints the server-side span tree of this
+//! session's most recent statement (the `EXPLAIN ANALYZE` renderer over
+//! the flight recorder); `\q` quits.
 
 use std::io::{BufRead, Write};
 
@@ -80,6 +89,13 @@ fn main() {
         }
         if sql == "\\q" || sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
             break;
+        }
+        if sql == "\\trace" {
+            match client.trace() {
+                Ok(rs) => println!("{}", render(&rs)),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
         }
         match client.query(sql) {
             Ok(rs) => println!("{}", render(&rs)),

@@ -2,11 +2,20 @@
 //! protocol. One [`MdbClient`] is one server session — and therefore
 //! one engine connection, one transaction scope, one MVCC snapshot at
 //! a time.
+//!
+//! The client is also the *root* of every distributed trace: with
+//! tracing on (the default) each statement gets a fresh
+//! [`TraceContext`] that rides the v2 frame to the server, and the
+//! client records its own `wire_send` / `wire_recv` spans into an
+//! attached [`Recorder`] — the client lane of a merged multi-node
+//! timeline ([`mdb_trace::merge`]).
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::wire::{FrameDecoder, WireError, WireMessage, WireResultSet};
+use mdb_trace::{Recorder, TraceBuilder, TraceContext};
+
+use crate::wire::{Envelope, FrameDecoder, WireError, WireMessage, WireResultSet};
 
 /// Client-side protocol error.
 #[derive(Debug)]
@@ -49,12 +58,35 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Simulated cost model for the client's own spans (µs): the wire
+/// spans bracket the round trip so the gap midpoint is the client's
+/// estimate of the server statement's midpoint (the merge anchor).
+const CLIENT_TOTAL_US: u64 = 400;
+const WIRE_SEND_START_US: u64 = 50;
+const WIRE_SPAN_US: u64 = 50;
+const WIRE_RECV_START_US: u64 = 300;
+
 /// A connected SQL session.
 pub struct MdbClient {
     stream: TcpStream,
     decoder: FrameDecoder,
     session_id: u64,
     server: String,
+    /// Whether statements carry a distributed trace context (v2 frames).
+    tracing: bool,
+    /// Mark only every Nth context sampled (the sampling mitigation);
+    /// 1 = every statement.
+    sample_every: u64,
+    statements_sent: u64,
+    /// Context the most recent statement travelled under.
+    last_ctx: Option<TraceContext>,
+    /// Client-side flight recorder for `wire_send`/`wire_recv` spans.
+    recorder: Option<Recorder>,
+    /// The client's own simulated clock (UNIX seconds), advancing one
+    /// second per statement like the engine's default cost model —
+    /// deliberately *not* synchronized with the server, so the merged
+    /// timeline has a real clock offset to estimate.
+    clock_unix: i64,
 }
 
 impl MdbClient {
@@ -67,6 +99,12 @@ impl MdbClient {
             decoder: FrameDecoder::default(),
             session_id: 0,
             server: String::new(),
+            tracing: true,
+            sample_every: 1,
+            statements_sent: 0,
+            last_ctx: None,
+            recorder: None,
+            clock_unix: 0,
         };
         client.send(&WireMessage::Hello { user: user.into() })?;
         match client.recv()? {
@@ -77,6 +115,36 @@ impl MdbClient {
             }
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+
+    /// Enables or disables distributed tracing. Off, every frame is
+    /// v1 — byte-identical to a pre-tracing client.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The sampling mitigation: only every `every`-th statement's
+    /// context is marked sampled (unsampled contexts still propagate,
+    /// but recorders drop them). `1` samples everything.
+    pub fn set_trace_sampling(&mut self, every: u64) {
+        self.sample_every = every.max(1);
+    }
+
+    /// Attaches a flight recorder for the client's own spans (set its
+    /// node identity first — it labels the client lane in a merge).
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Sets the client's simulated clock (UNIX seconds). It advances
+    /// one second per statement.
+    pub fn set_clock(&mut self, unix: i64) {
+        self.clock_unix = unix;
+    }
+
+    /// The context the most recent statement travelled under, if any.
+    pub fn last_ctx(&self) -> Option<TraceContext> {
+        self.last_ctx
     }
 
     /// The engine connection id backing this session.
@@ -91,8 +159,7 @@ impl MdbClient {
 
     /// Executes one SQL statement and waits for its result.
     pub fn query(&mut self, sql: &str) -> Result<WireResultSet, ClientError> {
-        self.send(&WireMessage::Query { sql: sql.into() })?;
-        self.expect_result()
+        self.statement(WireMessage::Query { sql: sql.into() }, sql)
     }
 
     /// Caches `sql` under `name` in the server-side session.
@@ -106,8 +173,69 @@ impl MdbClient {
 
     /// Executes a statement prepared with [`MdbClient::prepare`].
     pub fn execute_prepared(&mut self, name: &str) -> Result<WireResultSet, ClientError> {
-        self.send(&WireMessage::ExecutePrepared { name: name.into() })?;
+        self.statement(
+            WireMessage::ExecutePrepared { name: name.into() },
+            &format!("EXECUTE {name}"),
+        )
+    }
+
+    /// Fetches the server-side trace of this session's most recent
+    /// statement, rendered as the `EXPLAIN ANALYZE` span table (the
+    /// `\trace` meta-command).
+    pub fn trace(&mut self) -> Result<WireResultSet, ClientError> {
+        self.send(&WireMessage::Trace)?;
         self.expect_result()
+    }
+
+    /// One statement round trip: generate the root context, frame,
+    /// send, await the result, and record the client-side spans.
+    fn statement(
+        &mut self,
+        msg: WireMessage,
+        display_sql: &str,
+    ) -> Result<WireResultSet, ClientError> {
+        let ctx = if self.tracing {
+            let mut c = TraceContext::generate();
+            c.sampled = self.statements_sent.is_multiple_of(self.sample_every);
+            Some(c)
+        } else {
+            None
+        };
+        self.statements_sent += 1;
+        self.last_ctx = ctx;
+        let started = self.clock_unix;
+        self.clock_unix += 1;
+        self.stream
+            .write_all(&Envelope { msg, ctx }.to_frame())
+            .map_err(ClientError::Io)?;
+        let result = self.expect_result();
+        if let (Some(rec), Some(ctx)) = (&self.recorder, ctx) {
+            if rec.is_enabled() && ctx.sampled {
+                let mut b = TraceBuilder::new(
+                    self.session_id,
+                    started,
+                    display_sql,
+                    &minidb::sql::digest_text(display_sql),
+                );
+                b.set_ctx(ctx);
+                b.begin("wire_send");
+                b.end(WIRE_SPAN_US);
+                b.begin("wire_recv");
+                b.end(WIRE_SPAN_US);
+                let mut t = b.finish(CLIENT_TOTAL_US);
+                // Place the wire spans at the modeled offsets so the
+                // send→recv gap midpoint is a usable merge anchor.
+                t.root.children[0].start_us = WIRE_SEND_START_US;
+                t.root.children[1].start_us = WIRE_RECV_START_US;
+                if let Ok(rs) = &result {
+                    t.root
+                        .attrs
+                        .push(("rows_examined".into(), rs.rows_examined));
+                }
+                rec.record(t);
+            }
+        }
+        result
     }
 
     /// Closes the session gracefully (Quit/Bye).

@@ -192,8 +192,8 @@ fn serve_session(
         };
         decoder.feed(&buf[..n]);
         loop {
-            let msg = match decoder.next_message() {
-                Ok(Some(m)) => m,
+            let env = match decoder.next_envelope() {
+                Ok(Some(e)) => e,
                 Ok(None) => break,
                 Err(e) => {
                     // Corrupt frame: report, stay connected — the
@@ -208,7 +208,10 @@ fn serve_session(
                     continue;
                 }
             };
-            match msg {
+            // The trace context rides on the envelope, not the message:
+            // any statement-bearing frame may carry one.
+            let ctx = env.ctx;
+            match env.msg {
                 WireMessage::Hello { user } => {
                     if conn.is_some() {
                         send(
@@ -235,10 +238,25 @@ fn serve_session(
                         continue;
                     };
                     stats.statements.inc();
-                    let reply = match c.execute(&sql) {
+                    let reply = match c.execute_traced(&sql, ctx) {
                         Ok(r) => to_wire(r),
                         Err(e) => WireMessage::Error {
                             message: e.to_string(),
+                        },
+                    };
+                    send(&mut stream, &reply)?;
+                }
+                WireMessage::Trace => {
+                    let Some(c) = conn.as_ref() else {
+                        send(&mut stream, &hello_first())?;
+                        continue;
+                    };
+                    let reply = match c.last_trace_rendered() {
+                        Some(r) => to_wire(r),
+                        None => WireMessage::Error {
+                            message: "no trace recorded for this session \
+                                      (flight recorder empty or disabled)"
+                                .into(),
                         },
                     };
                     send(&mut stream, &reply)?;
@@ -279,7 +297,7 @@ fn serve_session(
                         continue;
                     };
                     stats.statements.inc();
-                    let reply = match c.execute(&sql) {
+                    let reply = match c.execute_traced(&sql, ctx) {
                         Ok(r) => to_wire(r),
                         Err(e) => WireMessage::Error {
                             message: e.to_string(),

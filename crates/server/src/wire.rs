@@ -1,10 +1,25 @@
 //! The client/server wire protocol: framed request/response messages.
 //!
-//! Every message is one frame:
+//! A v1 message is one frame:
 //!
 //! ```text
 //! "MSRV" || len:u32 LE || payload (len bytes) || crc32(payload):u32 LE
 //! ```
+//!
+//! Protocol v2 adds an optional distributed trace context without
+//! breaking v1 decoders on the same stream. A v2 frame uses its own
+//! magic and prefixes the message payload with a context slot:
+//!
+//! ```text
+//! "MSV2" || len:u32 LE || ctx_flag:u8 || [ctx: 25 bytes if flag=1]
+//!        || message payload || crc32(whole payload):u32 LE
+//! ```
+//!
+//! Senders emit v1 frames whenever no context is attached, so a
+//! context-free v2 client is byte-identical to a v1 client, and
+//! [`FrameDecoder`] resyncs over *both* magics — a stream may
+//! interleave versions freely (mid-stream protocol upgrades, mixed
+//! client fleets).
 //!
 //! The framing deliberately mirrors the binlog's (`magic || len ||
 //! payload`, [`minidb::wal::frame`]) with a CRC-32 trailer bolted on —
@@ -12,12 +27,19 @@
 //! ([`mdb_trace::record::crc32`]). The consequence the threat-model
 //! cares about: a packet capture of the SQL session carves with the
 //! same resync loop as a stolen log file. Statement text crosses this
-//! channel verbatim, before any EDB layer touches the rows.
+//! channel verbatim, before any EDB layer touches the rows — and in
+//! v2, so does the trace id that joins the capture to every other
+//! node's logs (the E19 surface).
 
+use mdb_trace::TraceContext;
 use minidb::value::Value;
 
-/// Frame magic: `b"MSRV"` — **M**iniDB **S**e**RV**er.
+/// v1 frame magic: `b"MSRV"` — **M**iniDB **S**e**RV**er.
 pub const FRAME_MAGIC: [u8; 4] = *b"MSRV";
+
+/// v2 frame magic: a v2 frame carries a trace-context slot before the
+/// message payload.
+pub const FRAME_MAGIC_V2: [u8; 4] = *b"MSV2";
 
 /// Upper bound on one frame's payload; longer claims are treated as
 /// garbage so a corrupt length field cannot balloon the decode buffer.
@@ -60,6 +82,7 @@ const TAG_QUERY: u8 = 2;
 const TAG_PREPARE: u8 = 3;
 const TAG_EXECUTE_PREPARED: u8 = 4;
 const TAG_QUIT: u8 = 5;
+const TAG_TRACE: u8 = 6;
 const TAG_GREETING: u8 = 16;
 const TAG_RESULT: u8 = 17;
 const TAG_ERROR: u8 = 18;
@@ -110,6 +133,11 @@ pub enum WireMessage {
         /// Statement handle from a prior [`WireMessage::Prepare`].
         name: String,
     },
+    /// Client → server: render the session's most recent statement
+    /// trace (the `\trace` meta-command). Answered with a
+    /// [`WireMessage::Result`] span table, or [`WireMessage::Error`]
+    /// when the flight recorder holds none.
+    Trace,
     /// Client → server: close the session.
     Quit,
     /// Server → client: session established.
@@ -235,6 +263,7 @@ impl WireMessage {
                 out.push(TAG_EXECUTE_PREPARED);
                 w_str(&mut out, name);
             }
+            WireMessage::Trace => out.push(TAG_TRACE),
             WireMessage::Quit => out.push(TAG_QUIT),
             WireMessage::Greeting { session_id, server } => {
                 out.push(TAG_GREETING);
@@ -277,6 +306,7 @@ impl WireMessage {
                 sql: c.str()?,
             },
             TAG_EXECUTE_PREPARED => WireMessage::ExecutePrepared { name: c.str()? },
+            TAG_TRACE => WireMessage::Trace,
             TAG_QUIT => WireMessage::Quit,
             TAG_GREETING => WireMessage::Greeting {
                 session_id: c.u64()?,
@@ -317,7 +347,7 @@ impl WireMessage {
         Ok(msg)
     }
 
-    /// Frames the encoded message for the TCP transport:
+    /// Frames the encoded message as a v1 frame:
     /// `magic || len || payload || crc32(payload)`.
     pub fn to_frame(&self) -> Vec<u8> {
         let payload = self.encode();
@@ -330,13 +360,87 @@ impl WireMessage {
     }
 }
 
-/// Incremental frame parser: feed raw stream bytes, pop whole messages.
-/// Resyncs on the frame magic after garbage or a mid-frame cut, exactly
-/// like the binlog carver and the replication [`mdb_repl`-style]
-/// decoder — the wire stream is designed to be carvable.
+/// A message plus the distributed trace context it travelled with —
+/// what v2 framing puts on the wire and what [`FrameDecoder`] yields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// The protocol message.
+    pub msg: WireMessage,
+    /// Distributed trace context, when the sender attached one.
+    pub ctx: Option<TraceContext>,
+}
+
+impl Envelope {
+    /// A context-free envelope.
+    pub fn plain(msg: WireMessage) -> Envelope {
+        Envelope { msg, ctx: None }
+    }
+
+    /// Frames the envelope for the TCP transport: a v2 frame when a
+    /// context is attached, the byte-identical v1 frame otherwise —
+    /// so senders never pay the context slot for context-free traffic
+    /// and v1 peers keep decoding them.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let Some(ctx) = self.ctx else {
+            return self.msg.to_frame();
+        };
+        let mut payload = Vec::with_capacity(64);
+        payload.push(1u8);
+        ctx.encode(&mut payload);
+        payload.extend_from_slice(&self.msg.encode());
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.extend_from_slice(&FRAME_MAGIC_V2);
+        w_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        w_u32(&mut out, crc32(&payload));
+        out
+    }
+
+    /// Parses a v2 frame payload (context slot + message).
+    fn decode_v2(payload: &[u8]) -> WireResult<Envelope> {
+        let (&flag, rest) = payload
+            .split_first()
+            .ok_or_else(|| WireError::Protocol("empty v2 payload".into()))?;
+        match flag {
+            0 => Ok(Envelope {
+                msg: WireMessage::decode(rest)?,
+                ctx: None,
+            }),
+            1 => {
+                if rest.len() < TraceContext::WIRE_LEN {
+                    return Err(WireError::Protocol("truncated trace context".into()));
+                }
+                let ctx = TraceContext::decode(rest)
+                    .ok_or_else(|| WireError::Protocol("bad trace context".into()))?;
+                Ok(Envelope {
+                    msg: WireMessage::decode(&rest[TraceContext::WIRE_LEN..])?,
+                    ctx: Some(ctx),
+                })
+            }
+            other => Err(WireError::Protocol(format!("unknown ctx flag {other}"))),
+        }
+    }
+}
+
+/// Incremental frame parser: feed raw stream bytes, pop whole
+/// envelopes. Resyncs on either frame magic (v1 `MSRV`, v2 `MSV2`)
+/// after garbage or a mid-frame cut, exactly like the binlog carver
+/// and the replication decoder — the wire stream is designed to be
+/// carvable, and one stream may interleave protocol versions.
 #[derive(Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+}
+
+/// Whether the last `keep` bytes of `buf` are a prefix of either magic.
+fn magic_prefix_keep(buf: &[u8]) -> usize {
+    (1..4.min(buf.len() + 1))
+        .rev()
+        .find(|&k| {
+            let tail = &buf[buf.len() - k..];
+            FRAME_MAGIC.starts_with(tail) || FRAME_MAGIC_V2.starts_with(tail)
+        })
+        .unwrap_or(0)
 }
 
 impl FrameDecoder {
@@ -345,32 +449,34 @@ impl FrameDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Pops the next complete message, if one is buffered.
+    /// Pops the next complete message, if one is buffered, discarding
+    /// any attached trace context (v1 callers).
+    pub fn next_message(&mut self) -> WireResult<Option<WireMessage>> {
+        Ok(self.next_envelope()?.map(|e| e.msg))
+    }
+
+    /// Pops the next complete envelope, if one is buffered.
     ///
     /// A frame whose CRC trailer mismatches (or whose length field is
     /// absurd) is rejected with an error; the decoder then resyncs past
     /// that magic, so subsequent intact frames still decode.
-    pub fn next_message(&mut self) -> WireResult<Option<WireMessage>> {
+    pub fn next_envelope(&mut self) -> WireResult<Option<Envelope>> {
         loop {
-            // Drop garbage before the next magic, keeping up to 3
-            // trailing bytes that may be a magic prefix still arriving.
+            // Drop garbage before the next magic (either version),
+            // keeping up to 3 trailing bytes that may be a magic
+            // prefix still arriving.
             let start = self
                 .buf
                 .windows(4)
-                .position(|w| w == FRAME_MAGIC)
-                .unwrap_or_else(|| {
-                    let keep = (1..4.min(self.buf.len() + 1))
-                        .rev()
-                        .find(|&k| FRAME_MAGIC.starts_with(&self.buf[self.buf.len() - k..]))
-                        .unwrap_or(0);
-                    self.buf.len() - keep
-                });
+                .position(|w| w == FRAME_MAGIC || w == FRAME_MAGIC_V2)
+                .unwrap_or_else(|| self.buf.len() - magic_prefix_keep(&self.buf));
             if start > 0 {
                 self.buf.drain(..start);
             }
             if self.buf.len() < 8 {
                 return Ok(None);
             }
+            let v2 = self.buf[..4] == FRAME_MAGIC_V2;
             let len = u32::from_le_bytes(self.buf[4..8].try_into().unwrap()) as usize;
             if len > MAX_FRAME_LEN {
                 // A corrupt length field: skip this magic and resync.
@@ -387,9 +493,13 @@ impl FrameDecoder {
                 self.buf.drain(..4);
                 return Err(WireError::Crc { expected, found });
             }
-            let msg = WireMessage::decode(payload);
+            let env = if v2 {
+                Envelope::decode_v2(payload)
+            } else {
+                WireMessage::decode(payload).map(Envelope::plain)
+            };
             self.buf.drain(..12 + len);
-            return msg.map(Some);
+            return env.map(Some);
         }
     }
 
@@ -431,6 +541,7 @@ mod tests {
                 sql: "SELECT 1".into(),
             },
             WireMessage::ExecutePrepared { name: "q1".into() },
+            WireMessage::Trace,
             WireMessage::Quit,
             WireMessage::Greeting {
                 session_id: 42,
@@ -484,6 +595,61 @@ mod tests {
         dec.feed(&m.to_frame());
         assert_eq!(dec.next_message().unwrap(), Some(m));
         assert_eq!(dec.next_message().unwrap(), None);
+    }
+
+    #[test]
+    fn v2_envelope_round_trips_with_and_without_context() {
+        let ctx = TraceContext {
+            trace_id: 0xFEED_F00D,
+            span_id: 0x1234,
+            sampled: true,
+        };
+        let traced = Envelope {
+            msg: WireMessage::Query {
+                sql: "SELECT secret FROM accounts".into(),
+            },
+            ctx: Some(ctx),
+        };
+        let plain = Envelope::plain(WireMessage::Bye);
+        // Context-free envelopes emit byte-identical v1 frames.
+        assert_eq!(plain.to_frame(), WireMessage::Bye.to_frame());
+        assert_eq!(&traced.to_frame()[..4], &FRAME_MAGIC_V2);
+        let mut dec = FrameDecoder::default();
+        dec.feed(&traced.to_frame());
+        dec.feed(&plain.to_frame());
+        assert_eq!(dec.next_envelope().unwrap(), Some(traced));
+        assert_eq!(dec.next_envelope().unwrap(), Some(plain));
+        assert_eq!(dec.next_envelope().unwrap(), None);
+    }
+
+    #[test]
+    fn mixed_version_stream_decodes_through_next_message() {
+        // A v1 caller (next_message) reading a v2 frame still gets the
+        // message; the context is simply dropped.
+        let traced = Envelope {
+            msg: WireMessage::Query {
+                sql: "BEGIN".into(),
+            },
+            ctx: Some(TraceContext::generate()),
+        };
+        let mut dec = FrameDecoder::default();
+        dec.feed(&[0x00, 0x4D]); // garbage + a magic-prefix byte
+        dec.feed(&WireMessage::Quit.to_frame());
+        dec.feed(&traced.to_frame());
+        assert_eq!(dec.next_message().unwrap(), Some(WireMessage::Quit));
+        assert_eq!(dec.next_message().unwrap(), Some(traced.msg));
+    }
+
+    #[test]
+    fn v2_payload_corruption_is_rejected() {
+        // Bad ctx flag.
+        let mut payload = vec![7u8];
+        payload.extend_from_slice(&WireMessage::Quit.encode());
+        assert!(Envelope::decode_v2(&payload).is_err());
+        // Truncated context.
+        let payload = vec![1u8, 0, 0];
+        assert!(Envelope::decode_v2(&payload).is_err());
+        assert!(Envelope::decode_v2(&[]).is_err());
     }
 
     #[test]

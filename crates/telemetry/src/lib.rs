@@ -47,6 +47,11 @@ struct HistogramCell {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Per-bucket exemplars: the most recent `(trace_id, value)`
+    /// observed in each bucket, OpenMetrics-style. Off the hot path —
+    /// only [`Histogram::record_with_exemplar`] takes this lock, and
+    /// only statements that carry a distributed trace context call it.
+    exemplars: Mutex<BTreeMap<u8, (u128, u64)>>,
 }
 
 impl Default for HistogramCell {
@@ -55,6 +60,7 @@ impl Default for HistogramCell {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -183,11 +189,18 @@ impl Registry {
                             (n > 0).then_some((i as u8, n))
                         })
                         .collect();
+                    let exemplars = v
+                        .exemplars
+                        .lock()
+                        .iter()
+                        .map(|(b, (tid, val))| (*b, *tid, *val))
+                        .collect();
                     HistogramSnapshot {
                         name: k.clone(),
                         count: v.count.load(Ordering::Relaxed),
                         sum: v.sum.load(Ordering::Relaxed),
                         buckets,
+                        exemplars,
                     }
                 })
                 .collect(),
@@ -223,6 +236,12 @@ impl Registry {
             for (idx, n) in &h.buckets {
                 cell.buckets[*idx as usize].fetch_add(*n, Ordering::Relaxed);
             }
+            if !h.exemplars.is_empty() {
+                let mut ex = cell.exemplars.lock();
+                for (idx, tid, val) in &h.exemplars {
+                    ex.insert(*idx, (*tid, *val));
+                }
+            }
         }
     }
 
@@ -244,6 +263,9 @@ impl Registry {
             for b in &h.buckets {
                 b.store(0, Ordering::Relaxed);
             }
+            // Exemplars are the most pointed leak — each one names a
+            // concrete trace — so a scrub drops them too.
+            h.exemplars.lock().clear();
         }
     }
 }
@@ -341,6 +363,25 @@ impl Histogram {
         }
     }
 
+    /// Records one observation and stamps `trace_id` as the bucket's
+    /// exemplar (OpenMetrics-style: each bucket remembers the trace of
+    /// the *last* observation that landed in it). Exemplars link the
+    /// `/metrics` latency distribution back to individual distributed
+    /// traces — which also makes them a correlation surface: an
+    /// exemplar ties an aggregate bucket to one concrete statement.
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u128) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.count.fetch_add(1, Ordering::Relaxed);
+            self.cell.sum.fetch_add(value, Ordering::Relaxed);
+            let idx = bucket_index(value);
+            self.cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            self.cell
+                .exemplars
+                .lock()
+                .insert(idx as u8, (trace_id, value));
+        }
+    }
+
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.cell.count.load(Ordering::Relaxed)
@@ -410,6 +451,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Non-empty buckets as `(bucket_index, count)`.
     pub buckets: Vec<(u8, u64)>,
+    /// Per-bucket exemplars as `(bucket_index, trace_id, value)` —
+    /// the last traced observation seen in each bucket. Empty unless
+    /// [`Histogram::record_with_exemplar`] was used.
+    pub exemplars: Vec<(u8, u128, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -528,6 +573,20 @@ impl MetricsSnapshot {
                 w.arr_close();
             }
             w.arr_close();
+            // Exemplars are emitted only when present so untraced
+            // snapshots keep their historical JSON shape.
+            if !h.exemplars.is_empty() {
+                w.key("exemplars");
+                w.arr_open();
+                for (idx, tid, val) in &h.exemplars {
+                    w.arr_open();
+                    w.u64(*idx as u64);
+                    w.string(&format!("{tid:032x}"));
+                    w.u64(*val);
+                    w.arr_close();
+                }
+                w.arr_close();
+            }
             w.obj_close();
         }
         w.obj_close();
@@ -624,7 +683,51 @@ mod tests {
     }
 
     #[test]
+    fn exemplars_track_last_trace_per_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.record(5); // bucket 3, no exemplar
+        h.record_with_exemplar(6, 0xAAAA); // bucket 3
+        h.record_with_exemplar(7, 0xBBBB); // bucket 3 — overwrites
+        h.record_with_exemplar(1000, 0xCCCC); // bucket 10
+        let snap = r.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.exemplars, vec![(3, 0xBBBB, 7), (10, 0xCCCC, 1000)]);
+        // JSON gains an "exemplars" key only when exemplars exist.
+        let js = snap.to_json();
+        assert!(
+            js.contains(r#""exemplars":[[3,"0000000000000000000000000000bbbb",7]"#),
+            "{js}"
+        );
+
+        // Scrub drops exemplars along with the distribution.
+        r.scrub();
+        let hs2 = r.snapshot();
+        let hs2 = hs2.histogram("lat").unwrap();
+        assert!(hs2.exemplars.is_empty());
+        assert!(!r.snapshot().to_json().contains("exemplars"));
+
+        // Absorb carries exemplars across registries (latest wins).
+        let sink = Registry::new();
+        sink.absorb(&snap);
+        let folded = sink.snapshot();
+        assert_eq!(
+            folded.histogram("lat").unwrap().exemplars,
+            vec![(3, 0xBBBB, 7), (10, 0xCCCC, 1000)]
+        );
+    }
+
+    #[test]
     fn disabled_registry_records_nothing() {
+        {
+            // record_with_exemplar is gated like record.
+            let r = Registry::new_disabled();
+            let h = r.histogram("lat");
+            h.record_with_exemplar(9, 0x1234);
+            assert!(r.snapshot().is_zero());
+            assert!(r.snapshot().histogram("lat").unwrap().exemplars.is_empty());
+        }
         let r = Registry::new_disabled();
         let c = r.counter("hits");
         let h = r.histogram("lat");

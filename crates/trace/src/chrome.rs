@@ -1,9 +1,15 @@
 //! Chrome `trace_event` exporter: renders statement traces as the JSON
 //! Trace Event Format (`chrome://tracing`, Perfetto). Every span becomes
 //! one complete (`"ph":"X"`) event; `ts`/`dur` are microseconds, with
-//! `ts` anchored at the simulated UNIX start time of the statement. The
-//! connection id becomes the thread id, so concurrent connections land
-//! on separate tracks.
+//! `ts` anchored at the simulated UNIX start time of the statement. Each
+//! distinct node gets its own process lane (pid), labeled via
+//! `process_name` metadata events; the connection id becomes the thread
+//! id, labeled via `thread_name` metadata, so concurrent connections
+//! land on separate named tracks.
+//!
+//! Multi-node exports with clock-offset correction live in
+//! [`crate::merge`]; this module renders whatever lane layout it is
+//! handed.
 
 use crate::{Span, StatementTrace};
 
@@ -21,19 +27,55 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_event(out: &mut String, trace: &StatementTrace, span: &Span, first: &mut bool) {
+fn push_sep(out: &mut String, first: &mut bool) {
     if !*first {
         out.push(',');
     }
     *first = false;
-    let base_ts = trace.started_unix * 1_000_000;
+}
+
+/// One `"ph":"M"` metadata event naming a process or thread lane.
+fn push_metadata(
+    out: &mut String,
+    first: &mut bool,
+    what: &str,
+    pid: u64,
+    tid: Option<u64>,
+    name: &str,
+) {
+    push_sep(out, first);
+    out.push_str("{\"name\":\"");
+    out.push_str(what);
+    out.push_str("\",\"ph\":\"M\",\"pid\":");
+    out.push_str(&pid.to_string());
+    if let Some(tid) = tid {
+        out.push_str(",\"tid\":");
+        out.push_str(&tid.to_string());
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\"}}");
+}
+
+fn push_event(
+    out: &mut String,
+    trace: &StatementTrace,
+    span: &Span,
+    pid: u64,
+    shift_us: i64,
+    first: &mut bool,
+) {
+    push_sep(out, first);
+    let base_ts = trace.started_unix * 1_000_000 + shift_us;
     out.push_str("{\"name\":\"");
     escape_into(out, &span.name);
     out.push_str("\",\"cat\":\"statement\",\"ph\":\"X\",\"ts\":");
     out.push_str(&(base_ts + span.start_us as i64).to_string());
     out.push_str(",\"dur\":");
     out.push_str(&span.dur_us.to_string());
-    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
     out.push_str(&trace.conn_id.to_string());
     out.push_str(",\"args\":{");
     let mut first_arg = true;
@@ -46,6 +88,11 @@ fn push_event(out: &mut String, trace: &StatementTrace, span: &Span, first: &mut
         escape_into(out, &trace.tables.join(","));
         out.push_str("\",\"trace_id\":");
         out.push_str(&trace.trace_id.to_string());
+        if let Some(ctx) = &trace.ctx {
+            out.push_str(",\"traceparent\":\"");
+            out.push_str(&ctx.to_traceparent());
+            out.push('"');
+        }
         first_arg = false;
     }
     for (k, v) in &span.attrs {
@@ -60,20 +107,89 @@ fn push_event(out: &mut String, trace: &StatementTrace, span: &Span, first: &mut
     }
     out.push_str("}}");
     for c in &span.children {
-        push_event(out, trace, c, first);
+        push_event(out, trace, c, pid, shift_us, first);
     }
 }
 
-/// Serializes traces as one Trace Event Format document:
-/// `{"traceEvents":[…],"displayTimeUnit":"ms"}`.
-pub fn to_chrome_json(traces: &[StatementTrace]) -> String {
+/// One process lane of a rendered document: a label, a clock shift
+/// applied to every timestamp (µs), and the traces on the lane.
+pub(crate) struct Lane<'a> {
+    pub label: String,
+    pub shift_us: i64,
+    pub traces: &'a [StatementTrace],
+}
+
+/// Renders lanes as one Trace Event Format document. Lane `i` becomes
+/// pid `i + 1`, named by a `process_name` metadata event; every
+/// distinct connection on a lane gets a `thread_name`.
+pub(crate) fn render(lanes: &[Lane]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
-    for t in traces {
-        push_event(&mut out, t, &t.root, &mut first);
+    for (i, lane) in lanes.iter().enumerate() {
+        let pid = i as u64 + 1;
+        push_metadata(&mut out, &mut first, "process_name", pid, None, &lane.label);
+        let mut tids: Vec<u64> = lane.traces.iter().map(|t| t.conn_id).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            push_metadata(
+                &mut out,
+                &mut first,
+                "thread_name",
+                pid,
+                Some(tid),
+                &format!("conn {tid}"),
+            );
+        }
+        for t in lane.traces {
+            push_event(&mut out, t, &t.root, pid, lane.shift_us, &mut first);
+        }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Serializes traces as one Trace Event Format document:
+/// `{"traceEvents":[…],"displayTimeUnit":"ms"}`. Traces are grouped
+/// into one process lane per distinct `node` (first-appearance order;
+/// untagged traces land on a `"minidb"` lane), with no clock
+/// correction — for that, see [`crate::merge::merge_chrome_json`].
+pub fn to_chrome_json(traces: &[StatementTrace]) -> String {
+    let mut nodes: Vec<String> = Vec::new();
+    for t in traces {
+        let label = lane_label(t);
+        if !nodes.iter().any(|n| n == label) {
+            nodes.push(label.to_string());
+        }
+    }
+    let grouped: Vec<Vec<StatementTrace>> = nodes
+        .iter()
+        .map(|n| {
+            traces
+                .iter()
+                .filter(|t| lane_label(t) == n)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let lanes: Vec<Lane> = nodes
+        .iter()
+        .zip(&grouped)
+        .map(|(label, traces)| Lane {
+            label: label.clone(),
+            shift_us: 0,
+            traces,
+        })
+        .collect();
+    render(&lanes)
+}
+
+fn lane_label(t: &StatementTrace) -> &str {
+    if t.node.is_empty() {
+        "minidb"
+    } else {
+        &t.node
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +224,38 @@ mod tests {
             to_chrome_json(&[]),
             "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
         );
+    }
+
+    #[test]
+    fn lanes_are_labeled_with_process_and_thread_metadata() {
+        let mut a = crate::StatementTrace::minimal(7, 10, "SELECT 1", "d", 5, 0);
+        a.node = "primary".into();
+        let mut b = crate::StatementTrace::minimal(3, 11, "INSERT", "d", 5, 0);
+        b.node = "replica-0".into();
+        let doc = to_chrome_json(&[a, b]);
+        assert!(doc.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"primary\"}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"replica-0\"}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":7,\"args\":{\"name\":\"conn 7\"}}"
+        ));
+        // The replica's span lands on pid 2.
+        assert!(doc.contains("\"pid\":2,\"tid\":3"));
+    }
+
+    #[test]
+    fn statement_args_carry_the_traceparent() {
+        let mut t = crate::StatementTrace::minimal(1, 0, "SELECT 1", "d", 5, 0);
+        let ctx = crate::TraceContext {
+            trace_id: 0xAB,
+            span_id: 0xCD,
+            sampled: true,
+        };
+        t.ctx = Some(ctx);
+        let doc = to_chrome_json(&[t]);
+        assert!(doc.contains(&format!("\"traceparent\":\"{}\"", ctx.to_traceparent())));
     }
 }

@@ -27,7 +27,153 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub mod chrome;
+pub mod merge;
 pub mod record;
+
+// ================= distributed trace context =================
+
+/// SplitMix64: the id mixer behind [`TraceContext`] generation and the
+/// `trace_id_hashing` mitigation. Zero-dependency, full-period, and
+/// statistically fine for identifiers (not for cryptography — the
+/// mitigation's strength is the secrecy of the key, modeled here).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Process-local entropy without a `rand` dependency: the std hasher's
+/// per-process random keys, folded through SplitMix64. Each call hashes
+/// a fresh [`std::collections::hash_map::RandomState`], so successive
+/// calls yield independent values. Public because the engine draws its
+/// `trace_id_hashing` key from the same well.
+pub fn entropy64() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let h = std::collections::hash_map::RandomState::new().build_hasher();
+    splitmix64(h.finish())
+}
+
+/// A W3C-traceparent-style distributed trace context: the identity a
+/// request carries across process boundaries so every node's spans land
+/// in the same trace.
+///
+/// The client generates a root context per statement; each hop derives
+/// a [`child`](TraceContext::child) (same `trace_id`, fresh `span_id`)
+/// before doing its own work, so the received `span_id` is the parent
+/// of the work the receiver records. The 25-byte wire form
+/// ([`encode`](TraceContext::encode)) rides in v2 MSRV frames, binlog
+/// events, and v2 slow-log records — which is exactly why E19 treats it
+/// as a leakage surface: one identifier, recoverable from three
+/// machines' disks, joins them all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 128-bit trace identity, shared by every span of the trace.
+    pub trace_id: u128,
+    /// 64-bit id of the sender's span (the parent of work done under
+    /// this context).
+    pub span_id: u64,
+    /// Whether the trace is sampled; unsampled contexts propagate but
+    /// recorders treat them as absent (the sampling mitigation).
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Encoded wire length: trace_id (16) + span_id (8) + flags (1).
+    pub const WIRE_LEN: usize = 25;
+
+    /// A fresh root context (new random trace and span ids, sampled).
+    pub fn generate() -> TraceContext {
+        let hi = entropy64();
+        let lo = entropy64();
+        let trace_id = ((hi as u128) << 64) | lo as u128;
+        TraceContext {
+            // Zero trace ids are reserved as "absent" in traceparent.
+            trace_id: if trace_id == 0 { 1 } else { trace_id },
+            span_id: entropy64() | 1,
+            sampled: true,
+        }
+    }
+
+    /// Derives the context for work caused by this one: same trace,
+    /// fresh span id. The receiver records `self.span_id` as the parent.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: entropy64() | 1,
+            sampled: self.sampled,
+        }
+    }
+
+    /// The `trace_id_hashing` mitigation: a keyed rehash applied at the
+    /// replication boundary. Ids stay stable under one key (replica-side
+    /// spans of one trace still correlate with each other) but join
+    /// against nothing recorded outside that boundary.
+    pub fn rehash(&self, key: u64) -> TraceContext {
+        let lo = splitmix64(self.trace_id as u64 ^ key);
+        let hi = splitmix64((self.trace_id >> 64) as u64 ^ key.rotate_left(17));
+        TraceContext {
+            trace_id: ((hi as u128) << 64) | lo as u128,
+            span_id: splitmix64(self.span_id ^ key),
+            sampled: self.sampled,
+        }
+    }
+
+    /// Formats as a W3C `traceparent` header value
+    /// (`00-<32 hex>-<16 hex>-<flags>`).
+    pub fn to_traceparent(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parses a W3C `traceparent` value (version 00; zero ids rejected,
+    /// per the spec).
+    pub fn parse_traceparent(s: &str) -> Option<TraceContext> {
+        let mut parts = s.split('-');
+        let (version, tid, sid, flags) =
+            (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() || version != "00" || tid.len() != 32 || sid.len() != 16 {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(tid, 16).ok()?;
+        let span_id = u64::from_str_radix(sid, 16).ok()?;
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            sampled: flags & 1 != 0,
+        })
+    }
+
+    /// Appends the 25-byte wire form (all little-endian).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.span_id.to_le_bytes());
+        out.push(u8::from(self.sampled));
+    }
+
+    /// Decodes the wire form from the first [`WIRE_LEN`](Self::WIRE_LEN)
+    /// bytes of `buf`.
+    pub fn decode(buf: &[u8]) -> Option<TraceContext> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let trace_id = u128::from_le_bytes(buf[..16].try_into().ok()?);
+        let span_id = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            sampled: buf[24] & 1 != 0,
+        })
+    }
+}
 
 /// One node of the span tree: a named execution stage with a start
 /// offset and duration (simulated µs, relative to statement start),
@@ -105,6 +251,13 @@ pub struct StatementTrace {
     pub tables: Vec<String>,
     /// Root of the span tree (named `"statement"`).
     pub root: Span,
+    /// Which node recorded the trace (`"primary"`, `"replica-0"`, a
+    /// client name, or `""` for an untagged single-node recorder).
+    pub node: String,
+    /// Distributed trace context, when the statement carried one. All
+    /// spans of one logical request — client, server, replica apply —
+    /// share `ctx.trace_id`.
+    pub ctx: Option<TraceContext>,
 }
 
 impl StatementTrace {
@@ -134,7 +287,15 @@ impl StatementTrace {
                 attrs: vec![("rows_examined".to_string(), rows_examined)],
                 children: Vec::new(),
             },
+            node: String::new(),
+            ctx: None,
         }
+    }
+
+    /// Absolute start of the trace in simulated microseconds
+    /// (`started_unix` seconds plus the root span's offset).
+    pub fn start_abs_us(&self) -> i64 {
+        self.started_unix * 1_000_000 + self.root.start_us as i64
     }
 }
 
@@ -165,6 +326,7 @@ pub struct TraceBuilder {
     /// Open spans, innermost last. `stack[0]` is always the root.
     stack: Vec<usize>,
     elastic: Option<usize>,
+    ctx: Option<TraceContext>,
 }
 
 impl TraceBuilder {
@@ -184,7 +346,19 @@ impl TraceBuilder {
             }],
             stack: vec![0],
             elastic: None,
+            ctx: None,
         }
+    }
+
+    /// Attaches the distributed trace context this statement runs
+    /// under (the node's own span context, not the parent's).
+    pub fn set_ctx(&mut self, ctx: TraceContext) {
+        self.ctx = Some(ctx);
+    }
+
+    /// The attached distributed context, if any.
+    pub fn ctx(&self) -> Option<TraceContext> {
+        self.ctx
     }
 
     /// Opens a child span of the innermost open span.
@@ -275,6 +449,8 @@ impl TraceBuilder {
             total_us,
             tables: self.tables,
             root,
+            node: String::new(),
+            ctx: self.ctx,
         }
     }
 }
@@ -311,6 +487,8 @@ struct RingInner {
     capacity: usize,
     next_id: u64,
     evicted: u64,
+    /// Node identity stamped onto recorded traces (cross-node merge key).
+    node: String,
 }
 
 /// The flight recorder: a bounded ring of the last N statement traces.
@@ -345,8 +523,21 @@ impl Recorder {
                 capacity: capacity.max(1),
                 next_id: 1,
                 evicted: 0,
+                node: String::new(),
             })),
         }
+    }
+
+    /// Sets the node identity stamped onto traces recorded here (traces
+    /// that already carry a node keep it — absorbed rings stay tagged
+    /// with their origin).
+    pub fn set_node(&self, node: &str) {
+        self.inner.lock().unwrap().node = node.to_string();
+    }
+
+    /// This recorder's node identity.
+    pub fn node(&self) -> String {
+        self.inner.lock().unwrap().node.clone()
     }
 
     /// The hot-path gate: one relaxed atomic load.
@@ -367,6 +558,9 @@ impl Recorder {
         let mut g = self.inner.lock().unwrap();
         trace.trace_id = g.next_id;
         g.next_id += 1;
+        if trace.node.is_empty() {
+            trace.node = g.node.clone();
+        }
         g.ring.push_back(trace.clone());
         while g.ring.len() > g.capacity {
             g.ring.pop_front();
@@ -522,5 +716,81 @@ mod tests {
         assert!(!r.is_enabled());
         r.set_enabled(true);
         assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn context_generation_and_children_share_the_trace_id() {
+        let root = TraceContext::generate();
+        assert_ne!(root.trace_id, 0);
+        assert_ne!(root.span_id, 0);
+        assert!(root.sampled);
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        // Two generated roots collide with probability ~2^-128.
+        assert_ne!(TraceContext::generate().trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn traceparent_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10,
+            span_id: 0xDEAD_BEEF_0BAD_F00D,
+            sampled: true,
+        };
+        let s = ctx.to_traceparent();
+        assert_eq!(s, "00-0102030405060708090a0b0c0d0e0f10-deadbeef0badf00d-01");
+        assert_eq!(TraceContext::parse_traceparent(&s), Some(ctx));
+        // Zero ids, wrong version, and wrong shapes are rejected.
+        assert!(TraceContext::parse_traceparent(
+            "00-00000000000000000000000000000000-deadbeef0badf00d-01"
+        )
+        .is_none());
+        assert!(TraceContext::parse_traceparent("01-aa-bb-01").is_none());
+        assert!(TraceContext::parse_traceparent("garbage").is_none());
+    }
+
+    #[test]
+    fn context_wire_round_trip() {
+        let ctx = TraceContext {
+            trace_id: u128::MAX - 7,
+            span_id: 42,
+            sampled: false,
+        };
+        let mut buf = Vec::new();
+        ctx.encode(&mut buf);
+        assert_eq!(buf.len(), TraceContext::WIRE_LEN);
+        assert_eq!(TraceContext::decode(&buf), Some(ctx));
+        assert!(TraceContext::decode(&buf[..24]).is_none());
+    }
+
+    #[test]
+    fn rehash_is_keyed_and_stable() {
+        let ctx = TraceContext::generate();
+        let a = ctx.rehash(0x1234);
+        assert_eq!(a, ctx.rehash(0x1234), "same key, same rehash");
+        assert_ne!(a.trace_id, ctx.trace_id, "join against the original breaks");
+        assert_ne!(a.trace_id, ctx.rehash(0x5678).trace_id, "key matters");
+        assert_eq!(a.sampled, ctx.sampled);
+    }
+
+    #[test]
+    fn recorder_stamps_node_on_untagged_traces_only() {
+        let r = Recorder::new(8);
+        r.set_node("replica-0");
+        let t = r.record(StatementTrace::minimal(1, 0, "q", "d", 1, 0));
+        assert_eq!(t.node, "replica-0");
+        let mut foreign = StatementTrace::minimal(1, 0, "q2", "d", 1, 0);
+        foreign.node = "primary".to_string();
+        assert_eq!(r.record(foreign).node, "primary");
+    }
+
+    #[test]
+    fn builder_carries_the_context_into_the_trace() {
+        let ctx = TraceContext::generate();
+        let mut b = build("SELECT 1");
+        b.set_ctx(ctx);
+        assert_eq!(b.ctx(), Some(ctx));
+        assert_eq!(b.finish(10).ctx, Some(ctx));
     }
 }

@@ -1,0 +1,212 @@
+//! `trace merge` — joins per-node trace collections into one multi-node
+//! timeline.
+//!
+//! Each node records its own [`StatementTrace`]s against its own clock.
+//! Spans of one logical request share a distributed
+//! [`TraceContext`](crate::TraceContext) `trace_id`, so the merge can
+//! (a) find the same request on every node and (b) estimate each
+//! node's clock offset against a reference node: for every shared
+//! trace id the two nodes' span anchors *should* coincide, and the
+//! median of the observed differences is the offset estimate.
+//!
+//! The anchor is chosen from the wire spans when present: a client
+//! trace brackets the network round trip with `wire_send` / `wire_recv`
+//! spans, and the server's whole statement executes inside that gap, so
+//! the gap's midpoint is the client-clock estimate of the server
+//! statement's midpoint. Traces without wire spans anchor at their own
+//! midpoint. With symmetric links this cancels the transport delay —
+//! the classic NTP-style estimate, computed offline from traces alone.
+//!
+//! The output is a single Chrome `trace_event` document with one
+//! labeled process lane per node and every lane's timestamps shifted
+//! onto the reference clock.
+
+use crate::chrome::{render, Lane};
+use crate::StatementTrace;
+
+/// One node's trace collection, as fed to the merge.
+#[derive(Clone, Debug)]
+pub struct NodeTraces {
+    /// Node identity (becomes the process-lane label).
+    pub node: String,
+    /// The node's recorded traces, any order.
+    pub traces: Vec<StatementTrace>,
+}
+
+/// A trace's anchor on its own clock, in absolute simulated µs: the
+/// midpoint of the `wire_send` → `wire_recv` gap when the trace
+/// brackets a network round trip, else the trace's own midpoint.
+fn anchor_us(t: &StatementTrace) -> i64 {
+    let base = t.started_unix * 1_000_000;
+    if let (Some(send), Some(recv)) = (t.root.find("wire_send"), t.root.find("wire_recv")) {
+        let send_end = send.start_us + send.dur_us;
+        let recv_start = recv.start_us;
+        if recv_start >= send_end {
+            return base + ((send_end + recv_start) / 2) as i64;
+        }
+    }
+    base + (t.root.start_us + t.root.dur_us / 2) as i64
+}
+
+/// Estimates `other`'s clock offset against `reference`, in µs: the
+/// amount to **add** to `other`'s timestamps to land them on the
+/// reference clock. Pairs traces by distributed `trace_id` and takes
+/// the median anchor difference; returns 0 when the nodes share no
+/// trace ids (nothing to correlate — also the mitigated case).
+pub fn estimate_offset_us(reference: &[StatementTrace], other: &[StatementTrace]) -> i64 {
+    let mut deltas: Vec<i64> = Vec::new();
+    for o in other {
+        let Some(ctx) = &o.ctx else { continue };
+        for r in reference {
+            if r.ctx.as_ref().is_some_and(|rc| rc.trace_id == ctx.trace_id) {
+                deltas.push(anchor_us(r) - anchor_us(o));
+            }
+        }
+    }
+    if deltas.is_empty() {
+        return 0;
+    }
+    deltas.sort_unstable();
+    deltas[deltas.len() / 2]
+}
+
+/// How many nodes hold at least one span of the given distributed
+/// trace — the "process lanes" a request appears on after a merge.
+pub fn lanes_with_trace(nodes: &[NodeTraces], trace_id: u128) -> usize {
+    nodes
+        .iter()
+        .filter(|n| {
+            n.traces
+                .iter()
+                .any(|t| t.ctx.as_ref().is_some_and(|c| c.trace_id == trace_id))
+        })
+        .count()
+}
+
+/// Per-node clock offsets against the first node, µs (the first node's
+/// offset is 0 by definition).
+pub fn offsets_us(nodes: &[NodeTraces]) -> Vec<(String, i64)> {
+    let Some(reference) = nodes.first() else {
+        return Vec::new();
+    };
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let off = if i == 0 {
+                0
+            } else {
+                estimate_offset_us(&reference.traces, &n.traces)
+            };
+            (n.node.clone(), off)
+        })
+        .collect()
+}
+
+/// Merges per-node trace collections into one Chrome `trace_event`
+/// document: one labeled process lane per node (in input order, the
+/// first node being the reference clock), every non-reference lane
+/// shifted by its estimated clock offset.
+pub fn merge_chrome_json(nodes: &[NodeTraces]) -> String {
+    let offsets = offsets_us(nodes);
+    let lanes: Vec<Lane> = nodes
+        .iter()
+        .zip(&offsets)
+        .map(|(n, (_, off))| Lane {
+            label: n.node.clone(),
+            shift_us: *off,
+            traces: &n.traces,
+        })
+        .collect();
+    render(&lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Span, TraceContext};
+
+    fn ctx(id: u128) -> TraceContext {
+        TraceContext {
+            trace_id: id,
+            span_id: id as u64 | 1,
+            sampled: true,
+        }
+    }
+
+    /// A client-side trace: total 1000µs with wire_send at [100, 200)
+    /// and wire_recv at [800, 900), so the gap midpoint is start+500µs.
+    fn client_trace(started: i64, id: u128) -> StatementTrace {
+        let mut t = StatementTrace::minimal(1, started, "SELECT 1", "d", 1000, 0);
+        t.ctx = Some(ctx(id));
+        t.root.children = vec![
+            Span {
+                name: "wire_send".into(),
+                start_us: 100,
+                dur_us: 100,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            },
+            Span {
+                name: "wire_recv".into(),
+                start_us: 800,
+                dur_us: 100,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            },
+        ];
+        t
+    }
+
+    /// A server-side trace of the same request on a skewed clock.
+    fn server_trace(started: i64, id: u128, total: u64) -> StatementTrace {
+        let mut t = StatementTrace::minimal(9, started, "SELECT 1", "d", total, 0);
+        t.ctx = Some(ctx(id));
+        t
+    }
+
+    #[test]
+    fn offset_recovers_a_known_clock_skew() {
+        // Client statements start at t=100s; the server clock runs 7s
+        // ahead, so the same requests appear at t=107s server-side.
+        // True offset (add to server timestamps to reach client clock):
+        // client anchor (100s + 500µs) - server anchor (107s + 500µs).
+        let clients: Vec<StatementTrace> = (0..5)
+            .map(|i| client_trace(100 + i, 0xC0 + i as u128))
+            .collect();
+        let servers: Vec<StatementTrace> = (0..5)
+            .map(|i| server_trace(107 + i, 0xC0 + i as u128, 1000))
+            .collect();
+        let off = estimate_offset_us(&clients, &servers);
+        assert_eq!(off, -7_000_000);
+    }
+
+    #[test]
+    fn offset_without_shared_ids_is_zero() {
+        let a = vec![client_trace(1, 0x1)];
+        let b = vec![server_trace(2, 0x2, 100)];
+        assert_eq!(estimate_offset_us(&a, &b), 0);
+    }
+
+    #[test]
+    fn merge_emits_one_labeled_lane_per_node_with_shifted_timestamps() {
+        let nodes = vec![
+            NodeTraces {
+                node: "client".into(),
+                traces: vec![client_trace(100, 0xAA)],
+            },
+            NodeTraces {
+                node: "server".into(),
+                traces: vec![server_trace(107, 0xAA, 1000)],
+            },
+        ];
+        let doc = merge_chrome_json(&nodes);
+        assert!(doc.contains("\"pid\":1,\"args\":{\"name\":\"client\"}"));
+        assert!(doc.contains("\"pid\":2,\"args\":{\"name\":\"server\"}"));
+        // The server statement (started 107s, shifted -7s) lands at the
+        // client-clock 100s mark.
+        assert!(doc.contains(&format!("\"ts\":{}", 100i64 * 1_000_000)));
+        assert_eq!(lanes_with_trace(&nodes, 0xAA), 2);
+        assert_eq!(lanes_with_trace(&nodes, 0xBB), 0);
+    }
+}

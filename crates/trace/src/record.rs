@@ -7,11 +7,18 @@
 //!           | statement str | digest str
 //!           | tables:  u16 n, n × str
 //!           | root span
+//!           | (v2) node str
+//!           | (v2) ctx flag u8, flag=1 → trace_id u128 | span_id u64 | flags u8
 //! span    = name str | start_us u64 | dur_us u64
 //!           | attrs:    u16 n, n × (str, u64)
 //!           | children: u16 n, n × span
 //! str     = u16 len LE | utf-8 bytes
 //! ```
+//!
+//! Version 2 (this PR) appends the recording node's identity and the
+//! optional distributed [`TraceContext`] — the cross-node join key E19
+//! carves. [`carve`] accepts both versions: v1 records decode with an
+//! empty node and no context.
 //!
 //! The CRC covers `version | payload_len | payload`. Every record is
 //! self-delimiting and checksummed, so [`carve`] recovers all intact
@@ -20,12 +27,14 @@
 //! from a stolen disk. Decoding is bounded (string/fan-out/depth caps)
 //! so carving adversarial bytes stays cheap.
 
-use crate::{Span, StatementTrace};
+use crate::{Span, StatementTrace, TraceContext};
 
 /// Record preamble.
 pub const MAGIC: [u8; 4] = *b"MTRC";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version (v2: node identity + distributed context).
+pub const VERSION: u8 = 2;
+/// The pre-xtrace format, still carvable.
+pub const VERSION_V1: u8 = 1;
 
 /// Decode caps: longest string, widest fan-out, deepest nesting.
 const MAX_STR: usize = 1 << 20;
@@ -90,6 +99,15 @@ pub fn encode_payload(t: &StatementTrace, out: &mut Vec<u8>) {
         w_str(out, tab);
     }
     w_span(out, &t.root);
+    // v2 tail: node identity + optional distributed context.
+    w_str(out, &t.node);
+    match &t.ctx {
+        Some(ctx) => {
+            out.push(1);
+            ctx.encode(out);
+        }
+        None => out.push(0),
+    }
 }
 
 /// Serializes one framed, checksummed record (what the engine appends
@@ -174,10 +192,8 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Deserializes a payload produced by [`encode_payload`]. Returns the
-/// trace and the number of bytes consumed; `None` on any malformation.
-pub fn decode_payload(buf: &[u8]) -> Option<(StatementTrace, usize)> {
-    let mut r = Reader { buf, pos: 0 };
+/// Decodes the fields shared by every payload version.
+fn decode_common(r: &mut Reader) -> Option<StatementTrace> {
     let conn_id = r.u64()?;
     let started_unix = r.i64()?;
     let total_us = r.u64()?;
@@ -193,19 +209,39 @@ pub fn decode_payload(buf: &[u8]) -> Option<(StatementTrace, usize)> {
         tables.push(r.str()?);
     }
     let root = r.span(0)?;
-    Some((
-        StatementTrace {
-            trace_id,
-            conn_id,
-            started_unix,
-            statement,
-            digest,
-            total_us,
-            tables,
-            root,
-        },
-        r.pos,
-    ))
+    Some(StatementTrace {
+        trace_id,
+        conn_id,
+        started_unix,
+        statement,
+        digest,
+        total_us,
+        tables,
+        root,
+        node: String::new(),
+        ctx: None,
+    })
+}
+
+/// Deserializes a v2 payload produced by [`encode_payload`]. Returns
+/// the trace and the number of bytes consumed; `None` on malformation.
+pub fn decode_payload(buf: &[u8]) -> Option<(StatementTrace, usize)> {
+    let mut r = Reader { buf, pos: 0 };
+    let mut t = decode_common(&mut r)?;
+    t.node = r.str()?;
+    t.ctx = match r.take(1)?[0] {
+        0 => None,
+        1 => Some(TraceContext::decode(r.take(TraceContext::WIRE_LEN)?)?),
+        _ => return None,
+    };
+    Some((t, r.pos))
+}
+
+/// Deserializes a v1 payload (no node, no context).
+pub fn decode_payload_v1(buf: &[u8]) -> Option<(StatementTrace, usize)> {
+    let mut r = Reader { buf, pos: 0 };
+    let t = decode_common(&mut r)?;
+    Some((t, r.pos))
 }
 
 /// One record recovered by [`carve`], with its byte offset in the input.
@@ -248,7 +284,7 @@ fn try_decode_at(raw: &[u8], offset: usize) -> Option<(StatementTrace, usize)> {
         return None;
     }
     let version = body[0];
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return None;
     }
     let len = u32::from_le_bytes(body[1..5].try_into().ok()?) as usize;
@@ -257,7 +293,12 @@ fn try_decode_at(raw: &[u8], offset: usize) -> Option<(StatementTrace, usize)> {
     if crc32(&framed[..5 + len]) != stored_crc {
         return None;
     }
-    let (trace, consumed) = decode_payload(&framed[5..5 + len])?;
+    let payload = &framed[5..5 + len];
+    let (trace, consumed) = if version == VERSION {
+        decode_payload(payload)?
+    } else {
+        decode_payload_v1(payload)?
+    };
     if consumed != len {
         return None;
     }
@@ -350,5 +391,68 @@ mod tests {
     fn crc32_known_vector() {
         // IEEE CRC-32 of "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    /// Frames a payload as a v1 record (what a pre-xtrace slow log
+    /// holds): same framing, version byte 1, no node/ctx tail.
+    fn encode_record_v1(t: &StatementTrace) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let mut bare = t.clone();
+        bare.node = String::new();
+        bare.ctx = None;
+        encode_payload(&bare, &mut payload);
+        // Strip the v2 tail: node str (2-byte len + bytes) + flag byte.
+        let tail = 2 + bare.node.len() + 1;
+        payload.truncate(payload.len() - tail);
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_V1);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v2_round_trip_keeps_node_and_context() {
+        let mut t = sample(5);
+        t.node = "replica-0".to_string();
+        t.ctx = Some(TraceContext {
+            trace_id: 0xABCD_EF01_2345_6789_0011_2233_4455_6677,
+            span_id: 0x1122_3344_5566_7788,
+            sampled: true,
+        });
+        let carved = carve(&encode_record(&t));
+        assert_eq!(carved.len(), 1);
+        assert_eq!(carved[0].trace, t);
+    }
+
+    #[test]
+    fn carve_accepts_mixed_v1_and_v2_records() {
+        let mut buf = Vec::new();
+        let old = sample(1);
+        buf.extend_from_slice(&encode_record_v1(&old));
+        let mut new = sample(2);
+        new.node = "primary".into();
+        new.ctx = Some(TraceContext::generate());
+        buf.extend_from_slice(&encode_record(&new));
+        let carved = carve(&buf);
+        assert_eq!(carved.len(), 2);
+        assert_eq!(carved[0].trace, old, "v1 decodes with empty node, no ctx");
+        assert_eq!(carved[0].trace.node, "");
+        assert_eq!(carved[0].trace.ctx, None);
+        assert_eq!(carved[1].trace, new);
+    }
+
+    #[test]
+    fn unknown_version_is_skipped_not_misparsed() {
+        let mut rec = encode_record(&sample(1));
+        rec[4] = 9; // Version byte.
+                    // Fix the CRC so only the version check can reject it.
+        let len = rec.len();
+        let crc = crc32(&rec[4..len - 4]);
+        rec[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(carve(&rec).is_empty());
     }
 }
