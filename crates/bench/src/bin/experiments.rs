@@ -4,7 +4,7 @@
 //! experiments [--quick] [--json <path>] [--trace <dir>]
 //!             [--bench-json <path>] [--obs-bench-json <path>]
 //!             [--server-bench-json <path>] [--xtrace-bench-json <path>]
-//!             [e1 e2 … | all]
+//!             [--wal-bench-json <path>] [e1 e2 … | all]
 //! ```
 //!
 //! Tables always go to stdout; `--json <path>` additionally writes a
@@ -21,7 +21,10 @@
 //! throughput, single latch vs latch-partitioned) and writes it as
 //! JSON; `--xtrace-bench-json <path>` runs the cross-node tracing
 //! benchmark (attribution rates, probe lanes, tracing overhead) and
-//! writes it as JSON plus the merged Chrome trace as `<path>.trace.json`.
+//! writes it as JSON plus the merged Chrome trace as `<path>.trace.json`;
+//! `--wal-bench-json <path>` runs the group-commit / encrypted-WAL
+//! write-path benchmark (plaintext vs sealed, per-statement fsync vs
+//! group commit, at 1/4/8 connections) and writes it as JSON.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -45,6 +48,7 @@ fn main() {
     let obs_bench_json_path = path_flag("--obs-bench-json");
     let server_bench_json_path = path_flag("--server-bench-json");
     let xtrace_bench_json_path = path_flag("--xtrace-bench-json");
+    let wal_bench_json_path = path_flag("--wal-bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -59,6 +63,7 @@ fn main() {
             || a == "--obs-bench-json"
             || a == "--server-bench-json"
             || a == "--xtrace-bench-json"
+            || a == "--wal-bench-json"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -70,7 +75,8 @@ fn main() {
         && (bench_json_path.is_some()
             || obs_bench_json_path.is_some()
             || server_bench_json_path.is_some()
-            || xtrace_bench_json_path.is_some())
+            || xtrace_bench_json_path.is_some()
+            || wal_bench_json_path.is_some())
     {
         Vec::new()
     } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -203,5 +209,33 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote xtrace bench JSON to {path} (+ merged trace {trace_path})");
+    }
+    if let Some(path) = wal_bench_json_path {
+        // Same inserts-per-connection in both modes: the gated ratios
+        // (buyback, crypto tax) shift systematically with batch
+        // amortization, and the perf-trajectory job diffs a quick regen
+        // against the full-mode committed baseline. Quick only drops
+        // the middle connection count.
+        let (conns, inserts): (&[usize], usize) = if quick {
+            (&[1, 8], 100)
+        } else {
+            (&[1, 4, 8], 100)
+        };
+        eprintln!(
+            "[experiments] wal bench: {inserts} inserts per connection at {conns:?} connections"
+        );
+        let b = bench::walbench::run(conns, inserts);
+        let max_conns = conns.iter().copied().max().unwrap_or(1);
+        eprintln!(
+            "[experiments] buyback {:.2}x at {max_conns} connections, crypto tax {:.2}x at 1, {:.3} fsyncs/stmt",
+            b.buyback_at(max_conns),
+            b.crypto_tax_at(1),
+            b.fsyncs_per_stmt_at(max_conns),
+        );
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote wal bench JSON to {path}");
     }
 }

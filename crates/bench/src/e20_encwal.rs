@@ -1,0 +1,266 @@
+//! E20 (extension) — sealed log records + group commit: closing the
+//! log-forensics channels (E2 redo/undo, E3 binlog, E14 relay) while
+//! *gaining* write throughput.
+//!
+//! Part one re-runs the keyless carvers from E2/E3/E14 against two cold
+//! images of the same workload: a stock plaintext engine and one with
+//! `DbConfig::encrypted_wal` (BigFoot-style AEAD-sealed log records,
+//! nonce = stream ‖ LSN). The plaintext image reconstructs the write
+//! history verbatim; the encrypted image yields **zero** statements,
+//! zero row images, and zero timestamps — the attacker sees only sealed
+//! frames (lengths and stream ids, the residual metadata leak).
+//! Replication is measured the same way: an encrypted fleet relays
+//! ciphertext, so the E14 "snapshot any replica" move also goes dark.
+//!
+//! Part two is the performance side of the bargain (see
+//! [`crate::walbench`]): per-statement sealing costs a measurable tax,
+//! but the group-commit pipeline coalesces concurrent committers into
+//! one fsync per batch — at 8 connections the *encrypted* engine beats
+//! the *plaintext* seed write path.
+
+use mdb_repl::router::{ReplicaSet, ReplicaSetConfig};
+use minidb::engine::{Db, DbConfig};
+use minidb::wal::{carve_enc_frames, BINLOG_FILE, REDO_FILE, UNDO_FILE};
+use snapshot_attack::forensics::{binlog, relay, wal};
+use snapshot_attack::report::Table;
+
+use crate::{f2, walbench, Options};
+
+/// The log key every encrypted node in the experiment shares.
+const KEY: [u8; 32] = [0xE2; 32];
+
+/// A sensitive value the carvers hunt for as a raw byte window.
+const SECRET: &[u8] = b"dx-oncology";
+
+fn encrypted_config() -> DbConfig {
+    DbConfig {
+        encrypted_wal: true,
+        wal_key: Some(KEY),
+        group_commit: true,
+        ..DbConfig::default()
+    }
+}
+
+/// Runs the single-node workload and returns the database.
+fn run_workload(db: &Db, writes: usize) {
+    let conn = db.connect("oltp");
+    conn.execute("CREATE TABLE visits (id INT PRIMARY KEY, diagnosis TEXT)")
+        .unwrap();
+    for i in 0..writes {
+        conn.execute(&format!(
+            "INSERT INTO visits VALUES ({i}, 'dx-oncology-{i}')"
+        ))
+        .unwrap();
+    }
+    for i in (0..writes).step_by(4) {
+        conn.execute(&format!(
+            "UPDATE visits SET diagnosis = 'dx-remission-{i}' WHERE id = {i}"
+        ))
+        .unwrap();
+    }
+}
+
+/// Counts raw byte windows of [`SECRET`] in an image file.
+fn secret_windows(raw: &[u8]) -> usize {
+    raw.windows(SECRET.len()).filter(|w| *w == SECRET).count()
+}
+
+/// Builds a 1-primary / 2-replica fleet, runs writes, purges the
+/// primary's binlog, and returns the E14 relay carve count from replica
+/// 0 plus the sealed-frame count in the same relay file.
+fn fleet_relay_carve(base: DbConfig, writes: usize) -> (usize, usize, usize) {
+    let mut set = ReplicaSet::start(ReplicaSetConfig {
+        base,
+        ..ReplicaSetConfig::default()
+    })
+    .expect("fleet starts");
+    set.write("CREATE TABLE visits (id INT PRIMARY KEY, diagnosis TEXT)")
+        .unwrap();
+    for i in 0..writes {
+        set.write(&format!(
+            "INSERT INTO visits VALUES ({i}, 'dx-oncology-{i}')"
+        ))
+        .unwrap();
+    }
+    assert!(set.wait_for_sync(std::time::Duration::from_secs(30)));
+    set.primary().purge_binlog();
+    let image = set.replica(0).system_image();
+    let carved = relay::carve_relay(&image.disk).len();
+    let relay_raw = relay::relay_files(&image.disk)
+        .first()
+        .and_then(|name| image.disk.file(name))
+        .unwrap_or(&[]);
+    let sealed = carve_enc_frames(relay_raw).len();
+    let windows = secret_windows(relay_raw);
+    set.shutdown();
+    (carved, sealed, windows)
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let writes = if opts.quick { 120 } else { 600 };
+    let fleet_writes = if opts.quick { 24 } else { 120 };
+
+    // ===== part one: the carvers, plaintext vs sealed =====
+    let plain_db = Db::open(DbConfig::default());
+    run_workload(&plain_db, writes);
+    let enc_db = Db::open(encrypted_config());
+    run_workload(&enc_db, writes);
+
+    let plain_disk = plain_db.disk_image();
+    let enc_disk = enc_db.disk_image();
+    let file = |disk: &minidb::DiskImage, name: &str| -> Vec<u8> {
+        disk.file(name).unwrap_or(&[]).to_vec()
+    };
+
+    let mut carvers = Table::new(
+        "E20a - keyless log carvers vs encrypted_wal (same workload)",
+        &[
+            "channel",
+            "carver",
+            "plaintext image",
+            "encrypted image",
+            "sealed frames",
+            "secret windows (enc)",
+        ],
+    );
+    let p_redo = file(&plain_disk, REDO_FILE);
+    let e_redo = file(&enc_disk, REDO_FILE);
+    carvers.row(&[
+        "redo log".into(),
+        "E2 reconstruct_writes".into(),
+        wal::reconstruct_writes(&p_redo).len().to_string(),
+        wal::reconstruct_writes(&e_redo).len().to_string(),
+        carve_enc_frames(&e_redo).len().to_string(),
+        secret_windows(&e_redo).to_string(),
+    ]);
+    let p_undo = file(&plain_disk, UNDO_FILE);
+    let e_undo = file(&enc_disk, UNDO_FILE);
+    carvers.row(&[
+        "undo log".into(),
+        "E2 before-images".into(),
+        wal::reconstruct_before_images(&p_undo).len().to_string(),
+        wal::reconstruct_before_images(&e_undo).len().to_string(),
+        carve_enc_frames(&e_undo).len().to_string(),
+        secret_windows(&e_undo).to_string(),
+    ]);
+    let p_binlog = file(&plain_disk, BINLOG_FILE);
+    let e_binlog = file(&enc_disk, BINLOG_FILE);
+    carvers.row(&[
+        "binlog".into(),
+        "E3 parse_binlog".into(),
+        binlog::parse_binlog(&p_binlog).len().to_string(),
+        binlog::parse_binlog(&e_binlog).len().to_string(),
+        carve_enc_frames(&e_binlog).len().to_string(),
+        secret_windows(&e_binlog).to_string(),
+    ]);
+    let (p_relay, _, _) = fleet_relay_carve(DbConfig::default(), fleet_writes);
+    let (e_relay, e_relay_sealed, e_relay_windows) =
+        fleet_relay_carve(encrypted_config(), fleet_writes);
+    carvers.row(&[
+        "relay log (replica 0, primary purged)".into(),
+        "E14 carve_relay".into(),
+        p_relay.to_string(),
+        e_relay.to_string(),
+        e_relay_sealed.to_string(),
+        e_relay_windows.to_string(),
+    ]);
+
+    // The key holder still recovers everything (recovery must work).
+    let mut recovery = Table::new(
+        "E20b - key-holder recovery from the encrypted image",
+        &["metric", "value"],
+    );
+    let crypto = minidb::wal::WalCrypto::new(KEY);
+    let opened = carve_enc_frames(&e_redo)
+        .iter()
+        .filter(|(_, sealed)| crypto.open(sealed).is_some())
+        .count();
+    recovery.row(&[
+        "sealed redo frames opened with key".into(),
+        opened.to_string(),
+    ]);
+    recovery.row(&[
+        "rows readable through engine".into(),
+        enc_db
+            .connect("audit")
+            .execute("SELECT COUNT(*) FROM visits")
+            .unwrap()
+            .rows[0][0]
+            .to_string(),
+    ]);
+
+    // ===== part two: the write-path bargain =====
+    let conn_counts: &[usize] = if opts.quick { &[1, 8] } else { &[1, 4, 8] };
+    let inserts = if opts.quick { 40 } else { 150 };
+    let bench = walbench::run(conn_counts, inserts);
+
+    let mut perf = Table::new(
+        "E20c - write-path throughput: crypto tax vs group-commit buyback",
+        &[
+            "variant",
+            "connections",
+            "stmts/sec",
+            "fsyncs",
+            "gc batches",
+            "gc waits",
+        ],
+    );
+    for r in &bench.runs {
+        perf.row(&[
+            r.variant.into(),
+            r.connections.to_string(),
+            format!("{:.0}", r.stmts_per_sec),
+            r.fsyncs.to_string(),
+            r.gc_batches.to_string(),
+            r.gc_waits.to_string(),
+        ]);
+    }
+    let max_conns = conn_counts.iter().copied().max().unwrap_or(1);
+    let mut summary = Table::new("E20d - summary ratios", &["metric", "value"]);
+    summary.row(&[
+        format!("buyback_at_{max_conns} (enc_gc / plain_nogc)"),
+        f2(bench.buyback_at(max_conns)),
+    ]);
+    summary.row(&[
+        "crypto_tax_at_1 (plain_nogc / enc_nogc)".into(),
+        f2(bench.crypto_tax_at(1)),
+    ]);
+    summary.row(&[
+        format!("fsyncs_per_stmt_at_{max_conns} (enc_gc)"),
+        f2(bench.fsyncs_per_stmt_at(max_conns)),
+    ]);
+
+    opts.absorb_db(&plain_db);
+    opts.absorb_db(&enc_db);
+    vec![carvers, recovery, perf, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carvers_go_dark_and_group_commit_buys_back() {
+        let tables = run(&Options {
+            quick: true,
+            ..Default::default()
+        });
+        let carvers = &tables[0];
+        for row in &carvers.rows {
+            let plain: usize = row[2].parse().unwrap();
+            let enc: usize = row[3].parse().unwrap();
+            let sealed: usize = row[4].parse().unwrap();
+            assert!(plain > 0, "plaintext {} must carve: {row:?}", row[0]);
+            assert_eq!(enc, 0, "encrypted {} must carve empty: {row:?}", row[0]);
+            assert!(sealed > 0, "ciphertext frames stay visible: {row:?}");
+            assert_eq!(row[5], "0", "no secret byte windows: {row:?}");
+        }
+        let recovery = &tables[1];
+        assert!(recovery.rows[0][1].parse::<u64>().unwrap() > 0);
+        assert_eq!(recovery.rows[1][1], "120");
+        let summary = &tables[3];
+        let buyback: f64 = summary.rows[0][1].parse().unwrap();
+        assert!(buyback >= 1.0, "buyback {buyback} < 1.0");
+    }
+}

@@ -27,6 +27,7 @@
 //! | e17 | §4    | (ext) scrape channel: remote volume recovery off `/metrics` |
 //! | e18 | §3/§6 | (ext) version chains: MVCC archives the victim's edit history |
 //! | e19 | §3/§4 | (ext) xtrace: trace ids join replica images to client sessions |
+//! | e20 | §3/§7 | (ext) sealed WAL + group commit: E2/E3/E14 go dark, writes get faster |
 
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
@@ -47,9 +48,11 @@ pub mod e16_zonemap;
 pub mod e17_obs;
 pub mod e18_versions;
 pub mod e19_xtrace;
+pub mod e20_encwal;
 pub mod obsbench;
 pub mod scanbench;
 pub mod serverbench;
+pub mod walbench;
 pub mod xtracebench;
 
 use mdb_telemetry::{json, MetricsSnapshot, Registry};
@@ -116,6 +119,7 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e17" => Some(e17_obs::run(opts)),
         "e18" => Some(e18_versions::run(opts)),
         "e19" => Some(e19_xtrace::run(opts)),
+        "e20" => Some(e20_encwal::run(opts)),
         _ => None,
     }
 }
@@ -124,11 +128,12 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
 /// paper: the §7 mitigation ablation, the snapshot-vs-persistent
 /// coverage comparison, the replication relay-log surface, the
 /// query-flight-recorder surface, the zone-map surface, the
-/// metrics-scrape surface, the MVCC version-chain surface, and the
-/// cross-node trace-correlation surface.
-pub const ALL: [&str; 19] = [
+/// metrics-scrape surface, the MVCC version-chain surface, the
+/// cross-node trace-correlation surface, and the sealed-WAL/group-commit
+/// write path.
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the

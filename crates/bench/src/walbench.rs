@@ -1,0 +1,296 @@
+//! Group-commit / encrypted-WAL write-path benchmark (the
+//! `--wal-bench-json` output, and the committed `BENCH_e20.json`
+//! baseline).
+//!
+//! Three engine configurations run the same multi-connection INSERT
+//! workload through a real [`MdbServer`] (one worker thread per TCP
+//! connection — exactly the concurrency group commit coalesces):
+//!
+//! - **`plain_nogc`** — the seed write path: plaintext WAL, one
+//!   simulated fsync per committed statement, slept *inside* the engine
+//!   lock.
+//! - **`enc_nogc`** — BigFoot-style sealed log records
+//!   (`DbConfig::encrypted_wal`) with the same per-statement fsync: the
+//!   crypto tax, undiluted.
+//! - **`enc_gc`** — sealed records *plus* the group-commit pipeline:
+//!   commits stage under the lock and wait outside it; one fsync covers
+//!   the whole batch.
+//!
+//! Every fsync costs [`FSYNC_LATENCY_US`] of simulated device time, so
+//! the throughput ratios are sleep-overlap-dominated — stable across
+//! runner speeds, like the e18 pool bench. The headline acceptance
+//! metric is `buyback_at_8`: encrypted group commit must meet or beat
+//! the *plaintext* seed path at 8 connections, i.e. batching must buy
+//! back more than the crypto costs.
+
+use std::time::Instant;
+
+use mdb_server::{MdbClient, MdbServer, ServerOptions};
+use minidb::engine::{Db, DbConfig};
+
+/// Simulated per-fsync device latency, microseconds. Deliberately large
+/// (a slow-ish SSD flush) so the device wait dominates both the crypto
+/// and the engine's CPU cost on any build profile — the ratios then
+/// measure fsync *overlap*, which is what group commit changes.
+pub const FSYNC_LATENCY_US: u64 = 2_000;
+
+/// Log key shared by the encrypted variants.
+const KEY: [u8; 32] = [0x20; 32];
+
+/// One engine configuration under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Plaintext WAL, per-statement fsync (the seed write path).
+    PlainNoGc,
+    /// Sealed log records, per-statement fsync (crypto tax only).
+    EncNoGc,
+    /// Sealed log records + group-commit pipeline.
+    EncGc,
+}
+
+impl Variant {
+    /// Stable name used in run rows and JSON keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::PlainNoGc => "plain_nogc",
+            Variant::EncNoGc => "enc_nogc",
+            Variant::EncGc => "enc_gc",
+        }
+    }
+
+    fn config(&self) -> DbConfig {
+        DbConfig {
+            fsync_latency_us: FSYNC_LATENCY_US,
+            encrypted_wal: !matches!(self, Variant::PlainNoGc),
+            wal_key: (!matches!(self, Variant::PlainNoGc)).then_some(KEY),
+            group_commit: matches!(self, Variant::EncGc),
+            ..DbConfig::default()
+        }
+    }
+}
+
+/// All variants, in report order.
+pub const VARIANTS: [Variant; 3] = [Variant::PlainNoGc, Variant::EncNoGc, Variant::EncGc];
+
+/// One `(variant, connections)` measurement.
+#[derive(Clone, Debug)]
+pub struct VariantRun {
+    /// Variant name (`plain_nogc` / `enc_nogc` / `enc_gc`).
+    pub variant: &'static str,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total INSERT statements committed.
+    pub statements: u64,
+    /// Aggregate commit throughput.
+    pub stmts_per_sec: f64,
+    /// `wal.fsyncs` after the run (one per *batch* under group commit).
+    pub fsyncs: u64,
+    /// Group-commit batches flushed (batch-size histogram count).
+    pub gc_batches: u64,
+    /// Commits that waited behind an in-progress flush.
+    pub gc_waits: u64,
+}
+
+/// The full benchmark: every variant at every connection count.
+#[derive(Clone, Debug)]
+pub struct WalBench {
+    /// INSERTs per connection.
+    pub inserts_per_conn: usize,
+    /// Simulated fsync latency, microseconds.
+    pub fsync_latency_us: u64,
+    /// Connection counts measured.
+    pub conn_counts: Vec<usize>,
+    /// All measurements, variant-major.
+    pub runs: Vec<VariantRun>,
+}
+
+impl WalBench {
+    /// Throughput of `variant` at `conns` connections.
+    pub fn rate(&self, variant: Variant, conns: usize) -> f64 {
+        self.runs
+            .iter()
+            .find(|r| r.variant == variant.name() && r.connections == conns)
+            .map(|r| r.stmts_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// The acceptance ratio: encrypted group commit over the plaintext
+    /// seed path at `conns` connections (>= 1.0 means the batching
+    /// bought back more than the crypto tax).
+    pub fn buyback_at(&self, conns: usize) -> f64 {
+        self.rate(Variant::EncGc, conns)
+            / self.rate(Variant::PlainNoGc, conns).max(f64::MIN_POSITIVE)
+    }
+
+    /// The undiluted crypto tax: plaintext over encrypted throughput,
+    /// both on the per-statement-fsync path (>= 1.0; close to 1 because
+    /// the simulated device wait dominates the seal).
+    pub fn crypto_tax_at(&self, conns: usize) -> f64 {
+        self.rate(Variant::PlainNoGc, conns)
+            / self.rate(Variant::EncNoGc, conns).max(f64::MIN_POSITIVE)
+    }
+
+    /// Fsyncs per committed statement for the group-commit variant at
+    /// `conns` connections (the satellite accounting claim: << 1).
+    pub fn fsyncs_per_stmt_at(&self, conns: usize) -> f64 {
+        self.runs
+            .iter()
+            .find(|r| r.variant == Variant::EncGc.name() && r.connections == conns)
+            .map(|r| r.fsyncs as f64 / r.statements.max(1) as f64)
+            .unwrap_or(1.0)
+    }
+
+    /// Serialises as the `--wal-bench-json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = mdb_telemetry::json::Writer::new();
+        w.obj_open();
+        w.key("inserts_per_conn");
+        w.u64(self.inserts_per_conn as u64);
+        w.key("fsync_latency_us");
+        w.u64(self.fsync_latency_us);
+        w.key("runs");
+        w.arr_open();
+        for r in &self.runs {
+            w.obj_open();
+            w.key("variant");
+            w.string(r.variant);
+            w.key("connections");
+            w.u64(r.connections as u64);
+            w.key("statements");
+            w.u64(r.statements);
+            w.key("stmts_per_sec");
+            w.f64(r.stmts_per_sec);
+            w.key("fsyncs");
+            w.u64(r.fsyncs);
+            w.key("gc_batches");
+            w.u64(r.gc_batches);
+            w.key("gc_waits");
+            w.u64(r.gc_waits);
+            w.obj_close();
+        }
+        w.arr_close();
+        // Scale-free ratios for the perf-trajectory gate: sleep-overlap
+        // dominated, so they survive runner-speed variance.
+        let max_conns = self.conn_counts.iter().copied().max().unwrap_or(1);
+        w.key("buyback_at_8");
+        w.f64(self.buyback_at(max_conns));
+        w.key("crypto_tax_at_1");
+        w.f64(self.crypto_tax_at(1));
+        w.key("fsyncs_per_stmt_at_8");
+        w.f64(self.fsyncs_per_stmt_at(max_conns));
+        w.obj_close();
+        w.into_string()
+    }
+}
+
+/// Runs one `(variant, connections)` cell: a fresh engine behind a real
+/// TCP server, `conns` client threads each committing
+/// `inserts_per_conn` single-row INSERTs.
+fn drive(variant: Variant, conns: usize, inserts_per_conn: usize) -> VariantRun {
+    let db = Db::open(variant.config());
+    let srv = MdbServer::start(db.clone(), ServerOptions::default()).expect("server starts");
+    let addr = srv.local_addr();
+    {
+        let mut setup = MdbClient::connect(addr, "bench").expect("setup connects");
+        setup
+            .query("CREATE TABLE w (id INT PRIMARY KEY, v TEXT)")
+            .expect("create table");
+        let _ = setup.close();
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..conns {
+            s.spawn(move || {
+                let mut c = MdbClient::connect(addr, "bench").expect("client connects");
+                let base = t * inserts_per_conn;
+                for i in 0..inserts_per_conn {
+                    let id = base + i;
+                    c.query(&format!("INSERT INTO w VALUES ({id}, 'row-{id}')"))
+                        .expect("insert commits");
+                }
+                let _ = c.close();
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let snap = db.metrics_snapshot();
+    let statements = (conns * inserts_per_conn) as u64;
+    VariantRun {
+        variant: variant.name(),
+        connections: conns,
+        statements,
+        stmts_per_sec: statements as f64 / elapsed.max(f64::MIN_POSITIVE),
+        fsyncs: snap.counter("wal.fsyncs").unwrap_or(0),
+        gc_batches: snap
+            .histogram("wal.group_commit_batch_size")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        gc_waits: snap.counter("wal.group_commit_waits").unwrap_or(0),
+    }
+}
+
+/// Runs the full matrix: every variant at every connection count.
+pub fn run(conn_counts: &[usize], inserts_per_conn: usize) -> WalBench {
+    let mut runs = Vec::with_capacity(VARIANTS.len() * conn_counts.len());
+    for variant in VARIANTS {
+        for &conns in conn_counts {
+            runs.push(drive(variant, conns, inserts_per_conn));
+        }
+    }
+    WalBench {
+        inserts_per_conn,
+        fsync_latency_us: FSYNC_LATENCY_US,
+        conn_counts: conn_counts.to_vec(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypted_group_commit_buys_back_the_crypto_tax() {
+        let b = run(&[1, 8], 30);
+
+        // The satellite accounting claim: a coalesced batch is ONE
+        // fsync, so the group-commit variant at 8 connections performs
+        // far fewer fsyncs than it commits statements.
+        let gc8 = b
+            .runs
+            .iter()
+            .find(|r| r.variant == "enc_gc" && r.connections == 8)
+            .unwrap();
+        assert!(
+            gc8.fsyncs < gc8.statements / 2,
+            "fsyncs must be coalesced: {} fsyncs for {} statements",
+            gc8.fsyncs,
+            gc8.statements
+        );
+        assert_eq!(gc8.gc_batches, gc8.fsyncs, "one histogram sample per batch");
+        assert!(gc8.gc_waits > 0, "pipelined batches imply followers waited");
+
+        // The no-batching variants fsync once per statement (+1 DDL).
+        let plain8 = b
+            .runs
+            .iter()
+            .find(|r| r.variant == "plain_nogc" && r.connections == 8)
+            .unwrap();
+        assert!(plain8.fsyncs > plain8.statements, "per-statement fsyncs");
+
+        // The acceptance target: encrypted group commit >= the plaintext
+        // seed path at 8 connections.
+        assert!(
+            b.buyback_at(8) >= 1.0,
+            "group commit must buy back the crypto tax: {:?}",
+            b.runs
+        );
+        // And the JSON document carries the gate keys.
+        let json = b.to_json();
+        for key in ["buyback_at_8", "crypto_tax_at_1", "fsyncs_per_stmt_at_8"] {
+            assert!(json.contains(&format!("\"{key}\"")), "{json}");
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod error;
 pub mod feistel;
 pub mod hmac;
 pub mod kdf;
+pub mod logenc;
 pub mod ore;
 pub mod rnd;
 pub mod sha256;

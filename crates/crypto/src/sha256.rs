@@ -258,7 +258,7 @@ mod tests {
     fn every_length_up_to_three_blocks_is_consistent() {
         // Cross-check the incremental API against itself at every length;
         // catches padding bugs at block boundaries.
-        let data = vec![0x5Au8; 3 * BLOCK_LEN + 7];
+        let data = [0x5Au8; 3 * BLOCK_LEN + 7];
         for n in 0..data.len() {
             let one = digest(&data[..n]);
             let mut h = Sha256::new();

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod error;
+pub mod group_commit;
 pub mod heap;
 pub mod mvcc;
 pub mod observability;

@@ -20,8 +20,16 @@ use mdb_telemetry::{Counter, Registry};
 
 use crate::error::{DbError, DbResult};
 
-/// Frame magic preceding every log record.
+/// Frame magic preceding every plaintext log record.
 pub const RECORD_MAGIC: u32 = 0xD1DE_C0DE;
+
+/// Frame magic preceding every *sealed* (encrypted) log record — the
+/// [`DbConfig::encrypted_wal`](crate::engine::DbConfig::encrypted_wal)
+/// on-disk format. A distinct magic keeps recovery honest about which
+/// codec a frame needs; the plaintext carvers ([`carve_frames`]) skip
+/// sealed frames entirely, which is the point: without the key they
+/// yield lengths and positions, nothing else.
+pub const ENC_RECORD_MAGIC: u32 = 0x5EA1_C0DE;
 
 /// Default capacity of each circular log (the paper's "default size
 /// (50 Mb)").
@@ -257,21 +265,26 @@ impl BinlogEvent {
     }
 }
 
-/// Frames a payload: `magic || len || payload`.
-pub fn frame(payload: &[u8]) -> Vec<u8> {
+fn frame_with(magic: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload.len());
-    out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    out.extend_from_slice(&magic.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
 
-/// Carves framed payloads out of raw bytes by magic scan — used by both
-/// crash recovery and the forensic attacker. Returns `(offset, payload)`
-/// pairs in offset order. Overlapping garbage (from circular wrap) is
-/// skipped when the length field runs past the buffer.
-pub fn carve_frames(raw: &[u8]) -> Vec<(usize, &[u8])> {
-    let magic = RECORD_MAGIC.to_le_bytes();
+/// Frames a plaintext payload: `magic || len || payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    frame_with(RECORD_MAGIC, payload)
+}
+
+/// Frames a sealed payload under [`ENC_RECORD_MAGIC`].
+pub fn frame_enc(payload: &[u8]) -> Vec<u8> {
+    frame_with(ENC_RECORD_MAGIC, payload)
+}
+
+fn carve_frames_with(magic: u32, raw: &[u8]) -> Vec<(usize, &[u8])> {
+    let magic = magic.to_le_bytes();
     let mut out = Vec::new();
     let mut i = 0;
     while i + 8 <= raw.len() {
@@ -279,6 +292,45 @@ pub fn carve_frames(raw: &[u8]) -> Vec<(usize, &[u8])> {
             let len = u32::from_le_bytes(raw[i + 4..i + 8].try_into().unwrap()) as usize;
             if len <= raw.len().saturating_sub(i + 8) && len < (1 << 24) {
                 out.push((i, &raw[i + 8..i + 8 + len]));
+                i += 8 + len;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Carves plaintext framed payloads out of raw bytes by magic scan —
+/// used by both crash recovery and the forensic attacker. Returns
+/// `(offset, payload)` pairs in offset order. Overlapping garbage (from
+/// circular wrap) is skipped when the length field runs past the buffer.
+pub fn carve_frames(raw: &[u8]) -> Vec<(usize, &[u8])> {
+    carve_frames_with(RECORD_MAGIC, raw)
+}
+
+/// Carves sealed frames ([`ENC_RECORD_MAGIC`]). An attacker can run
+/// this too — it yields authenticated ciphertext records that reveal
+/// only length, stream id, and sequence number without the key.
+pub fn carve_enc_frames(raw: &[u8]) -> Vec<(usize, &[u8])> {
+    carve_frames_with(ENC_RECORD_MAGIC, raw)
+}
+
+/// Carves frames of *both* magics in offset order. Each entry is
+/// `(offset, sealed, payload)`. This is the recovery-side scan for logs
+/// that may hold a mix of plaintext and sealed records (for example a
+/// relay log written before and after `encrypted_wal` was enabled).
+pub fn carve_all_frames(raw: &[u8]) -> Vec<(usize, bool, &[u8])> {
+    let plain = RECORD_MAGIC.to_le_bytes();
+    let sealed = ENC_RECORD_MAGIC.to_le_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 8 <= raw.len() {
+        let is_plain = raw[i..i + 4] == plain;
+        if is_plain || raw[i..i + 4] == sealed {
+            let len = u32::from_le_bytes(raw[i + 4..i + 8].try_into().unwrap()) as usize;
+            if len <= raw.len().saturating_sub(i + 8) && len < (1 << 24) {
+                out.push((i, !is_plain, &raw[i + 8..i + 8 + len]));
                 i += 8 + len;
                 continue;
             }
@@ -378,6 +430,39 @@ impl std::fmt::Debug for WalMetrics {
     }
 }
 
+/// The sealing state of an encrypted WAL: the log-encryption key.
+/// Wrapped so `Debug` output (engine dumps, test failures) never prints
+/// key material.
+#[derive(Clone)]
+pub struct WalCrypto {
+    key: edb_crypto::Key,
+}
+
+impl WalCrypto {
+    /// Builds the sealing state from raw key bytes.
+    pub fn new(key: [u8; 32]) -> Self {
+        WalCrypto {
+            key: edb_crypto::Key(key),
+        }
+    }
+
+    /// Seals one record payload at log position `(stream, seq)`.
+    pub fn seal(&self, stream: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+        edb_crypto::logenc::seal(&self.key, stream, seq, payload)
+    }
+
+    /// Opens a sealed record, returning `(stream, seq, plaintext)`.
+    pub fn open(&self, sealed: &[u8]) -> Option<(u8, u64, Vec<u8>)> {
+        edb_crypto::logenc::open(&self.key, sealed).ok()
+    }
+}
+
+impl std::fmt::Debug for WalCrypto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WalCrypto { key: <redacted> }")
+    }
+}
+
 /// The WAL subsystem: LSN allocator, both circular logs, and the binlog.
 #[derive(Clone, Debug)]
 pub struct Wal {
@@ -397,6 +482,9 @@ pub struct Wal {
     /// Events with sequence `< binlog_purged_seq` were dropped by
     /// [`Wal::purge_binlog`] and can no longer be served to replicas.
     binlog_purged_seq: u64,
+    /// When set, every appended record is sealed (BigFoot-style
+    /// encrypted WAL) and the carvers transparently open sealed frames.
+    crypto: Option<WalCrypto>,
     metrics: Option<WalMetrics>,
 }
 
@@ -411,8 +499,20 @@ impl Wal {
             binlog_enabled,
             binlog_next_seq: 0,
             binlog_purged_seq: 0,
+            crypto: None,
             metrics: None,
         }
+    }
+
+    /// Arms log encryption: every subsequent append is sealed under
+    /// `key`, and recovery/cursor reads open sealed frames with it.
+    pub fn set_crypto(&mut self, key: [u8; 32]) {
+        self.crypto = Some(WalCrypto::new(key));
+    }
+
+    /// Whether log records are being sealed.
+    pub fn encrypted(&self) -> bool {
+        self.crypto.is_some()
     }
 
     /// Registers this WAL's counters on `registry`.
@@ -448,11 +548,21 @@ impl Wal {
         self.next_lsn
     }
 
+    /// Frames a record payload at log position `(stream, seq)` in this
+    /// WAL's on-disk format: sealed when encryption is armed, plaintext
+    /// otherwise.
+    fn frame_record(&self, stream: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+        match &self.crypto {
+            Some(c) => frame_enc(&c.seal(stream, seq, payload)),
+            None => frame(payload),
+        }
+    }
+
     /// Appends a redo record. Returns `true` if the append wrapped the log
     /// (the engine must have checkpointed *before* calling in that case;
     /// use [`Self::redo_would_wrap`]).
     pub fn append_redo(&mut self, rec: &RedoRecord) -> bool {
-        let framed = frame(&rec.encode());
+        let framed = self.frame_record(edb_crypto::logenc::STREAM_REDO, rec.lsn, &rec.encode());
         let wraps = self.redo.would_wrap(framed.len());
         self.redo.append(&framed);
         if let Some(m) = &self.metrics {
@@ -466,12 +576,16 @@ impl Wal {
 
     /// Whether appending this redo record would wrap the circular log.
     pub fn redo_would_wrap(&self, rec: &RedoRecord) -> bool {
-        self.redo.would_wrap(frame(&rec.encode()).len())
+        self.redo.would_wrap(
+            self.frame_record(edb_crypto::logenc::STREAM_REDO, rec.lsn, &rec.encode())
+                .len(),
+        )
     }
 
-    /// Appends an undo record.
+    /// Appends an undo record. Undo records share LSN values with their
+    /// redo counterparts; the stream id keeps the sealing nonces apart.
     pub fn append_undo(&mut self, rec: &UndoRecord) {
-        let framed = frame(&rec.encode());
+        let framed = self.frame_record(edb_crypto::logenc::STREAM_UNDO, rec.lsn, &rec.encode());
         let wraps = self.undo.would_wrap(framed.len());
         self.undo.append(&framed);
         if let Some(m) = &self.metrics {
@@ -482,10 +596,17 @@ impl Wal {
         }
     }
 
-    /// Appends a binlog event (no-op when the binlog is disabled).
+    /// Appends a binlog event (no-op when the binlog is disabled). The
+    /// sealing nonce is the event's GTID-style sequence number — commit
+    /// LSNs are shared by every statement of a transaction, sequence
+    /// numbers are not.
     pub fn append_binlog(&mut self, ev: &BinlogEvent) {
         if self.binlog_enabled {
-            let framed = frame(&ev.encode());
+            let framed = self.frame_record(
+                edb_crypto::logenc::STREAM_BINLOG,
+                self.binlog_next_seq,
+                &ev.encode(),
+            );
             self.binlog.extend_from_slice(&framed);
             self.binlog_next_seq += 1;
             if let Some(m) = &self.metrics {
@@ -538,14 +659,14 @@ impl Wal {
         let mut out = Vec::new();
         let mut next = start;
         let skip = (start - self.binlog_purged_seq) as usize;
-        for (i, (_, payload)) in carve_frames(&self.binlog).into_iter().enumerate() {
+        for (i, (_, _, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
             if i < skip {
                 continue;
             }
             if out.len() >= max {
                 break;
             }
-            if let Ok(ev) = BinlogEvent::decode(payload) {
+            if let Ok(ev) = self.decode_binlog_payload(payload) {
                 out.push((next, ev));
                 next += 1;
             }
@@ -553,13 +674,73 @@ impl Wal {
         (out, next)
     }
 
+    /// Cursor read over the binlog returning *raw frame payloads* — the
+    /// on-disk bytes between the framing, sealed or plaintext. This is
+    /// what the replication streamer ships: with `encrypted_wal` on, the
+    /// wire and the replica's relay log carry ciphertext end-to-end, and
+    /// only the replica's apply loop (holding the key) opens them.
+    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, Vec<u8>)>, u64) {
+        let start = from_seq.max(self.binlog_purged_seq);
+        let mut out = Vec::new();
+        let mut next = start;
+        let skip = (start - self.binlog_purged_seq) as usize;
+        for (i, (_, _, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
+            if i < skip {
+                continue;
+            }
+            if out.len() >= max {
+                break;
+            }
+            out.push((next, payload.to_vec()));
+            next += 1;
+        }
+        (out, next)
+    }
+
+    /// Decodes one binlog frame payload: sealed payloads are opened with
+    /// the WAL key first (a sealed frame from a peer whose key we do not
+    /// hold is an error), plaintext payloads decode directly — so a
+    /// mixed-era log, or a plaintext primary feeding an encrypted
+    /// replica, still applies.
+    pub fn decode_binlog_payload(&self, payload: &[u8]) -> DbResult<BinlogEvent> {
+        if let Some(c) = &self.crypto {
+            if let Some((stream, _seq, plain)) = c.open(payload) {
+                if stream != edb_crypto::logenc::STREAM_BINLOG {
+                    return Err(DbError::Storage("sealed frame from wrong stream".into()));
+                }
+                return BinlogEvent::decode(&plain);
+            }
+        }
+        BinlogEvent::decode(payload)
+    }
+
+    /// Opens every sealed frame in `raw` that belongs to `stream`,
+    /// returning decrypted payloads in offset order.
+    fn open_stream(&self, raw: &[u8], stream: u8) -> Vec<Vec<u8>> {
+        let Some(c) = &self.crypto else {
+            return Vec::new();
+        };
+        carve_enc_frames(raw)
+            .into_iter()
+            .filter_map(|(_, p)| c.open(p))
+            .filter(|(s, _, _)| *s == stream)
+            .map(|(_, _, plain)| plain)
+            .collect()
+    }
+
     /// Parses every intact redo record currently in the circular buffer,
-    /// sorted by LSN (recovery's view; also the attacker's).
+    /// sorted by LSN (recovery's view; also the attacker's — though
+    /// without the key the attacker decodes only plaintext-era frames).
     pub fn carve_redo(&self) -> Vec<RedoRecord> {
         let mut recs: Vec<RedoRecord> = carve_frames(self.redo.raw())
             .into_iter()
             .filter_map(|(_, p)| RedoRecord::decode(p).ok())
             .collect();
+        recs.extend(
+            self.open_stream(self.redo.raw(), edb_crypto::logenc::STREAM_REDO)
+                .iter()
+                .filter_map(|p| RedoRecord::decode(p).ok()),
+        );
         recs.sort_by_key(|r| r.lsn);
         recs
     }
@@ -570,15 +751,21 @@ impl Wal {
             .into_iter()
             .filter_map(|(_, p)| UndoRecord::decode(p).ok())
             .collect();
+        recs.extend(
+            self.open_stream(self.undo.raw(), edb_crypto::logenc::STREAM_UNDO)
+                .iter()
+                .filter_map(|p| UndoRecord::decode(p).ok()),
+        );
         recs.sort_by_key(|r| r.lsn);
         recs
     }
 
-    /// Parses every binlog event in order (`mysqlbinlog`'s job).
+    /// Parses every binlog event in order (`mysqlbinlog`'s job — with
+    /// the key when the binlog is sealed).
     pub fn carve_binlog(&self) -> Vec<BinlogEvent> {
-        carve_frames(&self.binlog)
+        carve_all_frames(&self.binlog)
             .into_iter()
-            .filter_map(|(_, p)| BinlogEvent::decode(p).ok())
+            .filter_map(|(_, _, p)| self.decode_binlog_payload(p).ok())
             .collect()
     }
 
@@ -796,6 +983,94 @@ mod tests {
         // The registry tracks the live binlog, not its purged history.
         assert_eq!(registry.snapshot().counter("wal.binlog.events"), Some(0));
         assert_eq!(registry.snapshot().counter("wal.binlog.bytes"), Some(0));
+    }
+
+    #[test]
+    fn encrypted_wal_recovers_with_key_and_defeats_plaintext_carving() {
+        let mut wal = Wal::new(8192, 8192, true);
+        wal.set_crypto([0x5A; 32]);
+        assert!(wal.encrypted());
+        for i in 0..8u64 {
+            let lsn = wal.alloc_lsn();
+            wal.append_redo(&redo(lsn, format!("secret-row-{i}").as_bytes()));
+            wal.append_undo(&UndoRecord {
+                lsn,
+                txn: i,
+                op: OpKind::Insert,
+                table_id: 1,
+                row_id: i,
+                before: format!("before-{i}").into_bytes(),
+            });
+            wal.append_binlog(&BinlogEvent {
+                lsn,
+                txn: i,
+                timestamp: 2000 + i as i64,
+                statement: format!("INSERT INTO t VALUES ({i})"),
+                ctx: None,
+            });
+        }
+        // The key holder (recovery, replication) sees everything.
+        assert_eq!(wal.carve_redo().len(), 8);
+        assert_eq!(wal.carve_undo().len(), 8);
+        let bl = wal.carve_binlog();
+        assert_eq!(bl.len(), 8);
+        assert_eq!(bl[7].statement, "INSERT INTO t VALUES (7)");
+        let (evs, next) = wal.binlog_events_from(3, 10);
+        assert_eq!(evs.len(), 5);
+        assert_eq!(next, 8);
+        // The keyless carver (the E2/E3 attacker) decodes nothing, and
+        // no plaintext survives anywhere in the raw files.
+        assert!(carve_frames(wal.redo.raw()).is_empty());
+        assert!(carve_frames(wal.undo.raw()).is_empty());
+        assert!(carve_frames(wal.binlog_raw()).is_empty());
+        for raw in [wal.redo.raw(), wal.undo.raw(), wal.binlog_raw()] {
+            assert!(!raw
+                .windows(6)
+                .any(|w| w == b"secret" || w == b"INSERT" || w == b"before"));
+        }
+        // Sealed frames are still *visible* as ciphertext records.
+        assert_eq!(carve_enc_frames(wal.binlog_raw()).len(), 8);
+    }
+
+    #[test]
+    fn sealed_frames_reject_wrong_key_and_cross_stream_splice() {
+        let mut wal = Wal::new(4096, 4096, true);
+        wal.set_crypto([1; 32]);
+        let lsn = wal.alloc_lsn();
+        wal.append_redo(&redo(lsn, b"payload"));
+        let sealed = carve_enc_frames(wal.redo.raw())[0].1.to_vec();
+        // Wrong key: open fails.
+        assert!(WalCrypto::new([2; 32]).open(&sealed).is_none());
+        // Right key, but a redo frame is not a binlog frame.
+        assert!(wal.decode_binlog_payload(&sealed).is_err());
+    }
+
+    #[test]
+    fn binlog_frames_round_trip_raw_payloads() {
+        for encrypted in [false, true] {
+            let mut wal = Wal::new(4096, 4096, true);
+            if encrypted {
+                wal.set_crypto([9; 32]);
+            }
+            for i in 0..4u64 {
+                wal.append_binlog(&BinlogEvent {
+                    lsn: i,
+                    txn: i,
+                    timestamp: i as i64,
+                    statement: format!("INSERT INTO t VALUES ({i})"),
+                    ctx: None,
+                });
+            }
+            let (frames, next) = wal.binlog_frames_from(1, 10);
+            assert_eq!(next, 4);
+            assert_eq!(frames.len(), 3);
+            for (seq, payload) in &frames {
+                let ev = wal.decode_binlog_payload(payload).unwrap();
+                assert_eq!(ev.statement, format!("INSERT INTO t VALUES ({seq})"));
+                // Sealed payloads are opaque without the key.
+                assert_eq!(BinlogEvent::decode(payload).is_ok(), !encrypted);
+            }
+        }
     }
 
     #[test]

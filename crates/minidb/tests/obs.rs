@@ -183,3 +183,71 @@ fn crash_clears_ring_and_scrub_config_quantizes() {
     db.crash();
     assert!(ring.is_empty(), "crash must drop retained scrapes");
 }
+
+#[test]
+fn group_commit_metrics_surface_on_both_planes() {
+    // The group-commit pipeline's telemetry — `wal.fsyncs` (now one per
+    // coalesced batch), the `wal.group_commit_batch_size` histogram, and
+    // the `wal.group_commit_waits` counter — must show up on BOTH
+    // operator planes: the remote `/metrics` scrape and the SQL-visible
+    // `information_schema.metrics` table.
+    let db = Db::open(DbConfig {
+        group_commit: true,
+        ..obs_config()
+    });
+    let addr = db.obs_addr().unwrap();
+    let conn = db.connect("app");
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    // Concurrent committers so at least one commit rides a batch behind
+    // an in-progress flush.
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let db = db.clone();
+            s.spawn(move || {
+                let c = db.connect("w");
+                for i in 0..10usize {
+                    c.execute(&format!("INSERT INTO t VALUES ({})", t * 10 + i))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    // Plane 1: the Prometheus scrape.
+    let (status, body) = http::get(addr, "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let samples = prom::parse(&body).unwrap();
+    let find = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.metric_name() == Some(name) && !s.series.ends_with("_bucket"))
+            .unwrap_or_else(|| panic!("missing {name} in:\n{body}"))
+    };
+    let fsyncs = find("wal.fsyncs").value_u64().unwrap();
+    // The satellite accounting fix: 41 commits (40 inserts + 1 DDL) must
+    // have coalesced into strictly fewer device syncs than statements.
+    assert!((1..=41).contains(&fsyncs), "{fsyncs} fsyncs");
+    assert!(
+        body.contains("wal.group_commit_batch_size"),
+        "batch-size histogram missing:\n{body}"
+    );
+    find("wal.group_commit_waits");
+
+    // Plane 2: plain SQL.
+    let rows = conn
+        .execute("SELECT metric, value FROM information_schema.metrics")
+        .unwrap();
+    let sql_metric = |name: &str| {
+        rows.rows
+            .iter()
+            .find(|r| r[0].to_string() == name)
+            .unwrap_or_else(|| panic!("missing {name} in information_schema.metrics"))[1]
+            .to_string()
+            .parse::<i64>()
+            .unwrap()
+    };
+    assert_eq!(sql_metric("wal.fsyncs") as u64, fsyncs);
+    let batches = sql_metric("wal.group_commit_batch_size.count");
+    assert_eq!(batches as u64, fsyncs, "one histogram sample per batch");
+    assert!(sql_metric("wal.group_commit_waits") >= 0);
+}

@@ -128,7 +128,9 @@ fn session(
             transport.send(&WireMessage::Purged { purged_to: purged })?;
             next = purged;
         }
-        let (events, new_next) = db.binlog_events_from(next, BATCH);
+        // Ship raw frame payloads: on an `encrypted_wal` primary these
+        // are sealed records, so the stream is ciphertext end-to-end.
+        let (events, new_next) = db.binlog_frames_from(next, BATCH);
         if events.is_empty() {
             transport.send(&WireMessage::Heartbeat {
                 primary_seq: db.binlog_next_seq(),
@@ -140,7 +142,7 @@ fn session(
         }
         let batch: Vec<SequencedEvent> = events
             .into_iter()
-            .map(|(seq, event)| SequencedEvent { seq, event })
+            .map(|(seq, payload)| SequencedEvent { seq, payload })
             .collect();
         let n = batch.len() as u64;
         let msg = WireMessage::Events { events: batch };
@@ -194,7 +196,10 @@ mod tests {
         assert!(saw_heartbeat, "idle stream should heartbeat");
         assert_eq!(events.len() as u64, db.binlog_next_seq());
         assert_eq!(events[0].seq, 0);
-        assert!(events.iter().any(|e| e.event.statement.contains("INSERT")));
+        assert!(events
+            .iter()
+            .filter_map(|e| e.decode_plain())
+            .any(|ev| ev.statement.contains("INSERT")));
         server.shutdown();
     }
 

@@ -12,7 +12,7 @@
 //! sequence numbers so a restarted replica recovers its resume position
 //! from its own disk, without asking the primary.
 
-use minidb::wal::{carve_frames, frame, BinlogEvent};
+use minidb::wal::{carve_all_frames, frame, frame_enc, BinlogEvent};
 use minidb::Db;
 
 use crate::wire::SequencedEvent;
@@ -24,9 +24,17 @@ pub const RELAY_FILE: &str = "relay-bin.000001";
 /// appended at attach time and after every purge-gap reposition.
 pub const RELAY_INDEX: &str = "relay-bin.index";
 
-/// Appends one event to the relay log.
+/// Appends one event to the relay log, preserving the primary's framing:
+/// a payload that parses as a plaintext [`BinlogEvent`] gets the binlog's
+/// plain frame; anything else is a sealed `encrypted_wal` record and gets
+/// the sealed-frame magic, so the relay file stays ciphertext and the
+/// keyless `carve_frames` scan recovers nothing from it.
 pub fn append_event(db: &Db, ev: &SequencedEvent) -> usize {
-    let framed = frame(&ev.event.encode());
+    let framed = if BinlogEvent::decode(&ev.payload).is_ok() {
+        frame(&ev.payload)
+    } else {
+        frame_enc(&ev.payload)
+    };
     let len = framed.len();
     db.append_server_file(RELAY_FILE, &framed);
     len
@@ -55,9 +63,11 @@ pub fn recover_position(db: &Db) -> Option<(u64, u64)> {
     let anchor_off = u64::from_le_bytes(last[8..16].try_into().unwrap());
     let relay = db.read_server_file(RELAY_FILE).unwrap_or_default();
     let tail = relay.get(anchor_off as usize..).unwrap_or(&[]);
-    let applied = carve_frames(tail)
+    // Count every frame the replica can decode: plaintext events and —
+    // when this replica holds the log key — sealed records too.
+    let applied = carve_all_frames(tail)
         .iter()
-        .filter(|(_, p)| BinlogEvent::decode(p).is_ok())
+        .filter(|(_, _, p)| db.decode_binlog_payload(p).is_ok())
         .count() as u64;
     Some((anchor_seq + applied, relay.len() as u64))
 }
@@ -72,19 +82,20 @@ pub fn relay_len(db: &Db) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minidb::wal::carve_frames;
     use minidb::DbConfig;
 
     fn ev(seq: u64) -> SequencedEvent {
-        SequencedEvent {
+        SequencedEvent::plain(
             seq,
-            event: BinlogEvent {
+            &BinlogEvent {
                 lsn: seq,
                 txn: seq,
                 timestamp: 100 + seq as i64,
                 statement: format!("INSERT INTO t VALUES ({seq})"),
                 ctx: None,
             },
-        }
+        )
     }
 
     #[test]
@@ -129,5 +140,50 @@ mod tests {
             .collect();
         assert_eq!(carved.len(), 4);
         assert_eq!(carved[3].statement, "INSERT INTO t VALUES (3)");
+    }
+
+    #[test]
+    fn sealed_payloads_relay_as_ciphertext() {
+        // An encrypted primary/replica pair shares the log key; the relay
+        // file must carve to zero plaintext events but still yield a
+        // recoverable position for the key holder.
+        let key = [7u8; 32];
+        let primary = Db::open(DbConfig {
+            encrypted_wal: true,
+            wal_key: Some(key),
+            ..DbConfig::default()
+        });
+        let pconn = primary.connect("root");
+        pconn
+            .execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            .unwrap();
+        pconn.execute("INSERT INTO t VALUES (1)").unwrap();
+        let (frames, _) = primary.binlog_frames_from(0, 16);
+        assert!(!frames.is_empty());
+
+        let replica = Db::open(DbConfig {
+            server_id: 2,
+            encrypted_wal: true,
+            wal_key: Some(key),
+            ..DbConfig::default()
+        });
+        append_index_entry(&replica, 0, 0);
+        for (seq, payload) in &frames {
+            append_event(
+                &replica,
+                &SequencedEvent {
+                    seq: *seq,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        let raw = replica.read_server_file(RELAY_FILE).unwrap();
+        let plaintext_hits = carve_frames(&raw)
+            .iter()
+            .filter(|(_, p)| BinlogEvent::decode(p).is_ok())
+            .count();
+        assert_eq!(plaintext_hits, 0, "relay log must not carve in the clear");
+        let (next, _) = recover_position(&replica).unwrap();
+        assert_eq!(next, frames.len() as u64);
     }
 }

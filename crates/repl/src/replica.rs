@@ -270,10 +270,19 @@ fn stream(
                     let bytes = relay::append_event(db, &ev);
                     metrics.relay_bytes.add(bytes as u64);
                     metrics.relay_events.inc();
+                    // Decrypt-at-apply: the payload crossed the wire and
+                    // the relay log verbatim (ciphertext on an
+                    // `encrypted_wal` fleet); this is the first — and
+                    // only — point the statement exists in the clear on
+                    // the replica. A key mismatch halts the SQL thread
+                    // like any diverged statement would.
+                    let event = db
+                        .decode_binlog_payload(&ev.payload)
+                        .map_err(ReplError::Db)?;
                     // The binlog event's distributed trace context (if
                     // the primary stamped one) flows into the apply, so
                     // the replica's span joins the statement's trace.
-                    db.apply_replicated_ctx(&ev.event.statement, ev.event.timestamp, ev.event.ctx)?;
+                    db.apply_replicated_ctx(&event.statement, event.timestamp, event.ctx)?;
                     metrics
                         .apply_latency_us
                         .record(apply_started.elapsed().as_micros() as u64);

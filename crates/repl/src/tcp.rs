@@ -151,16 +151,16 @@ mod tests {
         assert_eq!(server.recv_timeout(Duration::from_millis(5)).unwrap(), None);
         server
             .send(&WireMessage::Events {
-                events: vec![SequencedEvent {
-                    seq: 0,
-                    event: BinlogEvent {
+                events: vec![SequencedEvent::plain(
+                    0,
+                    &BinlogEvent {
                         lsn: 1,
                         txn: 1,
                         timestamp: 42,
                         statement: "INSERT INTO t VALUES (1)".into(),
                         ctx: None,
                     },
-                }],
+                )],
             })
             .unwrap();
         let got = client.join().unwrap();

@@ -10,13 +10,36 @@ use minidb::wal::{frame, BinlogEvent, RECORD_MAGIC};
 
 use crate::{ReplError, ReplResult};
 
-/// A binlog event tagged with its GTID-style sequence number.
+/// A binlog frame payload tagged with its GTID-style sequence number.
+///
+/// The payload is shipped **verbatim** from the primary's binlog: a
+/// plaintext [`BinlogEvent`] encoding on a stock primary, or a sealed
+/// `logenc` record when the primary runs with
+/// `DbConfig::encrypted_wal` — in which case the replication stream is
+/// ciphertext end-to-end and only the replica's apply loop (holding the
+/// shared log key) can read the statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SequencedEvent {
     /// Global sequence number in the primary's binlog.
     pub seq: u64,
-    /// The statement event itself.
-    pub event: BinlogEvent,
+    /// The raw binlog frame payload (plaintext event or sealed record).
+    pub payload: Vec<u8>,
+}
+
+impl SequencedEvent {
+    /// Builds a plaintext-payload event (the stock, unencrypted path).
+    pub fn plain(seq: u64, event: &BinlogEvent) -> SequencedEvent {
+        SequencedEvent {
+            seq,
+            payload: event.encode(),
+        }
+    }
+
+    /// Decodes the payload as a plaintext [`BinlogEvent`]. Fails on a
+    /// sealed payload — use `Db::decode_binlog_payload` with the key.
+    pub fn decode_plain(&self) -> Option<BinlogEvent> {
+        BinlogEvent::decode(&self.payload).ok()
+    }
 }
 
 /// Message type tags on the wire.
@@ -110,9 +133,8 @@ impl WireMessage {
                 out.extend_from_slice(&(events.len() as u32).to_le_bytes());
                 for e in events {
                     w_u64(&mut out, e.seq);
-                    let enc = e.event.encode();
-                    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&enc);
+                    out.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&e.payload);
                 }
             }
             WireMessage::Heartbeat {
@@ -145,9 +167,10 @@ impl WireMessage {
                 for _ in 0..n {
                     let seq = c.u64()?;
                     let len = c.u32()? as usize;
-                    let event = BinlogEvent::decode(c.take(len)?)
-                        .map_err(|e| ReplError::Protocol(format!("bad event: {e}")))?;
-                    events.push(SequencedEvent { seq, event });
+                    // The payload stays opaque on the wire: it may be a
+                    // sealed record only the replica's key can open.
+                    let payload = c.take(len)?.to_vec();
+                    events.push(SequencedEvent { seq, payload });
                 }
                 WireMessage::Events { events }
             }
@@ -225,9 +248,9 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64) -> SequencedEvent {
-        SequencedEvent {
+        SequencedEvent::plain(
             seq,
-            event: BinlogEvent {
+            &BinlogEvent {
                 lsn: seq,
                 txn: seq,
                 timestamp: 1_700_000_000 + seq as i64,
@@ -240,7 +263,24 @@ mod tests {
                     sampled: true,
                 }),
             },
-        }
+        )
+    }
+
+    #[test]
+    fn opaque_payloads_survive_the_wire() {
+        // A sealed (or simply arbitrary) payload must ship verbatim:
+        // the wire layer no longer insists on parseable plaintext.
+        let sealed = SequencedEvent {
+            seq: 9,
+            payload: vec![0x5E, 0xA1, 0xC0, 0xDE, 0xFF, 0x00, 0x42],
+        };
+        let msg = WireMessage::Events {
+            events: vec![sealed.clone()],
+        };
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        assert!(sealed.decode_plain().is_none(), "opaque bytes stay opaque");
+        assert_eq!(ev(3).decode_plain().unwrap().lsn, 3);
     }
 
     #[test]

@@ -251,3 +251,71 @@ fn lag_histograms_populate_with_percentiles() {
     assert!(apply.p95() >= apply.p50());
     set.shutdown();
 }
+
+/// The E14 mitigation, end to end: an `encrypted_wal` fleet ships sealed
+/// binlog records over the wire and into every relay log. The replicas
+/// still apply every statement (they hold the log key), but a snapshot
+/// attacker carving any disk in the fleet — primary binlog or replica
+/// relay — recovers zero plaintext statements.
+#[test]
+fn encrypted_fleet_ships_ciphertext_end_to_end() {
+    let key = [0x42u8; 32];
+    let mut set = ReplicaSet::start(ReplicaSetConfig {
+        base: DbConfig {
+            encrypted_wal: true,
+            wal_key: Some(key),
+            group_commit: true,
+            ..DbConfig::default()
+        },
+        ..ReplicaSetConfig::default()
+    })
+    .unwrap();
+    set.write("CREATE TABLE patients (id INT PRIMARY KEY, diagnosis TEXT)")
+        .unwrap();
+    for i in 0..6 {
+        set.write(&format!(
+            "INSERT INTO patients VALUES ({i}, 'hiv-status-{i}')"
+        ))
+        .unwrap();
+    }
+    assert!(set.wait_for_sync(Duration::from_secs(5)));
+
+    // Replication worked: the rows are readable on a replica.
+    let rows = set.read("SELECT COUNT(*) FROM patients").unwrap();
+    assert_eq!(rows.rows[0][0].to_string(), "6");
+
+    // Gather every log surface in the fleet: primary binlog + all relays.
+    let mut surfaces: Vec<(String, Vec<u8>)> = Vec::new();
+    let primary_disk = set.primary().system_image().disk;
+    for (name, data) in &primary_disk.files {
+        if name.contains("binlog") {
+            surfaces.push((format!("primary:{name}"), data.clone()));
+        }
+    }
+    for i in 0..set.replica_count() {
+        let image = set.replica(i).system_image();
+        for (name, data) in &image.disk.files {
+            if name.starts_with("relay-bin.0") {
+                surfaces.push((format!("replica{i}:{name}"), data.clone()));
+            }
+        }
+    }
+    assert!(surfaces.len() >= 3, "binlog + one relay per replica");
+
+    for (label, raw) in &surfaces {
+        let plaintext_events = carve_frames(raw)
+            .iter()
+            .filter_map(|(_, p)| BinlogEvent::decode(p).ok())
+            .count();
+        assert_eq!(plaintext_events, 0, "{label} carved plaintext events");
+        assert!(
+            !raw.windows(10).any(|w| w == b"hiv-status"),
+            "{label} leaks a plaintext column value"
+        );
+        assert!(
+            !raw.windows(6).any(|w| w == b"INSERT"),
+            "{label} leaks plaintext SQL"
+        );
+    }
+    set.shutdown();
+}
