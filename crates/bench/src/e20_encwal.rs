@@ -171,7 +171,10 @@ pub fn run(opts: &Options) -> Vec<Table> {
         "E20b - key-holder recovery from the encrypted image",
         &["metric", "value"],
     );
-    let crypto = minidb::wal::WalCrypto::new(KEY);
+    // The origin passed here only affects *sealing*; open() reads each
+    // frame's origin from its authenticated header, so any key holder
+    // opens any node's records.
+    let crypto = minidb::wal::WalCrypto::new(KEY, 0);
     let opened = carve_enc_frames(&e_redo)
         .iter()
         .filter(|(_, sealed)| crypto.open(sealed).is_some())

@@ -33,8 +33,10 @@ fn run_workload(db: &Db) {
     // writes them.
     let (frames, _) = db.binlog_frames_from(0, 1024);
     assert!(!frames.is_empty());
-    for (_, payload) in &frames {
-        if db.wal_encrypted() {
+    for (_, sealed, payload) in &frames {
+        // The frame cursor's explicit sealed bit picks the relay frame
+        // magic, exactly as `mdb-repl`'s relay module does.
+        if *sealed {
             db.append_server_file("relay-bin.000001", &frame_enc(payload));
         } else {
             db.append_server_file("relay-bin.000001", &minidb::wal::frame(payload));

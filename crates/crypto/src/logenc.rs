@@ -7,17 +7,29 @@
 //! composition as [`crate::rnd`]) under a **deterministic nonce derived
 //! from the record's log position**: the stream id plus the record's
 //! sequence number (the LSN for redo/undo, the GTID-style event
-//! sequence for the binlog). Log positions are unique for the life of a
-//! server, so the nonce never repeats under one key — and the record
-//! needs no stored random nonce, keeping the overhead to the 9-byte
-//! header plus the 16-byte tag.
+//! sequence for the binlog).
 //!
-//! The header (`stream || seq`) is authenticated but not encrypted:
-//! crash recovery must know a record's position *before* it can check
-//! the tag, and position is exactly what the attacker already gets from
-//! the record's offset in the file. **Leakage profile:** per-record
-//! lengths, stream ids, and sequence numbers — no row images, no
-//! statement text, no timestamps.
+//! Log positions are unique only *per server*, and a replicated fleet
+//! shares one log key — the primary and a replica both seal their own
+//! redo/undo/binlog at `(stream, seq) = (REDO, 1), (REDO, 2), …` with
+//! different plaintexts. Sealing under the master key alone would reuse
+//! the ChaCha20 keystream across nodes, letting a keyless attacker who
+//! images both machines XOR ciphertexts into plaintext XORs. So every
+//! record is sealed under a **per-origin subkey**, derived from the
+//! shared key and the sealing node's server id (the `origin`): position
+//! uniqueness then only has to hold per origin, which the per-server
+//! monotonicity of LSNs and event sequences guarantees. No stored
+//! random nonce is needed, keeping the overhead to the 17-byte header
+//! plus the 16-byte tag.
+//!
+//! The header (`stream || origin || seq`) is authenticated but not
+//! encrypted: crash recovery must know a record's position *before* it
+//! can check the tag, and position is exactly what the attacker already
+//! gets from the record's offset in the file. Carrying the origin in
+//! the header also lets any key holder open any node's records —
+//! shipped binlog frames stay under the primary's sealing end-to-end.
+//! **Leakage profile:** per-record lengths, stream ids, origin ids, and
+//! sequence numbers — no row images, no statement text, no timestamps.
 
 use crate::chacha20;
 use crate::hmac::{ct_eq, hmac_parts};
@@ -32,8 +44,8 @@ pub const STREAM_UNDO: u8 = 2;
 /// Stream id of binlog (and therefore relay-log) events.
 pub const STREAM_BINLOG: u8 = 3;
 
-/// Sealed-record header: `stream (1) || seq (8, LE)`.
-pub const HEADER_LEN: usize = 9;
+/// Sealed-record header: `stream (1) || origin (8, LE) || seq (8, LE)`.
+pub const HEADER_LEN: usize = 17;
 
 /// Length of the MAC tag appended to sealed records.
 pub const TAG_LEN: usize = 16;
@@ -41,7 +53,8 @@ pub const TAG_LEN: usize = 16;
 /// Total size overhead of sealing: header plus tag.
 pub const OVERHEAD: usize = HEADER_LEN + TAG_LEN;
 
-/// The 96-bit ChaCha20 nonce for a `(stream, seq)` log position.
+/// The 96-bit ChaCha20 nonce for a `(stream, seq)` log position. Unique
+/// per origin subkey: positions are monotonic for the life of a server.
 fn nonce_for(stream: u8, seq: u64) -> [u8; chacha20::NONCE_LEN] {
     let mut n = [0u8; chacha20::NONCE_LEN];
     n[0] = stream;
@@ -49,17 +62,31 @@ fn nonce_for(stream: u8, seq: u64) -> [u8; chacha20::NONCE_LEN] {
     n
 }
 
-/// Seals one log record: `stream || seq || ciphertext || tag`.
+/// Derives the per-origin `(enc, mac)` subkeys. Distinct origins give
+/// computationally independent keystreams under one shared fleet key.
+fn subkeys(key: &Key, origin: u64) -> ([u8; 32], [u8; 32]) {
+    let mut label = [0u8; 18];
+    label[..10].copy_from_slice(b"logenc-enc");
+    label[10..].copy_from_slice(&origin.to_le_bytes());
+    let enc = kdf::derive_key(&key.0, &label);
+    label[..10].copy_from_slice(b"logenc-mac");
+    let mac = kdf::derive_key(&key.0, &label);
+    (enc, mac)
+}
+
+/// Seals one log record originated by node `origin` (its server id):
+/// `stream || origin || seq || ciphertext || tag`.
 ///
 /// The tag covers the header and the ciphertext, so a record spliced to
-/// a different log position (or a bit-flipped body) fails to open.
-pub fn seal(key: &Key, stream: u8, seq: u64, plaintext: &[u8]) -> Vec<u8> {
-    let enc_key = kdf::derive_key(&key.0, b"logenc-enc");
-    let mac_key = kdf::derive_key(&key.0, b"logenc-mac");
+/// a different log position or node (or a bit-flipped body) fails to
+/// open.
+pub fn seal(key: &Key, origin: u64, stream: u8, seq: u64, plaintext: &[u8]) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(key, origin);
     let nonce = nonce_for(stream, seq);
 
     let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
     out.push(stream);
+    out.extend_from_slice(&origin.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(plaintext);
     chacha20::xor_stream(&enc_key, &nonce, 1, &mut out[HEADER_LEN..]);
@@ -69,24 +96,24 @@ pub fn seal(key: &Key, stream: u8, seq: u64, plaintext: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Opens a sealed record, returning `(stream, seq, plaintext)`.
+/// Opens a sealed record, returning `(origin, stream, seq, plaintext)`.
 ///
-/// Self-describing: the header carries the nonce inputs, so a carver
-/// that resynchronized on a sealed frame can open it without any
-/// external position bookkeeping.
-pub fn open(key: &Key, sealed: &[u8]) -> Result<(u8, u64, Vec<u8>), CryptoError> {
+/// Self-describing: the header carries the subkey and nonce inputs, so
+/// any holder of the shared key — a recovering server, a replica
+/// applying a frame the *primary* sealed, a carver that resynchronized
+/// mid-file — can open it without external position bookkeeping.
+pub fn open(key: &Key, sealed: &[u8]) -> Result<(u64, u8, u64, Vec<u8>), CryptoError> {
     if sealed.len() < OVERHEAD {
         return Err(CryptoError::Malformed(
             "sealed record shorter than overhead",
         ));
     }
-    let enc_key = kdf::derive_key(&key.0, b"logenc-enc");
-    let mac_key = kdf::derive_key(&key.0, b"logenc-mac");
-
     let (header, rest) = sealed.split_at(HEADER_LEN);
     let (body, tag) = rest.split_at(rest.len() - TAG_LEN);
     let stream = header[0];
-    let seq = u64::from_le_bytes(header[1..9].try_into().unwrap());
+    let origin = u64::from_le_bytes(header[1..9].try_into().unwrap());
+    let seq = u64::from_le_bytes(header[9..17].try_into().unwrap());
+    let (enc_key, mac_key) = subkeys(key, origin);
 
     let expect = hmac_parts(&mac_key, &[header, body]);
     if !ct_eq(&expect[..TAG_LEN], tag) {
@@ -95,7 +122,7 @@ pub fn open(key: &Key, sealed: &[u8]) -> Result<(u8, u64, Vec<u8>), CryptoError>
 
     let mut plain = body.to_vec();
     chacha20::xor_stream(&enc_key, &nonce_for(stream, seq), 1, &mut plain);
-    Ok((stream, seq, plain))
+    Ok((origin, stream, seq, plain))
 }
 
 #[cfg(test)]
@@ -111,32 +138,56 @@ mod tests {
         for stream in [STREAM_REDO, STREAM_UNDO, STREAM_BINLOG] {
             for len in [0usize, 1, 16, 64, 1000] {
                 let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
-                let sealed = seal(&key(), stream, 42, &pt);
+                let sealed = seal(&key(), 1, stream, 42, &pt);
                 assert_eq!(sealed.len(), len + OVERHEAD);
-                assert_eq!(open(&key(), &sealed).unwrap(), (stream, 42, pt));
+                assert_eq!(open(&key(), &sealed).unwrap(), (1, stream, 42, pt));
             }
         }
     }
 
     #[test]
     fn nonce_is_position_deterministic_but_stream_separated() {
-        // Same position, same bytes: sealing is deterministic by design
-        // (the position *is* the nonce).
-        let a = seal(&key(), STREAM_REDO, 9, b"payload");
-        let b = seal(&key(), STREAM_REDO, 9, b"payload");
+        // Same origin and position, same bytes: sealing is deterministic
+        // by design (the position *is* the nonce).
+        let a = seal(&key(), 1, STREAM_REDO, 9, b"payload");
+        let b = seal(&key(), 1, STREAM_REDO, 9, b"payload");
         assert_eq!(a, b);
         // Redo and undo records share LSN values; the stream id keeps
         // their keystreams disjoint.
-        let c = seal(&key(), STREAM_UNDO, 9, b"payload");
+        let c = seal(&key(), 1, STREAM_UNDO, 9, b"payload");
         assert_ne!(&a[HEADER_LEN..], &c[HEADER_LEN..]);
         // Different positions never share a keystream.
-        let d = seal(&key(), STREAM_REDO, 10, b"payload");
+        let d = seal(&key(), 1, STREAM_REDO, 10, b"payload");
         assert_ne!(&a[HEADER_LEN..], &d[HEADER_LEN..]);
     }
 
     #[test]
+    fn fleet_nodes_never_share_a_keystream() {
+        // A primary and a replica share one fleet key and both seal
+        // their own logs at the same (stream, seq) positions with
+        // *different* plaintexts — the E20 fleet shape. Per-origin
+        // subkeys must keep the keystreams disjoint, or XORing the two
+        // cold images would hand a keyless attacker the plaintext XOR.
+        let pt_a = b"primary-row-AAAAAAAA";
+        let pt_b = b"replica-row-BBBBBBBB";
+        let a = seal(&key(), 1, STREAM_BINLOG, 0, pt_a);
+        let b = seal(&key(), 2, STREAM_BINLOG, 0, pt_b);
+        let body_a = &a[HEADER_LEN..a.len() - TAG_LEN];
+        let body_b = &b[HEADER_LEN..b.len() - TAG_LEN];
+        let ct_xor: Vec<u8> = body_a.iter().zip(body_b).map(|(x, y)| x ^ y).collect();
+        let pt_xor: Vec<u8> = pt_a.iter().zip(pt_b).map(|(x, y)| x ^ y).collect();
+        assert_ne!(ct_xor, pt_xor, "cross-node keystream reuse");
+        // Same plaintext, different origins: still distinct ciphertext.
+        let c = seal(&key(), 2, STREAM_BINLOG, 0, pt_a);
+        assert_ne!(&a[HEADER_LEN..], &c[HEADER_LEN..]);
+        // And both still open for any holder of the shared key.
+        assert_eq!(open(&key(), &a).unwrap().0, 1);
+        assert_eq!(open(&key(), &b).unwrap().0, 2);
+    }
+
+    #[test]
     fn tamper_and_splice_detected() {
-        let mut sealed = seal(&key(), STREAM_BINLOG, 3, b"INSERT INTO t VALUES (1)");
+        let mut sealed = seal(&key(), 3, STREAM_BINLOG, 3, b"INSERT INTO t VALUES (1)");
         for i in 0..sealed.len() {
             sealed[i] ^= 1;
             assert_eq!(
@@ -150,7 +201,7 @@ mod tests {
 
     #[test]
     fn wrong_key_and_truncation_rejected() {
-        let sealed = seal(&key(), STREAM_REDO, 1, b"row bytes");
+        let sealed = seal(&key(), 1, STREAM_REDO, 1, b"row bytes");
         assert_eq!(
             open(&Key([0x18; 32]), &sealed),
             Err(CryptoError::AuthenticationFailed)
@@ -164,7 +215,7 @@ mod tests {
     #[test]
     fn ciphertext_hides_plaintext_bytes() {
         let pt = b"SECRET-MARKER-0123456789";
-        let sealed = seal(&key(), STREAM_BINLOG, 7, pt);
+        let sealed = seal(&key(), 1, STREAM_BINLOG, 7, pt);
         let window = &sealed[HEADER_LEN..sealed.len() - TAG_LEN];
         assert!(!window.windows(6).any(|w| pt.windows(6).any(|p| p == w)));
     }

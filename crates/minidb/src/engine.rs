@@ -169,8 +169,18 @@ pub struct DbConfig {
     /// The log-encryption key. `None` with `encrypted_wal` on draws a
     /// fresh process-local key (never persisted — single-node use);
     /// a replicated fleet must set one shared key explicitly, or the
-    /// replica's apply loop cannot open shipped events.
+    /// replica's apply loop cannot open shipped events. Each node seals
+    /// under a subkey derived from this key and its own
+    /// [`server_id`](Self::server_id), so fleet nodes that log the same
+    /// `(stream, seq)` positions never share a ChaCha20 keystream.
     pub wal_key: Option<[u8; 32]>,
+    /// Mixed-era escape hatch for `encrypted_wal`: accept
+    /// plaintext-framed binlog records during decode/apply (a plaintext
+    /// primary feeding an encrypted replica, or a relay log written
+    /// before encryption was enabled). Off by default: a strict
+    /// encrypted node refuses plaintext frames, so an injected,
+    /// unauthenticated event can never slip past the MAC.
+    pub wal_plaintext_fallback: bool,
 }
 
 impl Default for DbConfig {
@@ -213,6 +223,7 @@ impl Default for DbConfig {
             fsync_latency_us: 0,
             encrypted_wal: false,
             wal_key: None,
+            wal_plaintext_fallback: false,
         }
     }
 }
@@ -436,7 +447,8 @@ impl Db {
                         }
                         k
                     });
-                    w.set_crypto(key);
+                    w.set_crypto(key, config.server_id);
+                    w.set_plaintext_fallback(config.wal_plaintext_fallback);
                 }
                 w
             },
@@ -597,15 +609,16 @@ impl Db {
     /// streamer ships these verbatim so ciphertext stays ciphertext
     /// across the wire and in the replica's relay log. See
     /// [`crate::wal::Wal::binlog_frames_from`].
-    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, Vec<u8>)>, u64) {
+    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
         self.inner.lock().wal.binlog_frames_from(from_seq, max)
     }
 
     /// Decodes one shipped binlog frame payload with this engine's WAL
-    /// key (the replica-side apply loop's decrypt point). See
-    /// [`crate::wal::Wal::decode_binlog_payload`].
-    pub fn decode_binlog_payload(&self, payload: &[u8]) -> DbResult<BinlogEvent> {
-        self.inner.lock().wal.decode_binlog_payload(payload)
+    /// key (the replica-side apply loop's decrypt point), given whether
+    /// the frame arrived under the sealed or plaintext magic. See
+    /// [`crate::wal::Wal::decode_binlog_frame`].
+    pub fn decode_binlog_frame(&self, sealed: bool, payload: &[u8]) -> DbResult<BinlogEvent> {
+        self.inner.lock().wal.decode_binlog_frame(sealed, payload)
     }
 
     /// Whether this engine seals its log records
@@ -1032,6 +1045,15 @@ impl DbInner {
         sql: &str,
         ctx: Option<TraceContext>,
     ) -> DbResult<QueryResult> {
+        // Drain contract: whoever called execute_ctx last must have
+        // taken the staged group-commit LSN (and waited on it outside
+        // the lock). A stale LSN here means some caller skipped
+        // take_staged_commit — that commit's durability wait was lost.
+        debug_assert!(
+            self.staged_commit.is_none(),
+            "staged group-commit LSN never drained; every execute_ctx \
+             caller must call take_staged_commit after the statement"
+        );
         if self.crashed {
             return Err(DbError::Crashed);
         }

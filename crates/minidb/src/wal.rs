@@ -430,29 +430,36 @@ impl std::fmt::Debug for WalMetrics {
     }
 }
 
-/// The sealing state of an encrypted WAL: the log-encryption key.
-/// Wrapped so `Debug` output (engine dumps, test failures) never prints
-/// key material.
+/// The sealing state of an encrypted WAL: the (fleet-shared) log key
+/// plus this node's origin id. Wrapped so `Debug` output (engine dumps,
+/// test failures) never prints key material.
 #[derive(Clone)]
 pub struct WalCrypto {
     key: edb_crypto::Key,
+    origin: u64,
 }
 
 impl WalCrypto {
-    /// Builds the sealing state from raw key bytes.
-    pub fn new(key: [u8; 32]) -> Self {
+    /// Builds the sealing state from raw key bytes and the sealing
+    /// node's server id. The origin feeds per-node subkey derivation:
+    /// a fleet sharing one `wal_key` must never reuse a keystream
+    /// across nodes that seal the same `(stream, seq)` positions.
+    pub fn new(key: [u8; 32], origin: u64) -> Self {
         WalCrypto {
             key: edb_crypto::Key(key),
+            origin,
         }
     }
 
-    /// Seals one record payload at log position `(stream, seq)`.
+    /// Seals one locally-originated record payload at log position
+    /// `(stream, seq)`.
     pub fn seal(&self, stream: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
-        edb_crypto::logenc::seal(&self.key, stream, seq, payload)
+        edb_crypto::logenc::seal(&self.key, self.origin, stream, seq, payload)
     }
 
-    /// Opens a sealed record, returning `(stream, seq, plaintext)`.
-    pub fn open(&self, sealed: &[u8]) -> Option<(u8, u64, Vec<u8>)> {
+    /// Opens a sealed record from *any* origin under the shared key,
+    /// returning `(origin, stream, seq, plaintext)`.
+    pub fn open(&self, sealed: &[u8]) -> Option<(u64, u8, u64, Vec<u8>)> {
         edb_crypto::logenc::open(&self.key, sealed).ok()
     }
 }
@@ -485,6 +492,12 @@ pub struct Wal {
     /// When set, every appended record is sealed (BigFoot-style
     /// encrypted WAL) and the carvers transparently open sealed frames.
     crypto: Option<WalCrypto>,
+    /// Mixed-era escape hatch: with encryption armed, still accept
+    /// plaintext-framed binlog records (a plaintext primary feeding an
+    /// encrypted replica, or a log written before `encrypted_wal` was
+    /// turned on). Off by default — an encrypted node otherwise rejects
+    /// unauthenticated plaintext instead of silently applying it.
+    plaintext_fallback: bool,
     metrics: Option<WalMetrics>,
 }
 
@@ -500,14 +513,22 @@ impl Wal {
             binlog_next_seq: 0,
             binlog_purged_seq: 0,
             crypto: None,
+            plaintext_fallback: false,
             metrics: None,
         }
     }
 
     /// Arms log encryption: every subsequent append is sealed under
-    /// `key`, and recovery/cursor reads open sealed frames with it.
-    pub fn set_crypto(&mut self, key: [u8; 32]) {
-        self.crypto = Some(WalCrypto::new(key));
+    /// `key` with this node's `origin` (server id) mixed into the
+    /// subkey, and recovery/cursor reads open sealed frames with it.
+    pub fn set_crypto(&mut self, key: [u8; 32], origin: u64) {
+        self.crypto = Some(WalCrypto::new(key, origin));
+    }
+
+    /// Allows an encrypted WAL to also decode plaintext-framed binlog
+    /// records (mixed-era logs). No effect while encryption is off.
+    pub fn set_plaintext_fallback(&mut self, on: bool) {
+        self.plaintext_fallback = on;
     }
 
     /// Whether log records are being sealed.
@@ -659,14 +680,14 @@ impl Wal {
         let mut out = Vec::new();
         let mut next = start;
         let skip = (start - self.binlog_purged_seq) as usize;
-        for (i, (_, _, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
+        for (i, (_, sealed, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
             if i < skip {
                 continue;
             }
             if out.len() >= max {
                 break;
             }
-            if let Ok(ev) = self.decode_binlog_payload(payload) {
+            if let Ok(ev) = self.decode_binlog_frame(sealed, payload) {
                 out.push((next, ev));
                 next += 1;
             }
@@ -675,43 +696,61 @@ impl Wal {
     }
 
     /// Cursor read over the binlog returning *raw frame payloads* — the
-    /// on-disk bytes between the framing, sealed or plaintext. This is
-    /// what the replication streamer ships: with `encrypted_wal` on, the
-    /// wire and the replica's relay log carry ciphertext end-to-end, and
-    /// only the replica's apply loop (holding the key) opens them.
-    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, Vec<u8>)>, u64) {
+    /// on-disk bytes between the framing, each tagged with whether its
+    /// frame was sealed (`(seq, sealed, payload)`). This is what the
+    /// replication streamer ships: with `encrypted_wal` on, the wire and
+    /// the replica's relay log carry ciphertext end-to-end, and only the
+    /// replica's apply loop (holding the key) opens them. The sealed bit
+    /// travels explicitly so downstream consumers never classify a
+    /// payload by probing whether it happens to parse.
+    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
         let start = from_seq.max(self.binlog_purged_seq);
         let mut out = Vec::new();
         let mut next = start;
         let skip = (start - self.binlog_purged_seq) as usize;
-        for (i, (_, _, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
+        for (i, (_, sealed, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
             if i < skip {
                 continue;
             }
             if out.len() >= max {
                 break;
             }
-            out.push((next, payload.to_vec()));
+            out.push((next, sealed, payload.to_vec()));
             next += 1;
         }
         (out, next)
     }
 
-    /// Decodes one binlog frame payload: sealed payloads are opened with
-    /// the WAL key first (a sealed frame from a peer whose key we do not
-    /// hold is an error), plaintext payloads decode directly — so a
-    /// mixed-era log, or a plaintext primary feeding an encrypted
-    /// replica, still applies.
-    pub fn decode_binlog_payload(&self, payload: &[u8]) -> DbResult<BinlogEvent> {
-        if let Some(c) = &self.crypto {
-            if let Some((stream, _seq, plain)) = c.open(payload) {
+    /// Decodes one binlog frame payload whose framing said `sealed`.
+    ///
+    /// Strict by default on an encrypted WAL: a sealed payload that
+    /// fails authentication is an error (never retried as plaintext),
+    /// and a plaintext-framed payload is rejected outright unless
+    /// [`Wal::set_plaintext_fallback`] explicitly allowed mixed-era
+    /// logs — otherwise an attacker could inject unauthenticated
+    /// plaintext frames into the wire stream or relay log and have an
+    /// encrypted replica apply them, MAC never consulted.
+    pub fn decode_binlog_frame(&self, sealed: bool, payload: &[u8]) -> DbResult<BinlogEvent> {
+        match (&self.crypto, sealed) {
+            (Some(c), true) => {
+                let (_origin, stream, _seq, plain) = c.open(payload).ok_or_else(|| {
+                    DbError::Storage("sealed binlog frame failed authentication".into())
+                })?;
                 if stream != edb_crypto::logenc::STREAM_BINLOG {
                     return Err(DbError::Storage("sealed frame from wrong stream".into()));
                 }
-                return BinlogEvent::decode(&plain);
+                BinlogEvent::decode(&plain)
             }
+            (None, true) => Err(DbError::Storage(
+                "sealed binlog frame but no log key configured".into(),
+            )),
+            (Some(_), false) if !self.plaintext_fallback => Err(DbError::Storage(
+                "plaintext binlog frame rejected: encrypted_wal is strict \
+                 (set wal_plaintext_fallback for mixed-era logs)"
+                    .into(),
+            )),
+            (_, false) => BinlogEvent::decode(payload),
         }
-        BinlogEvent::decode(payload)
     }
 
     /// Opens every sealed frame in `raw` that belongs to `stream`,
@@ -723,8 +762,8 @@ impl Wal {
         carve_enc_frames(raw)
             .into_iter()
             .filter_map(|(_, p)| c.open(p))
-            .filter(|(s, _, _)| *s == stream)
-            .map(|(_, _, plain)| plain)
+            .filter(|(_, s, _, _)| *s == stream)
+            .map(|(_, _, _, plain)| plain)
             .collect()
     }
 
@@ -765,7 +804,7 @@ impl Wal {
     pub fn carve_binlog(&self) -> Vec<BinlogEvent> {
         carve_all_frames(&self.binlog)
             .into_iter()
-            .filter_map(|(_, _, p)| self.decode_binlog_payload(p).ok())
+            .filter_map(|(_, sealed, p)| self.decode_binlog_frame(sealed, p).ok())
             .collect()
     }
 
@@ -988,7 +1027,7 @@ mod tests {
     #[test]
     fn encrypted_wal_recovers_with_key_and_defeats_plaintext_carving() {
         let mut wal = Wal::new(8192, 8192, true);
-        wal.set_crypto([0x5A; 32]);
+        wal.set_crypto([0x5A; 32], 1);
         assert!(wal.encrypted());
         for i in 0..8u64 {
             let lsn = wal.alloc_lsn();
@@ -1035,14 +1074,90 @@ mod tests {
     #[test]
     fn sealed_frames_reject_wrong_key_and_cross_stream_splice() {
         let mut wal = Wal::new(4096, 4096, true);
-        wal.set_crypto([1; 32]);
+        wal.set_crypto([1; 32], 1);
         let lsn = wal.alloc_lsn();
         wal.append_redo(&redo(lsn, b"payload"));
         let sealed = carve_enc_frames(wal.redo.raw())[0].1.to_vec();
-        // Wrong key: open fails.
-        assert!(WalCrypto::new([2; 32]).open(&sealed).is_none());
+        // Wrong key: open fails, whatever origin the opener claims.
+        assert!(WalCrypto::new([2; 32], 1).open(&sealed).is_none());
         // Right key, but a redo frame is not a binlog frame.
-        assert!(wal.decode_binlog_payload(&sealed).is_err());
+        assert!(wal.decode_binlog_frame(true, &sealed).is_err());
+    }
+
+    #[test]
+    fn fleet_peers_open_each_others_frames_without_keystream_reuse() {
+        // Primary (origin 1) and replica (origin 2) share one key and
+        // both seal STREAM_BINLOG seq 0 with different statements of
+        // equal length — exactly the cross-node collision the nonce
+        // scheme must survive.
+        let key = [0x44u8; 32];
+        let mk = |origin: u64, stmt: &str| {
+            let mut w = Wal::new(1024, 1024, true);
+            w.set_crypto(key, origin);
+            w.append_binlog(&BinlogEvent {
+                lsn: 1,
+                txn: 1,
+                timestamp: 100 + origin as i64,
+                statement: stmt.into(),
+                ctx: None,
+            });
+            w
+        };
+        let a = mk(1, "INSERT INTO t VALUES (111111)");
+        let b = mk(2, "INSERT INTO u VALUES (222222)");
+        let fa = carve_enc_frames(a.binlog_raw())[0].1;
+        let fb = carve_enc_frames(b.binlog_raw())[0].1;
+        use edb_crypto::logenc::{HEADER_LEN, TAG_LEN};
+        let body_a = &fa[HEADER_LEN..fa.len() - TAG_LEN];
+        let body_b = &fb[HEADER_LEN..fb.len() - TAG_LEN];
+        let pa = a.carve_binlog()[0].encode();
+        let pb = b.carve_binlog()[0].encode();
+        let ct_xor: Vec<u8> = body_a.iter().zip(body_b).map(|(x, y)| x ^ y).collect();
+        let pt_xor: Vec<u8> = pa.iter().zip(&pb).map(|(x, y)| x ^ y).collect();
+        assert_ne!(
+            &ct_xor[..pt_xor.len().min(ct_xor.len())],
+            &pt_xor[..pt_xor.len().min(ct_xor.len())],
+            "same (stream, seq) on two nodes reused a keystream"
+        );
+        // Either key holder still opens the other node's frame (shipped
+        // binlog frames stay under the primary's sealing).
+        assert!(b.decode_binlog_frame(true, fa).is_ok());
+        assert!(a.decode_binlog_frame(true, fb).is_ok());
+    }
+
+    #[test]
+    fn encrypted_wal_rejects_plaintext_frames_unless_fallback() {
+        let mut wal = Wal::new(1024, 1024, true);
+        wal.set_crypto([6; 32], 1);
+        let ev = BinlogEvent {
+            lsn: 1,
+            txn: 1,
+            timestamp: 7,
+            statement: "INSERT INTO t VALUES (99)".into(),
+            ctx: None,
+        };
+        // An injected plaintext frame must not apply on a strict
+        // encrypted node — the MAC has to gate every applied event.
+        let err = wal.decode_binlog_frame(false, &ev.encode()).unwrap_err();
+        assert!(err.to_string().contains("plaintext binlog frame rejected"));
+        // A sealed frame that fails auth is a distinct error, not a
+        // fall-through to plaintext parsing.
+        let mut w2 = Wal::new(1024, 1024, true);
+        w2.set_crypto([7; 32], 2);
+        w2.append_binlog(&ev);
+        let mut sealed = carve_enc_frames(w2.binlog_raw())[0].1.to_vec();
+        *sealed.last_mut().unwrap() ^= 1;
+        let err = wal.decode_binlog_frame(true, &sealed).unwrap_err();
+        assert!(err.to_string().contains("failed authentication"));
+        // The explicit mixed-era escape hatch restores the old lenient
+        // behaviour for plaintext frames only.
+        wal.set_plaintext_fallback(true);
+        assert_eq!(wal.decode_binlog_frame(false, &ev.encode()).unwrap(), ev);
+        assert!(wal.decode_binlog_frame(true, &sealed).is_err());
+        // A plaintext node asked to decode a sealed frame errors too.
+        let plain_wal = Wal::new(1024, 1024, true);
+        let good = carve_enc_frames(w2.binlog_raw())[0].1;
+        assert!(plain_wal.decode_binlog_frame(true, good).is_err());
     }
 
     #[test]
@@ -1050,7 +1165,7 @@ mod tests {
         for encrypted in [false, true] {
             let mut wal = Wal::new(4096, 4096, true);
             if encrypted {
-                wal.set_crypto([9; 32]);
+                wal.set_crypto([9; 32], 1);
             }
             for i in 0..4u64 {
                 wal.append_binlog(&BinlogEvent {
@@ -1064,8 +1179,10 @@ mod tests {
             let (frames, next) = wal.binlog_frames_from(1, 10);
             assert_eq!(next, 4);
             assert_eq!(frames.len(), 3);
-            for (seq, payload) in &frames {
-                let ev = wal.decode_binlog_payload(payload).unwrap();
+            for (seq, sealed, payload) in &frames {
+                // The cursor reports each frame's on-disk codec.
+                assert_eq!(*sealed, encrypted);
+                let ev = wal.decode_binlog_frame(*sealed, payload).unwrap();
                 assert_eq!(ev.statement, format!("INSERT INTO t VALUES ({seq})"));
                 // Sealed payloads are opaque without the key.
                 assert_eq!(BinlogEvent::decode(payload).is_ok(), !encrypted);

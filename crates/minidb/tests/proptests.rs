@@ -487,7 +487,7 @@ proptest! {
             proptest::collection::vec(any::<u8>(), 0..96), 1..12),
         key in any::<[u8; 32]>(),
     ) {
-        let crypto = minidb::wal::WalCrypto::new(key);
+        let crypto = minidb::wal::WalCrypto::new(key, 1);
         let mut image = Vec::new();
         for (i, p) in payloads.iter().enumerate() {
             let sealed = crypto.seal(edb_crypto::logenc::STREAM_REDO, i as u64, p);
@@ -496,7 +496,8 @@ proptest! {
         let carved = minidb::wal::carve_enc_frames(&image);
         prop_assert_eq!(carved.len(), payloads.len());
         for (i, (_, sealed)) in carved.iter().enumerate() {
-            let (stream, seq, plain) = crypto.open(sealed).expect("key holder opens");
+            let (origin, stream, seq, plain) = crypto.open(sealed).expect("key holder opens");
+            prop_assert_eq!(origin, 1);
             prop_assert_eq!(stream, edb_crypto::logenc::STREAM_REDO);
             prop_assert_eq!(seq, i as u64);
             prop_assert_eq!(&plain, &payloads[i]);
@@ -514,7 +515,7 @@ proptest! {
             proptest::collection::vec(any::<u8>(), 1..64), 1..8),
         cut_seed in any::<u64>(),
     ) {
-        let crypto = minidb::wal::WalCrypto::new([9u8; 32]);
+        let crypto = minidb::wal::WalCrypto::new([9u8; 32], 1);
         let mut image = Vec::new();
         let mut ends = Vec::new();
         for (i, p) in payloads.iter().enumerate() {
@@ -527,7 +528,7 @@ proptest! {
         let carved = minidb::wal::carve_enc_frames(&image[..cut]);
         prop_assert_eq!(carved.len(), whole, "cut at {} of {}", cut, image.len());
         for (i, (_, sealed)) in carved.iter().enumerate() {
-            let (_, seq, plain) = crypto.open(sealed).expect("intact prefix opens");
+            let (_, _, seq, plain) = crypto.open(sealed).expect("intact prefix opens");
             prop_assert_eq!(seq, i as u64);
             prop_assert_eq!(&plain, &payloads[i]);
         }
@@ -544,7 +545,7 @@ proptest! {
             proptest::collection::vec(any::<u8>(), 1..48), 2..8),
         flip_seed in any::<u64>(),
     ) {
-        let crypto = minidb::wal::WalCrypto::new([7u8; 32]);
+        let crypto = minidb::wal::WalCrypto::new([7u8; 32], 1);
         let mut image = Vec::new();
         for (i, p) in payloads.iter().enumerate() {
             let sealed = crypto.seal(edb_crypto::logenc::STREAM_REDO, i as u64, p);
@@ -554,7 +555,7 @@ proptest! {
         image[bit / 8] ^= 1 << (bit % 8);
         let mut recovered = 0usize;
         for (_, sealed) in minidb::wal::carve_enc_frames(&image) {
-            if let Some((_, seq, plain)) = crypto.open(sealed) {
+            if let Some((_, _, seq, plain)) = crypto.open(sealed) {
                 // Anything that opens is authentic: byte-identical to
                 // what was sealed under that sequence number.
                 prop_assert_eq!(&plain, &payloads[seq as usize]);

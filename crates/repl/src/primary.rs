@@ -142,7 +142,11 @@ fn session(
         }
         let batch: Vec<SequencedEvent> = events
             .into_iter()
-            .map(|(seq, payload)| SequencedEvent { seq, payload })
+            .map(|(seq, sealed, payload)| SequencedEvent {
+                seq,
+                sealed,
+                payload,
+            })
             .collect();
         let n = batch.len() as u64;
         let msg = WireMessage::Events { events: batch };

@@ -12,7 +12,7 @@
 //! sequence numbers so a restarted replica recovers its resume position
 //! from its own disk, without asking the primary.
 
-use minidb::wal::{carve_all_frames, frame, frame_enc, BinlogEvent};
+use minidb::wal::{carve_all_frames, frame, frame_enc};
 use minidb::Db;
 
 use crate::wire::SequencedEvent;
@@ -25,15 +25,18 @@ pub const RELAY_FILE: &str = "relay-bin.000001";
 pub const RELAY_INDEX: &str = "relay-bin.index";
 
 /// Appends one event to the relay log, preserving the primary's framing:
-/// a payload that parses as a plaintext [`BinlogEvent`] gets the binlog's
-/// plain frame; anything else is a sealed `encrypted_wal` record and gets
-/// the sealed-frame magic, so the relay file stays ciphertext and the
-/// keyless `carve_frames` scan recovers nothing from it.
+/// the event's explicit `sealed` bit — set by the primary from the
+/// frame's on-disk magic and carried across the wire — selects the plain
+/// or sealed frame magic. (Classifying by whether the payload *parses*
+/// as a plaintext [`BinlogEvent`] would misfile a sealed ciphertext that
+/// coincidentally parses.) With `encrypted_wal` on the primary, the
+/// relay file therefore stays ciphertext and the keyless `carve_frames`
+/// scan recovers nothing from it.
 pub fn append_event(db: &Db, ev: &SequencedEvent) -> usize {
-    let framed = if BinlogEvent::decode(&ev.payload).is_ok() {
-        frame(&ev.payload)
-    } else {
+    let framed = if ev.sealed {
         frame_enc(&ev.payload)
+    } else {
+        frame(&ev.payload)
     };
     let len = framed.len();
     db.append_server_file(RELAY_FILE, &framed);
@@ -64,10 +67,11 @@ pub fn recover_position(db: &Db) -> Option<(u64, u64)> {
     let relay = db.read_server_file(RELAY_FILE).unwrap_or_default();
     let tail = relay.get(anchor_off as usize..).unwrap_or(&[]);
     // Count every frame the replica can decode: plaintext events and —
-    // when this replica holds the log key — sealed records too.
+    // when this replica holds the log key — sealed records too. Each
+    // frame is decoded under the codec its own magic declares.
     let applied = carve_all_frames(tail)
         .iter()
-        .filter(|(_, _, p)| db.decode_binlog_payload(p).is_ok())
+        .filter(|(_, sealed, p)| db.decode_binlog_frame(*sealed, p).is_ok())
         .count() as u64;
     Some((anchor_seq + applied, relay.len() as u64))
 }
@@ -82,7 +86,7 @@ pub fn relay_len(db: &Db) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minidb::wal::carve_frames;
+    use minidb::wal::{carve_frames, BinlogEvent};
     use minidb::DbConfig;
 
     fn ev(seq: u64) -> SequencedEvent {
@@ -168,11 +172,13 @@ mod tests {
             ..DbConfig::default()
         });
         append_index_entry(&replica, 0, 0);
-        for (seq, payload) in &frames {
+        for (seq, sealed, payload) in &frames {
+            assert!(*sealed, "encrypted primary must ship sealed frames");
             append_event(
                 &replica,
                 &SequencedEvent {
                     seq: *seq,
+                    sealed: *sealed,
                     payload: payload.clone(),
                 },
             );

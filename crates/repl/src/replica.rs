@@ -274,10 +274,13 @@ fn stream(
                     // the relay log verbatim (ciphertext on an
                     // `encrypted_wal` fleet); this is the first — and
                     // only — point the statement exists in the clear on
-                    // the replica. A key mismatch halts the SQL thread
-                    // like any diverged statement would.
+                    // the replica. The primary-set sealed bit picks the
+                    // codec, so an encrypted replica never parse-probes
+                    // an injected plaintext frame; a key mismatch or
+                    // auth failure halts the SQL thread like any
+                    // diverged statement would.
                     let event = db
-                        .decode_binlog_payload(&ev.payload)
+                        .decode_binlog_frame(ev.sealed, &ev.payload)
                         .map_err(ReplError::Db)?;
                     // The binlog event's distributed trace context (if
                     // the primary stamped one) flows into the apply, so

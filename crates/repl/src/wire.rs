@@ -10,18 +10,26 @@ use minidb::wal::{frame, BinlogEvent, RECORD_MAGIC};
 
 use crate::{ReplError, ReplResult};
 
-/// A binlog frame payload tagged with its GTID-style sequence number.
+/// A binlog frame payload tagged with its GTID-style sequence number
+/// and an explicit sealed/plaintext codec bit.
 ///
 /// The payload is shipped **verbatim** from the primary's binlog: a
 /// plaintext [`BinlogEvent`] encoding on a stock primary, or a sealed
 /// `logenc` record when the primary runs with
 /// `DbConfig::encrypted_wal` — in which case the replication stream is
 /// ciphertext end-to-end and only the replica's apply loop (holding the
-/// shared log key) can read the statement.
+/// shared log key) can read the statement. The `sealed` flag is set by
+/// the primary from the frame's on-disk magic and travels with the
+/// event, so no consumer ever has to *guess* a payload's codec by
+/// probing whether it parses (a sealed ciphertext that coincidentally
+/// parsed as a plaintext event would otherwise be misclassified).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SequencedEvent {
     /// Global sequence number in the primary's binlog.
     pub seq: u64,
+    /// Whether `payload` is a sealed `logenc` record (vs a plaintext
+    /// [`BinlogEvent`] encoding) — the frame magic it was carved from.
+    pub sealed: bool,
     /// The raw binlog frame payload (plaintext event or sealed record).
     pub payload: Vec<u8>,
 }
@@ -31,13 +39,17 @@ impl SequencedEvent {
     pub fn plain(seq: u64, event: &BinlogEvent) -> SequencedEvent {
         SequencedEvent {
             seq,
+            sealed: false,
             payload: event.encode(),
         }
     }
 
-    /// Decodes the payload as a plaintext [`BinlogEvent`]. Fails on a
-    /// sealed payload — use `Db::decode_binlog_payload` with the key.
+    /// Decodes the payload as a plaintext [`BinlogEvent`]. `None` for a
+    /// sealed payload — use `Db::decode_binlog_frame` with the key.
     pub fn decode_plain(&self) -> Option<BinlogEvent> {
+        if self.sealed {
+            return None;
+        }
         BinlogEvent::decode(&self.payload).ok()
     }
 }
@@ -133,6 +145,7 @@ impl WireMessage {
                 out.extend_from_slice(&(events.len() as u32).to_le_bytes());
                 for e in events {
                     w_u64(&mut out, e.seq);
+                    out.push(e.sealed as u8);
                     out.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
                     out.extend_from_slice(&e.payload);
                 }
@@ -166,11 +179,24 @@ impl WireMessage {
                 let mut events = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     let seq = c.u64()?;
+                    let sealed = match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(ReplError::Protocol(format!(
+                                "bad event codec flag {other}"
+                            )));
+                        }
+                    };
                     let len = c.u32()? as usize;
                     // The payload stays opaque on the wire: it may be a
                     // sealed record only the replica's key can open.
                     let payload = c.take(len)?.to_vec();
-                    events.push(SequencedEvent { seq, payload });
+                    events.push(SequencedEvent {
+                        seq,
+                        sealed,
+                        payload,
+                    });
                 }
                 WireMessage::Events { events }
             }
@@ -272,6 +298,7 @@ mod tests {
         // the wire layer no longer insists on parseable plaintext.
         let sealed = SequencedEvent {
             seq: 9,
+            sealed: true,
             payload: vec![0x5E, 0xA1, 0xC0, 0xDE, 0xFF, 0x00, 0x42],
         };
         let msg = WireMessage::Events {

@@ -317,5 +317,53 @@ fn encrypted_fleet_ships_ciphertext_end_to_end() {
             "{label} leaks plaintext SQL"
         );
     }
+
+    // Cross-node nonce safety: the replica re-logs every applied
+    // statement into its *own* binlog at the same (stream, seq)
+    // positions the primary used, with near-identical plaintexts, under
+    // the same fleet key. Per-origin subkeys must keep those keystreams
+    // disjoint — shared keystreams would leave the two binlogs
+    // near-identical (XOR of the ciphertexts = XOR of the plaintexts,
+    // which is ~zero here), handing a two-image attacker the E2/E3
+    // channels back.
+    use edb_crypto::logenc::{HEADER_LEN, TAG_LEN};
+    use minidb::wal::{carve_enc_frames, WalCrypto, BINLOG_FILE};
+    let opener = WalCrypto::new(key, 0);
+    let primary_binlog = primary_disk.file(BINLOG_FILE).unwrap().to_vec();
+    let p_frames = carve_enc_frames(&primary_binlog);
+    assert!(!p_frames.is_empty());
+    let replica_image = set.replica(0).system_image();
+    let replica_binlog = replica_image.disk.file(BINLOG_FILE).unwrap();
+    let r_frames = carve_enc_frames(replica_binlog);
+    assert!(!r_frames.is_empty(), "replica re-logs applied statements");
+    let mut compared = 0;
+    for ((_, pf), (_, rf)) in p_frames.iter().zip(&r_frames) {
+        let (p_origin, _, p_seq, p_plain) = opener.open(pf).expect("primary frame opens");
+        let (r_origin, _, r_seq, r_plain) = opener.open(rf).expect("replica frame opens");
+        assert_ne!(p_origin, r_origin, "two nodes sealed under one origin");
+        if p_seq != r_seq {
+            continue;
+        }
+        // Same (stream, seq) on two nodes: XORing the ciphertext bodies
+        // must not reveal the plaintext XOR (with a shared keystream it
+        // would, exactly — and these plaintexts are near-identical, so
+        // the leak would be near-total).
+        let pb = &pf[HEADER_LEN..pf.len() - TAG_LEN];
+        let rb = &rf[HEADER_LEN..rf.len() - TAG_LEN];
+        let n = pb.len().min(rb.len());
+        let ct_xor: Vec<u8> = pb[..n].iter().zip(&rb[..n]).map(|(a, b)| a ^ b).collect();
+        let pt_xor: Vec<u8> = p_plain[..n.min(p_plain.len())]
+            .iter()
+            .zip(&r_plain[..n.min(r_plain.len())])
+            .map(|(a, b)| a ^ b)
+            .collect();
+        assert_ne!(
+            &ct_xor[..pt_xor.len()],
+            &pt_xor[..],
+            "cross-node keystream reuse at seq {p_seq}"
+        );
+        compared += 1;
+    }
+    assert!(compared > 0, "no cross-node position collision exercised");
     set.shutdown();
 }
