@@ -4,7 +4,8 @@
 //! experiments [--quick] [--json <path>] [--trace <dir>]
 //!             [--bench-json <path>] [--obs-bench-json <path>]
 //!             [--server-bench-json <path>] [--xtrace-bench-json <path>]
-//!             [--wal-bench-json <path>] [e1 e2 … | all]
+//!             [--wal-bench-json <path>] [--chaos-bench-json <path>]
+//!             [e1 e2 … | all]
 //! ```
 //!
 //! Tables always go to stdout; `--json <path>` additionally writes a
@@ -24,7 +25,12 @@
 //! writes it as JSON plus the merged Chrome trace as `<path>.trace.json`;
 //! `--wal-bench-json <path>` runs the group-commit / encrypted-WAL
 //! write-path benchmark (plaintext vs sealed, per-statement fsync vs
-//! group commit, at 1/4/8 connections) and writes it as JSON.
+//! group commit, at 1/4/8 connections) and writes it as JSON;
+//! `--chaos-bench-json <path>` replays the deterministic chaos schedule
+//! over the seed battery (odd seeds kill and fail over the primary),
+//! audits every history with the consistency checker, probes the
+//! deposed primary's divergent sidecar on plaintext and `encrypted_wal`
+//! fleets, and writes the verdicts as JSON.
 
 use bench::{ExperimentReport, Options, ALL};
 
@@ -49,6 +55,7 @@ fn main() {
     let server_bench_json_path = path_flag("--server-bench-json");
     let xtrace_bench_json_path = path_flag("--xtrace-bench-json");
     let wal_bench_json_path = path_flag("--wal-bench-json");
+    let chaos_bench_json_path = path_flag("--chaos-bench-json");
     // Everything that isn't a flag (or a flag's path argument) is an id.
     let mut ids = Vec::new();
     let mut skip_next = false;
@@ -64,6 +71,7 @@ fn main() {
             || a == "--server-bench-json"
             || a == "--xtrace-bench-json"
             || a == "--wal-bench-json"
+            || a == "--chaos-bench-json"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -76,7 +84,8 @@ fn main() {
             || obs_bench_json_path.is_some()
             || server_bench_json_path.is_some()
             || xtrace_bench_json_path.is_some()
-            || wal_bench_json_path.is_some())
+            || wal_bench_json_path.is_some()
+            || chaos_bench_json_path.is_some())
     {
         Vec::new()
     } else if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -237,5 +246,37 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[experiments] wrote wal bench JSON to {path}");
+    }
+    if let Some(path) = chaos_bench_json_path {
+        // The same seed battery in both modes; quick only shortens each
+        // run's schedule. Every gate key is a deterministic verdict
+        // (violation counts, promotion counts, coverage ratios), so the
+        // perf-trajectory job can diff a quick regen against the
+        // full-mode committed baseline exactly.
+        let seeds = bench::chaosbench::SEEDS;
+        eprintln!(
+            "[experiments] chaos bench: seeds {seeds:?}{}",
+            if quick { " (quick)" } else { "" }
+        );
+        let b = bench::chaosbench::run(&seeds, quick);
+        eprintln!(
+            "[experiments] {} violations across {} seeds, {}/{} kill seeds promoted, \
+             plaintext carve {:.0}%, sealed carve {} stmts ({} sealed frames), key holder {:.0}%",
+            b.violations_total(),
+            b.runs.len(),
+            b.kill_seeds_promoted(),
+            b.kill_seeds(),
+            b.probe("plaintext").map_or(0.0, |p| p.carve_coverage) * 100.0,
+            b.probe("encrypted_wal").map_or(0, |p| p.carved_statements),
+            b.probe("encrypted_wal").map_or(0, |p| p.frames_sealed),
+            b.probe("encrypted_wal")
+                .map_or(0.0, |p| p.keyholder_coverage)
+                * 100.0,
+        );
+        if let Err(e) = std::fs::write(&path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[experiments] wrote chaos bench JSON to {path}");
     }
 }

@@ -1,0 +1,411 @@
+//! Chaos-sweep benchmark (the `--chaos-bench-json` output, and the
+//! committed `BENCH_e21.json` baseline).
+//!
+//! Part one replays the deterministic fault schedule for a battery of
+//! seeds: odd seeds stage a divergence window and kill the primary
+//! (exercising election, fencing, and rehoming), even seeds stay on
+//! leaderless faults (partitions, crash-restarts, clock skew). Every
+//! run's recorded history is audited by the consistency checker; the
+//! headline gate is `violations_total == 0` with a successful promotion
+//! on every kill seed.
+//!
+//! Part two is the E21 leak probe: the same kill schedule over a
+//! plaintext fleet and an `encrypted_wal` fleet. Each deposed primary's
+//! disk is imaged cold and its fenced `binlog.divergent` sidecar carved
+//! keylessly. The plaintext corpse yields every quarantined secret
+//! (`carve_coverage == 1.0`); the sealed corpse yields none while the
+//! frames stay countable — and the key holder still recovers the full
+//! quarantined tail (recovery must keep working, that is the point of
+//! fencing instead of truncating).
+
+use std::collections::HashSet;
+
+use mdb_chaos::harness::{divergent_sidecar, parse_marker};
+use mdb_chaos::{run_chaos, ChaosConfig, ChaosReport};
+use minidb::engine::DbConfig;
+use snapshot_attack::forensics::divergent;
+
+/// Log key shared by every node of the sealed fleet.
+const KEY: [u8; 32] = [0x21; 32];
+
+/// The CI seed battery: four kill seeds (odd), four fault-only seeds
+/// (even).
+pub const SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Engine config for the sealed fleet variant.
+pub fn sealed_config() -> DbConfig {
+    DbConfig {
+        encrypted_wal: true,
+        wal_key: Some(KEY),
+        ..DbConfig::default()
+    }
+}
+
+fn config(seed: u64, quick: bool, base: DbConfig) -> ChaosConfig {
+    let cfg = if quick {
+        ChaosConfig::quick(seed)
+    } else {
+        ChaosConfig::full(seed)
+    };
+    ChaosConfig { base, ..cfg }
+}
+
+/// One seed's verdict, flattened for the JSON report.
+#[derive(Clone, Debug)]
+pub struct SeedRun {
+    /// The run's seed.
+    pub seed: u64,
+    /// Whether the schedule staged a primary kill (odd seeds).
+    pub kill_seed: bool,
+    /// Workload steps executed.
+    pub steps: usize,
+    /// Operations recorded into the history.
+    pub ops_recorded: usize,
+    /// Acknowledged writes.
+    pub acked_writes: u64,
+    /// Reads that returned a value.
+    pub reads_ok: u64,
+    /// Partitions + isolations opened by the plan.
+    pub partitions: u64,
+    /// Replica crash-restarts.
+    pub crash_restarts: u64,
+    /// Clock-skew injections.
+    pub clock_skews: u64,
+    /// Primary kills (0 or 1).
+    pub kills: u64,
+    /// Promotions performed.
+    pub promotions: u64,
+    /// Binlog events fenced off the deposed primary.
+    pub fenced_events: u64,
+    /// Distinct `(key, version)` secrets quarantined by fencing.
+    pub quarantined: usize,
+    /// Whether the fleet fully converged after the final heal.
+    pub converged: bool,
+    /// Checker violations (the gate: 0).
+    pub violations: usize,
+    /// The run's verdict.
+    pub passed: bool,
+}
+
+impl SeedRun {
+    fn from_report(r: &ChaosReport) -> SeedRun {
+        SeedRun {
+            seed: r.seed,
+            kill_seed: r.seed % 2 == 1,
+            steps: r.steps,
+            ops_recorded: r.ops_recorded,
+            acked_writes: r.acked_writes,
+            reads_ok: r.reads_ok,
+            partitions: r.faults.partitions + r.faults.isolations,
+            crash_restarts: r.faults.crash_restarts,
+            clock_skews: r.faults.clock_skews,
+            kills: r.faults.kills,
+            promotions: r.promotions,
+            fenced_events: r.fenced_events,
+            quarantined: r.quarantined.len(),
+            converged: r.synced && r.converged,
+            violations: r.violations.len(),
+            passed: r.passed(),
+        }
+    }
+}
+
+/// Runs one seed over `base` and returns its flattened verdict.
+pub fn seed_run(seed: u64, quick: bool, base: DbConfig) -> SeedRun {
+    let run = run_chaos(&config(seed, quick, base)).expect("chaos run completes");
+    SeedRun::from_report(&run.report)
+}
+
+/// One fleet variant's divergent-tail forensics after a kill-seed run.
+#[derive(Clone, Debug)]
+pub struct LeakProbe {
+    /// `"plaintext"` or `"encrypted_wal"`.
+    pub variant: &'static str,
+    /// The run behind the corpse.
+    pub run: SeedRun,
+    /// Raw size of the `binlog.divergent` sidecar in the cold image.
+    pub sidecar_bytes: usize,
+    /// Frames in the sidecar (count metadata is never hidden).
+    pub frames_total: usize,
+    /// Sealed frames among them.
+    pub frames_sealed: usize,
+    /// Statements the keyless carve recovered.
+    pub carved_statements: usize,
+    /// Fraction of the quarantined secrets the keyless carve exposed.
+    pub carve_coverage: f64,
+    /// Statements the key holder decoded from the same sidecar.
+    pub keyholder_statements: usize,
+    /// Fraction of the quarantined secrets the key holder recovered.
+    pub keyholder_coverage: f64,
+}
+
+fn marker_coverage(statements: &[String], quarantined: &[(u64, u64)]) -> f64 {
+    if quarantined.is_empty() {
+        return 0.0;
+    }
+    let carved: HashSet<(u64, u64)> = statements.iter().filter_map(|s| parse_marker(s)).collect();
+    let covered = quarantined.iter().filter(|kv| carved.contains(kv)).count();
+    covered as f64 / quarantined.len() as f64
+}
+
+/// Runs the kill schedule for `seed` over one fleet variant, images the
+/// deposed primary, and carves its quarantine sidecar both keylessly
+/// and with the fleet's log key.
+pub fn leak_probe(seed: u64, quick: bool, encrypted: bool) -> LeakProbe {
+    assert_eq!(seed % 2, 1, "leak probes need a kill seed (odd)");
+    let base = if encrypted {
+        sealed_config()
+    } else {
+        DbConfig::default()
+    };
+    let run = run_chaos(&config(seed, quick, base)).expect("chaos run completes");
+    let report = &run.report;
+    let deposed = run
+        .set
+        .deposed()
+        .first()
+        .expect("a kill seed deposes a primary");
+    assert!(
+        divergent_sidecar(deposed).is_some(),
+        "the deposed primary must carry a quarantine sidecar"
+    );
+
+    let disk = deposed.disk_image();
+    let sidecar_bytes = divergent::divergent_file(&disk).map_or(0, <[u8]>::len);
+    let (frames_total, frames_sealed) = divergent::frame_census(&disk);
+    let carved: Vec<String> = divergent::carve_divergent(&disk)
+        .into_iter()
+        .map(|e| e.statement)
+        .collect();
+    // The promoted primary shares the fleet's log key: the legitimate
+    // post-mortem path for re-injecting quarantined writes.
+    let recovered: Vec<String> = divergent::recover_with_key(&disk, run.set.primary())
+        .into_iter()
+        .map(|e| e.statement)
+        .collect();
+
+    LeakProbe {
+        variant: if encrypted {
+            "encrypted_wal"
+        } else {
+            "plaintext"
+        },
+        run: SeedRun::from_report(report),
+        sidecar_bytes,
+        frames_total,
+        frames_sealed,
+        carved_statements: carved.len(),
+        carve_coverage: marker_coverage(&carved, &report.quarantined),
+        keyholder_statements: recovered.len(),
+        keyholder_coverage: marker_coverage(&recovered, &report.quarantined),
+    }
+}
+
+/// The full benchmark: the seed sweep plus both leak probes.
+#[derive(Clone, Debug)]
+pub struct ChaosBench {
+    /// Whether the runs used the CI-sized (quick) schedule.
+    pub quick: bool,
+    /// The sweep, in seed order (plaintext fleet).
+    pub runs: Vec<SeedRun>,
+    /// The divergent-tail probes: `[plaintext, encrypted_wal]`.
+    pub probes: Vec<LeakProbe>,
+}
+
+impl ChaosBench {
+    /// Checker violations summed over the sweep and both probes.
+    pub fn violations_total(&self) -> u64 {
+        let sweep: usize = self.runs.iter().map(|r| r.violations).sum();
+        let probed: usize = self.probes.iter().map(|p| p.run.violations).sum();
+        (sweep + probed) as u64
+    }
+
+    /// Kill seeds in the sweep.
+    pub fn kill_seeds(&self) -> u64 {
+        self.runs.iter().filter(|r| r.kill_seed).count() as u64
+    }
+
+    /// Kill seeds that promoted exactly one replacement primary.
+    pub fn kill_seeds_promoted(&self) -> u64 {
+        self.runs
+            .iter()
+            .filter(|r| r.kill_seed && r.promotions == 1)
+            .count() as u64
+    }
+
+    /// Every run and probe converged with zero violations.
+    pub fn all_passed(&self) -> bool {
+        self.runs.iter().all(|r| r.passed) && self.probes.iter().all(|p| p.run.passed)
+    }
+
+    /// The probe for `variant` (`"plaintext"` / `"encrypted_wal"`).
+    pub fn probe(&self, variant: &str) -> Option<&LeakProbe> {
+        self.probes.iter().find(|p| p.variant == variant)
+    }
+
+    /// Serialises as the `--chaos-bench-json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = mdb_telemetry::json::Writer::new();
+        w.obj_open();
+        w.key("quick");
+        w.bool(self.quick);
+        w.key("runs");
+        w.arr_open();
+        for r in &self.runs {
+            seed_run_json(&mut w, r);
+        }
+        w.arr_close();
+        w.key("probes");
+        w.arr_open();
+        for p in &self.probes {
+            w.obj_open();
+            w.key("variant");
+            w.string(p.variant);
+            w.key("run");
+            seed_run_json(&mut w, &p.run);
+            w.key("sidecar_bytes");
+            w.u64(p.sidecar_bytes as u64);
+            w.key("frames_total");
+            w.u64(p.frames_total as u64);
+            w.key("frames_sealed");
+            w.u64(p.frames_sealed as u64);
+            w.key("carved_statements");
+            w.u64(p.carved_statements as u64);
+            w.key("carve_coverage");
+            w.f64(p.carve_coverage);
+            w.key("keyholder_statements");
+            w.u64(p.keyholder_statements as u64);
+            w.key("keyholder_coverage");
+            w.f64(p.keyholder_coverage);
+            w.obj_close();
+        }
+        w.arr_close();
+        // Exact gate keys for CI and the perf-trajectory diff: all
+        // deterministic verdicts (violation counts, promotion counts,
+        // coverage ratios), never timing- or replication-lag-dependent
+        // scalars like fenced-event counts.
+        w.key("violations_total");
+        w.u64(self.violations_total());
+        w.key("kill_seeds");
+        w.u64(self.kill_seeds());
+        w.key("kill_seeds_promoted");
+        w.u64(self.kill_seeds_promoted());
+        w.key("all_passed");
+        w.bool(self.all_passed());
+        let plain = self.probe("plaintext");
+        let sealed = self.probe("encrypted_wal");
+        w.key("plaintext_carve_coverage");
+        w.f64(plain.map_or(0.0, |p| p.carve_coverage));
+        w.key("sealed_carved_statements");
+        w.u64(sealed.map_or(0, |p| p.carved_statements) as u64);
+        w.key("sealed_frames");
+        w.u64(sealed.map_or(0, |p| p.frames_sealed) as u64);
+        w.key("sealed_keyholder_coverage");
+        w.f64(sealed.map_or(0.0, |p| p.keyholder_coverage));
+        w.obj_close();
+        w.into_string()
+    }
+}
+
+/// Runs the sweep over `seeds` (plaintext fleet), then both leak probes
+/// on the first kill seed in the battery.
+pub fn run(seeds: &[u64], quick: bool) -> ChaosBench {
+    let runs: Vec<SeedRun> = seeds
+        .iter()
+        .map(|&s| seed_run(s, quick, DbConfig::default()))
+        .collect();
+    let probe_seed = seeds.iter().copied().find(|s| s % 2 == 1).unwrap_or(5);
+    let probes = vec![
+        leak_probe(probe_seed, quick, false),
+        leak_probe(probe_seed, quick, true),
+    ];
+    ChaosBench {
+        quick,
+        runs,
+        probes,
+    }
+}
+
+fn seed_run_json(w: &mut mdb_telemetry::json::Writer, r: &SeedRun) {
+    w.obj_open();
+    w.key("seed");
+    w.u64(r.seed);
+    w.key("kill_seed");
+    w.bool(r.kill_seed);
+    w.key("steps");
+    w.u64(r.steps as u64);
+    w.key("ops_recorded");
+    w.u64(r.ops_recorded as u64);
+    w.key("acked_writes");
+    w.u64(r.acked_writes);
+    w.key("reads_ok");
+    w.u64(r.reads_ok);
+    w.key("partitions");
+    w.u64(r.partitions);
+    w.key("crash_restarts");
+    w.u64(r.crash_restarts);
+    w.key("clock_skews");
+    w.u64(r.clock_skews);
+    w.key("kills");
+    w.u64(r.kills);
+    w.key("promotions");
+    w.u64(r.promotions);
+    w.key("fenced_events");
+    w.u64(r.fenced_events);
+    w.key("quarantined");
+    w.u64(r.quarantined as u64);
+    w.key("converged");
+    w.bool(r.converged);
+    w.key("violations");
+    w.u64(r.violations as u64);
+    w.key("passed");
+    w.bool(r.passed);
+    w.obj_close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_passes_and_the_sealed_corpse_goes_dark() {
+        let b = run(&[2, 3], true);
+        assert_eq!(b.violations_total(), 0);
+        assert_eq!(b.kill_seeds(), 1);
+        assert_eq!(b.kill_seeds_promoted(), 1);
+        assert!(b.all_passed(), "runs: {:?}", b.runs);
+
+        let plain = b.probe("plaintext").unwrap();
+        assert!(plain.run.quarantined > 0);
+        assert!(plain.sidecar_bytes > 0 && plain.frames_total > 0);
+        assert_eq!(plain.frames_sealed, 0);
+        assert_eq!(
+            plain.carve_coverage, 1.0,
+            "the plaintext corpse leaks every quarantined secret: {plain:?}"
+        );
+        assert_eq!(plain.keyholder_coverage, 1.0);
+
+        let sealed = b.probe("encrypted_wal").unwrap();
+        assert!(sealed.run.quarantined > 0);
+        assert_eq!(sealed.carved_statements, 0, "{sealed:?}");
+        assert_eq!(sealed.carve_coverage, 0.0);
+        assert!(sealed.frames_sealed > 0);
+        assert_eq!(sealed.frames_sealed, sealed.frames_total);
+        assert_eq!(
+            sealed.keyholder_coverage, 1.0,
+            "fencing quarantines, it must not destroy: {sealed:?}"
+        );
+
+        let json = b.to_json();
+        for key in [
+            "violations_total",
+            "kill_seeds_promoted",
+            "plaintext_carve_coverage",
+            "sealed_carved_statements",
+            "sealed_frames",
+            "sealed_keyholder_coverage",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "{json}");
+        }
+    }
+}

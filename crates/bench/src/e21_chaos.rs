@@ -1,0 +1,165 @@
+//! E21 (extension) — chaos failover: the deposed primary's fenced
+//! divergent tail as a forensic channel, and `encrypted_wal` closing it.
+//!
+//! Part one replays the deterministic chaos schedule (partitions,
+//! crash-restarts, clock skew; on odd seeds a divergence window
+//! followed by a primary kill, election, and fencing) and audits every
+//! recorded client operation with the consistency checker: no lost
+//! acked writes outside the fenced quarantine, no fabricated or dirty
+//! reads, staleness bounded by the router's documented lag window,
+//! read-your-writes on primary-pinned sessions. The fleet must converge
+//! with zero violations on every variant.
+//!
+//! Part two is the paper's move applied to failover wreckage: the
+//! deposed primary is a machine that *just crashed* — its disk is
+//! exactly what an attacker images cold. Fencing concentrates the most
+//! recent acked-but-unreplicated writes into the `binlog.divergent`
+//! sidecar. On a plaintext fleet the keyless carve recovers **every**
+//! quarantined secret; on an `encrypted_wal` fleet it recovers none
+//! (the attacker still counts sealed frames — size-and-count metadata
+//! survives), while the key holder decodes the full quarantined tail
+//! for legitimate post-mortem re-injection.
+
+use minidb::engine::DbConfig;
+use snapshot_attack::report::Table;
+
+use crate::chaosbench::{self, LeakProbe, SeedRun};
+use crate::{f2, pct, Options};
+
+fn verdict_row(fleet: &str, r: &SeedRun) -> Vec<String> {
+    vec![
+        r.seed.to_string(),
+        fleet.into(),
+        format!(
+            "{}p {}cr {}cs {}k",
+            r.partitions, r.crash_restarts, r.clock_skews, r.kills
+        ),
+        r.acked_writes.to_string(),
+        r.reads_ok.to_string(),
+        r.promotions.to_string(),
+        r.quarantined.to_string(),
+        r.violations.to_string(),
+        if r.converged { "CONVERGED" } else { "DIVERGED" }.into(),
+    ]
+}
+
+fn carve_row(p: &LeakProbe) -> Vec<String> {
+    vec![
+        p.variant.into(),
+        p.sidecar_bytes.to_string(),
+        p.frames_total.to_string(),
+        p.frames_sealed.to_string(),
+        p.carved_statements.to_string(),
+        p.run.quarantined.to_string(),
+        pct(p.carve_coverage),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(opts: &Options) -> Vec<Table> {
+    // One fault-only seed for the baseline verdict, one kill seed
+    // probed over both fleet variants (the probes are full chaos runs
+    // too — their verdicts join the table).
+    let (even_seed, kill_seed) = (4, 5);
+    let baseline = chaosbench::seed_run(even_seed, opts.quick, DbConfig::default());
+    let plain = chaosbench::leak_probe(kill_seed, opts.quick, false);
+    let sealed = chaosbench::leak_probe(kill_seed, opts.quick, true);
+
+    let mut verdicts = Table::new(
+        "E21a - chaos verdicts under the seeded fault schedule",
+        &[
+            "seed",
+            "fleet",
+            "faults (p=partition cr=crash cs=skew k=kill)",
+            "acked writes",
+            "reads",
+            "promotions",
+            "quarantined",
+            "violations",
+            "verdict",
+        ],
+    );
+    verdicts.row(&verdict_row("plaintext", &baseline));
+    verdicts.row(&verdict_row("plaintext", &plain.run));
+    verdicts.row(&verdict_row("encrypted_wal", &sealed.run));
+
+    let mut carve = Table::new(
+        "E21b - keyless carve of the deposed primary's divergent sidecar",
+        &[
+            "fleet",
+            "sidecar bytes",
+            "frames",
+            "sealed frames",
+            "stmts carved",
+            "quarantined secrets",
+            "secrets exposed",
+        ],
+    );
+    carve.row(&carve_row(&plain));
+    carve.row(&carve_row(&sealed));
+
+    let mut recovery = Table::new(
+        "E21c - key-holder recovery from the sealed sidecar",
+        &["metric", "value"],
+    );
+    recovery.row(&[
+        "quarantined writes decoded with the fleet key".into(),
+        sealed.keyholder_statements.to_string(),
+    ]);
+    recovery.row(&[
+        "quarantined secrets recovered".into(),
+        pct(sealed.keyholder_coverage),
+    ]);
+    recovery.row(&[
+        "keyless coverage of the same sidecar".into(),
+        pct(sealed.carve_coverage),
+    ]);
+    recovery.row(&[
+        "plaintext-fleet keyless coverage (the channel)".into(),
+        pct(plain.carve_coverage),
+    ]);
+    recovery.row(&[
+        "promotion epoch after failover".into(),
+        f2(plain.run.promotions as f64),
+    ]);
+
+    vec![verdicts, carve, recovery]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_stays_consistent_and_only_the_plaintext_corpse_leaks() {
+        let tables = run(&Options {
+            quick: true,
+            ..Default::default()
+        });
+        let verdicts = &tables[0];
+        for row in &verdicts.rows {
+            assert_eq!(row[7], "0", "zero checker violations: {row:?}");
+            assert_eq!(row[8], "CONVERGED", "{row:?}");
+        }
+        // The kill-seed rows promoted exactly once and quarantined
+        // at least one secret; the fault-only row did neither.
+        assert_eq!(verdicts.rows[0][5], "0");
+        assert_eq!(verdicts.rows[1][5], "1");
+        assert_eq!(verdicts.rows[2][5], "1");
+        assert!(verdicts.rows[1][6].parse::<u64>().unwrap() > 0);
+
+        let carve = &tables[1];
+        let (plain, sealed) = (&carve.rows[0], &carve.rows[1]);
+        // The plaintext corpse leaks every quarantined secret...
+        assert_eq!(plain[6], "100.0%", "{plain:?}");
+        assert_eq!(plain[3], "0");
+        // ...the sealed corpse leaks none, though frames stay countable.
+        assert_eq!(sealed[4], "0", "{sealed:?}");
+        assert_eq!(sealed[6], "0.0%", "{sealed:?}");
+        assert!(sealed[3].parse::<u64>().unwrap() > 0);
+
+        // And the key holder still recovers the full tail.
+        let recovery = &tables[2];
+        assert_eq!(recovery.rows[1][1], "100.0%", "{:?}", recovery.rows);
+    }
+}

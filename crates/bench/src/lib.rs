@@ -28,7 +28,9 @@
 //! | e18 | §3/§6 | (ext) version chains: MVCC archives the victim's edit history |
 //! | e19 | §3/§4 | (ext) xtrace: trace ids join replica images to client sessions |
 //! | e20 | §3/§7 | (ext) sealed WAL + group commit: E2/E3/E14 go dark, writes get faster |
+//! | e21 | §3/§7 | (ext) chaos failover: fenced divergent tail leaks; `encrypted_wal` seals it |
 
+pub mod chaosbench;
 pub mod e01_figure1;
 pub mod e02_wal_forensics;
 pub mod e03_lsn_time;
@@ -49,6 +51,7 @@ pub mod e17_obs;
 pub mod e18_versions;
 pub mod e19_xtrace;
 pub mod e20_encwal;
+pub mod e21_chaos;
 pub mod obsbench;
 pub mod scanbench;
 pub mod serverbench;
@@ -120,20 +123,21 @@ pub fn run(id: &str, opts: &Options) -> Option<Vec<Table>> {
         "e18" => Some(e18_versions::run(opts)),
         "e19" => Some(e19_xtrace::run(opts)),
         "e20" => Some(e20_encwal::run(opts)),
+        "e21" => Some(e21_chaos::run(opts)),
         _ => None,
     }
 }
 
-/// All experiment ids in order. `e12`–`e19` are extensions beyond the
+/// All experiment ids in order. `e12`–`e21` are extensions beyond the
 /// paper: the §7 mitigation ablation, the snapshot-vs-persistent
 /// coverage comparison, the replication relay-log surface, the
 /// query-flight-recorder surface, the zone-map surface, the
 /// metrics-scrape surface, the MVCC version-chain surface, the
-/// cross-node trace-correlation surface, and the sealed-WAL/group-commit
-/// write path.
-pub const ALL: [&str; 20] = [
+/// cross-node trace-correlation surface, the sealed-WAL/group-commit
+/// write path, and the chaos-failover divergent-tail surface.
+pub const ALL: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// One experiment's full result: its tables plus the telemetry the

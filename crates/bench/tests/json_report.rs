@@ -66,9 +66,9 @@ fn wall_time_is_recorded_per_experiment() {
 }
 
 #[test]
-fn all_registry_includes_e20_and_every_id_runs_under_run_report() {
-    assert_eq!(ALL.len(), 20);
-    assert_eq!(*ALL.last().unwrap(), "e20");
+fn all_registry_includes_e21_and_every_id_runs_under_run_report() {
+    assert_eq!(ALL.len(), 21);
+    assert_eq!(*ALL.last().unwrap(), "e21");
     // Unknown ids are rejected, not silently empty.
     assert!(run_report("e99", &quick_opts()).is_none());
 }

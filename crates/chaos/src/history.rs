@@ -1,0 +1,478 @@
+//! Recorded operation histories and the consistency checker.
+//!
+//! Every client operation the harness performs is recorded as an
+//! [`Event`] with global invoke/complete stamps (a shared atomic
+//! counter, so cross-thread ordering is exact and cheap). After the
+//! run, [`check`] audits the history against the fleet's final state
+//! and the set of writes that failover quarantined:
+//!
+//! - **lost acked write** — an acknowledged write must either survive
+//!   into the fleet's final state (superseded only by later acked
+//!   writes to the same key) or sit in the fenced divergent tail. An
+//!   acked write that simply vanishes is the violation asynchronous
+//!   replication is most famous for; fencing is what turns "vanished"
+//!   into "quarantined, key-holder recoverable".
+//! - **fabricated / dirty read** — a read may only return versions that
+//!   some acked write produced before the read completed. (Reads *may*
+//!   observe a later-quarantined version while the old primary is still
+//!   alive — that data was committed on the only timeline that existed
+//!   at the time.)
+//! - **stale read beyond the lag window** — routed reads are allowed to
+//!   trail, but never by more than the documented window (the router's
+//!   `max_read_lag` plus in-flight slack; see
+//!   [`crate::harness::ChaosConfig::lag_window`]).
+//! - **read-your-writes** — a session pinned to the primary must see
+//!   exactly its own latest surviving acked write per key.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// What a recorded operation did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Wrote `ver` to `key` (versions are per-key monotonic — the
+    /// written cell value *is* the version).
+    Write { key: u64, ver: u64 },
+    /// Read `key`.
+    Read { key: u64 },
+}
+
+/// How a recorded operation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Write acknowledged.
+    Ok,
+    /// Read returned this version (`None`: key absent).
+    OkRead(Option<u64>),
+    /// The operation errored (crashed primary, halted replica, …).
+    Fail,
+}
+
+/// One recorded operation.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Recording client (0 = the driver/writer, 1.. = readers).
+    pub client: usize,
+    /// The operation.
+    pub op: OpKind,
+    /// Global stamp taken at invocation.
+    pub invoke: u64,
+    /// Global stamp taken at completion.
+    pub complete: u64,
+    /// Wall clock at invocation, µs since run start. Stamps give exact
+    /// *ordering*; the wall clock gives the staleness check its grace
+    /// period (a router needs a detection window to notice a cut link,
+    /// and reads routed inside that window may trail arbitrarily).
+    pub invoke_wall_us: u64,
+    /// Wall clock at completion, µs since run start.
+    pub complete_wall_us: u64,
+    /// The result.
+    pub outcome: Outcome,
+    /// True when the read ran pinned to the primary (the
+    /// read-your-writes session path); such reads are held to exact
+    /// per-key linearizability, not the lag window.
+    pub session_primary: bool,
+}
+
+/// Thread-safe history recorder shared by every workload client.
+#[derive(Default)]
+pub struct History {
+    stamp: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+impl History {
+    /// Draws the next global stamp.
+    pub fn stamp(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Records one completed operation.
+    pub fn record(&self, ev: Event) {
+        self.events.lock().push(ev);
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// One consistency violation found by [`check`].
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Violation class (`lost-acked-write`, `fabricated-read`,
+    /// `stale-read`, `read-your-writes`).
+    pub kind: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Checker inputs beyond the history itself.
+pub struct CheckContext {
+    /// Documented staleness bound for routed reads, in events: the
+    /// router's `max_read_lag` plus in-flight batch slack.
+    pub lag_window: u64,
+    /// Wall-clock grace for routed reads, in µs: only writes acked at
+    /// least this long before the read invoked count toward its
+    /// staleness baseline. This bounds the router's partition-detection
+    /// window (a cut link is noticed within one receive poll); without
+    /// it, a read routed in the instant after a partition opens would
+    /// be charged for writes acked microseconds earlier.
+    pub stale_grace_us: u64,
+    /// `(key, ver)` writes that failover fenced into the divergent
+    /// sidecar — acked on the old timeline, absent from the new one,
+    /// recoverable only by the key holder.
+    pub quarantined: HashSet<(u64, u64)>,
+    /// Global stamp at which the promotion (and fencing) happened, if
+    /// one did. Reads invoked before this may legitimately observe
+    /// later-quarantined versions.
+    pub fence_stamp: Option<u64>,
+    /// The fleet's final converged state: key → latest version.
+    pub final_state: BTreeMap<u64, u64>,
+}
+
+/// Audits a recorded history. Returns every violation found (empty =
+/// the run was consistent under the documented semantics).
+pub fn check(events: &[Event], ctx: &CheckContext) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Index acked writes per key:
+    // (complete_stamp, invoke_stamp, ver, complete_wall_us).
+    let mut acked: HashMap<u64, Vec<(u64, u64, u64, u64)>> = HashMap::new();
+    for ev in events {
+        if let (OpKind::Write { key, ver }, Outcome::Ok) = (ev.op, ev.outcome) {
+            acked
+                .entry(key)
+                .or_default()
+                .push((ev.complete, ev.invoke, ver, ev.complete_wall_us));
+        }
+    }
+    for list in acked.values_mut() {
+        list.sort_unstable();
+    }
+
+    // 1. Lost acked writes: per key, the final state must equal the
+    //    highest acked version that was not quarantined.
+    for (key, writes) in &acked {
+        let surviving_max = writes
+            .iter()
+            .map(|&(_, _, v, _)| v)
+            .filter(|v| !ctx.quarantined.contains(&(*key, *v)))
+            .max();
+        let final_ver = ctx.final_state.get(key).copied();
+        if surviving_max != final_ver {
+            violations.push(Violation {
+                kind: "lost-acked-write",
+                detail: format!(
+                    "key {key}: highest surviving acked version {surviving_max:?} \
+                     but final state holds {final_ver:?} \
+                     ({} writes quarantined for this key)",
+                    writes
+                        .iter()
+                        .filter(|&&(_, _, v, _)| ctx.quarantined.contains(&(*key, v)))
+                        .count()
+                ),
+            });
+        }
+    }
+
+    // 2–4. Read checks.
+    for ev in events {
+        let OpKind::Read { key } = ev.op else {
+            continue;
+        };
+        let Outcome::OkRead(got) = ev.outcome else {
+            continue; // Failed reads assert nothing.
+        };
+        let writes = acked.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+
+        // Fabricated / dirty read: the version must come from an acked
+        // write that had been invoked by the time the read completed.
+        if let Some(v) = got {
+            let legitimate = writes
+                .iter()
+                .any(|&(_, invoke, ver, _)| ver == v && invoke <= ev.complete);
+            if !legitimate {
+                violations.push(Violation {
+                    kind: "fabricated-read",
+                    detail: format!(
+                        "key {key}: read returned version {v}, which no acked \
+                         write had produced by stamp {}",
+                        ev.complete
+                    ),
+                });
+                continue;
+            }
+            // A quarantined version must never be visible after the
+            // fence: that timeline is sealed in the sidecar.
+            if ctx.quarantined.contains(&(key, v))
+                && ctx.fence_stamp.is_some_and(|f| ev.invoke >= f)
+            {
+                violations.push(Violation {
+                    kind: "fabricated-read",
+                    detail: format!(
+                        "key {key}: read at stamp {} resurrected quarantined \
+                         version {v} after the fence",
+                        ev.invoke
+                    ),
+                });
+                continue;
+            }
+        }
+
+        // Baseline: the highest version acked before the read was
+        // invoked, excluding quarantined writes (they are allowed to
+        // disappear; excluding them only *lowers* the bar, so pre-kill
+        // reads that did see them still pass).
+        let baseline = writes
+            .iter()
+            .filter(|&&(complete, _, _, _)| complete <= ev.invoke)
+            .map(|&(_, _, v, _)| v)
+            .filter(|v| !ctx.quarantined.contains(&(key, *v)))
+            .max()
+            .unwrap_or(0);
+        // Settled baseline for routed reads: same, but only counting
+        // writes acked at least `stale_grace_us` of wall time before the
+        // read invoked — writes newer than the router's detection window
+        // assert nothing about a routed read.
+        let settled = writes
+            .iter()
+            .filter(|&&(complete, _, _, wall)| {
+                complete <= ev.invoke && wall + ctx.stale_grace_us <= ev.invoke_wall_us
+            })
+            .map(|&(_, _, v, _)| v)
+            .filter(|v| !ctx.quarantined.contains(&(key, *v)))
+            .max()
+            .unwrap_or(0);
+        let got_ver = got.unwrap_or(0);
+
+        if ev.session_primary {
+            // Read-your-writes on the primary: exact. The session is
+            // the only writer of its key, so the read must return the
+            // newest surviving acked version (or, before the fence,
+            // possibly a newer later-quarantined one — covered by the
+            // fabricated check above being the only other legal case).
+            let pre_fence = ctx.fence_stamp.is_none_or(|f| ev.invoke < f);
+            let quarantine_visible =
+                pre_fence && got.is_some_and(|v| ctx.quarantined.contains(&(key, v)));
+            if got_ver < baseline && !quarantine_visible {
+                violations.push(Violation {
+                    kind: "read-your-writes",
+                    detail: format!(
+                        "key {key}: primary-pinned session read returned \
+                         {got:?} but its own acked write {baseline} was \
+                         already durable at stamp {}",
+                        ev.invoke
+                    ),
+                });
+            }
+        } else if let Some(v) = got {
+            // An *absent* row asserts nothing here: the workload's put
+            // is two replicated statements (DELETE, then INSERT), so a
+            // routed read can legitimately land between them on any
+            // replica, however caught-up — absence carries no version
+            // information. A write that truly vanishes is still caught
+            // by the lost-acked-write audit against the final state.
+            if v + ctx.lag_window < settled {
+                violations.push(Violation {
+                    kind: "stale-read",
+                    detail: format!(
+                        "key {key}: routed read returned version {v} at stamp {}, \
+                         more than {} versions behind settled acked version {settled}",
+                        ev.invoke, ctx.lag_window
+                    ),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(final_state: &[(u64, u64)]) -> CheckContext {
+        CheckContext {
+            lag_window: 2,
+            stale_grace_us: 0,
+            quarantined: HashSet::new(),
+            fence_stamp: None,
+            final_state: final_state.iter().copied().collect(),
+        }
+    }
+
+    fn write(client: usize, key: u64, ver: u64, at: u64) -> Event {
+        Event {
+            client,
+            op: OpKind::Write { key, ver },
+            invoke: at,
+            complete: at + 1,
+            invoke_wall_us: at,
+            complete_wall_us: at + 1,
+            outcome: Outcome::Ok,
+            session_primary: false,
+        }
+    }
+
+    fn read(key: u64, got: Option<u64>, at: u64, session: bool) -> Event {
+        Event {
+            client: 9,
+            op: OpKind::Read { key },
+            invoke: at,
+            complete: at + 1,
+            invoke_wall_us: at,
+            complete_wall_us: at + 1,
+            outcome: Outcome::OkRead(got),
+            session_primary: session,
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 10),
+            read(1, Some(1), 5, false),
+            read(1, Some(2), 20, false),
+        ];
+        assert!(check(&events, &ctx(&[(1, 2)])).is_empty());
+    }
+
+    #[test]
+    fn lost_acked_write_is_flagged() {
+        let events = vec![write(0, 1, 1, 0), write(0, 1, 2, 10)];
+        let v = check(&events, &ctx(&[(1, 1)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "lost-acked-write");
+    }
+
+    #[test]
+    fn quarantined_write_is_not_lost() {
+        let events = vec![write(0, 1, 1, 0), write(0, 1, 2, 10)];
+        let mut c = ctx(&[(1, 1)]);
+        c.quarantined.insert((1, 2));
+        c.fence_stamp = Some(12);
+        assert!(check(&events, &c).is_empty());
+    }
+
+    #[test]
+    fn quarantined_version_must_not_resurrect_after_fence() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 10),
+            read(1, Some(2), 30, false),
+        ];
+        let mut c = ctx(&[(1, 1)]);
+        c.quarantined.insert((1, 2));
+        c.fence_stamp = Some(20);
+        let v = check(&events, &c);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "fabricated-read");
+    }
+
+    #[test]
+    fn fabricated_read_is_flagged() {
+        let events = vec![write(0, 1, 1, 0), read(1, Some(7), 5, false)];
+        let v = check(&events, &ctx(&[(1, 1)]));
+        assert_eq!(v[0].kind, "fabricated-read");
+    }
+
+    #[test]
+    fn stale_read_beyond_window_is_flagged() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 2),
+            write(0, 1, 3, 4),
+            write(0, 1, 4, 6),
+            // Read invoked after all four acks but returning v1: three
+            // versions behind, window is two.
+            read(1, Some(1), 20, false),
+        ];
+        let v = check(&events, &ctx(&[(1, 4)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "stale-read");
+    }
+
+    #[test]
+    fn stale_read_within_window_passes() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 2),
+            write(0, 1, 3, 4),
+            read(1, Some(1), 20, false),
+        ];
+        assert!(check(&events, &ctx(&[(1, 3)])).is_empty());
+    }
+
+    #[test]
+    fn writes_inside_the_grace_window_do_not_count_toward_staleness() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 10),
+            write(0, 1, 3, 12),
+            write(0, 1, 4, 14),
+            // Read three versions behind — but versions 2..4 were acked
+            // within the grace window before the read invoked, so only
+            // version 1 is settled.
+            read(1, Some(1), 20, false),
+        ];
+        let mut c = ctx(&[(1, 4)]);
+        c.stale_grace_us = 15;
+        assert!(check(&events, &c).is_empty());
+        c.stale_grace_us = 0;
+        assert_eq!(check(&events, &c).len(), 1);
+    }
+
+    #[test]
+    fn absent_row_asserts_no_staleness() {
+        // The put is DELETE-then-INSERT: a routed read can land between
+        // them on any replica, so `None` is a legal observation even
+        // when the settled version is far past the lag window.
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 2),
+            write(0, 1, 3, 4),
+            write(0, 1, 4, 6),
+            read(1, None, 20, false),
+        ];
+        assert!(check(&events, &ctx(&[(1, 4)])).is_empty());
+    }
+
+    #[test]
+    fn session_read_must_see_own_write() {
+        let events = vec![
+            write(0, 1, 1, 0),
+            write(0, 1, 2, 2),
+            read(1, Some(1), 10, true),
+        ];
+        let v = check(&events, &ctx(&[(1, 2)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "read-your-writes");
+    }
+
+    #[test]
+    fn stamps_are_globally_ordered() {
+        let h = History::default();
+        let a = h.stamp();
+        let b = h.stamp();
+        assert!(b > a);
+        assert!(h.is_empty());
+        h.record(write(0, 1, 1, a));
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mdb-chaos — deterministic fault harness for the MiniDB fleet
+//!
+//! Jepsen's question, asked reproducibly: does the replicated fleet
+//! keep its consistency promises while the network partitions, nodes
+//! crash mid-commit, clocks skew, and the primary dies?
+//!
+//! Three pieces:
+//!
+//! - [`scheduler::ChaosScheduler`] — a seeded, precomputed fault plan.
+//!   Same `(seed, steps, replicas)`, same schedule, byte for byte; a CI
+//!   failure under seed `S` replays exactly.
+//! - [`harness::run_chaos`] — drives a 1-primary/N-replica
+//!   [`mdb_repl::ReplicaSet`] under sustained mixed load while
+//!   executing the plan, recording every client operation into a
+//!   [`history::History`].
+//! - [`history::check`] — audits the recorded history against the
+//!   fleet's final state: lost acked writes, fabricated/dirty reads,
+//!   staleness beyond the documented lag window, read-your-writes on
+//!   primary-pinned sessions.
+//!
+//! The harness is also E21's instrument: on odd seeds the primary is
+//! killed after a divergence window, and the deposed node's fenced
+//! `binlog.divergent` sidecar — full of acked-but-unreplicated secrets
+//! — is what the experiment carves from a cold disk image. Plaintext
+//! fleets leak every one of them; `encrypted_wal` fleets leak none,
+//! while the key holder still recovers the quarantined tail in full.
+
+pub mod harness;
+pub mod history;
+pub mod scheduler;
+
+pub use harness::{run_chaos, ChaosConfig, ChaosReport, ChaosRun, FaultCounts};
+pub use history::{check, CheckContext, Event, History, OpKind, Outcome, Violation};
+pub use scheduler::{ChaosScheduler, FaultAction, PlannedFault, DIVERGENCE_GAP};

@@ -1,0 +1,240 @@
+//! Seeded, deterministic fault schedules.
+//!
+//! A [`ChaosScheduler`] precomputes the run's entire fault plan from
+//! `(seed, steps, replicas)` alone — same inputs, same schedule, byte
+//! for byte. The harness then merely executes the plan between workload
+//! steps, so a CI failure under seed `S` replays exactly by rerunning
+//! seed `S`.
+//!
+//! Every plan carries at least one partition, one crash-restart, and
+//! one clock-skew injection (deterministically inserted if the dice
+//! missed); **odd seeds additionally stage a primary kill**: all
+//! replicas are isolated a few steps early (opening a divergence
+//! window in which the primary keeps acking unreplicated writes — the
+//! E21 artifact), then the primary dies and the best survivor is
+//! promoted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault, executed before the workload step it is keyed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Open a lasting partition between replica `replica` and the
+    /// primary.
+    Partition { replica: usize },
+    /// Heal replica `replica`'s partition.
+    Heal { replica: usize },
+    /// Crash replica `replica` and restart it from its data dir
+    /// (WAL/relay recovery, torn-tail repair, resume handshake).
+    CrashRestart { replica: usize },
+    /// Skew a node's clock by `delta_s` seconds (node 0 = primary,
+    /// `1 + i` = replica `i`).
+    ClockSkew { node: usize, delta_s: i64 },
+    /// Partition every replica at once: the divergence window opens —
+    /// every write the primary acks from here on is unreplicated.
+    IsolateAll,
+    /// Kill the primary, promote the best survivor (fencing the
+    /// corpse's divergent tail), and heal all partitions.
+    KillAndPromote,
+}
+
+/// A fault keyed to the workload step before which it fires.
+pub type PlannedFault = (usize, FaultAction);
+
+/// The precomputed fault plan for one chaos run.
+pub struct ChaosScheduler {
+    plan: Vec<PlannedFault>,
+    includes_kill: bool,
+}
+
+/// Steps of divergence window opened before a staged primary kill:
+/// writes acked in `[kill - DIVERGENCE_GAP, kill)` land only on the
+/// doomed primary, guaranteeing a non-empty fenced tail every kill
+/// seed.
+pub const DIVERGENCE_GAP: usize = 6;
+
+impl ChaosScheduler {
+    /// Builds the deterministic plan for `(seed, steps, replicas)`.
+    pub fn new(seed: u64, steps: usize, replicas: usize) -> ChaosScheduler {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let includes_kill = seed % 2 == 1;
+        let mut plan: Vec<PlannedFault> = Vec::new();
+
+        // Sprinkle recoverable faults over the run.
+        let mut step = 2usize;
+        while step + 2 < steps {
+            let replica = rng.gen_range(0..replicas.max(1));
+            match rng.gen_range(0..10u32) {
+                0..=2 => {
+                    let heal_after = rng.gen_range(2..8usize);
+                    plan.push((step, FaultAction::Partition { replica }));
+                    plan.push((
+                        (step + heal_after).min(steps - 1),
+                        FaultAction::Heal { replica },
+                    ));
+                }
+                3..=4 => plan.push((step, FaultAction::CrashRestart { replica })),
+                5..=6 => plan.push((
+                    step,
+                    FaultAction::ClockSkew {
+                        node: rng.gen_range(0..replicas + 1),
+                        delta_s: if rng.gen_bool(0.5) {
+                            rng.gen_range(1..3600i64)
+                        } else {
+                            -rng.gen_range(1..600i64)
+                        },
+                    },
+                )),
+                _ => {} // Quiet stretch.
+            }
+            step += rng.gen_range(3..9usize);
+        }
+
+        // Coverage floor: every seed exercises each recoverable fault
+        // class at least once, at deterministic fallback steps.
+        let have = |plan: &[PlannedFault], probe: fn(&FaultAction) -> bool| {
+            plan.iter().any(|(_, a)| probe(a))
+        };
+        if !have(&plan, |a| matches!(a, FaultAction::Partition { .. })) && steps > 6 {
+            plan.push((2, FaultAction::Partition { replica: 0 }));
+            plan.push((5, FaultAction::Heal { replica: 0 }));
+        }
+        if !have(&plan, |a| matches!(a, FaultAction::CrashRestart { .. })) && steps > 8 {
+            plan.push((7, FaultAction::CrashRestart { replica: 0 }));
+        }
+        if !have(&plan, |a| matches!(a, FaultAction::ClockSkew { .. })) && steps > 4 {
+            plan.push((
+                3,
+                FaultAction::ClockSkew {
+                    node: 0,
+                    delta_s: 300,
+                },
+            ));
+        }
+
+        if includes_kill && steps > DIVERGENCE_GAP + 4 {
+            // Stage the kill in the middle-to-late run, with the
+            // isolation window opening DIVERGENCE_GAP steps earlier.
+            let kill_at = steps / 2 + rng.gen_range(0..steps / 4);
+            let isolate_at = kill_at - DIVERGENCE_GAP;
+            // Scrub conflicting faults from the window: a heal would
+            // shrink the divergent tail, a crash-restart would race the
+            // promotion. Clock skew may stay.
+            plan.retain(|(s, a)| {
+                !(*s >= isolate_at
+                    && matches!(
+                        a,
+                        FaultAction::Partition { .. }
+                            | FaultAction::Heal { .. }
+                            | FaultAction::CrashRestart { .. }
+                    ))
+            });
+            plan.push((isolate_at, FaultAction::IsolateAll));
+            plan.push((kill_at, FaultAction::KillAndPromote));
+        }
+
+        plan.sort_by_key(|(s, _)| *s);
+        ChaosScheduler {
+            plan,
+            includes_kill,
+        }
+    }
+
+    /// The full plan, step-ordered.
+    pub fn plan(&self) -> &[PlannedFault] {
+        &self.plan
+    }
+
+    /// Faults to execute before workload step `step`.
+    pub fn actions_at(&self, step: usize) -> Vec<FaultAction> {
+        self.plan
+            .iter()
+            .filter(|(s, _)| *s == step)
+            .map(|(_, a)| *a)
+            .collect()
+    }
+
+    /// Whether this seed stages a primary kill (odd seeds do).
+    pub fn includes_kill(&self) -> bool {
+        self.includes_kill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosScheduler::new(0xC0FFEE, 120, 3);
+        let b = ChaosScheduler::new(0xC0FFEE, 120, 3);
+        assert_eq!(a.plan(), b.plan());
+        let c = ChaosScheduler::new(0xC0FFEF, 120, 3);
+        assert_ne!(a.plan(), c.plan());
+    }
+
+    #[test]
+    fn every_seed_covers_the_recoverable_fault_classes() {
+        for seed in 0..32u64 {
+            let s = ChaosScheduler::new(seed, 100, 3);
+            let plan = s.plan();
+            assert!(
+                plan.iter()
+                    .any(|(_, a)| matches!(a, FaultAction::Partition { .. })
+                        || matches!(a, FaultAction::IsolateAll)),
+                "seed {seed}: no partition"
+            );
+            assert!(
+                plan.iter()
+                    .any(|(_, a)| matches!(a, FaultAction::ClockSkew { .. })),
+                "seed {seed}: no clock skew"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_seeds_stage_a_kill_with_a_divergence_window() {
+        for seed in [1u64, 3, 5, 7, 9] {
+            let s = ChaosScheduler::new(seed, 100, 3);
+            assert!(s.includes_kill());
+            let isolate = s
+                .plan()
+                .iter()
+                .find(|(_, a)| matches!(a, FaultAction::IsolateAll))
+                .map(|(step, _)| *step)
+                .expect("kill seed must isolate first");
+            let kill = s
+                .plan()
+                .iter()
+                .find(|(_, a)| matches!(a, FaultAction::KillAndPromote))
+                .map(|(step, _)| *step)
+                .unwrap();
+            assert_eq!(kill - isolate, DIVERGENCE_GAP);
+            // Nothing in the window shrinks the divergent tail.
+            assert!(!s.plan().iter().any(|(step, a)| *step >= isolate
+                && matches!(
+                    a,
+                    FaultAction::Heal { .. } | FaultAction::CrashRestart { .. }
+                )));
+        }
+        for seed in [0u64, 2, 4, 8] {
+            assert!(!ChaosScheduler::new(seed, 100, 3).includes_kill());
+        }
+    }
+
+    #[test]
+    fn replica_targets_stay_in_range() {
+        for seed in 0..16u64 {
+            for (_, a) in ChaosScheduler::new(seed, 200, 2).plan() {
+                match a {
+                    FaultAction::Partition { replica }
+                    | FaultAction::Heal { replica }
+                    | FaultAction::CrashRestart { replica } => assert!(*replica < 2),
+                    FaultAction::ClockSkew { node, .. } => assert!(*node <= 2),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

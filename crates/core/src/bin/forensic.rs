@@ -11,6 +11,8 @@
 //!   binlog     statements with timestamps (mysqlbinlog-alike)
 //!   relay      statements from a replica's relay log(s) — survives a
 //!              primary-side PURGE BINARY LOGS
+//!   divergent  the failover quarantine sidecar from a deposed primary:
+//!              every write it acked but never replicated
 //!   strings    SQL statements carved from the heap dump
 //!   tokens     hex tokens (trapdoors, ORE tokens, DET cts) in carved SQL
 //!   digests    performance_schema digest histogram
@@ -32,13 +34,13 @@ use minidb::snapshot::SystemImage;
 use minidb::storage::DUMP_FILE;
 use minidb::wal::{BINLOG_FILE, REDO_FILE, UNDO_FILE};
 use snapshot_attack::forensics::{
-    binlog, bufpool, memscan, relay, telemetry, tracelog, versions, wal, xtrace, zonemap,
+    binlog, bufpool, divergent, memscan, relay, telemetry, tracelog, versions, wal, xtrace, zonemap,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(path), Some(cmd)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|strings|tokens|digests|bufpool|metrics|tracelog|zonemap|versions>");
+        eprintln!("usage: forensic <image-file> <summary|writes|undo|binlog|relay|divergent|strings|tokens|digests|bufpool|metrics|tracelog|zonemap|versions>");
         std::process::exit(2);
     };
     let bytes = match std::fs::read(path) {
@@ -61,6 +63,7 @@ fn main() {
         "undo" => undo(&image),
         "binlog" => binlog_cmd(&image),
         "relay" => relay_cmd(&image),
+        "divergent" => divergent_cmd(&image),
         "strings" => strings(&image),
         "tokens" => tokens(&image),
         "digests" => digests(&image),
@@ -344,6 +347,21 @@ fn relay_cmd(image: &SystemImage) {
     }
     eprintln!("relay files: {}", files.join(", "));
     for e in relay::carve_relay(&image.disk) {
+        println!(
+            "t={} lsn={} txn={} {}",
+            e.timestamp, e.lsn, e.txn, e.statement
+        );
+    }
+}
+
+fn divergent_cmd(image: &SystemImage) {
+    if divergent::divergent_file(&image.disk).is_none() {
+        eprintln!("no divergent sidecar in image (node was never fenced)");
+        return;
+    }
+    let (total, sealed) = divergent::frame_census(&image.disk);
+    eprintln!("{total} quarantined frames ({sealed} sealed)");
+    for e in divergent::carve_divergent(&image.disk) {
         println!(
             "t={} lsn={} txn={} {}",
             e.timestamp, e.lsn, e.txn, e.statement

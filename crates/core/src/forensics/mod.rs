@@ -8,6 +8,7 @@
 
 pub mod binlog;
 pub mod bufpool;
+pub mod divergent;
 pub mod lsn_time;
 pub mod memscan;
 pub mod relay;

@@ -284,6 +284,33 @@ fn stmt_kind_index(sql: &str) -> usize {
     }
 }
 
+/// A node's place in the replication topology, as reported by
+/// [`Db::health_report`] / `/healthz` and consulted by the failover
+/// coordinator. `Fenced` is the post-deposition state: the node's
+/// divergent binlog tail has been quarantined and client writes stay
+/// refused until the node rejoins the fleet as a replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Accepts client writes and streams its binlog to replicas.
+    Primary,
+    /// Applies the primary's stream; client writes are rejected.
+    Replica,
+    /// Deposed primary: divergence fenced, writes refused.
+    Fenced,
+}
+
+impl ReplRole {
+    /// Lower-case label (`"primary"` / `"replica"` / `"fenced"`), as it
+    /// appears in health payloads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplRole::Primary => "primary",
+            ReplRole::Replica => "replica",
+            ReplRole::Fenced => "fenced",
+        }
+    }
+}
+
 /// Pre-resolved engine-level telemetry handles. The per-table counters
 /// are lazily registered as tables are touched — which is precisely how
 /// the registry ends up encoding the query distribution.
@@ -300,6 +327,8 @@ struct EngineMetrics {
     table_access: HashMap<String, Counter>,
     repl_applied: Counter,
     repl_apply_errors: Counter,
+    repl_promotions: Counter,
+    repl_fenced_events: Counter,
     // Shared cells with the bufpool/WAL metrics structs: the tracer
     // reads before/after deltas off them for per-span attributes.
     bufpool_hits: Counter,
@@ -325,6 +354,8 @@ impl EngineMetrics {
             table_access: HashMap::new(),
             repl_applied: registry.counter("repl.applied_events"),
             repl_apply_errors: registry.counter("repl.apply_errors"),
+            repl_promotions: registry.counter("repl.promotions"),
+            repl_fenced_events: registry.counter("repl.fenced_events"),
             bufpool_hits: registry.counter("bufpool.hits"),
             bufpool_misses: registry.counter("bufpool.misses"),
             wal_redo_bytes: registry.counter("wal.redo.bytes"),
@@ -381,6 +412,14 @@ pub(crate) struct DbInner {
     /// True while the replication applier runs a shipped statement; lets
     /// it through the read-only gate.
     applying: bool,
+    /// This node's replication role. Derived from `read_only` at open
+    /// (writable ⇒ primary, read-only ⇒ replica) and mutated only by
+    /// failover transitions: [`Db::promote_to_primary`],
+    /// [`Db::fence_divergent`], [`Db::rejoin_as_replica`].
+    repl_role: ReplRole,
+    /// Bumped once per promotion this node has won. Epoch 0 means the
+    /// node has held its original role since open.
+    promotion_epoch: u64,
     /// `information_schema.replicas` rows, published by the replication
     /// layer (the engine renders, the layer above reports).
     replica_status: Option<Arc<dyn Fn() -> Vec<ReplicaStatus> + Send + Sync>>,
@@ -490,6 +529,12 @@ impl Db {
             staged_commit: None,
             crashed: false,
             applying: false,
+            repl_role: if config.read_only {
+                ReplRole::Replica
+            } else {
+                ReplRole::Primary
+            },
+            promotion_epoch: 0,
             replica_status: None,
             obs: None,
             config,
@@ -609,7 +654,11 @@ impl Db {
     /// streamer ships these verbatim so ciphertext stays ciphertext
     /// across the wire and in the replica's relay log. See
     /// [`crate::wal::Wal::binlog_frames_from`].
-    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
+    pub fn binlog_frames_from(
+        &self,
+        from_seq: u64,
+        max: usize,
+    ) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
         self.inner.lock().wal.binlog_frames_from(from_seq, max)
     }
 
@@ -691,6 +740,75 @@ impl Db {
         self.inner.lock().config.read_only = on;
     }
 
+    /// This node's replication role ([`ReplRole`]).
+    pub fn repl_role(&self) -> ReplRole {
+        self.inner.lock().repl_role
+    }
+
+    /// Promotions this node has won ([`Db::promote_to_primary`]).
+    pub fn promotion_epoch(&self) -> u64 {
+        self.inner.lock().promotion_epoch
+    }
+
+    /// Failover transition: this replica becomes the fleet's primary.
+    /// Opens the read-only gate, bumps the promotion epoch, and counts
+    /// a `repl.promotions` tick. Returns the new epoch. The caller (the
+    /// failover coordinator) is responsible for fencing the deposed
+    /// primary *before* re-pointing client writes here.
+    pub fn promote_to_primary(&self) -> u64 {
+        let mut g = self.inner.lock();
+        g.repl_role = ReplRole::Primary;
+        g.config.read_only = false;
+        g.promotion_epoch += 1;
+        g.metrics.repl_promotions.inc();
+        g.promotion_epoch
+    }
+
+    /// Failover transition: a fenced (or demoted) node re-enters the
+    /// fleet as a read-only replica under the new primary.
+    pub fn rejoin_as_replica(&self) {
+        let mut g = self.inner.lock();
+        g.repl_role = ReplRole::Replica;
+        g.config.read_only = true;
+    }
+
+    /// Divergence fencing on a deposed primary: every binlog event at
+    /// sequence `>= promoted_cursor` — acked locally, never replicated —
+    /// is truncated out of the live binlog into the
+    /// [`crate::wal::DIVERGENT_FILE`] quarantine sidecar (re-framed
+    /// byte-identically, sealed frames staying sealed), the node drops
+    /// to [`ReplRole::Fenced`] with the read-only gate shut, and
+    /// `repl.fenced_events` counts the quarantined tail. Returns the
+    /// quarantined events decoded with this node's own WAL key (the
+    /// coordinator logs them; a keyless attacker carving the sidecar
+    /// from a cold image gets only what the frames themselves leak).
+    ///
+    /// Deliberately works on a *crashed* engine — fencing is a
+    /// disk-side administrative act on a dead primary, not a query.
+    pub fn fence_divergent(&self, promoted_cursor: u64) -> Vec<BinlogEvent> {
+        let mut g = self.inner.lock();
+        let fenced = g.wal.fence_binlog_tail(promoted_cursor);
+        let mut sidecar = Vec::new();
+        let mut decoded = Vec::new();
+        for (_, sealed, payload) in &fenced {
+            sidecar.extend_from_slice(&if *sealed {
+                crate::wal::frame_enc(payload)
+            } else {
+                crate::wal::frame(payload)
+            });
+            if let Ok(ev) = g.wal.decode_binlog_frame(*sealed, payload) {
+                decoded.push(ev);
+            }
+        }
+        if !sidecar.is_empty() {
+            g.vdisk.append(crate::wal::DIVERGENT_FILE, &sidecar);
+        }
+        g.repl_role = ReplRole::Fenced;
+        g.config.read_only = true;
+        g.metrics.repl_fenced_events.add(fenced.len() as u64);
+        decoded
+    }
+
     /// Appends bytes to a server-side file in the data directory (e.g. a
     /// replica's relay log, written by the replication I/O thread). The
     /// file rides along in every [`crate::snapshot::DiskImage`] like any
@@ -705,6 +823,12 @@ impl Db {
         self.inner.lock().vdisk.read(name).map(|b| b.to_vec())
     }
 
+    /// Replaces a server-side file wholesale (replication recovery:
+    /// truncating a torn relay-log tail before re-attaching).
+    pub fn write_server_file(&self, name: &str, bytes: &[u8]) {
+        self.inner.lock().vdisk.write(name, bytes.to_vec());
+    }
+
     /// Installs the provider behind `information_schema.replicas`. The
     /// replication coordinator calls this on the *primary*; each SELECT
     /// re-invokes the closure for live rows.
@@ -713,6 +837,12 @@ impl Db {
         source: Arc<dyn Fn() -> Vec<ReplicaStatus> + Send + Sync>,
     ) {
         self.inner.lock().replica_status = Some(source);
+    }
+
+    /// The `/healthz` payload, callable in-process: component health
+    /// including this node's replication role and promotion epoch.
+    pub fn health_report(&self) -> mdb_obs::HealthReport {
+        self.inner.lock().health_report()
     }
 
     /// The engine's telemetry registry. Clones share state — the same
@@ -1005,6 +1135,18 @@ impl DbInner {
                     "open={} active_txns={}",
                     self.processlist.entries().len(),
                     self.txns.len()
+                ),
+            },
+            HealthComponent {
+                name: "role".into(),
+                // A fenced node is deliberately not ready: it must not
+                // take writes, and its reads may predate the fleet's
+                // new timeline. Load balancers drain it off `/healthz`.
+                ok: self.repl_role != ReplRole::Fenced,
+                detail: format!(
+                    "role={} promotion_epoch={}",
+                    self.repl_role.as_str(),
+                    self.promotion_epoch
                 ),
             },
             HealthComponent {

@@ -52,7 +52,7 @@ pub mod value;
 pub mod vdisk;
 pub mod wal;
 
-pub use engine::{Connection, Db, DbConfig, QueryResult};
+pub use engine::{Connection, Db, DbConfig, QueryResult, ReplRole};
 pub use error::{DbError, DbResult};
 pub use snapshot::{DiskImage, MemoryImage, SystemImage};
 pub use value::Value;

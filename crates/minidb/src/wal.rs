@@ -41,6 +41,13 @@ pub const REDO_FILE: &str = "ib_logfile0";
 pub const UNDO_FILE: &str = "undo_001";
 /// Binlog file name.
 pub const BINLOG_FILE: &str = "binlog.000001";
+/// Quarantine sidecar for a deposed primary's divergent binlog tail:
+/// events acked locally but never replicated, truncated out of the live
+/// binlog at fencing time ([`Wal::fence_binlog_tail`]) and preserved
+/// here for key-holder recovery. Like every vdisk file it rides along
+/// in cold [`crate::snapshot::DiskImage`]s — which is exactly the
+/// failover-only artifact E21 carves.
+pub const DIVERGENT_FILE: &str = "binlog.divergent";
 
 /// Operation tags shared by redo and undo records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -655,6 +662,46 @@ impl Wal {
         }
     }
 
+    /// Divergence fencing (the binlog half): removes every event with
+    /// sequence `>= from_seq` from the live binlog and returns the
+    /// removed frames as `(seq, sealed, payload)` triples, oldest
+    /// first. The caller (the failover coordinator) quarantines them —
+    /// this log can no longer serve them to anyone, and the next event
+    /// this node logs (after rejoining as a replica) reuses the fenced
+    /// sequence range under the *new* primary's timeline.
+    ///
+    /// The `wal.binlog.*` counters are re-derived from what actually
+    /// remains, for the same reason [`Wal::purge_binlog`] resets them:
+    /// they describe the live log, not its history.
+    pub fn fence_binlog_tail(&mut self, from_seq: u64) -> Vec<(u64, bool, Vec<u8>)> {
+        let start = from_seq.max(self.binlog_purged_seq);
+        if start >= self.binlog_next_seq {
+            return Vec::new();
+        }
+        let skip = (start - self.binlog_purged_seq) as usize;
+        let mut fenced = Vec::new();
+        let mut cut_at = self.binlog.len();
+        for (i, (off, sealed, payload)) in carve_all_frames(&self.binlog).into_iter().enumerate() {
+            if i < skip {
+                continue;
+            }
+            if fenced.is_empty() {
+                cut_at = off;
+            }
+            fenced.push((start + fenced.len() as u64, sealed, payload.to_vec()));
+        }
+        self.binlog.truncate(cut_at);
+        self.binlog_next_seq = start;
+        if let Some(m) = &self.metrics {
+            m.binlog_bytes.reset();
+            m.binlog_bytes.add(self.binlog.len() as u64);
+            m.binlog_events.reset();
+            m.binlog_events
+                .add(self.binlog_next_seq - self.binlog_purged_seq);
+        }
+        fenced
+    }
+
     // ================= binlog cursor (replication) =================
 
     /// Sequence number the next appended binlog event will get — the
@@ -703,7 +750,11 @@ impl Wal {
     /// replica's apply loop (holding the key) opens them. The sealed bit
     /// travels explicitly so downstream consumers never classify a
     /// payload by probing whether it happens to parse.
-    pub fn binlog_frames_from(&self, from_seq: u64, max: usize) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
+    pub fn binlog_frames_from(
+        &self,
+        from_seq: u64,
+        max: usize,
+    ) -> (Vec<(u64, bool, Vec<u8>)>, u64) {
         let start = from_seq.max(self.binlog_purged_seq);
         let mut out = Vec::new();
         let mut next = start;
@@ -817,6 +868,60 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn binlog_ev(seq: u64) -> BinlogEvent {
+        BinlogEvent {
+            lsn: seq,
+            txn: seq,
+            timestamp: 1_700_000_000 + seq as i64,
+            statement: format!("INSERT INTO t VALUES ({seq})"),
+            ctx: None,
+        }
+    }
+
+    #[test]
+    fn fence_binlog_tail_truncates_and_returns_the_tail() {
+        let mut wal = Wal::new(4096, 4096, true);
+        for s in 0..6 {
+            wal.append_binlog(&binlog_ev(s));
+        }
+        assert_eq!(wal.binlog_next_seq(), 6);
+
+        let fenced = wal.fence_binlog_tail(4);
+        assert_eq!(fenced.len(), 2);
+        assert_eq!(fenced[0].0, 4);
+        assert_eq!(fenced[1].0, 5);
+        // The live log now ends exactly at the promoted cursor…
+        assert_eq!(wal.binlog_next_seq(), 4);
+        let live = wal.carve_binlog();
+        assert_eq!(live.len(), 4);
+        assert_eq!(live[3].statement, "INSERT INTO t VALUES (3)");
+        // …and the fenced payloads decode to the removed statements.
+        let ev = wal.decode_binlog_frame(fenced[1].1, &fenced[1].2).unwrap();
+        assert_eq!(ev.statement, "INSERT INTO t VALUES (5)");
+        // Fencing at or past the end is a no-op.
+        assert!(wal.fence_binlog_tail(4).is_empty());
+        assert!(wal.fence_binlog_tail(99).is_empty());
+    }
+
+    #[test]
+    fn fence_binlog_tail_keeps_sealed_frames_sealed() {
+        let mut wal = Wal::new(4096, 4096, true);
+        wal.set_crypto([9u8; 32], 1);
+        for s in 0..3 {
+            wal.append_binlog(&binlog_ev(s));
+        }
+        let fenced = wal.fence_binlog_tail(1);
+        assert_eq!(fenced.len(), 2);
+        assert!(fenced.iter().all(|(_, sealed, _)| *sealed));
+        // Ciphertext: the raw payloads carry no statement text.
+        assert!(fenced
+            .iter()
+            .all(|(_, _, p)| !p.windows(6).any(|w| w == b"INSERT")));
+        // But the key holder still opens them.
+        let ev = wal.decode_binlog_frame(true, &fenced[0].2).unwrap();
+        assert_eq!(ev.statement, "INSERT INTO t VALUES (1)");
+    }
 
     fn redo(lsn: u64, after: &[u8]) -> RedoRecord {
         RedoRecord {

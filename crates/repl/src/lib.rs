@@ -46,7 +46,7 @@ pub mod wire;
 
 pub use primary::PrimaryServer;
 pub use replica::{Replica, ReplicaShared};
-pub use router::{ReplicaSet, ReplicaSetConfig};
+pub use router::{Promotion, ReadTarget, ReplicaSet, ReplicaSetConfig, TransportKind};
 pub use transport::{duplex, FlakyEndpoint, Transport};
 pub use wire::{SequencedEvent, WireMessage};
 

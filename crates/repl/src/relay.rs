@@ -24,6 +24,12 @@ pub const RELAY_FILE: &str = "relay-bin.000001";
 /// appended at attach time and after every purge-gap reposition.
 pub const RELAY_INDEX: &str = "relay-bin.index";
 
+/// Applied-position mark (MySQL's `relay-log.info`): 16 bytes —
+/// `(applied_next_seq: u64 le, own_binlog_next: u64 le)` — overwritten
+/// after every successful apply. See [`applied_position`] for why the
+/// second field makes the non-atomic mark exact anyway.
+pub const RELAY_INFO: &str = "relay.info";
+
 /// Appends one event to the relay log, preserving the primary's framing:
 /// the event's explicit `sealed` bit — set by the primary from the
 /// frame's on-disk magic and carried across the wire — selects the plain
@@ -74,6 +80,116 @@ pub fn recover_position(db: &Db) -> Option<(u64, u64)> {
         .filter(|(_, sealed, p)| db.decode_binlog_frame(*sealed, p).is_ok())
         .count() as u64;
     Some((anchor_seq + applied, relay.len() as u64))
+}
+
+/// Truncates a torn tail off the relay log, returning the bytes
+/// removed (0 when the log ends on a frame boundary).
+///
+/// A replica killed mid-`relay_append` leaves a partial frame at the
+/// tail. Left in place it is worse than wasted bytes: once the resumed
+/// stream appends more frames after it, the torn frame's length field
+/// may suddenly "cover" the bytes of a later complete frame, making the
+/// resyncing carve swallow both. Because the relay log is strictly
+/// append-only, a sequential walk from offset 0 is exact — the first
+/// position that is not a complete, sane frame is where the tear
+/// starts, and everything after it is discarded. The handshake's resume
+/// cursor then re-fetches the torn event exactly once.
+pub fn repair_torn_tail(db: &Db) -> usize {
+    let Some(raw) = db.read_server_file(RELAY_FILE) else {
+        return 0;
+    };
+    let plain = minidb::wal::RECORD_MAGIC.to_le_bytes();
+    let sealed = minidb::wal::ENC_RECORD_MAGIC.to_le_bytes();
+    let mut end = 0usize;
+    while end + 8 <= raw.len() {
+        if raw[end..end + 4] != plain && raw[end..end + 4] != sealed {
+            break;
+        }
+        let len = u32::from_le_bytes(raw[end + 4..end + 8].try_into().unwrap()) as usize;
+        if len >= (1 << 24) || end + 8 + len > raw.len() {
+            break;
+        }
+        end += 8 + len;
+    }
+    let torn = raw.len() - end;
+    if torn > 0 {
+        db.write_server_file(RELAY_FILE, &raw[..end]);
+    }
+    torn
+}
+
+/// Overwrites the applied-position mark: `applied_next` is the global
+/// sequence the SQL thread needs next; the replica's *own* binlog
+/// position rides along as the tiebreaker [`applied_position`] uses.
+pub fn write_applied_mark(db: &Db, applied_next: u64) {
+    let mut rec = Vec::with_capacity(16);
+    rec.extend_from_slice(&applied_next.to_le_bytes());
+    rec.extend_from_slice(&db.binlog_next_seq().to_le_bytes());
+    db.write_server_file(RELAY_INFO, &rec);
+}
+
+/// The global sequence of the next event the engine still needs, exact
+/// even though the mark itself is written non-atomically *after* each
+/// apply. A crash can land between apply and mark, leaving the mark one
+/// event stale — but each apply also advances the replica's own binlog
+/// (a replica executes only replicated statements), so the drift is
+/// recoverable: `true_applied = marked + (own_binlog_now - own_binlog_at_mark)`.
+/// Returns `None` until the first mark is written.
+pub fn applied_position(db: &Db) -> Option<u64> {
+    let raw = db.read_server_file(RELAY_INFO)?;
+    if raw.len() != 16 {
+        return None;
+    }
+    let marked = u64::from_le_bytes(raw[..8].try_into().unwrap());
+    let own_at_mark = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    Some(marked + db.binlog_next_seq().saturating_sub(own_at_mark))
+}
+
+/// Re-applies relayed-but-unapplied events after a crash, returning how
+/// many replayed. The relay-first discipline means a crash between
+/// relay-append and apply leaves frames on disk that the engine never
+/// executed; without this replay, [`recover_position`] would count them
+/// as applied and the resume handshake would skip them for good — a
+/// silently diverged replica. The unapplied events are exactly the last
+/// `relay_next - applied_next` decodable frames past the last anchor
+/// (relay-first, in-order apply), so the walk is positional, not
+/// content-guessing.
+pub fn replay_unapplied(db: &Db) -> usize {
+    let Some((relay_next, _)) = recover_position(db) else {
+        return 0;
+    };
+    let Some(applied_next) = applied_position(db) else {
+        return 0; // No mark yet: nothing was ever applied via the loop.
+    };
+    if applied_next >= relay_next {
+        return 0;
+    }
+    let missing = (relay_next - applied_next) as usize;
+    let index = db.read_server_file(RELAY_INDEX).unwrap_or_default();
+    let anchor_off = if index.len() >= 16 {
+        let last = &index[(index.len() / 16 - 1) * 16..];
+        u64::from_le_bytes(last[8..16].try_into().unwrap())
+    } else {
+        0
+    };
+    let relay = db.read_server_file(RELAY_FILE).unwrap_or_default();
+    let tail = relay.get(anchor_off as usize..).unwrap_or(&[]);
+    let decoded: Vec<_> = carve_all_frames(tail)
+        .iter()
+        .filter_map(|(_, sealed, p)| db.decode_binlog_frame(*sealed, p).ok())
+        .collect();
+    let mut replayed = 0usize;
+    for event in decoded.iter().skip(decoded.len().saturating_sub(missing)) {
+        if db
+            .apply_replicated_ctx(&event.statement, event.timestamp, event.ctx)
+            .is_err()
+        {
+            break; // Halt like the SQL thread would; position stays exact.
+        }
+        replayed += 1;
+    }
+    write_applied_mark(db, applied_next + replayed as u64);
+    replayed
 }
 
 /// Current relay-log length in bytes (0 when absent).
@@ -129,6 +245,94 @@ mod tests {
         }
         let (next, _) = recover_position(&db).unwrap();
         assert_eq!(next, 22);
+    }
+
+    #[test]
+    fn relayed_but_unapplied_tail_replays_on_restart() {
+        let db = Db::open(DbConfig {
+            server_id: 2,
+            read_only: true,
+            ..DbConfig::default()
+        });
+        append_index_entry(&db, 0, 0);
+        let stmts = [
+            "CREATE TABLE t (id INT PRIMARY KEY)",
+            "INSERT INTO t VALUES (1)",
+            "INSERT INTO t VALUES (2)",
+        ];
+        // Events 0 and 1: relay, apply, mark — the normal loop.
+        for seq in 0..2u64 {
+            let e = SequencedEvent::plain(
+                seq,
+                &BinlogEvent {
+                    lsn: seq,
+                    txn: seq,
+                    timestamp: 100,
+                    statement: stmts[seq as usize].to_string(),
+                    ctx: None,
+                },
+            );
+            append_event(&db, &e);
+            db.apply_replicated_ctx(stmts[seq as usize], 100, None)
+                .unwrap();
+            write_applied_mark(&db, seq + 1);
+        }
+        // Event 2: relayed, then the crash lands before the apply.
+        append_event(
+            &db,
+            &SequencedEvent::plain(
+                2,
+                &BinlogEvent {
+                    lsn: 2,
+                    txn: 2,
+                    timestamp: 100,
+                    statement: stmts[2].to_string(),
+                    ctx: None,
+                },
+            ),
+        );
+        assert_eq!(applied_position(&db), Some(2));
+        let (relay_next, _) = recover_position(&db).unwrap();
+        assert_eq!(relay_next, 3, "relay holds the unapplied frame");
+
+        // Restart-time replay executes exactly the missing event.
+        assert_eq!(replay_unapplied(&db), 1);
+        assert_eq!(applied_position(&db), Some(3));
+        let rows = db.connect("check").execute("SELECT id FROM t").unwrap();
+        assert_eq!(rows.rows.len(), 2);
+
+        // Idempotent: a second restart replays nothing.
+        assert_eq!(replay_unapplied(&db), 0);
+        assert_eq!(rows.rows.len(), 2);
+    }
+
+    #[test]
+    fn applied_mark_tolerates_crash_after_apply_before_mark() {
+        // The inverse window: apply succeeded, mark write was lost. The
+        // own-binlog tiebreaker must prevent a double replay.
+        let db = Db::open(DbConfig {
+            server_id: 2,
+            read_only: true,
+            ..DbConfig::default()
+        });
+        append_index_entry(&db, 0, 0);
+        let e = SequencedEvent::plain(
+            0,
+            &BinlogEvent {
+                lsn: 0,
+                txn: 0,
+                timestamp: 100,
+                statement: "CREATE TABLE t (id INT PRIMARY KEY)".to_string(),
+                ctx: None,
+            },
+        );
+        append_event(&db, &e);
+        write_applied_mark(&db, 0); // Mark as of *before* the apply.
+        db.apply_replicated_ctx("CREATE TABLE t (id INT PRIMARY KEY)", 100, None)
+            .unwrap();
+        // Own binlog advanced past the mark: position is still exact.
+        assert_eq!(applied_position(&db), Some(1));
+        assert_eq!(replay_unapplied(&db), 0);
     }
 
     #[test]

@@ -29,6 +29,29 @@ const RECV_POLL: Duration = Duration::from_millis(20);
 const BACKOFF_BASE: Duration = Duration::from_millis(1);
 const BACKOFF_CAP: Duration = Duration::from_millis(16);
 
+/// Applies ±25% jitter to a backoff delay, advancing a per-replica
+/// xorshift64* state. Without this, every replica cut by the same
+/// partition heals on the same exponential schedule and reconnects in
+/// lock-step — a thundering herd against the primary's acceptor. The
+/// state is seeded from the replica's `server_id`, so the dither is
+/// deterministic per node (reproducible chaos schedules) while distinct
+/// nodes spread out.
+fn jittered(backoff: Duration, state: &mut u64) -> Duration {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    // Top 53 bits → uniform fraction in [0, 1), mapped to [0.75, 1.25).
+    let frac = 0.75 + (r >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+    Duration::from_nanos((backoff.as_nanos() as f64 * frac) as u64)
+}
+
+/// Seeds the jitter state for a replica (never zero — xorshift's fixed
+/// point).
+fn jitter_seed(server_id: u64) -> u64 {
+    server_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
 /// Lock-free view of a replica's replication state, readable from the
 /// primary's `information_schema.replicas` closure **without taking any
 /// database lock** (the closure runs under the primary's engine lock, so
@@ -113,10 +136,27 @@ impl Replica {
     /// so a restarted replica never re-asks for what it already has.
     pub fn start(db: Db, connector: Connector) -> Replica {
         let shared = Arc::new(ReplicaShared::default());
+        // A crash mid-`relay_append` leaves a torn frame at the relay
+        // tail; drop it before recovering the resume position so the
+        // handshake re-requests exactly that event (relay-first, so it
+        // was never applied — no loss, no double-apply).
+        let torn = relay::repair_torn_tail(&db);
+        // A crash *between* relay-append and apply leaves complete frames
+        // the engine never executed; replay them now, or the resume
+        // handshake would skip them forever (the relay counts them as
+        // held, so it never re-asks).
+        let replayed = relay::replay_unapplied(&db);
         if let Some((next, _)) = relay::recover_position(&db) {
             shared.next_seq.store(next, Ordering::SeqCst);
         }
         let registry = db.telemetry();
+        if torn > 0 {
+            registry.counter("repl.relay.torn_bytes").add(torn as u64);
+            registry.counter("repl.relay.repairs").inc();
+        }
+        if replayed > 0 {
+            registry.counter("repl.relay.replayed").add(replayed as u64);
+        }
         let metrics = ApplyMetrics {
             relay_bytes: registry.counter("repl.relay.bytes"),
             relay_events: registry.counter("repl.relay.events"),
@@ -183,6 +223,7 @@ fn apply_loop(
 ) {
     let replica_id = db.server_id();
     let mut backoff = BACKOFF_BASE;
+    let mut jitter = jitter_seed(replica_id);
     let mut first_attach = relay::recover_position(db).is_none();
     while !shutdown.load(Ordering::SeqCst) {
         shared.set_state("connecting");
@@ -192,7 +233,7 @@ fn apply_loop(
                 shared.set_state("reconnecting");
                 shared.retries.fetch_add(1, Ordering::SeqCst);
                 metrics.retries.inc();
-                std::thread::sleep(backoff);
+                std::thread::sleep(jittered(backoff, &mut jitter));
                 backoff = (backoff * 2).min(BACKOFF_CAP);
                 continue;
             }
@@ -212,11 +253,15 @@ fn apply_loop(
             shared.set_state("reconnecting");
             shared.retries.fetch_add(1, Ordering::SeqCst);
             metrics.retries.inc();
-            std::thread::sleep(backoff);
+            std::thread::sleep(jittered(backoff, &mut jitter));
             backoff = (backoff * 2).min(BACKOFF_CAP);
             continue;
         }
-        shared.set_state("streaming");
+        // Not "streaming" yet: the router must not route reads here
+        // until the first message lands (which also seeds the true
+        // `primary_seq`, so lag is never under-reported as zero while
+        // the replica is actually far behind).
+        shared.set_state("attaching");
         let stream_err = stream(db, shared, transport.as_mut(), metrics, shutdown);
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -231,7 +276,7 @@ fn apply_loop(
         shared.set_state("reconnecting");
         shared.retries.fetch_add(1, Ordering::SeqCst);
         metrics.retries.inc();
-        std::thread::sleep(backoff);
+        std::thread::sleep(jittered(backoff, &mut jitter));
         backoff = (backoff * 2).min(BACKOFF_CAP);
     }
 }
@@ -251,6 +296,10 @@ fn stream(
             Some(m) => m,
             None => continue,
         };
+        // First message after the handshake: the stream is live and
+        // `primary_seq` is about to be truthful — now reads may route
+        // here.
+        shared.set_state("streaming");
         match msg {
             WireMessage::Events { events } => {
                 for ev in events {
@@ -290,6 +339,7 @@ fn stream(
                         .apply_latency_us
                         .record(apply_started.elapsed().as_micros() as u64);
                     shared.applied.fetch_add(1, Ordering::SeqCst);
+                    relay::write_applied_mark(db, ev.seq + 1);
                     shared.next_seq.store(ev.seq + 1, Ordering::SeqCst);
                     if shared.primary_seq.load(Ordering::SeqCst) < ev.seq + 1 {
                         shared.primary_seq.store(ev.seq + 1, Ordering::SeqCst);
@@ -317,6 +367,7 @@ fn stream(
                     shared.next_seq.store(purged_to, Ordering::SeqCst);
                     // Re-anchor the relay index across the hole.
                     relay::append_index_entry(db, purged_to, relay::relay_len(db));
+                    relay::write_applied_mark(db, purged_to);
                 }
             }
             WireMessage::Handshake { .. } => {
@@ -332,6 +383,29 @@ mod tests {
     use crate::primary::PrimaryServer;
     use crate::transport::duplex;
     use minidb::DbConfig;
+
+    #[test]
+    fn backoff_jitter_is_seeded_and_bounded() {
+        // Deterministic: the same server_id replays the same dither.
+        let (mut a, mut b) = (jitter_seed(2), jitter_seed(2));
+        let seq_a: Vec<Duration> = (0..32).map(|_| jittered(BACKOFF_CAP, &mut a)).collect();
+        let seq_b: Vec<Duration> = (0..32).map(|_| jittered(BACKOFF_CAP, &mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+
+        // Bounded: every delay lands in [0.75, 1.25) × base.
+        let base = BACKOFF_CAP.as_nanos() as f64;
+        for d in &seq_a {
+            let f = d.as_nanos() as f64 / base;
+            assert!((0.75..1.25).contains(&f), "jitter factor {f} out of range");
+        }
+        // Spread: the dither actually varies (herd-breaking).
+        assert!(seq_a.iter().collect::<std::collections::HashSet<_>>().len() > 16);
+
+        // Distinct nodes diverge.
+        let mut c = jitter_seed(3);
+        let seq_c: Vec<Duration> = (0..32).map(|_| jittered(BACKOFF_CAP, &mut c)).collect();
+        assert_ne!(seq_a, seq_c);
+    }
 
     fn replica_config(id: u64) -> DbConfig {
         DbConfig {

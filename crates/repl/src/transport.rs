@@ -138,7 +138,13 @@ impl<T: Transport> Transport for FlakyEndpoint<T> {
 
     fn recv_timeout(&mut self, timeout: Duration) -> ReplResult<Option<WireMessage>> {
         self.check()?;
-        self.inner.recv_timeout(timeout)
+        let got = self.inner.recv_timeout(timeout);
+        // The cut may have landed while this call was blocked in the
+        // inner receive — a real partition severs in-flight delivery,
+        // so a message that raced the cut is dropped, not delivered.
+        // (Safe for replication: the resume handshake re-fetches it.)
+        self.check()?;
+        got
     }
 }
 
